@@ -1,0 +1,53 @@
+// Ablation A: sweep the approximation fidelity threshold on dense random
+// states and report how diagram size, operation count, control count and
+// achieved fidelity respond. The paper evaluates one point (98%); this bench
+// maps the whole trade-off curve that §4.3 advertises.
+
+#include "bench_common.hpp"
+
+#include "mqsp/support/timing.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace mqsp;
+    using namespace mqsp::bench;
+
+    constexpr int kRuns = 20;
+    const std::vector<double> thresholds{1.0, 0.999, 0.99, 0.98, 0.95, 0.90, 0.80, 0.70};
+    const std::vector<Dimensions> registers{{3, 6, 2}, {9, 5, 6, 3}, {6, 6, 5, 3, 3}};
+
+    for (const auto& dims : registers) {
+        std::printf("Random states on %s (%d runs per threshold)\n",
+                    formatDimensionSpec(dims).c_str(), kRuns);
+        std::printf("%10s %10s %12s %10s %10s %10s\n", "threshold", "nodes", "operations",
+                    "#controls", "fidelity", "time[s]");
+        Rng seeder(Rng::kDefaultSeed);
+        for (const double threshold : thresholds) {
+            double nodes = 0.0;
+            double operations = 0.0;
+            double controls = 0.0;
+            double fidelity = 0.0;
+            double seconds = 0.0;
+            for (int run = 0; run < kRuns; ++run) {
+                Rng rng(seeder.childSeed());
+                const StateVector state = states::random(dims, rng);
+                const WallTimer timer;
+                const auto result = prepareApproximated(state, threshold);
+                seconds += timer.elapsedSeconds();
+                nodes += static_cast<double>(
+                    result.diagram.nodeCount(NodeCountMode::TreeSlots));
+                operations += static_cast<double>(result.circuit.numOperations());
+                controls += result.circuit.stats().medianControls;
+                fidelity += result.approx.fidelity;
+            }
+            const double inv = 1.0 / kRuns;
+            std::printf("%10.3f %10.1f %12.1f %10.2f %10.4f %10.4f\n", threshold,
+                        nodes * inv, operations * inv, controls * inv, fidelity * inv,
+                        seconds * inv);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

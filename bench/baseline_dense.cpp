@@ -1,0 +1,57 @@
+// Baseline comparison: DD-aware synthesis (zero sub-trees never produce
+// operations — the paper's method) against the dense multiplexed-rotation
+// baseline (the exhaustive uniformly-controlled cascade that visits every
+// node of the full splitting tree, as classical qubit state preparation
+// does). The gap is the abstract's claim made concrete: "performance
+// directly linked to the size of the decision diagram".
+
+#include "bench_common.hpp"
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/support/timing.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace mqsp;
+    using namespace mqsp::bench;
+
+    std::printf("DD-aware synthesis vs dense multiplexor baseline\n\n");
+    std::printf("%-14s %-22s %10s %10s %10s %12s\n", "Name", "Qudits", "DD ops",
+                "dense ops", "speedup", "verified");
+
+    SynthesisOptions options; // paper-faithful emission for both
+    options.elideTensorProductControls = false;
+
+    Rng seeder(Rng::kDefaultSeed);
+    for (const auto& workload : table1Workloads()) {
+        Rng rng(seeder.childSeed());
+        const StateVector state = makeState(workload, rng);
+
+        const DecisionDiagram sparse = DecisionDiagram::fromStateVector(state);
+        const Circuit ddCircuit = synthesize(sparse, options);
+
+        const DecisionDiagram dense = DecisionDiagram::fromStateVectorDense(state);
+        const Circuit baseline = synthesize(dense, options);
+
+        // Verify both on registers small enough to simulate instantly.
+        const char* verified = "-";
+        if (state.size() <= 1024) {
+            const bool okA =
+                Simulator::preparationFidelity(ddCircuit, state) > 1.0 - 1e-8;
+            const bool okB =
+                Simulator::preparationFidelity(baseline, state) > 1.0 - 1e-8;
+            verified = (okA && okB) ? "both" : "FAILED";
+        }
+        std::printf("%-14s %-22s %10zu %10zu %9.1fx %12s\n", workload.family.c_str(),
+                    formatDimensionSpec(workload.dims).c_str(),
+                    ddCircuit.numOperations(), baseline.numOperations(),
+                    static_cast<double>(baseline.numOperations()) /
+                        static_cast<double>(ddCircuit.numOperations()),
+                    verified);
+    }
+    std::printf("\nStructured states: the DD skips every zero sub-tree (GHZ 6-qudit:\n"
+                "73 vs 8656 ops). Dense random states: no zeros to skip, ratio 1.\n");
+    return 0;
+}

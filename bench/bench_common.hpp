@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared benchmark configuration: the exact workloads of the paper's
+// Table 1. Register orders for the two 6-qudit rows are the ones implied by
+// the paper's own node counts (see DESIGN.md).
+
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/mixed_radix.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mqsp::bench {
+
+/// One benchmark row: a state family on a register.
+struct Workload {
+    std::string family;   ///< "Emb. W-State", "GHZ State", ...
+    Dimensions dims;      ///< most significant qudit first
+    bool randomized;      ///< true when every run draws a fresh state
+};
+
+/// The 14 rows of Table 1, in paper order.
+inline std::vector<Workload> table1Workloads() {
+    const Dimensions r3{3, 6, 2};
+    const Dimensions r4{9, 5, 6, 3};
+    const Dimensions r5{6, 6, 5, 3, 3};
+    const Dimensions r6a{5, 4, 2, 5, 5, 2};
+    const Dimensions r6b{4, 7, 4, 4, 3, 5};
+    return {
+        {"Emb. W-State", r3, false}, {"Emb. W-State", r4, false},
+        {"Emb. W-State", r6b, false},
+        {"GHZ State", r3, false},    {"GHZ State", r4, false},
+        {"GHZ State", r6b, false},
+        {"W-State", r3, false},      {"W-State", r4, false},
+        {"W-State", r6b, false},
+        {"Random State", r3, true},  {"Random State", r4, true},
+        {"Random State", r5, true},  {"Random State", r6a, true},
+        {"Random State", r6b, true},
+    };
+}
+
+/// Instantiate the workload's target state. For randomized workloads the
+/// caller provides a per-run RNG.
+inline StateVector makeState(const Workload& workload, Rng& rng) {
+    if (workload.family == "GHZ State") {
+        return states::ghz(workload.dims);
+    }
+    if (workload.family == "W-State") {
+        return states::wState(workload.dims);
+    }
+    if (workload.family == "Emb. W-State") {
+        return states::embeddedWState(workload.dims);
+    }
+    return states::random(workload.dims, rng);
+}
+
+/// Number of repetitions the paper averages over.
+inline constexpr int kPaperRuns = 40;
+
+} // namespace mqsp::bench

@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks for the library's kernels: decision
+// diagram construction, amplitude reconstruction, dense export, reduction,
+// pruning, synthesis and simulation. These underpin the "Time" columns of
+// Table 1 and the scaling bench.
+
+#include "mqsp/approx/approximation.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace mqsp;
+
+const Dimensions& registerForIndex(std::int64_t index) {
+    static const std::vector<Dimensions> registers{
+        {3, 6, 2}, {9, 5, 6, 3}, {6, 6, 5, 3, 3}, {4, 7, 4, 4, 3, 5}};
+    return registers[static_cast<std::size_t>(index)];
+}
+
+StateVector benchState(std::int64_t index) {
+    Rng rng(Rng::kDefaultSeed + static_cast<std::uint64_t>(index));
+    return states::random(registerForIndex(index), rng);
+}
+
+void BM_DDConstruct(benchmark::State& state) {
+    const StateVector target = benchState(state.range(0));
+    for (auto _ : state) {
+        auto dd = DecisionDiagram::fromStateVector(target);
+        benchmark::DoNotOptimize(dd.rootNode());
+    }
+    state.SetComplexityN(static_cast<std::int64_t>(target.size()));
+}
+BENCHMARK(BM_DDConstruct)->DenseRange(0, 3)->Complexity(benchmark::oN);
+
+void BM_DDAmplitude(benchmark::State& state) {
+    const StateVector target = benchState(state.range(0));
+    const DecisionDiagram dd = DecisionDiagram::fromStateVector(target);
+    const auto digits = target.radix().digitsOf(target.size() / 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dd.amplitudeOf(digits));
+    }
+}
+BENCHMARK(BM_DDAmplitude)->DenseRange(0, 3);
+
+void BM_DDToVector(benchmark::State& state) {
+    const StateVector target = benchState(state.range(0));
+    const DecisionDiagram dd = DecisionDiagram::fromStateVector(target);
+    for (auto _ : state) {
+        auto vec = dd.toStateVector();
+        benchmark::DoNotOptimize(vec.amplitudes().data());
+    }
+}
+BENCHMARK(BM_DDToVector)->DenseRange(0, 3);
+
+void BM_DDReduce(benchmark::State& state) {
+    const StateVector target = states::uniform(registerForIndex(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        DecisionDiagram dd = DecisionDiagram::fromStateVector(target);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(dd.reduce());
+    }
+}
+BENCHMARK(BM_DDReduce)->DenseRange(0, 3);
+
+void BM_Approximate(benchmark::State& state) {
+    const StateVector target = benchState(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        DecisionDiagram dd = DecisionDiagram::fromStateVector(target);
+        state.ResumeTiming();
+        const auto report = approximate(dd);
+        benchmark::DoNotOptimize(report.removedMass);
+    }
+}
+BENCHMARK(BM_Approximate)->DenseRange(0, 3);
+
+void BM_Synthesize(benchmark::State& state) {
+    const StateVector target = benchState(state.range(0));
+    const DecisionDiagram dd = DecisionDiagram::fromStateVector(target);
+    for (auto _ : state) {
+        const Circuit circuit = synthesize(dd);
+        benchmark::DoNotOptimize(circuit.numOperations());
+    }
+    state.SetComplexityN(
+        static_cast<std::int64_t>(dd.nodeCount(NodeCountMode::Internal)));
+}
+BENCHMARK(BM_Synthesize)->DenseRange(0, 3)->Complexity(benchmark::oN);
+
+void BM_SimulatePreparation(benchmark::State& state) {
+    // Simulation cost is gate count x Hilbert dimension; use the smaller
+    // registers only.
+    const StateVector target = benchState(state.range(0));
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+    for (auto _ : state) {
+        const StateVector out = Simulator::runFromZero(prep.circuit);
+        benchmark::DoNotOptimize(out.amplitudes().data());
+    }
+}
+BENCHMARK(BM_SimulatePreparation)->DenseRange(0, 1);
+
+void BM_StateFidelity(benchmark::State& state) {
+    const StateVector a = benchState(state.range(0));
+    Rng rng(99);
+    const StateVector b = states::random(registerForIndex(state.range(0)), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.fidelityWith(b));
+    }
+}
+BENCHMARK(BM_StateFidelity)->DenseRange(0, 3);
+
+} // namespace

@@ -1,0 +1,69 @@
+// Entanglement study: the paper's introduction motivates state preparation
+// as the gateway to "gaining insights into the behavior of specific states
+// that have not yet been extensively studied in qudit systems, including
+// aspects like entanglement". This example does exactly that: it prepares
+// the benchmark states on a mixed-dimensional register, verifies them, and
+// measures their entanglement structure across every bipartition, plus
+// samples measurement outcomes directly from the decision diagram.
+
+#include "mqsp/analysis/entanglement.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+void study(const std::string& name, const mqsp::StateVector& target) {
+    using namespace mqsp;
+    // First make sure we can actually prepare it.
+    const auto prep = prepareExact(target);
+    const double fidelity = Simulator::preparationFidelity(prep.circuit, target);
+
+    std::printf("%-18s fidelity=%.6f  ops=%zu\n", name.c_str(), fidelity,
+                prep.circuit.numOperations());
+    const std::size_t n = target.numQudits();
+    for (std::size_t cut = 1; cut < n; ++cut) {
+        std::vector<std::size_t> left;
+        for (std::size_t site = 0; site < cut; ++site) {
+            left.push_back(site);
+        }
+        const double entropy = analysis::entanglementEntropy(target, left);
+        const std::size_t rank = analysis::schmidtRank(target, left);
+        const double renyi = analysis::renyi2Entropy(target, left);
+        std::printf("    cut after site %zu: S=%.4f bits  Renyi2=%.4f  Schmidt rank=%zu\n",
+                    cut - 1, entropy, renyi, rank);
+    }
+}
+
+} // namespace
+
+int main() {
+    using namespace mqsp;
+
+    const Dimensions dims{3, 6, 2};
+    std::printf("Entanglement across bipartitions on %s\n\n",
+                formatDimensionSpec(dims).c_str());
+
+    study("GHZ", states::ghz(dims));
+    study("W", states::wState(dims));
+    study("Embedded W", states::embeddedWState(dims));
+    study("Uniform (product)", states::uniform(dims));
+    Rng rng;
+    study("Random dense", states::random(dims, rng));
+
+    // Sampling straight from the decision diagram (no dense expansion).
+    std::printf("\nSampling 10000 shots from the W-state diagram:\n");
+    const DecisionDiagram dd = DecisionDiagram::fromStateVector(states::wState(dims));
+    Rng sampler(42);
+    const auto histogram = dd.sampleHistogram(sampler, 10000);
+    const MixedRadix radix(dims);
+    for (const auto& [index, count] : histogram) {
+        std::printf("  %s : %llu\n", MixedRadix::toKetString(radix.digitsOf(index)).c_str(),
+                    static_cast<unsigned long long>(count));
+    }
+    return 0;
+}

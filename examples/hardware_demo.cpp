@@ -1,0 +1,71 @@
+// Hardware-aware preparation (the paper's stated future work: "taking the
+// capabilities of the targeted quantum hardware in account"): synthesize a
+// state, lower it to two-qudit gates, map it onto different device
+// topologies, and compare the noise-model fidelity estimates.
+
+#include "mqsp/hardware/router.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+#include "mqsp/transpile/transpiler.hpp"
+
+#include <complex>
+#include <cstdio>
+
+int main() {
+    using namespace mqsp;
+
+    // Three qutrits: deep enough for two-control ops (which transpile
+    // without ancillas, keeping the device register uniform so chain
+    // routing is dimension-compatible).
+    const Dimensions dims{3, 3, 3};
+    const StateVector target = states::ghz(dims);
+
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+    const auto lowered = transpileToTwoQudit(prep.circuit);
+    std::printf("GHZ on %s: %zu high-level ops -> %zu two-level ops (%zu ancillas)\n\n",
+                formatDimensionSpec(dims).c_str(), prep.circuit.numOperations(),
+                lowered.circuit.numOperations(), lowered.numAncillas);
+
+    NoiseModel noise;
+    noise.singleQuditError = 1e-4;
+    noise.twoQuditError = 5e-3;
+
+    const Dimensions device = lowered.circuit.dimensions();
+    struct Topology {
+        const char* label;
+        Architecture arch;
+    };
+    const Topology topologies[] = {
+        {"all-to-all (trapped ions)", Architecture::allToAll(device, noise)},
+        {"ring", Architecture::ring(device, noise)},
+        {"linear chain", Architecture::linearChain(device, noise)},
+    };
+
+    std::printf("%-28s %10s %10s %14s %12s\n", "topology", "ops", "swaps", "2q ops",
+                "est. fid");
+    for (const auto& [label, arch] : topologies) {
+        const auto routed = routeCircuit(lowered.circuit, arch);
+        std::printf("%-28s %10zu %10zu %14zu %12.4f\n", label,
+                    routed.circuit.numOperations(), routed.swapsInserted,
+                    routed.twoQuditOps,
+                    estimateCircuitFidelity(routed.circuit, noise));
+    }
+
+    // Verify the worst case (chain) end-to-end on the simulator.
+    const auto routed = routeCircuit(lowered.circuit, Architecture::linearChain(device));
+    const StateVector out = Simulator::runFromZero(routed.circuit);
+    std::uint64_t scale = 1;
+    for (std::size_t a = 0; a < lowered.numAncillas; ++a) {
+        scale *= 2;
+    }
+    Complex overlap{0.0, 0.0};
+    for (std::uint64_t i = 0; i < target.size(); ++i) {
+        overlap += std::conj(target[i]) * out[i * scale];
+    }
+    std::printf("\nchain-routed circuit verified on the simulator: |overlap| = %.9f\n",
+                std::abs(overlap));
+    return std::abs(overlap) > 0.999999 ? 0 : 1;
+}

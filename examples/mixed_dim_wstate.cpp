@@ -1,0 +1,50 @@
+// Mixed-dimensional W states: the paper's motivating workload for
+// quantum-simulation-style registers where every qudit has a different
+// dimension. Prepares the W state and the embedded W state on the paper's
+// [1x3,1x6,1x2] and [1x9,1x5,1x6,1x3] registers, shows the decision-diagram
+// statistics, and emits a Graphviz rendering of the 3-qudit diagram.
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <iostream>
+
+namespace {
+
+void report(const std::string& label, const mqsp::StateVector& target) {
+    using namespace mqsp;
+    const auto result = prepareExact(target);
+    const auto stats = result.circuit.stats();
+    const double fidelity = Simulator::preparationFidelity(result.circuit, target);
+    std::cout << label << " on " << formatDimensionSpec(target.dimensions()) << ":\n"
+              << "  terms in superposition : " << target.countNonZero() << "\n"
+              << "  DD internal nodes      : "
+              << result.diagram.nodeCount(NodeCountMode::Internal) << "\n"
+              << "  distinct complex values: " << result.diagram.distinctComplexCount()
+              << "\n"
+              << "  multi-controlled ops   : " << stats.numOperations << "\n"
+              << "  median controls        : " << stats.medianControls << "\n"
+              << "  verified fidelity      : " << fidelity << "\n\n";
+}
+
+} // namespace
+
+int main() {
+    using namespace mqsp;
+
+    const Dimensions small{3, 6, 2};
+    const Dimensions large{9, 5, 6, 3};
+
+    report("W state", states::wState(small));
+    report("W state", states::wState(large));
+    report("Embedded W state", states::embeddedWState(small));
+    report("Embedded W state", states::embeddedWState(large));
+
+    std::cout << "Graphviz rendering of the W-state diagram on "
+              << formatDimensionSpec(small) << ":\n\n";
+    const DecisionDiagram dd =
+        DecisionDiagram::fromStateVector(states::wState(small));
+    std::cout << dd.toDot() << "\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+// Spin-boson ground-state preparation — the paper's motivating application
+// (§1: "Simulations of models representing fermion-boson interactions on
+// mixed-dimensional quantum computers"). A two-level atom coupled to a
+// truncated bosonic mode is natively a mixed-dimensional register: a qubit
+// next to a d-level qudit. This example
+//   1. builds the quantum Rabi Hamiltonian on [2, d],
+//   2. finds its ground state with the library's Hermitian eigensolver,
+//   3. synthesizes the preparation circuit from the decision diagram,
+//   4. verifies it on the simulator, and
+//   5. measures physical observables of the prepared state.
+
+#include "mqsp/analysis/entanglement.hpp"
+#include "mqsp/analysis/observables.hpp"
+#include "mqsp/linalg/eigen.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace {
+
+using namespace mqsp;
+
+/// Quantum Rabi Hamiltonian on qubit (x) boson(d):
+///   H = delta/2 sz + omega n + g (s+ + s-)(a + a^dagger),
+/// in the mixed-radix basis |spin, fock>.
+DenseMatrix rabiHamiltonian(Dimension bosonLevels, double delta, double omega, double g) {
+    const std::size_t dim = 2U * bosonLevels;
+    DenseMatrix h(dim);
+    const auto index = [bosonLevels](std::size_t spin, std::size_t fock) {
+        return spin * bosonLevels + fock;
+    };
+    for (std::size_t spin = 0; spin < 2; ++spin) {
+        for (std::size_t fock = 0; fock < bosonLevels; ++fock) {
+            const std::size_t i = index(spin, fock);
+            // Diagonal: spin splitting + photon number.
+            h(i, i) += Complex{(spin == 0 ? 0.5 : -0.5) * delta +
+                                   omega * static_cast<double>(fock),
+                               0.0};
+            // Coupling: spin flip with photon creation/annihilation.
+            const std::size_t flipped = 1 - spin;
+            if (fock + 1 < bosonLevels) {
+                const double amp = g * std::sqrt(static_cast<double>(fock + 1));
+                h(index(flipped, fock + 1), i) += Complex{amp, 0.0};
+                h(i, index(flipped, fock + 1)) += Complex{amp, 0.0};
+            }
+            if (fock > 0) {
+                const double amp = g * std::sqrt(static_cast<double>(fock));
+                h(index(flipped, fock - 1), i) += Complex{amp, 0.0};
+                h(i, index(flipped, fock - 1)) += Complex{amp, 0.0};
+            }
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+int main() {
+    const Dimension bosonLevels = 6; // truncate the mode at 6 Fock states
+    const double delta = 1.0;        // qubit splitting
+    const double omega = 0.8;        // mode frequency
+    const double g = 0.6;            // ultrastrong coupling: entangled ground state
+
+    const DenseMatrix h = rabiHamiltonian(bosonLevels, delta, omega, g);
+    const EigenResult eigen = eigenHermitian(h);
+    std::printf("Rabi model on [2 x %u]: ground energy E0 = %.6f (gap %.6f)\n",
+                bosonLevels, eigen.values[0], eigen.values[1] - eigen.values[0]);
+
+    // The ground eigenvector, as a mixed-dimensional state |spin, fock>.
+    const Dimensions dims{2, bosonLevels};
+    std::vector<Complex> amplitudes(2U * bosonLevels);
+    for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+        amplitudes[i] = eigen.vectors(i, 0);
+    }
+    StateVector ground(dims, std::move(amplitudes));
+    ground.normalize();
+
+    // Synthesize and verify the preparation circuit.
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    lean.circuitName = "rabi_ground_state";
+    const auto prep = prepareExact(ground, lean);
+    const double fidelity = Simulator::preparationFidelity(prep.circuit, ground);
+    const auto stats = prep.circuit.stats();
+    std::printf("preparation circuit: %zu ops, median controls %.1f, fidelity %.9f\n\n",
+                stats.numOperations, stats.medianControls, fidelity);
+
+    // Physics of the prepared state.
+    const StateVector prepared = Simulator::runFromZero(prep.circuit);
+    DenseMatrix number(bosonLevels);
+    for (Level n = 0; n < bosonLevels; ++n) {
+        number(n, n) = Complex{static_cast<double>(n), 0.0};
+    }
+    const double occupation = analysis::expectation(prepared, 1, number);
+    const double occupationVar = analysis::variance(prepared, 1, number);
+    const double sz = analysis::expectation(prepared, 0, analysis::gellMannDiagonal(2, 1));
+    const double entropy = analysis::entanglementEntropy(prepared, {0});
+    const auto energyVec = h.apply(prepared.amplitudes());
+    Complex energy{0.0, 0.0};
+    for (std::size_t i = 0; i < energyVec.size(); ++i) {
+        energy += std::conj(prepared.amplitudes()[i]) * energyVec[i];
+    }
+
+    std::printf("observables of the prepared state:\n");
+    std::printf("  <H>                  : %.6f (ground energy reproduced)\n",
+                energy.real());
+    std::printf("  <n> photon number    : %.6f (+- %.6f)\n", occupation,
+                std::sqrt(occupationVar));
+    std::printf("  <sigma_z>            : %.6f\n", sz);
+    std::printf("  S(spin : mode)       : %.6f bits of spin-mode entanglement\n", entropy);
+
+    const bool ok = fidelity > 0.999999 &&
+                    std::abs(energy.real() - eigen.values[0]) < 1e-6;
+    std::printf("\n%s\n", ok ? "ground state prepared and verified."
+                             : "verification FAILED");
+    return ok ? 0 : 1;
+}

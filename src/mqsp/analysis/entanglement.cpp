@@ -1,0 +1,137 @@
+#include "mqsp/analysis/entanglement.hpp"
+
+#include "mqsp/linalg/eigen.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mqsp::analysis {
+
+namespace {
+
+void validateKeepSites(const StateVector& state, const std::vector<std::size_t>& keepSites) {
+    requireThat(!keepSites.empty(), "analysis: keepSites must not be empty");
+    std::unordered_set<std::size_t> seen;
+    for (const auto site : keepSites) {
+        requireThat(site < state.numQudits(), "analysis: keep site out of range");
+        requireThat(seen.insert(site).second, "analysis: duplicate keep site");
+    }
+}
+
+} // namespace
+
+DenseMatrix reducedDensityMatrix(const StateVector& state,
+                                 const std::vector<std::size_t>& keepSites) {
+    validateKeepSites(state, keepSites);
+    const MixedRadix& radix = state.radix();
+
+    // Geometry of the kept sub-register.
+    std::uint64_t keptDim = 1;
+    for (const auto site : keepSites) {
+        keptDim *= radix.dimensionAt(site);
+    }
+    requireThat(keptDim <= 4096,
+                "analysis: kept sub-register too large for a dense density matrix");
+
+    // Map each full index to (kept index, traced index); group amplitudes by
+    // traced index so that rho[i][j] = sum_b psi[i,b] conj(psi[j,b]).
+    const bool keepAll = keepSites.size() == radix.numQudits();
+    std::vector<std::uint64_t> keptOf(radix.totalDimension());
+    std::vector<std::uint64_t> tracedOf(radix.totalDimension());
+    std::vector<bool> isKept(radix.numQudits(), false);
+    for (const auto site : keepSites) {
+        isKept[site] = true;
+    }
+    for (std::uint64_t index = 0; index < radix.totalDimension(); ++index) {
+        std::uint64_t kept = 0;
+        for (const auto site : keepSites) {
+            kept = kept * radix.dimensionAt(site) + radix.digitAt(index, site);
+        }
+        std::uint64_t traced = 0;
+        if (!keepAll) {
+            for (std::size_t site = 0; site < radix.numQudits(); ++site) {
+                if (!isKept[site]) {
+                    traced = traced * radix.dimensionAt(site) + radix.digitAt(index, site);
+                }
+            }
+        }
+        keptOf[index] = kept;
+        tracedOf[index] = traced;
+    }
+
+    const std::uint64_t tracedDim = radix.totalDimension() / keptDim;
+    // amplitudesBy[b * keptDim + i] = psi at (kept=i, traced=b).
+    std::vector<Complex> grouped(radix.totalDimension(), Complex{0.0, 0.0});
+    for (std::uint64_t index = 0; index < radix.totalDimension(); ++index) {
+        grouped[tracedOf[index] * keptDim + keptOf[index]] = state[index];
+    }
+
+    DenseMatrix rho(static_cast<std::size_t>(keptDim));
+    for (std::uint64_t b = 0; b < tracedDim; ++b) {
+        const Complex* block = grouped.data() + b * keptDim;
+        for (std::uint64_t i = 0; i < keptDim; ++i) {
+            if (block[i] == Complex{0.0, 0.0}) {
+                continue;
+            }
+            for (std::uint64_t j = 0; j < keptDim; ++j) {
+                rho(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+                    block[i] * std::conj(block[j]);
+            }
+        }
+    }
+    return rho;
+}
+
+std::vector<double> schmidtSpectrum(const StateVector& state,
+                                    const std::vector<std::size_t>& keepSites) {
+    const DenseMatrix rho = reducedDensityMatrix(state, keepSites);
+    auto eigen = eigenHermitian(rho);
+    std::vector<double>& values = eigen.values;
+    for (auto& value : values) {
+        value = std::max(value, 0.0);
+    }
+    std::sort(values.begin(), values.end(), std::greater<>());
+    return values;
+}
+
+double entanglementEntropy(const StateVector& state,
+                           const std::vector<std::size_t>& keepSites) {
+    double entropy = 0.0;
+    for (const double p : schmidtSpectrum(state, keepSites)) {
+        if (p > 1e-15) {
+            entropy -= p * std::log2(p);
+        }
+    }
+    return entropy;
+}
+
+double renyi2Entropy(const StateVector& state, const std::vector<std::size_t>& keepSites) {
+    const double p2 = purity(reducedDensityMatrix(state, keepSites));
+    return -std::log2(std::max(p2, 1e-300));
+}
+
+std::size_t schmidtRank(const StateVector& state, const std::vector<std::size_t>& keepSites,
+                        double tol) {
+    std::size_t rank = 0;
+    for (const double p : schmidtSpectrum(state, keepSites)) {
+        if (p > tol) {
+            ++rank;
+        }
+    }
+    return rank;
+}
+
+double purity(const DenseMatrix& rho) {
+    // Tr(rho^2) = sum_ij rho_ij rho_ji = sum_ij |rho_ij|^2 for Hermitian rho.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rho.size(); ++i) {
+        for (std::size_t j = 0; j < rho.size(); ++j) {
+            sum += std::norm(rho(i, j));
+        }
+    }
+    return sum;
+}
+
+} // namespace mqsp::analysis

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "mqsp/circuit/matrix.hpp"
+#include "mqsp/statevec/state_vector.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mqsp {
+/// Entanglement analysis for mixed-dimensional registers. The paper's
+/// introduction motivates state preparation precisely to enable "gaining
+/// insights into the behavior of specific states that have not yet been
+/// extensively studied in qudit systems, including aspects like
+/// entanglement" — these routines provide that analysis layer on top of the
+/// preparation pipeline.
+namespace analysis {
+
+/// Reduced density matrix of the sub-register `keepSites` (site indices into
+/// the state's register, most significant = 0), tracing out every other
+/// qudit. The result is Hermitian, positive semi-definite, trace 1 for a
+/// normalized input; its row/column index enumerates the kept sites in the
+/// order given, mixed-radix (first kept site most significant).
+///
+/// Throws InvalidArgumentError when keepSites is empty, contains duplicates
+/// or out-of-range sites.
+[[nodiscard]] DenseMatrix reducedDensityMatrix(const StateVector& state,
+                                               const std::vector<std::size_t>& keepSites);
+
+/// Schmidt spectrum across the bipartition (keepSites | rest): the
+/// eigenvalues of the reduced density matrix, descending, clipped at 0.
+[[nodiscard]] std::vector<double> schmidtSpectrum(const StateVector& state,
+                                                  const std::vector<std::size_t>& keepSites);
+
+/// Von Neumann entanglement entropy S = -sum p log2 p across the bipartition,
+/// in bits. Zero for product states; log2(min local dim count) at most.
+[[nodiscard]] double entanglementEntropy(const StateVector& state,
+                                         const std::vector<std::size_t>& keepSites);
+
+/// Renyi-2 entropy -log2 Tr(rho^2) across the bipartition, in bits.
+[[nodiscard]] double renyi2Entropy(const StateVector& state,
+                                   const std::vector<std::size_t>& keepSites);
+
+/// Number of Schmidt coefficients above `tol` — 1 iff the bipartition is a
+/// product state.
+[[nodiscard]] std::size_t schmidtRank(const StateVector& state,
+                                      const std::vector<std::size_t>& keepSites,
+                                      double tol = 1e-10);
+
+/// Purity Tr(rho^2) of a density matrix (1 for pure states).
+[[nodiscard]] double purity(const DenseMatrix& rho);
+
+} // namespace analysis
+} // namespace mqsp

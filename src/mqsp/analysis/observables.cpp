@@ -1,0 +1,121 @@
+#include "mqsp/analysis/observables.hpp"
+
+#include "mqsp/linalg/eigen.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+
+namespace mqsp::analysis {
+
+DenseMatrix gellMannSymmetric(Dimension dim, Level j, Level k) {
+    requireThat(j < k && k < dim, "gellMannSymmetric: need j < k < dim");
+    DenseMatrix m(dim);
+    m(j, k) = Complex{1.0, 0.0};
+    m(k, j) = Complex{1.0, 0.0};
+    return m;
+}
+
+DenseMatrix gellMannAntisymmetric(Dimension dim, Level j, Level k) {
+    requireThat(j < k && k < dim, "gellMannAntisymmetric: need j < k < dim");
+    DenseMatrix m(dim);
+    m(j, k) = Complex{0.0, -1.0};
+    m(k, j) = Complex{0.0, 1.0};
+    return m;
+}
+
+DenseMatrix gellMannDiagonal(Dimension dim, Level l) {
+    requireThat(l >= 1 && l < dim, "gellMannDiagonal: need 1 <= l < dim");
+    DenseMatrix m(dim);
+    const double scale = std::sqrt(2.0 / (static_cast<double>(l) * (l + 1.0)));
+    for (Level i = 0; i < l; ++i) {
+        m(i, i) = Complex{scale, 0.0};
+    }
+    m(l, l) = Complex{-scale * static_cast<double>(l), 0.0};
+    return m;
+}
+
+std::vector<DenseMatrix> gellMannBasis(Dimension dim) {
+    requireThat(dim >= 2, "gellMannBasis: dimension must be >= 2");
+    std::vector<DenseMatrix> basis;
+    basis.reserve(static_cast<std::size_t>(dim) * dim - 1);
+    for (Level j = 0; j < dim; ++j) {
+        for (Level k = j + 1; k < dim; ++k) {
+            basis.push_back(gellMannSymmetric(dim, j, k));
+        }
+    }
+    for (Level j = 0; j < dim; ++j) {
+        for (Level k = j + 1; k < dim; ++k) {
+            basis.push_back(gellMannAntisymmetric(dim, j, k));
+        }
+    }
+    for (Level l = 1; l < dim; ++l) {
+        basis.push_back(gellMannDiagonal(dim, l));
+    }
+    return basis;
+}
+
+namespace {
+
+/// |phi> = (O acting on `site`) |psi>.
+StateVector applyLocal(const StateVector& state, std::size_t site,
+                       const DenseMatrix& observable) {
+    const MixedRadix& radix = state.radix();
+    requireThat(site < radix.numQudits(), "expectation: site out of range");
+    const Dimension dim = radix.dimensionAt(site);
+    requireThat(observable.size() == dim,
+                "expectation: observable size does not match the site dimension");
+    const auto stride = radix.strideAt(site);
+    const auto total = radix.totalDimension();
+    StateVector result = state;
+    const std::uint64_t blockSize = stride * dim;
+    std::vector<Complex> fiber(dim);
+    for (std::uint64_t block = 0; block < total; block += blockSize) {
+        for (std::uint64_t inner = 0; inner < stride; ++inner) {
+            const std::uint64_t base = block + inner;
+            for (Dimension k = 0; k < dim; ++k) {
+                fiber[k] = state[base + static_cast<std::uint64_t>(k) * stride];
+            }
+            const auto out = observable.apply(fiber);
+            for (Dimension k = 0; k < dim; ++k) {
+                result[base + static_cast<std::uint64_t>(k) * stride] = out[k];
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+double expectation(const StateVector& state, std::size_t site,
+                   const DenseMatrix& observable) {
+    requireThat(isHermitian(observable), "expectation: observable must be Hermitian");
+    const StateVector transformed = applyLocal(state, site, observable);
+    return state.innerProduct(transformed).real();
+}
+
+double variance(const StateVector& state, std::size_t site, const DenseMatrix& observable) {
+    requireThat(isHermitian(observable), "variance: observable must be Hermitian");
+    const StateVector once = applyLocal(state, site, observable);
+    const double mean = state.innerProduct(once).real();
+    const double meanSquare = once.innerProduct(once).real(); // <psi|O^2|psi>
+    return meanSquare - mean * mean;
+}
+
+std::vector<double> blochVector(const StateVector& state, std::size_t site) {
+    const Dimension dim = state.radix().dimensionAt(site);
+    std::vector<double> components;
+    for (const auto& element : gellMannBasis(dim)) {
+        components.push_back(expectation(state, site, element));
+    }
+    return components;
+}
+
+double blochNormSquared(const StateVector& state, std::size_t site) {
+    double sum = 0.0;
+    for (const double component : blochVector(state, site)) {
+        sum += component * component;
+    }
+    return sum;
+}
+
+} // namespace mqsp::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "mqsp/circuit/matrix.hpp"
+#include "mqsp/statevec/state_vector.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mqsp {
+namespace analysis {
+
+/// Generalized Gell-Mann matrices — the standard Hermitian operator basis
+/// of su(d), the qudit analogue of the Pauli basis. For dimension d there
+/// are d^2 - 1 of them: d(d-1)/2 symmetric, d(d-1)/2 antisymmetric, and
+/// d - 1 diagonal, all traceless and orthogonal under the Hilbert-Schmidt
+/// inner product with Tr(G_a G_b) = 2 delta_ab.
+
+/// Symmetric element: |j><k| + |k><j| for j < k.
+[[nodiscard]] DenseMatrix gellMannSymmetric(Dimension dim, Level j, Level k);
+
+/// Antisymmetric element: -i |j><k| + i |k><j| for j < k.
+[[nodiscard]] DenseMatrix gellMannAntisymmetric(Dimension dim, Level j, Level k);
+
+/// Diagonal element with index l in [1, d-1]:
+/// sqrt(2 / (l (l+1))) * (sum_{m<l} |m><m| - l |l><l|).
+[[nodiscard]] DenseMatrix gellMannDiagonal(Dimension dim, Level l);
+
+/// The full basis in a fixed order: all symmetric (j<k lexicographic), all
+/// antisymmetric, all diagonal — d^2 - 1 matrices.
+[[nodiscard]] std::vector<DenseMatrix> gellMannBasis(Dimension dim);
+
+/// Expectation value <psi| O_site |psi> of a single-qudit observable acting
+/// on `site` (identity elsewhere). O must be Hermitian of the site's
+/// dimension; the returned value is real up to rounding.
+[[nodiscard]] double expectation(const StateVector& state, std::size_t site,
+                                 const DenseMatrix& observable);
+
+/// Variance <O^2> - <O>^2 of a single-qudit observable.
+[[nodiscard]] double variance(const StateVector& state, std::size_t site,
+                              const DenseMatrix& observable);
+
+/// The generalized Bloch vector of the qudit at `site`: the expectation of
+/// every Gell-Mann basis element, in gellMannBasis order. Its squared norm
+/// is 2(1 - 1/d) for a pure reduced state and shrinks with mixedness —
+/// a compact entanglement witness.
+[[nodiscard]] std::vector<double> blochVector(const StateVector& state, std::size_t site);
+
+/// Squared norm of the Bloch vector (see above).
+[[nodiscard]] double blochNormSquared(const StateVector& state, std::size_t site);
+
+} // namespace analysis
+} // namespace mqsp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "mqsp/circuit/gate.hpp"
+#include "mqsp/support/mixed_radix.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mqsp {
+
+/// Resource statistics of a circuit; these are the quality metrics of the
+/// paper's Table 1 ("Operations" and "#Controls").
+struct CircuitStats {
+    std::size_t numOperations = 0;      ///< total multi-controlled ops
+    std::size_t numRotations = 0;       ///< GivensRotation ops
+    std::size_t numPhases = 0;          ///< PhaseRotation ops
+    std::size_t numOther = 0;           ///< Hadamard / Shift ops
+    std::size_t numControlledOps = 0;   ///< ops with at least one control
+    std::size_t totalControls = 0;      ///< sum of control counts
+    std::size_t maxControls = 0;        ///< largest control count on any op
+    double medianControls = 0.0;        ///< median control count over all ops
+    std::size_t depthEstimate = 0;      ///< greedy ASAP-scheduling depth
+};
+
+/// A quantum circuit over a mixed-dimensional qudit register.
+///
+/// Operations are stored in application order (index 0 acts first). The
+/// register geometry is fixed at construction; every appended operation is
+/// validated against it (target/control sites in range, levels within the
+/// site's dimension).
+class Circuit {
+public:
+    Circuit() = default;
+
+    /// Create an empty circuit over the given register.
+    explicit Circuit(Dimensions dimensions, std::string name = "circuit");
+
+    /// Register geometry.
+    [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
+    [[nodiscard]] const Dimensions& dimensions() const noexcept { return radix_.dimensions(); }
+    [[nodiscard]] std::size_t numQudits() const noexcept { return radix_.numQudits(); }
+
+    /// Circuit name, used by printers.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /// Append an operation (validated). Returns the operation index.
+    std::size_t append(Operation op);
+
+    /// Append all operations of another circuit over the same register.
+    void append(const Circuit& other);
+
+    /// Operations in application order.
+    [[nodiscard]] const std::vector<Operation>& operations() const noexcept { return ops_; }
+    [[nodiscard]] std::size_t numOperations() const noexcept { return ops_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+    [[nodiscard]] const Operation& operator[](std::size_t index) const;
+
+    /// The adjoint circuit: inverses of all ops in reverse order.
+    /// Requires every op kind to be invertible via Operation::inverse().
+    [[nodiscard]] Circuit inverted() const;
+
+    /// Resource statistics (op counts, control-count median, depth).
+    [[nodiscard]] CircuitStats stats() const;
+
+    /// Remove ops that are identities within tol; returns how many were removed.
+    std::size_t removeIdentityOperations(double tol = 1e-12);
+
+private:
+    void validate(const Operation& op) const;
+
+    MixedRadix radix_;
+    std::string name_ = "circuit";
+    std::vector<Operation> ops_;
+};
+
+} // namespace mqsp

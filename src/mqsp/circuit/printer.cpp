@@ -1,0 +1,183 @@
+#include "mqsp/circuit/printer.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mqsp {
+
+void printCircuitText(std::ostream& out, const Circuit& circuit) {
+    out << "circuit \"" << circuit.name() << "\" on "
+        << formatDimensionSpec(circuit.dimensions()) << " (" << circuit.numQudits()
+        << " qudits)\n";
+    std::size_t index = 0;
+    for (const auto& op : circuit.operations()) {
+        out << std::setw(5) << index++ << ": " << op.toString() << '\n';
+    }
+    const auto stats = circuit.stats();
+    out << "ops=" << stats.numOperations << " rotations=" << stats.numRotations
+        << " phases=" << stats.numPhases << " medianControls=" << stats.medianControls
+        << " maxControls=" << stats.maxControls << " depth~=" << stats.depthEstimate << '\n';
+}
+
+std::string circuitToText(const Circuit& circuit) {
+    std::ostringstream out;
+    printCircuitText(out, circuit);
+    return out.str();
+}
+
+namespace {
+
+const char* kindName(GateKind kind) {
+    switch (kind) {
+    case GateKind::GivensRotation:
+        return "givens";
+    case GateKind::PhaseRotation:
+        return "phase";
+    case GateKind::Hadamard:
+        return "hadamard";
+    case GateKind::Shift:
+        return "shift";
+    case GateKind::LevelSwap:
+        return "levelswap";
+    }
+    detail::throwInternal("kindName: unknown gate kind");
+}
+
+GateKind kindFromName(const std::string& name) {
+    if (name == "givens") {
+        return GateKind::GivensRotation;
+    }
+    if (name == "phase") {
+        return GateKind::PhaseRotation;
+    }
+    if (name == "hadamard") {
+        return GateKind::Hadamard;
+    }
+    if (name == "shift") {
+        return GateKind::Shift;
+    }
+    if (name == "levelswap") {
+        return GateKind::LevelSwap;
+    }
+    detail::throwInvalidArgument("parseCircuitJsonLines: unknown gate kind '" + name + "'");
+}
+
+// Minimal JSON value scanners for the flat objects we emit. The emitted
+// format is fully under our control, so a full JSON parser is unnecessary;
+// these helpers still validate structure and throw on malformed input.
+std::string extractString(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":\"";
+    const auto pos = line.find(needle);
+    requireThat(pos != std::string::npos,
+                "parseCircuitJsonLines: missing key '" + key + "' in: " + line);
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    requireThat(end != std::string::npos, "parseCircuitJsonLines: unterminated string value");
+    return line.substr(start, end - start);
+}
+
+double extractNumber(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    requireThat(pos != std::string::npos,
+                "parseCircuitJsonLines: missing key '" + key + "' in: " + line);
+    return std::stod(line.substr(pos + needle.size()));
+}
+
+std::vector<Control> extractControls(const std::string& line) {
+    std::vector<Control> controls;
+    const std::string needle = "\"controls\":[";
+    const auto pos = line.find(needle);
+    requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing controls array");
+    auto cursor = pos + needle.size();
+    while (cursor < line.size() && line[cursor] != ']') {
+        if (line[cursor] == '[') {
+            const auto comma = line.find(',', cursor);
+            const auto close = line.find(']', cursor);
+            requireThat(comma != std::string::npos && close != std::string::npos &&
+                            comma < close,
+                        "parseCircuitJsonLines: malformed control pair");
+            Control ctrl;
+            ctrl.qudit = static_cast<std::size_t>(std::stoull(line.substr(cursor + 1)));
+            ctrl.level = static_cast<Level>(std::stoul(line.substr(comma + 1)));
+            controls.push_back(ctrl);
+            cursor = close + 1;
+        } else {
+            ++cursor;
+        }
+    }
+    return controls;
+}
+
+} // namespace
+
+void printCircuitJsonLines(std::ostream& out, const Circuit& circuit) {
+    out << "{\"name\":\"" << circuit.name() << "\",\"dims\":[";
+    const auto& dims = circuit.dimensions();
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i > 0) {
+            out << ',';
+        }
+        out << dims[i];
+    }
+    out << "]}\n";
+    out << std::setprecision(17);
+    for (const auto& op : circuit.operations()) {
+        out << "{\"kind\":\"" << kindName(op.kind) << "\",\"target\":" << op.target
+            << ",\"levelA\":" << op.levelA << ",\"levelB\":" << op.levelB
+            << ",\"theta\":" << op.theta << ",\"phi\":" << op.phi
+            << ",\"shift\":" << op.shiftAmount << ",\"controls\":[";
+        for (std::size_t i = 0; i < op.controls.size(); ++i) {
+            if (i > 0) {
+                out << ',';
+            }
+            out << '[' << op.controls[i].qudit << ',' << op.controls[i].level << ']';
+        }
+        out << "]}\n";
+    }
+}
+
+Circuit parseCircuitJsonLines(std::istream& in) {
+    std::string header;
+    requireThat(static_cast<bool>(std::getline(in, header)),
+                "parseCircuitJsonLines: missing header line");
+    const std::string name = extractString(header, "name");
+    Dimensions dims;
+    const std::string needle = "\"dims\":[";
+    const auto pos = header.find(needle);
+    requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing dims array");
+    auto cursor = pos + needle.size();
+    while (cursor < header.size() && header[cursor] != ']') {
+        dims.push_back(static_cast<Dimension>(std::stoul(header.substr(cursor))));
+        cursor = header.find_first_of(",]", cursor);
+        requireThat(cursor != std::string::npos, "parseCircuitJsonLines: unterminated dims");
+        if (header[cursor] == ',') {
+            ++cursor;
+        }
+    }
+
+    Circuit circuit(dims, name);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        Operation op;
+        op.kind = kindFromName(extractString(line, "kind"));
+        op.target = static_cast<std::size_t>(extractNumber(line, "target"));
+        op.levelA = static_cast<Level>(extractNumber(line, "levelA"));
+        op.levelB = static_cast<Level>(extractNumber(line, "levelB"));
+        op.theta = extractNumber(line, "theta");
+        op.phi = extractNumber(line, "phi");
+        op.shiftAmount = static_cast<Level>(extractNumber(line, "shift"));
+        op.controls = extractControls(line);
+        circuit.append(std::move(op));
+    }
+    return circuit;
+}
+
+} // namespace mqsp

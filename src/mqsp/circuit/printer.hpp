@@ -1,0 +1,26 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace mqsp {
+
+/// Render a circuit as a human-readable op listing:
+///   one line per operation, in application order, plus a header with the
+///   register spec and a footer with the resource statistics.
+void printCircuitText(std::ostream& out, const Circuit& circuit);
+
+/// Convenience wrapper returning the text listing as a string.
+[[nodiscard]] std::string circuitToText(const Circuit& circuit);
+
+/// Serialize a circuit to a line-oriented machine-readable format (one JSON
+/// object per op). Round-trips with parseCircuitJsonLines.
+void printCircuitJsonLines(std::ostream& out, const Circuit& circuit);
+
+/// Parse the format emitted by printCircuitJsonLines. Throws
+/// InvalidArgumentError on malformed input.
+[[nodiscard]] Circuit parseCircuitJsonLines(std::istream& in);
+
+} // namespace mqsp

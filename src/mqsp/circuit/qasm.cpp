@@ -1,0 +1,319 @@
+#include "mqsp/circuit/qasm.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mqsp {
+
+void emitQasm(std::ostream& out, const Circuit& circuit) {
+    out << "MQSPQASM 1.0;\n";
+    out << "// " << circuit.name() << "\n";
+    out << "qreg q[" << circuit.numQudits() << "] = [";
+    const auto& dims = circuit.dimensions();
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i > 0) {
+            out << ", ";
+        }
+        out << dims[i];
+    }
+    out << "];\n";
+    out << std::setprecision(17);
+    for (const auto& op : circuit.operations()) {
+        switch (op.kind) {
+        case GateKind::GivensRotation:
+            out << "rxy q[" << op.target << "] (" << op.levelA << ", " << op.levelB << ", "
+                << op.theta << ", " << op.phi << ")";
+            break;
+        case GateKind::PhaseRotation:
+            out << "rz q[" << op.target << "] (" << op.levelA << ", " << op.levelB << ", "
+                << op.theta << ")";
+            break;
+        case GateKind::Hadamard:
+            out << "h q[" << op.target << "]";
+            break;
+        case GateKind::Shift:
+            out << "x q[" << op.target << "] (+" << op.shiftAmount << ")";
+            break;
+        case GateKind::LevelSwap:
+            out << "swp q[" << op.target << "] (" << op.levelA << ", " << op.levelB << ")";
+            break;
+        }
+        if (!op.controls.empty()) {
+            out << " ctl ";
+            for (std::size_t i = 0; i < op.controls.size(); ++i) {
+                if (i > 0) {
+                    out << ", ";
+                }
+                out << "q[" << op.controls[i].qudit << "]=" << op.controls[i].level;
+            }
+        }
+        out << ";\n";
+    }
+}
+
+std::string toQasm(const Circuit& circuit) {
+    std::ostringstream out;
+    emitQasm(out, circuit);
+    return out.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser for the dialect. Keeps the
+/// current line number for error messages.
+class QasmParser {
+public:
+    explicit QasmParser(std::istream& in) : in_(in) {}
+
+    Circuit parse() {
+        expectHeader();
+        Circuit circuit = expectRegister();
+        while (nextMeaningfulLine()) {
+            parseStatement(circuit);
+        }
+        return circuit;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        detail::throwInvalidArgument("parseQasm: line " + std::to_string(lineNumber_) +
+                                     ": " + message);
+    }
+
+    /// Load the next line that still has content after comment stripping.
+    bool nextMeaningfulLine() {
+        std::string raw;
+        while (std::getline(in_, raw)) {
+            ++lineNumber_;
+            const auto comment = raw.find("//");
+            if (comment != std::string::npos) {
+                raw.erase(comment);
+            }
+            // Trim.
+            const auto begin = raw.find_first_not_of(" \t\r");
+            if (begin == std::string::npos) {
+                continue;
+            }
+            const auto end = raw.find_last_not_of(" \t\r");
+            line_ = raw.substr(begin, end - begin + 1);
+            cursor_ = 0;
+            return true;
+        }
+        return false;
+    }
+
+    void skipSpace() {
+        while (cursor_ < line_.size() &&
+               std::isspace(static_cast<unsigned char>(line_[cursor_])) != 0) {
+            ++cursor_;
+        }
+    }
+
+    bool consume(char ch) {
+        skipSpace();
+        if (cursor_ < line_.size() && line_[cursor_] == ch) {
+            ++cursor_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char ch, const char* what) {
+        if (!consume(ch)) {
+            fail(std::string("expected '") + ch + "' (" + what + ")");
+        }
+    }
+
+    std::string word() {
+        skipSpace();
+        std::size_t start = cursor_;
+        while (cursor_ < line_.size() &&
+               (std::isalnum(static_cast<unsigned char>(line_[cursor_])) != 0 ||
+                line_[cursor_] == '.' || line_[cursor_] == '_')) {
+            ++cursor_;
+        }
+        return line_.substr(start, cursor_ - start);
+    }
+
+    std::uint64_t integer() {
+        skipSpace();
+        std::size_t start = cursor_;
+        while (cursor_ < line_.size() &&
+               std::isdigit(static_cast<unsigned char>(line_[cursor_])) != 0) {
+            ++cursor_;
+        }
+        if (start == cursor_) {
+            fail("expected an integer");
+        }
+        return std::stoull(line_.substr(start, cursor_ - start));
+    }
+
+    double number() {
+        skipSpace();
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(line_.substr(cursor_), &consumed);
+        } catch (const std::exception&) {
+            fail("expected a number");
+        }
+        cursor_ += consumed;
+        return value;
+    }
+
+    /// "q[<index>]" -> index.
+    std::size_t site() {
+        skipSpace();
+        if (cursor_ >= line_.size() || line_[cursor_] != 'q') {
+            fail("expected a qudit reference q[i]");
+        }
+        ++cursor_;
+        expect('[', "qudit reference");
+        const auto index = static_cast<std::size_t>(integer());
+        expect(']', "qudit reference");
+        return index;
+    }
+
+    void expectHeader() {
+        if (!nextMeaningfulLine()) {
+            fail("missing MQSPQASM header");
+        }
+        const std::string keyword = word();
+        if (keyword != "MQSPQASM") {
+            fail("expected MQSPQASM header, got '" + keyword + "'");
+        }
+        const std::string version = word();
+        if (version != "1.0") {
+            fail("unsupported version '" + version + "'");
+        }
+        expect(';', "header");
+    }
+
+    Circuit expectRegister() {
+        if (!nextMeaningfulLine()) {
+            fail("missing qreg declaration");
+        }
+        if (word() != "qreg") {
+            fail("expected qreg declaration");
+        }
+        const std::size_t count = site();
+        expect('=', "qreg dimensions");
+        expect('[', "qreg dimensions");
+        Dimensions dims;
+        while (true) {
+            dims.push_back(static_cast<Dimension>(integer()));
+            if (!consume(',')) {
+                break;
+            }
+        }
+        expect(']', "qreg dimensions");
+        expect(';', "qreg declaration");
+        if (dims.size() != count) {
+            fail("qreg declares " + std::to_string(count) + " sites but lists " +
+                 std::to_string(dims.size()) + " dimensions");
+        }
+        return Circuit(std::move(dims), "parsed");
+    }
+
+    std::vector<Control> parseControls() {
+        std::vector<Control> controls;
+        while (true) {
+            const std::size_t qudit = site();
+            expect('=', "control level");
+            const auto level = static_cast<Level>(integer());
+            controls.push_back({qudit, level});
+            if (!consume(',')) {
+                break;
+            }
+        }
+        return controls;
+    }
+
+    void parseStatement(Circuit& circuit) {
+        const std::string gate = word();
+        if (gate.empty()) {
+            fail("expected a gate name");
+        }
+        const std::size_t target = site();
+
+        Operation op;
+        if (gate == "rxy") {
+            expect('(', "rxy parameters");
+            const auto a = static_cast<Level>(integer());
+            expect(',', "rxy parameters");
+            const auto b = static_cast<Level>(integer());
+            expect(',', "rxy parameters");
+            const double theta = number();
+            expect(',', "rxy parameters");
+            const double phi = number();
+            expect(')', "rxy parameters");
+            op = Operation::givens(target, a, b, theta, phi);
+        } else if (gate == "rz") {
+            expect('(', "rz parameters");
+            const auto a = static_cast<Level>(integer());
+            expect(',', "rz parameters");
+            const auto b = static_cast<Level>(integer());
+            expect(',', "rz parameters");
+            const double theta = number();
+            expect(')', "rz parameters");
+            op = Operation::phase(target, a, b, theta);
+        } else if (gate == "h") {
+            op = Operation::hadamard(target);
+        } else if (gate == "x") {
+            expect('(', "shift amount");
+            expect('+', "shift amount");
+            const auto amount = static_cast<Level>(integer());
+            expect(')', "shift amount");
+            op = Operation::shift(target, amount);
+        } else if (gate == "swp") {
+            expect('(', "swap levels");
+            const auto a = static_cast<Level>(integer());
+            expect(',', "swap levels");
+            const auto b = static_cast<Level>(integer());
+            expect(')', "swap levels");
+            op = Operation::levelSwap(target, a, b);
+        } else {
+            fail("unknown gate '" + gate + "'");
+        }
+
+        skipSpace();
+        if (line_.compare(cursor_, 3, "ctl") == 0) {
+            cursor_ += 3;
+            op.controls = parseControls();
+        }
+        expect(';', "statement");
+        skipSpace();
+        if (cursor_ != line_.size()) {
+            fail("trailing characters after ';'");
+        }
+        try {
+            circuit.append(std::move(op));
+        } catch (const InvalidArgumentError& error) {
+            fail(error.what());
+        }
+    }
+
+    std::istream& in_;
+    std::string line_;
+    std::size_t cursor_ = 0;
+    std::size_t lineNumber_ = 0;
+};
+
+} // namespace
+
+Circuit parseQasm(std::istream& in) {
+    QasmParser parser(in);
+    return parser.parse();
+}
+
+Circuit parseQasmString(const std::string& text) {
+    std::istringstream stream(text);
+    return parseQasm(stream);
+}
+
+} // namespace mqsp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace mqsp {
+
+/// Emit a circuit in the mqsp QASM dialect — a human-readable, line-oriented
+/// format in the spirit of the qudit dialects used by qudit toolkits:
+///
+/// ```
+/// MQSPQASM 1.0;
+/// // optional comments
+/// qreg q[3] = [3, 6, 2];            // most significant site first
+/// rxy q[0] (0, 1, 1.9106, 0.0);     // Givens R_{0,1}(theta, phi)
+/// rz  q[1] (2, 3, -0.7854);         // two-level phase Z_{2,3}(theta)
+/// h   q[0];                         // generalized Hadamard
+/// x   q[2] (+1);                    // cyclic shift
+/// swp q[1] (0, 4);                  // exact two-level transposition
+/// rxy q[1] (0, 1, 3.1416, 1.5708) ctl q[0]=2, q[2]=1;
+/// ```
+///
+/// Angles are printed with 17 significant digits and round-trip exactly.
+void emitQasm(std::ostream& out, const Circuit& circuit);
+
+/// Convenience wrapper returning the dialect text.
+[[nodiscard]] std::string toQasm(const Circuit& circuit);
+
+/// Parse the dialect emitted by emitQasm. Accepts arbitrary whitespace,
+/// full-line and trailing `//` comments, and validates every site, level
+/// and control against the declared register. Throws InvalidArgumentError
+/// with a line-numbered message on malformed input.
+[[nodiscard]] Circuit parseQasm(std::istream& in);
+
+/// Parse from a string.
+[[nodiscard]] Circuit parseQasmString(const std::string& text);
+
+} // namespace mqsp

@@ -1,0 +1,41 @@
+#include "mqsp/complexnum/complex.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mqsp {
+
+bool approxEqual(const Complex& a, const Complex& b, double tol) noexcept {
+    return std::abs(a.real() - b.real()) <= tol && std::abs(a.imag() - b.imag()) <= tol;
+}
+
+bool approxZero(const Complex& a, double tol) noexcept {
+    return std::abs(a.real()) <= tol && std::abs(a.imag()) <= tol;
+}
+
+bool approxOne(const Complex& a, double tol) noexcept {
+    return approxEqual(a, Complex{1.0, 0.0}, tol);
+}
+
+double squaredMagnitude(const Complex& a) noexcept { return std::norm(a); }
+
+std::string toString(const Complex& a, int precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    const bool hasReal = std::abs(a.real()) > 0.0;
+    const bool hasImag = std::abs(a.imag()) > 0.0;
+    if (!hasImag) {
+        out << a.real();
+        return out.str();
+    }
+    if (hasReal) {
+        out << a.real();
+        if (a.imag() >= 0.0) {
+            out << '+';
+        }
+    }
+    out << a.imag() << 'i';
+    return out.str();
+}
+
+} // namespace mqsp

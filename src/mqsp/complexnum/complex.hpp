@@ -1,0 +1,43 @@
+#pragma once
+
+#include <complex>
+#include <string>
+
+namespace mqsp {
+
+/// Complex amplitude type used throughout the library.
+using Complex = std::complex<double>;
+
+/// Numerical tolerance policy for comparing amplitudes, edge weights and
+/// fidelities. Decision-diagram packages for quantum computing must compare
+/// floating-point complex numbers "up to noise" (see Zulehner et al.,
+/// "How to efficiently handle complex values?", ICCAD 2019); this type holds
+/// the single tolerance the whole library agrees on.
+struct Tolerance {
+    /// Default absolute tolerance for amplitude comparisons. Loose enough to
+    /// absorb accumulated rounding across deep diagrams, tight enough to
+    /// distinguish all amplitudes occurring in the paper's benchmarks.
+    static constexpr double kDefault = 1e-10;
+
+    double value = kDefault;
+};
+
+/// True when |a - b| <= tol componentwise (the metric used by DD packages:
+/// component-wise comparison is cheaper than the modulus and compatible with
+/// hashing by rounded buckets).
+[[nodiscard]] bool approxEqual(const Complex& a, const Complex& b,
+                               double tol = Tolerance::kDefault) noexcept;
+
+/// True when |a| <= tol componentwise.
+[[nodiscard]] bool approxZero(const Complex& a, double tol = Tolerance::kDefault) noexcept;
+
+/// True when a is within tol of 1 + 0i.
+[[nodiscard]] bool approxOne(const Complex& a, double tol = Tolerance::kDefault) noexcept;
+
+/// Squared magnitude |a|^2 (the probability weight of an amplitude).
+[[nodiscard]] double squaredMagnitude(const Complex& a) noexcept;
+
+/// Render an amplitude compactly, e.g. "0.57735", "-0.5+0.5i", "1i".
+[[nodiscard]] std::string toString(const Complex& a, int precision = 6);
+
+} // namespace mqsp

@@ -1,0 +1,85 @@
+#include "mqsp/complexnum/complex_table.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace mqsp {
+
+namespace {
+// Cells are 4x the tolerance so that checking the 3x3 neighborhood of a
+// bucket is guaranteed to cover every entry within `tolerance`.
+constexpr double kCellFactor = 4.0;
+
+std::int64_t cellCoordinate(double component, double inverseCell) noexcept {
+    return static_cast<std::int64_t>(std::floor(component * inverseCell));
+}
+
+std::uint64_t keyOfCell(std::int64_t x, std::int64_t y) noexcept {
+    return static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL ^
+           (static_cast<std::uint64_t>(y) + 0x7f4a7c159e3779b9ULL);
+}
+} // namespace
+
+ComplexTable::ComplexTable(double tolerance)
+    : tolerance_(tolerance), inverseCell_(1.0 / (kCellFactor * tolerance)) {
+    requireThat(tolerance > 0.0, "ComplexTable: tolerance must be positive");
+}
+
+ComplexTable::BucketKey ComplexTable::bucketOf(double re, double im) const noexcept {
+    return keyOfCell(cellCoordinate(re, inverseCell_), cellCoordinate(im, inverseCell_));
+}
+
+std::size_t ComplexTable::lookup(const Complex& value) {
+    const auto baseX = cellCoordinate(value.real(), inverseCell_);
+    const auto baseY = cellCoordinate(value.imag(), inverseCell_);
+    for (const std::int64_t dx : {0LL, -1LL, 1LL}) {
+        for (const std::int64_t dy : {0LL, -1LL, 1LL}) {
+            const auto it = buckets_.find(keyOfCell(baseX + dx, baseY + dy));
+            if (it == buckets_.end()) {
+                continue;
+            }
+            for (const auto id : it->second) {
+                if (approxEqual(values_[id], value, tolerance_)) {
+                    return id;
+                }
+            }
+        }
+    }
+    const std::size_t id = values_.size();
+    values_.push_back(value);
+    buckets_[bucketOf(value.real(), value.imag())].push_back(id);
+    return id;
+}
+
+bool ComplexTable::contains(const Complex& value) const {
+    const auto baseX = cellCoordinate(value.real(), inverseCell_);
+    const auto baseY = cellCoordinate(value.imag(), inverseCell_);
+    for (const std::int64_t dx : {0LL, -1LL, 1LL}) {
+        for (const std::int64_t dy : {0LL, -1LL, 1LL}) {
+            const auto it = buckets_.find(keyOfCell(baseX + dx, baseY + dy));
+            if (it == buckets_.end()) {
+                continue;
+            }
+            for (const auto id : it->second) {
+                if (approxEqual(values_[id], value, tolerance_)) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+const Complex& ComplexTable::valueOf(std::size_t id) const {
+    requireThat(id < values_.size(), "ComplexTable::valueOf: id out of range");
+    return values_[id];
+}
+
+void ComplexTable::clear() {
+    values_.clear();
+    buckets_.clear();
+}
+
+} // namespace mqsp

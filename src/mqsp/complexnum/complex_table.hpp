@@ -1,0 +1,63 @@
+#pragma once
+
+#include "mqsp/complexnum/complex.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace mqsp {
+
+/// Uniquing table for complex values.
+///
+/// Decision-diagram packages store each distinct complex number once and let
+/// edges reference the shared entry; the paper's "DistinctC" column in
+/// Table 1 is the number of entries in this table for a given diagram. Two
+/// values within the configured tolerance of each other are considered the
+/// same entry.
+///
+/// Lookup strategy: values are bucketed by rounding each component to a grid
+/// of `tolerance` cells; a probe checks the candidate's own bucket plus the
+/// adjacent buckets so that near-boundary values still unify. This is the
+/// classical technique from DD packages for quantum computing (Zulehner et
+/// al., ICCAD 2019) reimplemented here.
+class ComplexTable {
+public:
+    explicit ComplexTable(double tolerance = Tolerance::kDefault);
+
+    /// Index of a value in the table; inserts it if no entry is within
+    /// tolerance. Returns a stable id usable until clear().
+    std::size_t lookup(const Complex& value);
+
+    /// True when an entry within tolerance of `value` already exists.
+    [[nodiscard]] bool contains(const Complex& value) const;
+
+    /// The canonical stored value for an id returned by lookup().
+    [[nodiscard]] const Complex& valueOf(std::size_t id) const;
+
+    /// Number of distinct values stored (the paper's "DistinctC").
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+    /// The tolerance this table unifies under.
+    [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
+
+    /// Remove all entries.
+    void clear();
+
+    /// All canonical values, in insertion order.
+    [[nodiscard]] const std::vector<Complex>& values() const noexcept { return values_; }
+
+private:
+    using BucketKey = std::uint64_t;
+
+    [[nodiscard]] BucketKey bucketOf(double re, double im) const noexcept;
+
+    double tolerance_;
+    double inverseCell_;
+    std::vector<Complex> values_;
+    std::unordered_map<BucketKey, std::vector<std::size_t>> buckets_;
+};
+
+} // namespace mqsp

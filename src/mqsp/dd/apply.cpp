@@ -1,0 +1,208 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace mqsp {
+
+namespace {
+
+/// A weighted reference to a sub-tree; the building block of DD addition.
+struct WeightedEdge {
+    NodeRef node = kNoNode;
+    Complex weight{0.0, 0.0};
+
+    [[nodiscard]] bool isZero(double tol) const {
+        return node == kNoNode || approxZero(weight, tol);
+    }
+};
+
+} // namespace
+
+DecisionDiagram DecisionDiagram::zeroState(const Dimensions& dims) {
+    return fromStateVector(StateVector(dims));
+}
+
+void DecisionDiagram::applyOperation(const Operation& op, double tol) {
+    requireThat(op.target < radix_.numQudits(), "applyOperation: target out of range");
+    for (const auto& ctrl : op.controls) {
+        requireThat(ctrl.qudit < radix_.numQudits(),
+                    "applyOperation: control out of range");
+        requireThat(ctrl.qudit < op.target,
+                    "applyOperation: controls must be more significant than the target "
+                    "(true for all synthesized preparation circuits)");
+        requireThat(ctrl.level < radix_.dimensionAt(ctrl.qudit),
+                    "applyOperation: control level out of range");
+    }
+    if (root_ == kNoNode) {
+        return; // the zero vector is fixed by every linear map
+    }
+
+    const Dimension targetDim = radix_.dimensionAt(op.target);
+    const DenseMatrix local = op.localMatrix(targetDim);
+
+    // Normalized addition of weighted sub-trees (the classic DD add). The
+    // result edge's weight carries the norm; the node below is normalized.
+    const std::function<WeightedEdge(WeightedEdge, WeightedEdge)> add =
+        [&](WeightedEdge x, WeightedEdge y) -> WeightedEdge {
+        const bool xZero = x.isZero(tol);
+        const bool yZero = y.isZero(tol);
+        if (xZero && yZero) {
+            return {};
+        }
+        if (xZero) {
+            return y;
+        }
+        if (yZero) {
+            return x;
+        }
+        const DDNode& nx = node(x.node);
+        const DDNode& ny = node(y.node);
+        if (nx.isTerminal()) {
+            ensureThat(ny.isTerminal(), "applyOperation: level mismatch in addition");
+            const Complex sum = x.weight + y.weight;
+            if (approxZero(sum, tol)) {
+                return {};
+            }
+            return {/*terminal=*/0, sum};
+        }
+        ensureThat(nx.site == ny.site, "applyOperation: site mismatch in addition");
+        const std::size_t arity = nx.edges.size();
+        std::vector<DDEdge> edges(arity);
+        double sumSquares = 0.0;
+        bool any = false;
+        for (std::size_t k = 0; k < arity; ++k) {
+            const WeightedEdge xk{nx.edges[k].node, x.weight * nx.edges[k].weight};
+            const WeightedEdge yk{ny.edges[k].node, y.weight * ny.edges[k].weight};
+            const WeightedEdge sum = add(xk, yk);
+            if (sum.isZero(tol)) {
+                edges[k] = DDEdge{};
+                continue;
+            }
+            edges[k] = DDEdge{sum.node, sum.weight};
+            sumSquares += squaredMagnitude(sum.weight);
+            any = true;
+        }
+        if (!any) {
+            return {};
+        }
+        const double norm = std::sqrt(sumSquares);
+        for (auto& edge : edges) {
+            if (!edge.isZeroStub()) {
+                edge.weight /= norm;
+            }
+        }
+        const NodeRef ref = allocate(nx.site, std::move(edges));
+        return {ref, Complex{norm, 0.0}};
+    };
+
+    // Rebuild the diagram along affected paths (copy-on-write: shared nodes
+    // on unaffected paths are reused). Returns the replacement edge for a
+    // sub-tree rooted at `ref` whose in-edge weight was `weight`.
+    const std::function<WeightedEdge(NodeRef, Complex)> visit =
+        [&](NodeRef ref, Complex weight) -> WeightedEdge {
+        const DDNode& n = node(ref);
+        ensureThat(!n.isTerminal(), "applyOperation: traversal reached the terminal");
+
+        if (n.site == op.target) {
+            // Mix the out-edges by the local matrix:
+            // new_edge_r = sum_c local(r, c) * edge_c.
+            const std::size_t arity = n.edges.size();
+            std::vector<DDEdge> edges(arity);
+            double sumSquares = 0.0;
+            bool any = false;
+            for (std::size_t r = 0; r < arity; ++r) {
+                WeightedEdge acc;
+                for (std::size_t c = 0; c < arity; ++c) {
+                    const Complex coefficient = local(r, c);
+                    if (coefficient == Complex{0.0, 0.0} || n.edges[c].isZeroStub()) {
+                        continue;
+                    }
+                    acc = add(acc, WeightedEdge{n.edges[c].node,
+                                                coefficient * n.edges[c].weight});
+                }
+                if (acc.isZero(tol)) {
+                    edges[r] = DDEdge{};
+                    continue;
+                }
+                edges[r] = DDEdge{acc.node, acc.weight};
+                sumSquares += squaredMagnitude(acc.weight);
+                any = true;
+            }
+            if (!any) {
+                return {};
+            }
+            const double norm = std::sqrt(sumSquares);
+            for (auto& edge : edges) {
+                if (!edge.isZeroStub()) {
+                    edge.weight /= norm;
+                }
+            }
+            const NodeRef newRef = allocate(n.site, std::move(edges));
+            return {newRef, weight * norm};
+        }
+
+        // Above the target: check whether this site carries a control.
+        const Control* control = nullptr;
+        for (const auto& ctrl : op.controls) {
+            if (ctrl.qudit == n.site) {
+                control = &ctrl;
+                break;
+            }
+        }
+        std::vector<DDEdge> edges = n.edges;
+        double sumSquares = 0.0;
+        bool any = false;
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+            if (edges[k].isZeroStub()) {
+                continue;
+            }
+            if (control == nullptr || control->level == k) {
+                const WeightedEdge replaced = visit(edges[k].node, edges[k].weight);
+                if (replaced.isZero(tol)) {
+                    edges[k] = DDEdge{};
+                    continue;
+                }
+                edges[k] = DDEdge{replaced.node, replaced.weight};
+            }
+            sumSquares += squaredMagnitude(edges[k].weight);
+            any = true;
+        }
+        if (!any) {
+            return {};
+        }
+        const double norm = std::sqrt(sumSquares);
+        for (auto& edge : edges) {
+            if (!edge.isZeroStub()) {
+                edge.weight /= norm;
+            }
+        }
+        const NodeRef newRef = allocate(n.site, std::move(edges));
+        return {newRef, weight * norm};
+    };
+
+    const WeightedEdge newRoot = visit(root_, rootWeight_);
+    if (newRoot.isZero(tol)) {
+        cutRoot();
+        return;
+    }
+    root_ = newRoot.node;
+    rootWeight_ = newRoot.weight;
+}
+
+DecisionDiagram DecisionDiagram::simulateCircuit(const Circuit& circuit, double tol) {
+    DecisionDiagram dd = zeroState(circuit.dimensions());
+    for (const auto& op : circuit.operations()) {
+        dd.applyOperation(op, tol);
+        // applyOperation rebuilds affected paths copy-on-write; compact the
+        // pool so a long circuit does not accumulate garbage nodes.
+        dd.garbageCollect();
+    }
+    return dd;
+}
+
+} // namespace mqsp

@@ -1,0 +1,119 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+
+namespace mqsp {
+
+NodeRef DecisionDiagram::allocate(std::uint32_t site, std::vector<DDEdge> edges) {
+    nodes_.push_back(DDNode{site, std::move(edges)});
+    ensureThat(nodes_.size() - 1 < kNoNode, "DecisionDiagram: node pool exhausted");
+    return static_cast<NodeRef>(nodes_.size() - 1);
+}
+
+const DDNode& DecisionDiagram::node(NodeRef ref) const {
+    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
+    return nodes_[ref];
+}
+
+DDNode& DecisionDiagram::mutableNode(NodeRef ref) {
+    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
+    return nodes_[ref];
+}
+
+/// Recursive splitter for `fromStateVector`: builds the node for the
+/// `count`-long amplitude block at `site` and returns the edge (node +
+/// weight) the parent should store. The weight is the block's norm except at
+/// the terminal, where it is the amplitude itself; normalization pushes all
+/// phases into the lowest-level edges and keeps every upper weight real
+/// non-negative — the paper's fixed canonical scheme ("each weight is
+/// divided by the norm ... the norm is then multiplied to all weights on
+/// in-edges", §4.2).
+DDEdge DecisionDiagram::buildTree(std::size_t site, const Complex* amps, std::uint64_t count,
+                                  double tol) {
+    if (site == radix_.numQudits()) {
+        ensureThat(count == 1, "DecisionDiagram::buildTree: leaf block must hold one value");
+        if (approxZero(amps[0], tol)) {
+            return DDEdge{};
+        }
+        return DDEdge{/*terminal=*/0, amps[0]};
+    }
+    const Dimension dim = radix_.dimensionAt(site);
+    const std::uint64_t part = count / dim;
+    ensureThat(part * dim == count, "DecisionDiagram::buildTree: block not divisible");
+
+    std::vector<DDEdge> edges(dim);
+    double sumSquares = 0.0;
+    bool any = false;
+    for (Dimension k = 0; k < dim; ++k) {
+        edges[k] = buildTree(site + 1, amps + static_cast<std::uint64_t>(k) * part, part, tol);
+        if (!edges[k].isZeroStub()) {
+            any = true;
+            sumSquares += squaredMagnitude(edges[k].weight);
+        }
+    }
+    if (!any) {
+        return DDEdge{};
+    }
+    const double norm = std::sqrt(sumSquares);
+    for (auto& edge : edges) {
+        if (!edge.isZeroStub()) {
+            edge.weight /= norm;
+        }
+    }
+    const NodeRef ref = allocate(static_cast<std::uint32_t>(site), std::move(edges));
+    return DDEdge{ref, Complex{norm, 0.0}};
+}
+
+DecisionDiagram DecisionDiagram::fromStateVector(const StateVector& state, double tol) {
+    DecisionDiagram dd;
+    dd.radix_ = state.radix();
+    // Pool slot 0 is the unique terminal node.
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    const DDEdge rootEdge =
+        dd.buildTree(0, state.amplitudes().data(), state.size(), tol);
+    dd.root_ = rootEdge.node;
+    dd.rootWeight_ = rootEdge.weight;
+    return dd;
+}
+
+/// Dense-tree splitter for `fromStateVectorDense`: like buildTree but
+/// zero sub-vectors still become nodes (with zero in-edge weight), so the
+/// result is the full multiplexor tree of classical state preparation.
+DDEdge DecisionDiagram::buildDenseTree(std::size_t site, const Complex* amps,
+                                       std::uint64_t count) {
+    if (site == radix_.numQudits()) {
+        ensureThat(count == 1, "DecisionDiagram::buildDenseTree: bad leaf block");
+        return DDEdge{/*terminal=*/0, amps[0]};
+    }
+    const Dimension dim = radix_.dimensionAt(site);
+    const std::uint64_t part = count / dim;
+    std::vector<DDEdge> edges(dim);
+    double sumSquares = 0.0;
+    for (Dimension k = 0; k < dim; ++k) {
+        edges[k] = buildDenseTree(site + 1, amps + static_cast<std::uint64_t>(k) * part,
+                                  part);
+        sumSquares += squaredMagnitude(edges[k].weight);
+    }
+    const double norm = std::sqrt(sumSquares);
+    if (norm > 0.0) {
+        for (auto& edge : edges) {
+            edge.weight /= norm;
+        }
+    }
+    const NodeRef ref = allocate(static_cast<std::uint32_t>(site), std::move(edges));
+    return DDEdge{ref, Complex{norm, 0.0}};
+}
+
+DecisionDiagram DecisionDiagram::fromStateVectorDense(const StateVector& state) {
+    DecisionDiagram dd;
+    dd.radix_ = state.radix();
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    const DDEdge rootEdge = dd.buildDenseTree(0, state.amplitudes().data(), state.size());
+    dd.root_ = rootEdge.node;
+    dd.rootWeight_ = rootEdge.weight;
+    return dd;
+}
+
+} // namespace mqsp

@@ -1,0 +1,259 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+#include "mqsp/complexnum/complex.hpp"
+#include "mqsp/statevec/state_vector.hpp"
+#include "mqsp/support/mixed_radix.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mqsp {
+
+/// Handle into a DecisionDiagram's node pool.
+using NodeRef = std::uint32_t;
+
+/// Sentinel for an absent child: the edge weight is zero and the whole
+/// sub-space below carries no amplitude ("zero stub"). Zero-amplitude
+/// sub-trees are never materialized (§4.2: they produce no operations).
+inline constexpr NodeRef kNoNode = std::numeric_limits<NodeRef>::max();
+
+/// An out-edge: destination node plus complex weight. An edge whose
+/// destination is the terminal carries the (normalized) leaf amplitude.
+/// `pruned` distinguishes a slot emptied by the approximation pass from a
+/// structurally zero slot of the original state: the paper's approximated
+/// node count drops when leaves are pruned but keeps counting structural
+/// zeros (compare GHZ vs random rows of Table 1).
+struct DDEdge {
+    NodeRef node = kNoNode;
+    Complex weight{0.0, 0.0};
+    bool pruned = false;
+
+    [[nodiscard]] bool isZeroStub() const noexcept { return node == kNoNode; }
+};
+
+/// A decision-diagram node. `site` is the qudit this node decides
+/// (0 = most significant / root level); a node at site s has exactly
+/// dim(site s) out-edges. The unique terminal node is marked by
+/// site == kTerminalSite and has no edges.
+struct DDNode {
+    static constexpr std::uint32_t kTerminalSite = std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t site = 0;
+    std::vector<DDEdge> edges;
+
+    [[nodiscard]] bool isTerminal() const noexcept { return site == kTerminalSite; }
+};
+
+/// How reachable structure should be counted; see `nodeCount`.
+enum class NodeCountMode {
+    /// Internal decision nodes reachable from the root (terminal excluded).
+    Internal,
+    /// The paper's "Nodes" metric for *exact* synthesis: the size of the
+    /// unreduced splitting tree including one leaf per amplitude — a pure
+    /// function of the register dimensions (Table 1 reports 58/1135/8657/...
+    /// for every state on the same register).
+    DenseTree,
+    /// Root plus every child slot (leaf, structural zero stub, or inner
+    /// node) of reachable internal nodes, excluding slots emptied by
+    /// pruning; equals 1 + sum of dim(v) over reachable internal v. On a
+    /// reduced (shared) diagram each node is counted once — the memory
+    /// footprint of the DAG.
+    Slots,
+    /// The paper's "Nodes" metric for the *approximated* column: like
+    /// Slots, but with tree semantics — a shared node is counted once per
+    /// incoming path, so the value is invariant under reduction (the
+    /// paper's counts show no sharing discount; see DESIGN.md).
+    TreeSlots,
+};
+
+/// Edge-weighted decision diagram with a variable number of successors per
+/// level (§4.1 of the paper) — the representation of a mixed-dimensional
+/// quantum state.
+///
+/// Invariants maintained by construction and all transforms:
+///  * every internal node's out-edge weights satisfy sum |w|^2 == 1
+///    (within tolerance), unless the node is unreachable garbage;
+///  * the amplitude of basis state (k_{n-1},...,k_0) is the product of the
+///    root weight and the edge weights along the path root -> terminal;
+///  * zero-amplitude sub-spaces are represented by zero stubs, never nodes.
+///
+/// `fromStateVector` builds the *tree*-shaped diagram the synthesis
+/// traversal expects (§4.2: "the decision diagram forms a weighted tree");
+/// `reduce()` (see transform.cpp) merges structurally identical sub-trees,
+/// turning it into a DAG (§4.3's reduction rule).
+class DecisionDiagram {
+public:
+    DecisionDiagram() = default;
+
+    /// Decompose a dense state vector into a weighted tree. Amplitudes with
+    /// |a| <= tol (componentwise) are treated as exact zeros.
+    [[nodiscard]] static DecisionDiagram fromStateVector(const StateVector& state,
+                                                         double tol = Tolerance::kDefault);
+
+    /// Decompose WITHOUT zero-pruning: every node of the dense splitting
+    /// tree is materialized, zero sub-vectors included (their edges carry
+    /// weight 0 and their nodes are unnormalized). Synthesizing from this
+    /// diagram yields the dense multiplexed-rotation baseline — the
+    /// exhaustive uniformly-controlled cascade classical qubit state
+    /// preparation uses — against which the DD-aware synthesis of the paper
+    /// is compared (the abstract's "performance directly linked to the size
+    /// of the decision diagram"). Baseline diagrams are not canonical:
+    /// checkInvariants() flags their all-zero nodes by design.
+    [[nodiscard]] static DecisionDiagram fromStateVectorDense(const StateVector& state);
+
+    /// Register geometry.
+    [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
+    [[nodiscard]] const Dimensions& dimensions() const noexcept { return radix_.dimensions(); }
+    [[nodiscard]] std::size_t numQudits() const noexcept { return radix_.numQudits(); }
+
+    /// Root edge. A diagram for the zero vector has rootNode() == kNoNode.
+    [[nodiscard]] NodeRef rootNode() const noexcept { return root_; }
+    [[nodiscard]] const Complex& rootWeight() const noexcept { return rootWeight_; }
+
+    /// Node-pool access (sentinels excluded; callers use NodeRef handles).
+    [[nodiscard]] const DDNode& node(NodeRef ref) const;
+    [[nodiscard]] std::size_t poolSize() const noexcept { return nodes_.size(); }
+
+    /// --- evaluation (evaluate.cpp) -------------------------------------
+
+    /// Amplitude of one basis state: product of weights along the path.
+    [[nodiscard]] Complex amplitudeOf(const Digits& digits) const;
+
+    /// Reconstruct the dense state vector.
+    [[nodiscard]] StateVector toStateVector() const;
+
+    /// |<target|this>|^2 against a dense target.
+    [[nodiscard]] double fidelityWith(const StateVector& target) const;
+
+    /// <this|other> computed natively on the diagrams (no dense expansion),
+    /// by the recursive pairwise traversal of DD packages (cf. the paper's
+    /// reference [12] on mixed-dimensional DD simulation). Registers must
+    /// match. Memoized per node pair: linear in the product of diagram
+    /// sizes, independent of the Hilbert dimension.
+    [[nodiscard]] Complex innerProductWith(const DecisionDiagram& other) const;
+
+    /// Sum of squared amplitude magnitudes (1 for a normalized diagram).
+    [[nodiscard]] double normSquared() const;
+
+    /// --- metrics (metrics.cpp) -----------------------------------------
+
+    /// Count nodes under the chosen convention (see NodeCountMode).
+    [[nodiscard]] std::uint64_t nodeCount(NodeCountMode mode) const;
+
+    /// The DenseTree count as a standalone function of dimensions.
+    [[nodiscard]] static std::uint64_t denseTreeNodeCount(const Dimensions& dims);
+
+    /// Number of distinct complex values among the root weight and all edge
+    /// weights of reachable internal nodes (zero stubs contribute 0) — the
+    /// paper's "DistinctC".
+    [[nodiscard]] std::size_t distinctComplexCount(double tol = Tolerance::kDefault) const;
+
+    /// Per-node fidelity contribution (§4.3): the probability mass of all
+    /// basis states whose path crosses the node. Indexed by NodeRef; entries
+    /// for unreachable pool slots are 0. On a DAG, mass is accumulated over
+    /// every incoming path.
+    [[nodiscard]] std::vector<double> nodeContributions() const;
+
+    /// True when all nonzero out-edges of `ref` point to one shared child —
+    /// the tensor-product pattern of §4.3 (only meaningful after reduce()).
+    [[nodiscard]] bool isTensorProductNode(NodeRef ref) const;
+
+    /// Structural invariant check (normalization, edge counts, acyclicity by
+    /// level). Returns an empty string when healthy, else a description.
+    [[nodiscard]] std::string checkInvariants(double tol = 1e-8) const;
+
+    /// --- transforms (transform.cpp) ------------------------------------
+
+    /// Zero out the sub-tree hanging off `parent`'s `edgeIndex` (used by the
+    /// approximation pass). Renormalization is the caller's responsibility.
+    void cutEdge(NodeRef parent, std::size_t edgeIndex);
+
+    /// Zero out the root edge, making this the empty diagram.
+    void cutRoot();
+
+    /// Re-establish per-node normalization after edges were cut; the lost
+    /// probability mass moves into the root weight (rootWeight < 1 after
+    /// pruning). Drops nodes whose out-edges all became zero stubs.
+    void renormalize(double tol = Tolerance::kDefault);
+
+    /// Rescale the root weight to 1 (after pruning, this makes the diagram
+    /// represent the renormalized approximate state).
+    void normalizeRoot();
+
+    /// Merge structurally identical sub-trees bottom-up (hash-consing); the
+    /// diagram becomes a DAG and shared sub-trees are stored once (§4.3's
+    /// reduction). Returns the number of nodes eliminated.
+    std::size_t reduce(double tol = Tolerance::kDefault);
+
+    /// Drop unreachable pool entries, compacting storage.
+    void garbageCollect();
+
+    /// --- gate application (apply.cpp) -------------------------------------
+
+    /// Apply a (possibly controlled) operation to the represented state
+    /// natively on the diagram (the DD-simulation substrate of the paper's
+    /// reference [12]): edges at the target level are linearly combined via
+    /// recursive normalized DD addition, and control conditions restrict the
+    /// affected paths. Controls must sit on sites more significant than the
+    /// target (always true for synthesized preparation circuits); an
+    /// InvalidArgumentError is thrown otherwise. The diagram stays
+    /// normalized (|rootWeight| is preserved up to rounding).
+    void applyOperation(const Operation& op, double tol = Tolerance::kDefault);
+
+    /// Run a whole circuit on the |0...0> diagram — DD-native simulation.
+    [[nodiscard]] static DecisionDiagram simulateCircuit(const Circuit& circuit,
+                                                         double tol = Tolerance::kDefault);
+
+    /// The |0...0> diagram on a register.
+    [[nodiscard]] static DecisionDiagram zeroState(const Dimensions& dims);
+
+    /// --- sampling (sample.cpp) ------------------------------------------
+
+    /// Draw one measurement outcome in the computational basis directly from
+    /// the diagram, without expanding the dense vector: descend from the
+    /// root, at each node choosing edge k with probability |w_k|^2 (the
+    /// out-edges are normalized, so the local weights are exactly the
+    /// conditional distribution). O(depth) per sample.
+    /// Requires a normalized diagram (|rootWeight| == 1 within 1e-6).
+    [[nodiscard]] Digits sampleOutcome(Rng& rng) const;
+
+    /// Draw `count` outcomes and return per-basis-state counts, keyed by
+    /// flat mixed-radix index (only observed outcomes appear).
+    [[nodiscard]] std::unordered_map<std::uint64_t, std::uint64_t>
+    sampleHistogram(Rng& rng, std::uint64_t count) const;
+
+    /// --- serialization (serialize.cpp) -----------------------------------
+
+    /// Line-oriented text serialization of the diagram (register, root edge,
+    /// one line per node). Round-trips through `deserialize` exactly.
+    void serialize(std::ostream& out) const;
+
+    /// Parse the format emitted by serialize(). Throws InvalidArgumentError
+    /// on malformed input; the result passes checkInvariants() whenever the
+    /// serialized diagram did.
+    [[nodiscard]] static DecisionDiagram deserialize(std::istream& in);
+
+    /// --- export (dot.cpp) ----------------------------------------------
+
+    /// Graphviz rendering for debugging and documentation.
+    [[nodiscard]] std::string toDot() const;
+
+private:
+    [[nodiscard]] DDNode& mutableNode(NodeRef ref);
+    NodeRef allocate(std::uint32_t site, std::vector<DDEdge> edges);
+    DDEdge buildTree(std::size_t site, const Complex* amps, std::uint64_t count, double tol);
+    DDEdge buildDenseTree(std::size_t site, const Complex* amps, std::uint64_t count);
+
+    MixedRadix radix_;
+    std::vector<DDNode> nodes_;
+    NodeRef root_ = kNoNode;
+    Complex rootWeight_{0.0, 0.0};
+};
+
+} // namespace mqsp

@@ -1,0 +1,46 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace mqsp {
+
+std::string DecisionDiagram::toDot() const {
+    std::ostringstream out;
+    out << "digraph DD {\n  rankdir=TB;\n  node [shape=circle];\n";
+    if (root_ == kNoNode) {
+        out << "  empty [shape=plaintext, label=\"(zero diagram)\"];\n}\n";
+        return out.str();
+    }
+    out << "  root [shape=plaintext, label=\"" << toString(rootWeight_) << "\"];\n";
+    out << "  root -> n" << root_ << ";\n";
+    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<NodeRef> stack{root_};
+    seen[root_] = true;
+    while (!stack.empty()) {
+        const NodeRef ref = stack.back();
+        stack.pop_back();
+        const DDNode& n = nodes_[ref];
+        if (n.isTerminal()) {
+            out << "  n" << ref << " [shape=square, label=\"1\"];\n";
+            continue;
+        }
+        out << "  n" << ref << " [label=\"q" << (radix_.numQudits() - 1 - n.site) << "\"];\n";
+        for (std::size_t k = 0; k < n.edges.size(); ++k) {
+            const DDEdge& edge = n.edges[k];
+            if (edge.isZeroStub()) {
+                continue;
+            }
+            out << "  n" << ref << " -> n" << edge.node << " [label=\"" << k << ": "
+                << toString(edge.weight, 4) << "\"];\n";
+            if (!seen[edge.node]) {
+                seen[edge.node] = true;
+                stack.push_back(edge.node);
+            }
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace mqsp

@@ -1,0 +1,109 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+namespace mqsp {
+
+Complex DecisionDiagram::amplitudeOf(const Digits& digits) const {
+    requireThat(digits.size() == radix_.numQudits(),
+                "DecisionDiagram::amplitudeOf: digit count mismatch");
+    if (root_ == kNoNode) {
+        return Complex{0.0, 0.0};
+    }
+    Complex product = rootWeight_;
+    NodeRef current = root_;
+    for (std::size_t site = 0; site < digits.size(); ++site) {
+        const DDNode& n = node(current);
+        ensureThat(!n.isTerminal() && n.site == site,
+                   "DecisionDiagram::amplitudeOf: malformed level structure");
+        requireThat(digits[site] < n.edges.size(),
+                    "DecisionDiagram::amplitudeOf: digit exceeds node arity");
+        const DDEdge& edge = n.edges[digits[site]];
+        if (edge.isZeroStub()) {
+            return Complex{0.0, 0.0};
+        }
+        product *= edge.weight;
+        current = edge.node;
+    }
+    ensureThat(node(current).isTerminal(),
+               "DecisionDiagram::amplitudeOf: path did not end at the terminal");
+    return product;
+}
+
+namespace {
+
+void fillAmplitudes(const DecisionDiagram& dd, NodeRef ref, Complex prefix, std::uint64_t base,
+                    const MixedRadix& radix, std::vector<Complex>& out) {
+    const DDNode& n = dd.node(ref);
+    if (n.isTerminal()) {
+        out[base] = prefix;
+        return;
+    }
+    const auto stride = radix.strideAt(n.site);
+    for (std::size_t k = 0; k < n.edges.size(); ++k) {
+        const DDEdge& edge = n.edges[k];
+        if (edge.isZeroStub()) {
+            continue;
+        }
+        fillAmplitudes(dd, edge.node, prefix * edge.weight, base + k * stride, radix, out);
+    }
+}
+
+} // namespace
+
+StateVector DecisionDiagram::toStateVector() const {
+    std::vector<Complex> amps(radix_.totalDimension(), Complex{0.0, 0.0});
+    if (root_ != kNoNode) {
+        fillAmplitudes(*this, root_, rootWeight_, 0, radix_, amps);
+    }
+    return StateVector{radix_.dimensions(), std::move(amps)};
+}
+
+double DecisionDiagram::fidelityWith(const StateVector& target) const {
+    return target.fidelityWith(toStateVector());
+}
+
+Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
+    requireThat(radix_ == other.radix_,
+                "DecisionDiagram::innerProductWith: registers differ");
+    if (root_ == kNoNode || other.root_ == kNoNode) {
+        return Complex{0.0, 0.0};
+    }
+    // <a|b> over node pairs, memoized: the contribution of a pair of
+    // sub-trees is independent of the path that reached them.
+    std::unordered_map<std::uint64_t, Complex> memo;
+    const std::function<Complex(NodeRef, NodeRef)> visit = [&](NodeRef a,
+                                                               NodeRef b) -> Complex {
+        const DDNode& na = node(a);
+        const DDNode& nb = other.node(b);
+        if (na.isTerminal()) {
+            ensureThat(nb.isTerminal(), "innerProductWith: level mismatch");
+            return Complex{1.0, 0.0};
+        }
+        ensureThat(na.site == nb.site, "innerProductWith: site mismatch");
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(a) << 32U) | static_cast<std::uint64_t>(b);
+        if (const auto it = memo.find(key); it != memo.end()) {
+            return it->second;
+        }
+        Complex sum{0.0, 0.0};
+        for (std::size_t k = 0; k < na.edges.size(); ++k) {
+            const DDEdge& ea = na.edges[k];
+            const DDEdge& eb = nb.edges[k];
+            if (ea.isZeroStub() || eb.isZeroStub()) {
+                continue;
+            }
+            sum += std::conj(ea.weight) * eb.weight * visit(ea.node, eb.node);
+        }
+        memo.emplace(key, sum);
+        return sum;
+    };
+    return std::conj(rootWeight_) * other.rootWeight_ * visit(root_, other.root_);
+}
+
+double DecisionDiagram::normSquared() const { return toStateVector().normSquared(); }
+
+} // namespace mqsp

@@ -1,0 +1,59 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+
+namespace mqsp {
+
+Digits DecisionDiagram::sampleOutcome(Rng& rng) const {
+    requireThat(root_ != kNoNode, "sampleOutcome: cannot sample the zero diagram");
+    requireThat(std::abs(std::abs(rootWeight_) - 1.0) <= 1e-6,
+                "sampleOutcome: diagram must be normalized (|rootWeight| == 1)");
+    Digits outcome(radix_.numQudits(), 0);
+    NodeRef current = root_;
+    for (std::size_t site = 0; site < radix_.numQudits(); ++site) {
+        const DDNode& n = node(current);
+        ensureThat(!n.isTerminal(), "sampleOutcome: diagram too shallow");
+        // Out-edge weights are normalized: |w_k|^2 is the conditional
+        // probability of level k given the path so far.
+        double u = rng.uniform01();
+        std::size_t chosen = n.edges.size();
+        for (std::size_t k = 0; k < n.edges.size(); ++k) {
+            if (n.edges[k].isZeroStub()) {
+                continue;
+            }
+            const double p = squaredMagnitude(n.edges[k].weight);
+            if (u < p) {
+                chosen = k;
+                break;
+            }
+            u -= p;
+        }
+        if (chosen == n.edges.size()) {
+            // Rounding left a sliver of probability; take the last nonzero.
+            for (std::size_t k = n.edges.size(); k-- > 0;) {
+                if (!n.edges[k].isZeroStub()) {
+                    chosen = k;
+                    break;
+                }
+            }
+            ensureThat(chosen != n.edges.size(), "sampleOutcome: node without children");
+        }
+        outcome[site] = static_cast<Level>(chosen);
+        current = n.edges[chosen].node;
+    }
+    ensureThat(node(current).isTerminal(), "sampleOutcome: path missed the terminal");
+    return outcome;
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t>
+DecisionDiagram::sampleHistogram(Rng& rng, std::uint64_t count) const {
+    std::unordered_map<std::uint64_t, std::uint64_t> histogram;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ++histogram[radix_.indexOf(sampleOutcome(rng))];
+    }
+    return histogram;
+}
+
+} // namespace mqsp

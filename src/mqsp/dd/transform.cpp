@@ -1,0 +1,203 @@
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace mqsp {
+
+void DecisionDiagram::cutEdge(NodeRef parent, std::size_t edgeIndex) {
+    DDNode& n = mutableNode(parent);
+    requireThat(!n.isTerminal(), "DecisionDiagram::cutEdge: cannot cut terminal edges");
+    requireThat(edgeIndex < n.edges.size(), "DecisionDiagram::cutEdge: edge index out of range");
+    n.edges[edgeIndex] = DDEdge{kNoNode, Complex{0.0, 0.0}, /*pruned=*/true};
+}
+
+void DecisionDiagram::cutRoot() {
+    root_ = kNoNode;
+    rootWeight_ = Complex{0.0, 0.0};
+}
+
+void DecisionDiagram::renormalize(double tol) {
+    if (root_ == kNoNode) {
+        return;
+    }
+    // Post-order renormalization: after cuts the out-weights of a node no
+    // longer sum to one, so the residual norm is pushed upward exactly like
+    // during construction. `visit` returns the factor to multiply into
+    // in-edge weights of a node, or a negative value when the node died
+    // (all children cut). Memoized so shared (reduced) nodes renormalize once.
+    std::unordered_map<NodeRef, double> factor;
+    const std::function<double(NodeRef)> visit = [&](NodeRef ref) -> double {
+        if (node(ref).isTerminal()) {
+            return 1.0;
+        }
+        if (const auto it = factor.find(ref); it != factor.end()) {
+            return it->second;
+        }
+        auto& n = mutableNode(ref);
+        double sumSquares = 0.0;
+        bool any = false;
+        for (auto& edge : n.edges) {
+            if (edge.isZeroStub()) {
+                continue;
+            }
+            const double childFactor = visit(edge.node);
+            if (childFactor < 0.0 || approxZero(edge.weight * childFactor, tol)) {
+                // The child died because pruning emptied it; mark the slot
+                // as pruned so the approximated node count drops with it.
+                edge = DDEdge{kNoNode, Complex{0.0, 0.0}, /*pruned=*/true};
+                continue;
+            }
+            edge.weight *= childFactor;
+            sumSquares += squaredMagnitude(edge.weight);
+            any = true;
+        }
+        double result = -1.0;
+        if (any) {
+            const double norm = std::sqrt(sumSquares);
+            for (auto& edge : n.edges) {
+                if (!edge.isZeroStub()) {
+                    edge.weight /= norm;
+                }
+            }
+            result = norm;
+        }
+        factor.emplace(ref, result);
+        return result;
+    };
+    const double rootFactor = visit(root_);
+    if (rootFactor < 0.0) {
+        cutRoot();
+        return;
+    }
+    rootWeight_ *= rootFactor;
+}
+
+void DecisionDiagram::normalizeRoot() {
+    if (root_ == kNoNode) {
+        return;
+    }
+    const double magnitude = std::abs(rootWeight_);
+    requireThat(magnitude > 0.0, "DecisionDiagram::normalizeRoot: zero root weight");
+    rootWeight_ /= magnitude;
+}
+
+namespace {
+
+/// Structural key of a node for hash-consing: site, child refs, and edge
+/// weights bucketed to the merge tolerance.
+struct NodeKey {
+    std::uint32_t site = 0;
+    std::vector<NodeRef> children;
+    std::vector<std::int64_t> weightBucketsRe;
+    std::vector<std::int64_t> weightBucketsIm;
+
+    friend bool operator==(const NodeKey&, const NodeKey&) = default;
+};
+
+struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& key) const noexcept {
+        std::size_t h = std::hash<std::uint32_t>{}(key.site);
+        const auto mix = [&h](std::size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U);
+        };
+        for (const auto c : key.children) {
+            mix(std::hash<NodeRef>{}(c));
+        }
+        for (const auto b : key.weightBucketsRe) {
+            mix(std::hash<std::int64_t>{}(static_cast<std::int64_t>(b)));
+        }
+        for (const auto b : key.weightBucketsIm) {
+            mix(std::hash<std::int64_t>{}(static_cast<std::int64_t>(b)));
+        }
+        return h;
+    }
+};
+
+std::int64_t bucketOf(double v, double tol) {
+    return static_cast<std::int64_t>(std::llround(v / tol));
+}
+
+} // namespace
+
+std::size_t DecisionDiagram::reduce(double tol) {
+    if (root_ == kNoNode) {
+        return 0;
+    }
+    // Bottom-up hash-consing. Because weights were normalized by a fixed
+    // scheme during construction (§4.2: "normalized by a fixed scheme to
+    // ensure canonicity"), structurally identical sub-trees have identical
+    // weights and merge exactly; the tolerance only absorbs rounding.
+    std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique;
+    std::unordered_map<NodeRef, NodeRef> canonical;
+
+    const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
+        if (node(ref).isTerminal()) {
+            return ref;
+        }
+        if (const auto it = canonical.find(ref); it != canonical.end()) {
+            return it->second;
+        }
+        auto& n = mutableNode(ref);
+        NodeKey key;
+        key.site = n.site;
+        key.children.reserve(n.edges.size());
+        key.weightBucketsRe.reserve(n.edges.size());
+        key.weightBucketsIm.reserve(n.edges.size());
+        for (auto& edge : n.edges) {
+            if (!edge.isZeroStub()) {
+                edge.node = visit(edge.node);
+            }
+            key.children.push_back(edge.node);
+            key.weightBucketsRe.push_back(bucketOf(edge.weight.real(), tol));
+            key.weightBucketsIm.push_back(bucketOf(edge.weight.imag(), tol));
+        }
+        const auto [it, inserted] = unique.emplace(key, ref);
+        canonical.emplace(ref, it->second);
+        return it->second;
+    };
+
+    const std::size_t reachableBefore = nodeCount(NodeCountMode::Internal);
+    root_ = visit(root_);
+    const std::size_t reachableAfter = nodeCount(NodeCountMode::Internal);
+    return reachableBefore - reachableAfter;
+}
+
+void DecisionDiagram::garbageCollect() {
+    if (nodes_.empty()) {
+        return;
+    }
+    std::vector<NodeRef> remap(nodes_.size(), kNoNode);
+    std::vector<DDNode> kept;
+    kept.reserve(nodes_.size());
+
+    // Keep the terminal at slot 0 unconditionally.
+    remap[0] = 0;
+    kept.push_back(nodes_[0]);
+
+    if (root_ != kNoNode) {
+        const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
+            if (remap[ref] != kNoNode) {
+                return remap[ref];
+            }
+            DDNode copy = nodes_[ref];
+            for (auto& edge : copy.edges) {
+                if (!edge.isZeroStub()) {
+                    edge.node = visit(edge.node);
+                }
+            }
+            kept.push_back(std::move(copy));
+            remap[ref] = static_cast<NodeRef>(kept.size() - 1);
+            return remap[ref];
+        };
+        root_ = visit(root_);
+    }
+    nodes_ = std::move(kept);
+}
+
+} // namespace mqsp

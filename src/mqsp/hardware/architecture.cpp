@@ -1,0 +1,121 @@
+#include "mqsp/hardware/architecture.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace mqsp {
+
+Architecture::Architecture(std::string name, Dimensions dims,
+                           std::vector<std::pair<std::size_t, std::size_t>> edges,
+                           NoiseModel noise)
+    : name_(std::move(name)), dims_(std::move(dims)), noise_(noise) {
+    requireThat(!dims_.empty(), "Architecture: need at least one site");
+    for (const auto dim : dims_) {
+        requireThat(dim >= 2, "Architecture: every site dimension must be >= 2");
+    }
+    for (const auto& [a, b] : edges) {
+        requireThat(a < dims_.size() && b < dims_.size(),
+                    "Architecture: edge site out of range");
+        requireThat(a != b, "Architecture: self-loop edge");
+        edges_.insert(canonical(a, b));
+    }
+    if (dims_.size() > 1) {
+        validateConnectivity();
+    }
+}
+
+Architecture Architecture::allToAll(Dimensions dims, NoiseModel noise) {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t a = 0; a < dims.size(); ++a) {
+        for (std::size_t b = a + 1; b < dims.size(); ++b) {
+            edges.emplace_back(a, b);
+        }
+    }
+    return Architecture("all-to-all", std::move(dims), std::move(edges), noise);
+}
+
+Architecture Architecture::linearChain(Dimensions dims, NoiseModel noise) {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t a = 0; a + 1 < dims.size(); ++a) {
+        edges.emplace_back(a, a + 1);
+    }
+    return Architecture("linear-chain", std::move(dims), std::move(edges), noise);
+}
+
+Architecture Architecture::ring(Dimensions dims, NoiseModel noise) {
+    requireThat(dims.size() >= 3, "Architecture::ring: need at least three sites");
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t a = 0; a + 1 < dims.size(); ++a) {
+        edges.emplace_back(a, a + 1);
+    }
+    edges.emplace_back(dims.size() - 1, 0);
+    return Architecture("ring", std::move(dims), std::move(edges), noise);
+}
+
+bool Architecture::connected(std::size_t a, std::size_t b) const {
+    requireThat(a < dims_.size() && b < dims_.size(), "Architecture: site out of range");
+    if (a == b) {
+        return false;
+    }
+    return edges_.count(canonical(a, b)) > 0;
+}
+
+std::vector<std::size_t> Architecture::shortestPath(std::size_t a, std::size_t b) const {
+    requireThat(a < dims_.size() && b < dims_.size(), "Architecture: site out of range");
+    if (a == b) {
+        return {a};
+    }
+    std::vector<std::size_t> previous(dims_.size(), dims_.size());
+    std::deque<std::size_t> frontier{a};
+    previous[a] = a;
+    while (!frontier.empty()) {
+        const std::size_t site = frontier.front();
+        frontier.pop_front();
+        if (site == b) {
+            break;
+        }
+        for (std::size_t next = 0; next < dims_.size(); ++next) {
+            if (previous[next] == dims_.size() && connected(site, next)) {
+                previous[next] = site;
+                frontier.push_back(next);
+            }
+        }
+    }
+    ensureThat(previous[b] != dims_.size(),
+               "Architecture::shortestPath: coupling graph is disconnected");
+    std::vector<std::size_t> path{b};
+    while (path.back() != a) {
+        path.push_back(previous[path.back()]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::pair<std::size_t, std::size_t> Architecture::canonical(std::size_t a,
+                                                            std::size_t b) const {
+    return {std::min(a, b), std::max(a, b)};
+}
+
+void Architecture::validateConnectivity() const {
+    std::vector<bool> seen(dims_.size(), false);
+    std::deque<std::size_t> frontier{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+        const std::size_t site = frontier.front();
+        frontier.pop_front();
+        for (const auto& [a, b] : edges_) {
+            const std::size_t other = (a == site) ? b : (b == site) ? a : dims_.size();
+            if (other != dims_.size() && !seen[other]) {
+                seen[other] = true;
+                ++visited;
+                frontier.push_back(other);
+            }
+        }
+    }
+    requireThat(visited == dims_.size(), "Architecture: coupling graph is disconnected");
+}
+
+} // namespace mqsp

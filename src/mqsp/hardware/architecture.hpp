@@ -1,0 +1,73 @@
+#pragma once
+
+#include "mqsp/support/mixed_radix.hpp"
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mqsp {
+
+/// Depolarizing-style error rates per operation class. Used by the fidelity
+/// estimator to rank routed circuits — the paper's concluding future-work
+/// item ("taking the capabilities of the targeted quantum hardware into
+/// account").
+struct NoiseModel {
+    double singleQuditError = 1e-4; ///< uncontrolled local gate
+    double twoQuditError = 1e-2;    ///< singly-controlled (entangling) gate
+};
+
+/// A target quantum device: qudit dimensions, which site pairs support
+/// two-qudit gates (the coupling graph), and a noise model.
+///
+/// Factories cover the common topologies: trapped-ion style all-to-all,
+/// a linear chain, and a ring.
+class Architecture {
+public:
+    Architecture() = default;
+
+    /// Custom architecture. Edges are unordered site pairs; the coupling
+    /// graph must be connected over all sites. Throws InvalidArgumentError
+    /// on out-of-range or self-loop edges or a disconnected graph.
+    Architecture(std::string name, Dimensions dims,
+                 std::vector<std::pair<std::size_t, std::size_t>> edges,
+                 NoiseModel noise = {});
+
+    /// Every pair coupled (e.g. trapped ions with a shared bus).
+    [[nodiscard]] static Architecture allToAll(Dimensions dims, NoiseModel noise = {});
+
+    /// Nearest-neighbour chain: i -- i+1.
+    [[nodiscard]] static Architecture linearChain(Dimensions dims, NoiseModel noise = {});
+
+    /// Chain plus the wrap-around edge.
+    [[nodiscard]] static Architecture ring(Dimensions dims, NoiseModel noise = {});
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const Dimensions& dimensions() const noexcept { return dims_; }
+    [[nodiscard]] std::size_t numSites() const noexcept { return dims_.size(); }
+    [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
+
+    /// True when a two-qudit gate between a and b is native.
+    [[nodiscard]] bool connected(std::size_t a, std::size_t b) const;
+
+    /// Shortest coupling path from a to b (inclusive of both endpoints),
+    /// via breadth-first search. a == b yields {a}.
+    [[nodiscard]] std::vector<std::size_t> shortestPath(std::size_t a, std::size_t b) const;
+
+    /// Number of edges in the coupling graph.
+    [[nodiscard]] std::size_t numEdges() const noexcept { return edges_.size(); }
+
+private:
+    [[nodiscard]] std::pair<std::size_t, std::size_t> canonical(std::size_t a,
+                                                                std::size_t b) const;
+    void validateConnectivity() const;
+
+    std::string name_ = "unnamed";
+    Dimensions dims_;
+    std::set<std::pair<std::size_t, std::size_t>> edges_;
+    NoiseModel noise_;
+};
+
+} // namespace mqsp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+#include "mqsp/hardware/architecture.hpp"
+
+#include <cstddef>
+
+namespace mqsp {
+
+/// Result of mapping a circuit onto a device topology.
+struct RoutingResult {
+    /// The routed circuit: semantically identical to the input (every
+    /// inserted SWAP pair cancels), with every controlled operation acting
+    /// on a coupled site pair.
+    Circuit circuit;
+
+    /// Full-qudit SWAPs inserted (each costs 3(d-1) two-qudit controlled
+    /// shifts plus local level swaps).
+    std::size_t swapsInserted = 0;
+
+    /// Ops in the routed circuit that act on two sites.
+    std::size_t twoQuditOps = 0;
+};
+
+/// Append a full-qudit SWAP between sites a and b to `circuit`. Requires
+/// equal dimensions on both sites (exchanging qudits of different
+/// dimensionality is not a unitary on the local spaces — the physical
+/// constraint mixed-dimensional devices live with). Built from the qudit
+/// identity SWAP = CX(a->b) . CX(b->a)^-1 . CX(a->b) . NEG(a), where
+/// CX(a->b)|x,y> = |x, y+x mod d> is a ladder of d-1 controlled shifts and
+/// NEG is the local negation permutation |z> -> |-z mod d>.
+void appendSwap(Circuit& circuit, std::size_t a, std::size_t b);
+
+/// Map a (<= 1 control per op) circuit onto the architecture: operations on
+/// uncoupled pairs are preceded by SWAP chains moving the control site next
+/// to the target along the shortest coupling path, and followed by the
+/// inverse chain. Throws InvalidArgumentError when the circuit register and
+/// architecture disagree, when an op carries two or more controls (lower
+/// with transpileToTwoQudit first), or when routing would have to swap
+/// qudits of different dimensionality.
+[[nodiscard]] RoutingResult routeCircuit(const Circuit& circuit, const Architecture& arch);
+
+/// Multiplicative fidelity estimate under the architecture's noise model:
+/// product over ops of (1 - eps), with eps the single-qudit error for local
+/// ops, the two-qudit error for singly-controlled ops, and the two-qudit
+/// error charged k times for k-controlled ops (the cost of their eventual
+/// decomposition, cf. transpile::estimateTwoQuditCost for the exact figure).
+[[nodiscard]] double estimateCircuitFidelity(const Circuit& circuit, const NoiseModel& noise);
+
+} // namespace mqsp

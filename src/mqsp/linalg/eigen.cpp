@@ -1,0 +1,156 @@
+#include "mqsp/linalg/eigen.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mqsp {
+
+bool isHermitian(const DenseMatrix& matrix, double tol) {
+    const std::size_t n = matrix.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            if (std::abs(matrix(i, j) - std::conj(matrix(j, i))) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Complex traceOf(const DenseMatrix& matrix) {
+    Complex sum{0.0, 0.0};
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        sum += matrix(i, i);
+    }
+    return sum;
+}
+
+namespace {
+
+/// Squared Frobenius norm of the strict off-diagonal part.
+double offDiagonalMass(const DenseMatrix& a) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            if (i != j) {
+                sum += std::norm(a(i, j));
+            }
+        }
+    }
+    return sum;
+}
+
+double frobeniusMass(const DenseMatrix& a) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            sum += std::norm(a(i, j));
+        }
+    }
+    return sum;
+}
+
+/// One two-sided complex Jacobi rotation zeroing a(p, q):
+///   A <- U^H A U,  V <- V U,
+/// where U acts on the (p, q) plane as diag(1, e^{-i phi}) * G(theta) with
+/// phi = arg a(p, q) and G the real Givens rotation diagonalizing the
+/// phase-stripped 2x2 block.
+void rotate(DenseMatrix& a, DenseMatrix& v, std::size_t p, std::size_t q) {
+    const Complex apq = a(p, q);
+    const double r = std::abs(apq);
+    if (r == 0.0) {
+        return;
+    }
+    const double phi = std::arg(apq);
+    const double alpha = a(p, p).real();
+    const double beta = a(q, q).real();
+    const double tau = (beta - alpha) / (2.0 * r);
+    const double t = (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+    const double c = 1.0 / std::sqrt(1.0 + t * t);
+    const double s = t * c;
+
+    // Column-space action: U has U(p,p) = c, U(p,q) = s, U(q,p) = -s e^{-i phi},
+    // U(q,q) = c e^{-i phi} (the phase-stripping diag folded into row q).
+    const Complex upp{c, 0.0};
+    const Complex upq{s, 0.0};
+    const Complex uqp = Complex{-s, 0.0} * Complex{std::cos(-phi), std::sin(-phi)};
+    const Complex uqq = Complex{c, 0.0} * Complex{std::cos(-phi), std::sin(-phi)};
+
+    const std::size_t n = a.size();
+    // A <- A U (columns p, q mix).
+    for (std::size_t i = 0; i < n; ++i) {
+        const Complex aip = a(i, p);
+        const Complex aiq = a(i, q);
+        a(i, p) = aip * upp + aiq * uqp;
+        a(i, q) = aip * upq + aiq * uqq;
+    }
+    // A <- U^H A (rows p, q mix with conjugated coefficients).
+    for (std::size_t j = 0; j < n; ++j) {
+        const Complex apj = a(p, j);
+        const Complex aqj = a(q, j);
+        a(p, j) = std::conj(upp) * apj + std::conj(uqp) * aqj;
+        a(q, j) = std::conj(upq) * apj + std::conj(uqq) * aqj;
+    }
+    // Clean the rotated pair exactly.
+    a(p, q) = Complex{0.0, 0.0};
+    a(q, p) = Complex{0.0, 0.0};
+    a(p, p) = Complex{a(p, p).real(), 0.0};
+    a(q, q) = Complex{a(q, q).real(), 0.0};
+
+    // Accumulate V <- V U.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Complex vip = v(i, p);
+        const Complex viq = v(i, q);
+        v(i, p) = vip * upp + viq * uqp;
+        v(i, q) = vip * upq + viq * uqq;
+    }
+}
+
+} // namespace
+
+EigenResult eigenHermitian(const DenseMatrix& matrix, double tol, double hermTol) {
+    requireThat(matrix.size() > 0, "eigenHermitian: empty matrix");
+    requireThat(isHermitian(matrix, hermTol), "eigenHermitian: matrix is not Hermitian");
+
+    const std::size_t n = matrix.size();
+    DenseMatrix a = matrix;
+    DenseMatrix v = DenseMatrix::identity(n);
+
+    const double total = frobeniusMass(a);
+    const double threshold = tol * tol * std::max(total, 1e-300);
+    constexpr int kMaxSweeps = 100;
+    for (int sweep = 0; sweep < kMaxSweeps && offDiagonalMass(a) > threshold; ++sweep) {
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                if (std::norm(a(p, q)) > threshold / static_cast<double>(n * n)) {
+                    rotate(a, v, p, q);
+                }
+            }
+        }
+    }
+    ensureThat(offDiagonalMass(a) <= std::max(threshold, 1e-20),
+               "eigenHermitian: Jacobi iteration did not converge");
+
+    // Sort ascending, permuting eigenvector columns along.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&a](std::size_t x, std::size_t y) {
+        return a(x, x).real() < a(y, y).real();
+    });
+
+    EigenResult result;
+    result.values.reserve(n);
+    result.vectors = DenseMatrix(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        result.values.push_back(a(order[k], order[k]).real());
+        for (std::size_t i = 0; i < n; ++i) {
+            result.vectors(i, k) = v(i, order[k]);
+        }
+    }
+    return result;
+}
+
+} // namespace mqsp

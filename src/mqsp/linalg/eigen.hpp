@@ -1,0 +1,34 @@
+#pragma once
+
+#include "mqsp/circuit/matrix.hpp"
+
+#include <vector>
+
+namespace mqsp {
+
+/// Result of a Hermitian eigendecomposition: eigenvalues ascending, one
+/// eigenvector per column of `vectors` (vectors(i, k) is component i of the
+/// k-th eigenvector).
+struct EigenResult {
+    std::vector<double> values;
+    DenseMatrix vectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix via the classical cyclic
+/// complex Jacobi method: repeatedly zero the largest off-diagonal element
+/// with a two-sided complex Givens rotation until the off-diagonal Frobenius
+/// mass drops below `tol`. Cubic per sweep, quadratically convergent —
+/// entirely adequate for the register-sized density matrices this library
+/// meets (dimension <= a few hundred).
+///
+/// Throws InvalidArgumentError if `matrix` is not Hermitian within `hermTol`.
+[[nodiscard]] EigenResult eigenHermitian(const DenseMatrix& matrix, double tol = 1e-12,
+                                         double hermTol = 1e-9);
+
+/// True when the matrix equals its own adjoint within tol.
+[[nodiscard]] bool isHermitian(const DenseMatrix& matrix, double tol = 1e-9);
+
+/// Trace of a square matrix.
+[[nodiscard]] Complex traceOf(const DenseMatrix& matrix);
+
+} // namespace mqsp

@@ -1,0 +1,222 @@
+#include "mqsp/opt/optimizer.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace mqsp {
+
+namespace {
+
+/// All sites an operation touches (target + controls).
+std::vector<std::size_t> sitesOf(const Operation& op) {
+    std::vector<std::size_t> sites{op.target};
+    for (const auto& ctrl : op.controls) {
+        sites.push_back(ctrl.qudit);
+    }
+    std::sort(sites.begin(), sites.end());
+    return sites;
+}
+
+bool disjointSites(const Operation& a, const Operation& b) {
+    const auto sa = sitesOf(a);
+    const auto sb = sitesOf(b);
+    std::vector<std::size_t> common;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(common));
+    return common.empty();
+}
+
+/// Same rotation axis: merging candidates must agree in everything except
+/// the angle. Controls are compared as sorted sets (their order is not
+/// semantic).
+bool sameAxis(const Operation& a, const Operation& b, double tol) {
+    if (a.kind != b.kind || a.target != b.target) {
+        return false;
+    }
+    if (a.kind != GateKind::GivensRotation && a.kind != GateKind::PhaseRotation) {
+        return false;
+    }
+    if (a.levelA != b.levelA || a.levelB != b.levelB) {
+        return false;
+    }
+    if (a.kind == GateKind::GivensRotation && std::abs(a.phi - b.phi) > tol) {
+        return false;
+    }
+    return a.controls == b.controls;
+}
+
+/// Identical payload (kind, target, levels, angles, shift) — everything but
+/// the controls.
+bool samePayload(const Operation& a, const Operation& b, double tol) {
+    if (a.kind != b.kind || a.target != b.target) {
+        return false;
+    }
+    switch (a.kind) {
+    case GateKind::GivensRotation:
+        return a.levelA == b.levelA && a.levelB == b.levelB &&
+               std::abs(a.theta - b.theta) <= tol && std::abs(a.phi - b.phi) <= tol;
+    case GateKind::PhaseRotation:
+        return a.levelA == b.levelA && a.levelB == b.levelB &&
+               std::abs(a.theta - b.theta) <= tol;
+    case GateKind::Hadamard:
+        return true;
+    case GateKind::Shift:
+        return a.shiftAmount == b.shiftAmount;
+    case GateKind::LevelSwap:
+        return a.levelA == b.levelA && a.levelB == b.levelB;
+    }
+    detail::throwInternal("samePayload: unknown gate kind");
+}
+
+/// One pass of neighbouring-rotation merging over the op list. Returns the
+/// number of merges performed.
+std::size_t mergeRotationsPass(std::vector<Operation>& ops, double tol) {
+    std::size_t merges = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        Operation& current = ops[i];
+        if (current.kind != GateKind::GivensRotation &&
+            current.kind != GateKind::PhaseRotation) {
+            continue;
+        }
+        for (std::size_t j = i + 1; j < ops.size();) {
+            if (sameAxis(current, ops[j], tol)) {
+                current.theta += ops[j].theta;
+                ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+                ++merges;
+                continue; // the window keeps extending past the merged slot
+            }
+            if (!disjointSites(current, ops[j])) {
+                break;
+            }
+            ++j;
+        }
+    }
+    return merges;
+}
+
+std::size_t dropIdentitiesPass(std::vector<Operation>& ops, double tol) {
+    const std::size_t before = ops.size();
+    std::erase_if(ops, [tol](const Operation& op) { return op.isIdentity(tol); });
+    return before - ops.size();
+}
+
+/// Reverse multiplexing: ops identical up to the level of one shared control
+/// and jointly covering all of that control's levels collapse into one
+/// uncontrolled (on that qudit) op.
+std::size_t mergeControlFansPass(std::vector<Operation>& ops, const MixedRadix& radix,
+                                 double tol) {
+    std::size_t merges = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Operation& seed = ops[i];
+        if (seed.controls.empty()) {
+            continue;
+        }
+        for (std::size_t ctrlIndex = 0; ctrlIndex < seed.controls.size(); ++ctrlIndex) {
+            const std::size_t fanQudit = seed.controls[ctrlIndex].qudit;
+            const Dimension fanDim = radix.dimensionAt(fanQudit);
+
+            // A candidate matches seed in payload and in all other controls.
+            const auto isCandidate = [&](const Operation& other,
+                                         Level& levelOut) -> bool {
+                if (!samePayload(seed, other, tol) ||
+                    other.controls.size() != seed.controls.size()) {
+                    return false;
+                }
+                std::optional<Level> level;
+                for (std::size_t c = 0; c < seed.controls.size(); ++c) {
+                    if (c == ctrlIndex) {
+                        if (other.controls[c].qudit != fanQudit) {
+                            return false;
+                        }
+                        level = other.controls[c].level;
+                    } else if (other.controls[c] != seed.controls[c]) {
+                        return false;
+                    }
+                }
+                levelOut = level.value();
+                return true;
+            };
+
+            std::set<Level> covered{seed.controls[ctrlIndex].level};
+            std::vector<std::size_t> partners;
+            for (std::size_t j = i + 1; j < ops.size(); ++j) {
+                Level level = 0;
+                if (isCandidate(ops[j], level)) {
+                    if (covered.insert(level).second) {
+                        partners.push_back(j);
+                        if (covered.size() == fanDim) {
+                            break;
+                        }
+                    }
+                    continue; // duplicate level: leave it for a later round
+                }
+                if (!disjointSites(seed, ops[j])) {
+                    break;
+                }
+            }
+            if (covered.size() != fanDim) {
+                continue;
+            }
+            // Collapse: remove the fan control from the seed, delete partners.
+            ops[i].controls.erase(ops[i].controls.begin() +
+                                  static_cast<std::ptrdiff_t>(ctrlIndex));
+            for (std::size_t k = partners.size(); k-- > 0;) {
+                ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(partners[k]));
+            }
+            merges += partners.size();
+            break; // seed changed; restart its control scan on a later round
+        }
+    }
+    return merges;
+}
+
+} // namespace
+
+OptimizerReport optimizeCircuit(Circuit& circuit, const OptimizerOptions& options) {
+    OptimizerReport report;
+    report.opsBefore = circuit.numOperations();
+
+    std::vector<Operation> ops(circuit.operations().begin(), circuit.operations().end());
+    // Control order is not semantic; canonicalize so comparisons work.
+    for (auto& op : ops) {
+        std::sort(op.controls.begin(), op.controls.end());
+    }
+
+    const MixedRadix& radix = circuit.radix();
+    for (report.rounds = 0; report.rounds < options.maxRounds; ++report.rounds) {
+        std::size_t changes = 0;
+        if (options.mergeRotations) {
+            const std::size_t merged = mergeRotationsPass(ops, options.tolerance);
+            report.mergedRotations += merged;
+            changes += merged;
+        }
+        if (options.mergeFullControlFans) {
+            const std::size_t merged = mergeControlFansPass(ops, radix, options.tolerance);
+            report.mergedControlFans += merged;
+            changes += merged;
+        }
+        if (options.dropIdentities) {
+            const std::size_t dropped = dropIdentitiesPass(ops, options.tolerance);
+            report.droppedIdentities += dropped;
+            changes += dropped;
+        }
+        if (changes == 0) {
+            break;
+        }
+    }
+
+    Circuit optimized(circuit.dimensions(), circuit.name());
+    for (auto& op : ops) {
+        optimized.append(std::move(op));
+    }
+    circuit = std::move(optimized);
+    report.opsAfter = circuit.numOperations();
+    return report;
+}
+
+} // namespace mqsp

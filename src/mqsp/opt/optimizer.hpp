@@ -1,0 +1,52 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+
+#include <cstddef>
+
+namespace mqsp {
+
+/// Which peephole passes runOptimizer applies.
+struct OptimizerOptions {
+    /// Merge neighbouring rotations with the same kind, target, levels,
+    /// phi and controls (same-axis rotations compose by adding angles).
+    /// Two ops also merge when separated only by ops that act on disjoint
+    /// sites (they commute past each other).
+    bool mergeRotations = true;
+
+    /// Remove ops whose local action is the identity within `tolerance`
+    /// (theta == 0 rotations, zero phases, zero shifts; also the residue of
+    /// merges that cancel exactly).
+    bool dropIdentities = true;
+
+    /// Reverse multiplexing: when ops that differ only in the *level* of
+    /// one shared control together cover every level of that control qudit
+    /// (same kind/target/levels/angles), replace them with one uncontrolled
+    /// copy. This is the circuit-level counterpart of the decision-diagram
+    /// tensor rule (§4.3) and removes entangling work.
+    bool mergeFullControlFans = true;
+
+    /// Numerical tolerance for angle comparisons and identity detection.
+    double tolerance = 1e-12;
+
+    /// Re-run the pass pipeline until no pass changes the circuit (bounded
+    /// by maxRounds).
+    std::size_t maxRounds = 8;
+};
+
+/// Statistics of one optimizer run.
+struct OptimizerReport {
+    std::size_t opsBefore = 0;
+    std::size_t opsAfter = 0;
+    std::size_t mergedRotations = 0;
+    std::size_t droppedIdentities = 0;
+    std::size_t mergedControlFans = 0;
+    std::size_t rounds = 0;
+};
+
+/// Optimize a circuit with semantics-preserving peephole passes. The
+/// returned circuit implements exactly the same unitary (verified by the
+/// randomized equivalence tests in tests/opt).
+OptimizerReport optimizeCircuit(Circuit& circuit, const OptimizerOptions& options = {});
+
+} // namespace mqsp

@@ -1,0 +1,162 @@
+#include "mqsp/sim/density_simulator.hpp"
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <vector>
+
+namespace mqsp {
+
+DensityMatrix DensityMatrix::fromPure(const StateVector& state) {
+    DensityMatrix rho;
+    rho.radix_ = state.radix();
+    const auto dim = static_cast<std::size_t>(state.size());
+    requireThat(dim <= 1024, "DensityMatrix: register too large for dense simulation");
+    rho.rho_ = DenseMatrix(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        if (state[i] == Complex{0.0, 0.0}) {
+            continue;
+        }
+        for (std::size_t j = 0; j < dim; ++j) {
+            rho.rho_(i, j) = state[i] * std::conj(state[j]);
+        }
+    }
+    return rho;
+}
+
+DensityMatrix::DensityMatrix(Dimensions dimensions)
+    : radix_(std::move(dimensions)),
+      rho_([this] {
+          requireThat(radix_.totalDimension() <= 1024,
+                      "DensityMatrix: register too large for dense simulation");
+          DenseMatrix m(static_cast<std::size_t>(radix_.totalDimension()));
+          m(0, 0) = Complex{1.0, 0.0};
+          return m;
+      }()) {}
+
+double DensityMatrix::trace() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rho_.size(); ++i) {
+        sum += rho_(i, i).real();
+    }
+    return sum;
+}
+
+double DensityMatrix::purity() const {
+    // Tr(rho^2) = sum |rho_ij|^2 for Hermitian rho.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rho_.size(); ++i) {
+        for (std::size_t j = 0; j < rho_.size(); ++j) {
+            sum += squaredMagnitude(rho_(i, j));
+        }
+    }
+    return sum;
+}
+
+double DensityMatrix::fidelityWithPure(const StateVector& target) const {
+    requireThat(target.radix() == radix_,
+                "DensityMatrix::fidelityWithPure: register mismatch");
+    Complex sum{0.0, 0.0};
+    const auto dim = static_cast<std::size_t>(size());
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = 0; j < dim; ++j) {
+            sum += std::conj(target[i]) * rho_(i, j) * target[j];
+        }
+    }
+    return sum.real();
+}
+
+void NoisySimulator::applyUnitary(DensityMatrix& rho, const Operation& op) {
+    const auto dim = static_cast<std::size_t>(rho.size());
+    DenseMatrix& m = rho.matrix();
+    const Dimensions& dims = rho.radix().dimensions();
+
+    // rho -> U rho: apply the op to every column.
+    for (std::size_t col = 0; col < dim; ++col) {
+        std::vector<Complex> column(dim);
+        for (std::size_t row = 0; row < dim; ++row) {
+            column[row] = m(row, col);
+        }
+        StateVector vec(dims, std::move(column));
+        Simulator::apply(vec, op);
+        for (std::size_t row = 0; row < dim; ++row) {
+            m(row, col) = vec[row];
+        }
+    }
+    // (U rho) -> (U rho) U^dagger: conjugate rows, apply, conjugate back
+    // (x -> conj(U conj(x)) implements x -> U* x = (x^T U^dagger)^T).
+    for (std::size_t row = 0; row < dim; ++row) {
+        std::vector<Complex> rowVec(dim);
+        for (std::size_t col = 0; col < dim; ++col) {
+            rowVec[col] = std::conj(m(row, col));
+        }
+        StateVector vec(dims, std::move(rowVec));
+        Simulator::apply(vec, op);
+        for (std::size_t col = 0; col < dim; ++col) {
+            m(row, col) = std::conj(vec[col]);
+        }
+    }
+}
+
+void NoisySimulator::applyDepolarizing(DensityMatrix& rho, std::size_t site,
+                                       double strength) {
+    requireThat(strength >= 0.0 && strength <= 1.0,
+                "applyDepolarizing: strength must lie in [0, 1]");
+    if (strength == 0.0) {
+        return;
+    }
+    const MixedRadix& radix = rho.radix();
+    requireThat(site < radix.numQudits(), "applyDepolarizing: site out of range");
+    const Dimension d = radix.dimensionAt(site);
+    const auto stride = radix.strideAt(site);
+    const auto total = radix.totalDimension();
+    DenseMatrix& m = rho.matrix();
+
+    // Phi(rho)[i, j] = delta_{digit(i), digit(j)} * (1/d) sum_k rho[i_k, j_k]
+    // where i_k replaces the site digit with k. Entries whose site digits
+    // differ are killed; matching-digit entries are replaced by the average
+    // over the diagonal shift.
+    const std::uint64_t blockSize = stride * d;
+    for (std::uint64_t bi = 0; bi < total; bi += blockSize) {
+        for (std::uint64_t ii = 0; ii < stride; ++ii) {
+            for (std::uint64_t bj = 0; bj < total; bj += blockSize) {
+                for (std::uint64_t jj = 0; jj < stride; ++jj) {
+                    const std::uint64_t i0 = bi + ii;
+                    const std::uint64_t j0 = bj + jj;
+                    Complex average{0.0, 0.0};
+                    for (Dimension k = 0; k < d; ++k) {
+                        average += m(static_cast<std::size_t>(i0 + k * stride),
+                                     static_cast<std::size_t>(j0 + k * stride));
+                    }
+                    average /= static_cast<double>(d);
+                    for (Dimension ki = 0; ki < d; ++ki) {
+                        for (Dimension kj = 0; kj < d; ++kj) {
+                            const auto i = static_cast<std::size_t>(i0 + ki * stride);
+                            const auto j = static_cast<std::size_t>(j0 + kj * stride);
+                            const Complex phi =
+                                (ki == kj) ? average : Complex{0.0, 0.0};
+                            m(i, j) = (1.0 - strength) * m(i, j) + strength * phi;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+DensityMatrix NoisySimulator::run(const Circuit& circuit, const NoiseModel& noise) {
+    DensityMatrix rho(circuit.dimensions());
+    for (const auto& op : circuit.operations()) {
+        applyUnitary(rho, op);
+        // One noise event per op on its target, at the op-class rate — the
+        // same accounting estimateCircuitFidelity uses for k <= 1 controls
+        // (for k >= 2 the estimator charges the decomposition cost instead
+        // and is the more pessimistic of the two).
+        const double strength =
+            op.controls.empty() ? noise.singleQuditError : noise.twoQuditError;
+        applyDepolarizing(rho, op.target, strength);
+    }
+    return rho;
+}
+
+} // namespace mqsp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+#include "mqsp/circuit/matrix.hpp"
+#include "mqsp/hardware/architecture.hpp"
+#include "mqsp/statevec/state_vector.hpp"
+
+#include <cstdint>
+
+namespace mqsp {
+
+/// A mixed state of a mixed-dimensional register, stored densely. Memory is
+/// quadratic in the Hilbert dimension, so this is for the small registers
+/// where noisy verification is feasible (total dimension <= a few hundred).
+class DensityMatrix {
+public:
+    DensityMatrix() = default;
+
+    /// rho = |0...0><0...0| on the register.
+    explicit DensityMatrix(Dimensions dimensions);
+
+    /// rho = |psi><psi|.
+    [[nodiscard]] static DensityMatrix fromPure(const StateVector& state);
+
+    [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
+    [[nodiscard]] const DenseMatrix& matrix() const noexcept { return rho_; }
+    [[nodiscard]] DenseMatrix& matrix() noexcept { return rho_; }
+    [[nodiscard]] std::uint64_t size() const noexcept { return radix_.totalDimension(); }
+
+    /// Tr(rho) — 1 for a valid state (trace is preserved by all channels
+    /// implemented here).
+    [[nodiscard]] double trace() const;
+
+    /// Tr(rho^2) — 1 iff pure.
+    [[nodiscard]] double purity() const;
+
+    /// <psi| rho |psi> — the fidelity against a pure target, the quantity
+    /// the NoiseModel-based estimator (hardware/router.hpp) predicts.
+    [[nodiscard]] double fidelityWithPure(const StateVector& target) const;
+
+private:
+    MixedRadix radix_;
+    DenseMatrix rho_;
+};
+
+/// Density-matrix simulator with a depolarizing noise channel after every
+/// gate. This is the empirical check behind estimateCircuitFidelity: for
+/// small error rates the simulated fidelity approaches the product of the
+/// per-op (1 - eps) factors.
+class NoisySimulator {
+public:
+    /// rho -> U rho U^dagger for one (possibly multi-controlled) operation.
+    static void applyUnitary(DensityMatrix& rho, const Operation& op);
+
+    /// Local depolarizing channel on one site:
+    /// rho -> (1 - strength) rho + strength * (I_d / d) (x) Tr_site(rho).
+    static void applyDepolarizing(DensityMatrix& rho, std::size_t site, double strength);
+
+    /// Run the circuit from |0...0>: each op is applied unitarily, followed
+    /// by one depolarizing noise event on its target (the single-qudit rate
+    /// for local ops, the two-qudit rate for controlled ops) — the same
+    /// per-op accounting as estimateCircuitFidelity.
+    [[nodiscard]] static DensityMatrix run(const Circuit& circuit, const NoiseModel& noise);
+};
+
+} // namespace mqsp

@@ -1,0 +1,135 @@
+#include "mqsp/sim/simulator.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <vector>
+
+namespace mqsp {
+
+namespace {
+
+/// True when `index` satisfies all control conditions.
+bool controlsSatisfied(const MixedRadix& radix, std::uint64_t index,
+                       const std::vector<Control>& controls) {
+    for (const auto& ctrl : controls) {
+        if (radix.digitAt(index, ctrl.qudit) != ctrl.level) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Apply a two-level update (rows/cols a,b of a 2x2 block) across the
+/// register. `m00..m11` is the block in the (a, b) basis.
+void applyTwoLevel(StateVector& state, std::size_t target, Level a, Level b, Complex m00,
+                   Complex m01, Complex m10, Complex m11,
+                   const std::vector<Control>& controls) {
+    const auto& radix = state.radix();
+    const auto total = radix.totalDimension();
+    const auto stride = radix.strideAt(target);
+    const auto dim = radix.dimensionAt(target);
+    auto& amps = state.amplitudes();
+    // Walk indices whose target digit is `a`; the partner index differs only
+    // in the target digit (a -> b).
+    const std::uint64_t offsetA = static_cast<std::uint64_t>(a) * stride;
+    const std::uint64_t offsetB = static_cast<std::uint64_t>(b) * stride;
+    const std::uint64_t blockSize = stride * dim;
+    for (std::uint64_t block = 0; block < total; block += blockSize) {
+        for (std::uint64_t inner = 0; inner < stride; ++inner) {
+            const std::uint64_t idxA = block + inner + offsetA;
+            if (!controls.empty() && !controlsSatisfied(radix, idxA, controls)) {
+                continue;
+            }
+            const std::uint64_t idxB = block + inner + offsetB;
+            const Complex va = amps[idxA];
+            const Complex vb = amps[idxB];
+            amps[idxA] = m00 * va + m01 * vb;
+            amps[idxB] = m10 * va + m11 * vb;
+        }
+    }
+}
+
+/// Apply a full dxd single-qudit matrix (Hadamard, Shift) across the register.
+void applyDense(StateVector& state, std::size_t target, const DenseMatrix& matrix,
+                const std::vector<Control>& controls) {
+    const auto& radix = state.radix();
+    const auto total = radix.totalDimension();
+    const auto stride = radix.strideAt(target);
+    const auto dim = radix.dimensionAt(target);
+    auto& amps = state.amplitudes();
+    std::vector<Complex> scratch(dim);
+    const std::uint64_t blockSize = stride * dim;
+    for (std::uint64_t block = 0; block < total; block += blockSize) {
+        for (std::uint64_t inner = 0; inner < stride; ++inner) {
+            const std::uint64_t base = block + inner;
+            if (!controls.empty() && !controlsSatisfied(radix, base, controls)) {
+                continue;
+            }
+            for (Dimension k = 0; k < dim; ++k) {
+                scratch[k] = amps[base + static_cast<std::uint64_t>(k) * stride];
+            }
+            for (Dimension r = 0; r < dim; ++r) {
+                Complex acc{0.0, 0.0};
+                for (Dimension c = 0; c < dim; ++c) {
+                    acc += matrix(r, c) * scratch[c];
+                }
+                amps[base + static_cast<std::uint64_t>(r) * stride] = acc;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void Simulator::apply(StateVector& state, const Operation& op) {
+    const auto& radix = state.radix();
+    requireThat(op.target < radix.numQudits(), "Simulator: operation target out of range");
+    const Dimension dim = radix.dimensionAt(op.target);
+    switch (op.kind) {
+    case GateKind::GivensRotation: {
+        requireThat(op.levelA < dim && op.levelB < dim, "Simulator: rotation level out of range");
+        const DenseMatrix m = givensMatrix(2, 0, 1, op.theta, op.phi);
+        applyTwoLevel(state, op.target, op.levelA, op.levelB, m(0, 0), m(0, 1), m(1, 0), m(1, 1),
+                      op.controls);
+        return;
+    }
+    case GateKind::PhaseRotation: {
+        requireThat(op.levelA < dim && op.levelB < dim, "Simulator: phase level out of range");
+        const DenseMatrix m = phaseMatrix(2, 0, 1, op.theta);
+        applyTwoLevel(state, op.target, op.levelA, op.levelB, m(0, 0), m(0, 1), m(1, 0), m(1, 1),
+                      op.controls);
+        return;
+    }
+    case GateKind::LevelSwap: {
+        requireThat(op.levelA < dim && op.levelB < dim, "Simulator: swap level out of range");
+        applyTwoLevel(state, op.target, op.levelA, op.levelB, Complex{0.0, 0.0},
+                      Complex{1.0, 0.0}, Complex{1.0, 0.0}, Complex{0.0, 0.0}, op.controls);
+        return;
+    }
+    case GateKind::Hadamard:
+    case GateKind::Shift:
+        applyDense(state, op.target, op.localMatrix(dim), op.controls);
+        return;
+    }
+    detail::throwInternal("Simulator::apply: unknown gate kind");
+}
+
+StateVector Simulator::run(const Circuit& circuit, const StateVector& initial) {
+    requireThat(circuit.radix() == initial.radix(),
+                "Simulator::run: circuit and state registers differ");
+    StateVector state = initial;
+    for (const auto& op : circuit.operations()) {
+        apply(state, op);
+    }
+    return state;
+}
+
+StateVector Simulator::runFromZero(const Circuit& circuit) {
+    return run(circuit, StateVector(circuit.dimensions()));
+}
+
+double Simulator::preparationFidelity(const Circuit& circuit, const StateVector& target) {
+    return target.fidelityWith(runFromZero(circuit));
+}
+
+} // namespace mqsp

@@ -1,0 +1,57 @@
+#include "mqsp/statevec/regroup.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <numeric>
+
+namespace mqsp {
+
+Dimensions groupDimensions(const Dimensions& dims,
+                           const std::vector<std::size_t>& grouping) {
+    requireThat(!grouping.empty(), "groupDimensions: grouping must not be empty");
+    const std::size_t total =
+        std::accumulate(grouping.begin(), grouping.end(), std::size_t{0});
+    requireThat(total == dims.size(),
+                "groupDimensions: grouping must cover every site exactly once");
+    Dimensions grouped;
+    grouped.reserve(grouping.size());
+    std::size_t site = 0;
+    for (const std::size_t count : grouping) {
+        requireThat(count >= 1, "groupDimensions: empty group");
+        std::uint64_t dim = 1;
+        for (std::size_t k = 0; k < count; ++k) {
+            dim *= dims[site++];
+            requireThat(dim <= std::numeric_limits<Dimension>::max(),
+                        "groupDimensions: grouped dimension overflows");
+        }
+        grouped.push_back(static_cast<Dimension>(dim));
+    }
+    return grouped;
+}
+
+StateVector groupSites(const StateVector& state, const std::vector<std::size_t>& grouping) {
+    // Packing adjacent mixed-radix digits preserves the flat index: the
+    // amplitude vector carries over verbatim.
+    return StateVector(groupDimensions(state.dimensions(), grouping),
+                       state.amplitudes());
+}
+
+StateVector splitSites(const StateVector& state, const std::vector<Dimensions>& factors) {
+    requireThat(factors.size() == state.numQudits(),
+                "splitSites: need one factor list per site");
+    Dimensions split;
+    for (std::size_t site = 0; site < factors.size(); ++site) {
+        requireThat(!factors[site].empty(), "splitSites: empty factor list");
+        std::uint64_t product = 1;
+        for (const Dimension factor : factors[site]) {
+            requireThat(factor >= 2, "splitSites: factors must be >= 2");
+            product *= factor;
+            split.push_back(factor);
+        }
+        requireThat(product == state.dimensions()[site],
+                    "splitSites: factors do not multiply to the site dimension");
+    }
+    return StateVector(std::move(split), state.amplitudes());
+}
+
+} // namespace mqsp

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "mqsp/statevec/state_vector.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mqsp {
+
+/// Register regrouping — the embedding behind "compression of qubit
+/// circuits to mixed-dimensional systems" (the paper's reference [15]):
+/// packing k adjacent sites of dimensions d_1..d_k into one qudit of
+/// dimension d_1*...*d_k is a pure relabeling in the shared mixed-radix
+/// order, so the amplitude vector is untouched and only the register
+/// geometry changes.
+
+/// Dimensions after grouping: `grouping` lists how many adjacent sites go
+/// into each new qudit (must sum to the input's qudit count).
+[[nodiscard]] Dimensions groupDimensions(const Dimensions& dims,
+                                         const std::vector<std::size_t>& grouping);
+
+/// Pack adjacent sites into larger qudits. grouping {2, 1, 3} over a
+/// six-qubit register yields dims {4, 2, 8}; grouping {n} collapses the
+/// whole register into a single qudit.
+[[nodiscard]] StateVector groupSites(const StateVector& state,
+                                     const std::vector<std::size_t>& grouping);
+
+/// Inverse of groupSites for power-decomposable targets: split every site
+/// into the listed factor dimensions (the factors of site i are
+/// `factors[i]`, whose product must equal the site's dimension).
+[[nodiscard]] StateVector splitSites(const StateVector& state,
+                                     const std::vector<Dimensions>& factors);
+
+} // namespace mqsp

@@ -1,0 +1,120 @@
+#include "mqsp/statevec/state_vector.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace mqsp {
+
+StateVector::StateVector(Dimensions dimensions)
+    : radix_(std::move(dimensions)), amps_(radix_.totalDimension(), Complex{0.0, 0.0}) {
+    amps_[0] = Complex{1.0, 0.0};
+}
+
+StateVector::StateVector(Dimensions dimensions, std::vector<Complex> amplitudes)
+    : radix_(std::move(dimensions)), amps_(std::move(amplitudes)) {
+    requireThat(amps_.size() == radix_.totalDimension(),
+                "StateVector: amplitude count does not match the register's total dimension");
+}
+
+const Complex& StateVector::operator[](std::uint64_t index) const {
+    requireThat(index < amps_.size(), "StateVector: index out of range");
+    return amps_[index];
+}
+
+Complex& StateVector::operator[](std::uint64_t index) {
+    requireThat(index < amps_.size(), "StateVector: index out of range");
+    return amps_[index];
+}
+
+const Complex& StateVector::at(const Digits& digits) const {
+    return amps_[radix_.indexOf(digits)];
+}
+
+Complex& StateVector::at(const Digits& digits) { return amps_[radix_.indexOf(digits)]; }
+
+double StateVector::norm() const { return std::sqrt(normSquared()); }
+
+double StateVector::normSquared() const {
+    double sum = 0.0;
+    for (const auto& amp : amps_) {
+        sum += squaredMagnitude(amp);
+    }
+    return sum;
+}
+
+bool StateVector::isNormalized(double tol) const { return std::abs(norm() - 1.0) <= tol; }
+
+void StateVector::normalize() {
+    const double n = norm();
+    requireThat(n > 0.0, "StateVector::normalize: cannot normalize the zero vector");
+    for (auto& amp : amps_) {
+        amp /= n;
+    }
+}
+
+Complex StateVector::innerProduct(const StateVector& other) const {
+    requireThat(radix_ == other.radix_,
+                "StateVector::innerProduct: registers have different dimensions");
+    Complex sum{0.0, 0.0};
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        sum += std::conj(amps_[i]) * other.amps_[i];
+    }
+    return sum;
+}
+
+double StateVector::fidelityWith(const StateVector& other) const {
+    return squaredMagnitude(innerProduct(other));
+}
+
+std::uint64_t StateVector::countNonZero(double tol) const {
+    std::uint64_t count = 0;
+    for (const auto& amp : amps_) {
+        if (!approxZero(amp, tol)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+StateVector StateVector::kron(const StateVector& other) const {
+    Dimensions dims = radix_.dimensions();
+    dims.insert(dims.end(), other.dimensions().begin(), other.dimensions().end());
+    std::vector<Complex> result;
+    result.reserve(amps_.size() * other.amps_.size());
+    for (const auto& hi : amps_) {
+        for (const auto& lo : other.amps_) {
+            result.push_back(hi * lo);
+        }
+    }
+    return StateVector{std::move(dims), std::move(result)};
+}
+
+StateVector StateVector::basis(Dimensions dimensions, const Digits& digits) {
+    StateVector state(std::move(dimensions));
+    state.amps_[0] = Complex{0.0, 0.0};
+    state.amps_[state.radix_.indexOf(digits)] = Complex{1.0, 0.0};
+    return state;
+}
+
+std::ostream& operator<<(std::ostream& out, const StateVector& state) {
+    bool first = true;
+    for (std::uint64_t i = 0; i < state.size(); ++i) {
+        const auto& amp = state.amps_[i];
+        if (approxZero(amp, 1e-12)) {
+            continue;
+        }
+        if (!first) {
+            out << " + ";
+        }
+        out << '(' << toString(amp) << ") " << MixedRadix::toKetString(state.radix_.digitsOf(i));
+        first = false;
+    }
+    if (first) {
+        out << "0";
+    }
+    return out;
+}
+
+} // namespace mqsp

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "mqsp/complexnum/complex.hpp"
+#include "mqsp/support/mixed_radix.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace mqsp {
+
+/// A quantum state of a register of mixed-dimensional qudits, stored as a
+/// dense amplitude vector in the mixed-radix layout of MixedRadix
+/// (most significant qudit first).
+///
+/// This is both the input format of the state-preparation pipeline and the
+/// output format of the verification simulator.
+class StateVector {
+public:
+    StateVector() = default;
+
+    /// The all-zeros product state |0...0> on the given register.
+    explicit StateVector(Dimensions dimensions);
+
+    /// Adopt a dense amplitude vector; its length must equal the register's
+    /// total dimension. Throws InvalidArgumentError otherwise.
+    StateVector(Dimensions dimensions, std::vector<Complex> amplitudes);
+
+    /// Register geometry.
+    [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
+    [[nodiscard]] const Dimensions& dimensions() const noexcept { return radix_.dimensions(); }
+    [[nodiscard]] std::size_t numQudits() const noexcept { return radix_.numQudits(); }
+    [[nodiscard]] std::uint64_t size() const noexcept { return radix_.totalDimension(); }
+
+    /// Amplitude access by flat index.
+    [[nodiscard]] const Complex& operator[](std::uint64_t index) const;
+    [[nodiscard]] Complex& operator[](std::uint64_t index);
+
+    /// Amplitude access by digit string (most significant first).
+    [[nodiscard]] const Complex& at(const Digits& digits) const;
+    [[nodiscard]] Complex& at(const Digits& digits);
+
+    /// Raw amplitudes.
+    [[nodiscard]] const std::vector<Complex>& amplitudes() const noexcept { return amps_; }
+    [[nodiscard]] std::vector<Complex>& amplitudes() noexcept { return amps_; }
+
+    /// L2 norm of the amplitude vector.
+    [[nodiscard]] double norm() const;
+
+    /// Sum of squared magnitudes (norm squared).
+    [[nodiscard]] double normSquared() const;
+
+    /// True when |norm - 1| <= tol.
+    [[nodiscard]] bool isNormalized(double tol = 1e-9) const;
+
+    /// Scale amplitudes so the norm becomes 1. Throws InvalidArgumentError on
+    /// the zero vector.
+    void normalize();
+
+    /// <this|other>; registers must match.
+    [[nodiscard]] Complex innerProduct(const StateVector& other) const;
+
+    /// |<this|other>|^2 — the state fidelity reported in Table 1.
+    [[nodiscard]] double fidelityWith(const StateVector& other) const;
+
+    /// Number of amplitudes with |a| > tol.
+    [[nodiscard]] std::uint64_t countNonZero(double tol = Tolerance::kDefault) const;
+
+    /// Kronecker product: this (more significant) ⊗ other (less significant).
+    [[nodiscard]] StateVector kron(const StateVector& other) const;
+
+    /// A basis state |digits> on the given register.
+    [[nodiscard]] static StateVector basis(Dimensions dimensions, const Digits& digits);
+
+    /// Pretty-print nonzero amplitudes, e.g. "0.707 |0 0> + 0.707 |1 1>".
+    friend std::ostream& operator<<(std::ostream& out, const StateVector& state);
+
+private:
+    MixedRadix radix_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace mqsp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mqsp {
+
+/// Base class for all errors raised by the mqsp library.
+class Error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Raised when an argument violates a documented precondition
+/// (e.g. a qudit dimension < 2, a state vector of mismatched length).
+class InvalidArgumentError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Raised when an internal invariant is violated. Seeing this exception
+/// indicates a bug in the library, not in the caller.
+class InternalError : public Error {
+public:
+    using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwInvalidArgument(const std::string& message) {
+    throw InvalidArgumentError(message);
+}
+[[noreturn]] inline void throwInternal(const std::string& message) {
+    throw InternalError(message);
+}
+} // namespace detail
+
+/// Check a caller-facing precondition; throws InvalidArgumentError on failure.
+inline void requireThat(bool condition, const std::string& message) {
+    if (!condition) {
+        detail::throwInvalidArgument(message);
+    }
+}
+
+/// Check an internal invariant; throws InternalError on failure.
+inline void ensureThat(bool condition, const std::string& message) {
+    if (!condition) {
+        detail::throwInternal(message);
+    }
+}
+
+} // namespace mqsp

@@ -1,0 +1,154 @@
+#include "mqsp/support/mixed_radix.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+namespace mqsp {
+
+MixedRadix::MixedRadix(Dimensions dimensions) : dimensions_(std::move(dimensions)) {
+    requireThat(!dimensions_.empty(), "MixedRadix: dimension list must not be empty");
+    strides_.assign(dimensions_.size(), 1);
+    // Strides are computed least-significant-first; stride of the last qudit is 1.
+    for (std::size_t i = dimensions_.size(); i-- > 0;) {
+        const auto dim = dimensions_[i];
+        requireThat(dim >= 2, "MixedRadix: every qudit dimension must be >= 2");
+        if (i + 1 < dimensions_.size()) {
+            strides_[i] = strides_[i + 1] * dimensions_[i + 1];
+        }
+        const auto maxTotal = std::numeric_limits<std::uint64_t>::max();
+        requireThat(total_ <= maxTotal / dim, "MixedRadix: total dimension overflows 64 bits");
+        total_ *= dim;
+    }
+}
+
+Dimension MixedRadix::dimensionAt(std::size_t site) const {
+    requireThat(site < dimensions_.size(), "MixedRadix::dimensionAt: site out of range");
+    return dimensions_[site];
+}
+
+std::uint64_t MixedRadix::strideAt(std::size_t site) const {
+    requireThat(site < strides_.size(), "MixedRadix::strideAt: site out of range");
+    return strides_[site];
+}
+
+std::uint64_t MixedRadix::indexOf(const Digits& digits) const {
+    requireThat(digits.size() == dimensions_.size(),
+                "MixedRadix::indexOf: digit count does not match qudit count");
+    std::uint64_t index = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        requireThat(digits[i] < dimensions_[i], "MixedRadix::indexOf: digit exceeds dimension");
+        index += static_cast<std::uint64_t>(digits[i]) * strides_[i];
+    }
+    return index;
+}
+
+Digits MixedRadix::digitsOf(std::uint64_t index) const {
+    requireThat(index < total_, "MixedRadix::digitsOf: index out of range");
+    Digits digits(dimensions_.size(), 0);
+    for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+        digits[i] = static_cast<Level>(index / strides_[i]);
+        index %= strides_[i];
+    }
+    return digits;
+}
+
+Level MixedRadix::digitAt(std::uint64_t index, std::size_t site) const {
+    requireThat(index < total_, "MixedRadix::digitAt: index out of range");
+    requireThat(site < dimensions_.size(), "MixedRadix::digitAt: site out of range");
+    return static_cast<Level>((index / strides_[site]) % dimensions_[site]);
+}
+
+bool MixedRadix::increment(Digits& digits) const {
+    requireThat(digits.size() == dimensions_.size(),
+                "MixedRadix::increment: digit count does not match qudit count");
+    for (std::size_t i = digits.size(); i-- > 0;) {
+        if (++digits[i] < dimensions_[i]) {
+            return true;
+        }
+        digits[i] = 0;
+    }
+    return false;
+}
+
+std::string MixedRadix::toKetString(const Digits& digits) {
+    std::ostringstream out;
+    out << '|';
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i > 0) {
+            out << ' ';
+        }
+        out << digits[i];
+    }
+    out << '>';
+    return out.str();
+}
+
+bool MixedRadix::isUniform() const noexcept {
+    for (const auto dim : dimensions_) {
+        if (dim != dimensions_.front()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Dimensions parseDimensionSpec(const std::string& spec) {
+    Dimensions dims;
+    std::string cleaned;
+    cleaned.reserve(spec.size());
+    for (const char ch : spec) {
+        if (ch == '[' || ch == ']' || std::isspace(static_cast<unsigned char>(ch)) != 0) {
+            continue;
+        }
+        cleaned.push_back(ch);
+    }
+    requireThat(!cleaned.empty(), "parseDimensionSpec: empty specification");
+
+    std::stringstream stream(cleaned);
+    std::string entry;
+    while (std::getline(stream, entry, ',')) {
+        requireThat(!entry.empty(), "parseDimensionSpec: empty entry in specification");
+        const auto cross = entry.find_first_of("xX*");
+        std::size_t count = 1;
+        std::string dimText = entry;
+        if (cross != std::string::npos) {
+            const std::string countText = entry.substr(0, cross);
+            dimText = entry.substr(cross + 1);
+            requireThat(!countText.empty() && !dimText.empty(),
+                        "parseDimensionSpec: malformed CountxDimension entry '" + entry + "'");
+            count = static_cast<std::size_t>(std::stoull(countText));
+            requireThat(count >= 1, "parseDimensionSpec: count must be >= 1");
+        }
+        const auto dim = static_cast<Dimension>(std::stoul(dimText));
+        requireThat(dim >= 2, "parseDimensionSpec: dimension must be >= 2");
+        dims.insert(dims.end(), count, dim);
+    }
+    requireThat(!dims.empty(), "parseDimensionSpec: no dimensions parsed");
+    return dims;
+}
+
+std::string formatDimensionSpec(const Dimensions& dimensions) {
+    std::ostringstream out;
+    out << '[';
+    std::size_t i = 0;
+    bool first = true;
+    while (i < dimensions.size()) {
+        std::size_t j = i;
+        while (j < dimensions.size() && dimensions[j] == dimensions[i]) {
+            ++j;
+        }
+        if (!first) {
+            out << ',';
+        }
+        out << (j - i) << 'x' << dimensions[i];
+        first = false;
+        i = j;
+    }
+    out << ']';
+    return out.str();
+}
+
+} // namespace mqsp

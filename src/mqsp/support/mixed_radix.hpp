@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqsp {
+
+/// Dimension of a single qudit (d >= 2). A qubit is dimension 2, a qutrit 3, ...
+using Dimension = std::uint32_t;
+
+/// A digit (level) of a single qudit, in [0, dimension).
+using Level = std::uint32_t;
+
+/// Ordered list of qudit dimensions. Index 0 is the *most significant* qudit
+/// (the root level of a decision diagram); the last entry is the least
+/// significant qudit, matching the paper's convention q_{n-1} ... q_0 where
+/// q_{n-1} is "the most significant qudit".
+using Dimensions = std::vector<Dimension>;
+
+/// A mixed-radix digit string, one Level per qudit, most significant first.
+using Digits = std::vector<Level>;
+
+/// Mixed-radix indexing for a register of qudits with (possibly) different
+/// dimensionalities.
+///
+/// The flat index of digit string (k_{n-1}, ..., k_0) is
+///   sum_i k_i * stride_i,   with stride_i = product of dimensions of all
+/// less-significant qudits. This is the layout used throughout the library:
+/// state vectors, decision-diagram construction, and the simulator all agree
+/// on it.
+class MixedRadix {
+public:
+    MixedRadix() = default;
+
+    /// Build an indexer for the given dimensions (most significant first).
+    /// Throws InvalidArgumentError if any dimension is < 2 or the total
+    /// dimension overflows 64 bits.
+    explicit MixedRadix(Dimensions dimensions);
+
+    /// Number of qudits in the register.
+    [[nodiscard]] std::size_t numQudits() const noexcept { return dimensions_.size(); }
+
+    /// Dimensions, most significant first.
+    [[nodiscard]] const Dimensions& dimensions() const noexcept { return dimensions_; }
+
+    /// Dimension of qudit at position `site` (0 = most significant).
+    [[nodiscard]] Dimension dimensionAt(std::size_t site) const;
+
+    /// Product of all dimensions == length of a full state vector.
+    [[nodiscard]] std::uint64_t totalDimension() const noexcept { return total_; }
+
+    /// Stride of qudit `site`: the flat-index step corresponding to
+    /// incrementing that qudit's digit by one.
+    [[nodiscard]] std::uint64_t strideAt(std::size_t site) const;
+
+    /// Convert a digit string (most significant first) into a flat index.
+    /// Throws InvalidArgumentError on size/level mismatch.
+    [[nodiscard]] std::uint64_t indexOf(const Digits& digits) const;
+
+    /// Convert a flat index into a digit string (most significant first).
+    /// Throws InvalidArgumentError if index >= totalDimension().
+    [[nodiscard]] Digits digitsOf(std::uint64_t index) const;
+
+    /// Digit of qudit `site` within flat index `index`.
+    [[nodiscard]] Level digitAt(std::uint64_t index, std::size_t site) const;
+
+    /// Advance a digit string in-place to the next flat index. Returns false
+    /// (and leaves all digits at 0) when the iteration wraps past the end.
+    bool increment(Digits& digits) const;
+
+    /// Render digits like "|2 1 0>" for diagnostics.
+    [[nodiscard]] static std::string toKetString(const Digits& digits);
+
+    /// True when all qudits share one dimension (e.g. a pure-qubit register).
+    [[nodiscard]] bool isUniform() const noexcept;
+
+    friend bool operator==(const MixedRadix&, const MixedRadix&) = default;
+
+private:
+    Dimensions dimensions_;
+    std::vector<std::uint64_t> strides_;
+    std::uint64_t total_ = 1;
+};
+
+/// Parse a compact dimension-spec string such as "3,6,2" or "[1x3,1x6,1x2]"
+/// (the paper's Count x Dimension notation) into a Dimensions list,
+/// most significant first. Whitespace and brackets are ignored; each comma
+/// separated entry is either "d" or "cxd".
+[[nodiscard]] Dimensions parseDimensionSpec(const std::string& spec);
+
+/// Render dimensions in the paper's grouped notation, e.g. [3x4,1x7,1x3,1x5].
+[[nodiscard]] std::string formatDimensionSpec(const Dimensions& dimensions);
+
+} // namespace mqsp

@@ -1,0 +1,21 @@
+#include "mqsp/support/rng.hpp"
+
+#include "mqsp/support/error.hpp"
+
+namespace mqsp {
+
+std::uint64_t Rng::uniformIndex(std::uint64_t bound) {
+    requireThat(bound > 0, "Rng::uniformIndex: bound must be positive");
+    std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+    return dist(engine_);
+}
+
+std::uint64_t Rng::childSeed() {
+    // SplitMix64 finalizer over the next engine output decorrelates streams.
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31U);
+}
+
+} // namespace mqsp

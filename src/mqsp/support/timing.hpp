@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace mqsp {
+
+/// Simple wall-clock stopwatch used by the benchmark harness to report the
+/// "Time [s]" column of the paper's Table 1.
+class WallTimer {
+public:
+    WallTimer() : start_(Clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double elapsedSeconds() const {
+        const auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace mqsp

@@ -1,0 +1,7 @@
+#include "mqsp/support/version.hpp"
+
+namespace mqsp {
+
+const char* versionString() noexcept { return "1.0.0"; }
+
+} // namespace mqsp

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace mqsp {
+
+/// Library version string (semantic versioning).
+[[nodiscard]] const char* versionString() noexcept;
+
+} // namespace mqsp

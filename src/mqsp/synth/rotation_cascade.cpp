@@ -1,0 +1,71 @@
+#include "mqsp/synth/rotation_cascade.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mqsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+double argOrZero(const Complex& value) {
+    if (value == Complex{0.0, 0.0}) {
+        return 0.0;
+    }
+    return std::arg(value);
+}
+} // namespace
+
+std::vector<CascadeStep> cascadeFor(const std::vector<Complex>& weights) {
+    const std::size_t dim = weights.size();
+    requireThat(dim >= 2, "cascadeFor: a qudit has at least two levels");
+
+    // Tail norms r_k = ||(w_k, ..., w_{d-1})||, computed backward for
+    // numerical stability.
+    std::vector<double> tail(dim + 1, 0.0);
+    for (std::size_t k = dim; k-- > 0;) {
+        tail[k] = tail[k + 1] + squaredMagnitude(weights[k]);
+    }
+    for (auto& value : tail) {
+        value = std::sqrt(value);
+    }
+
+    std::vector<CascadeStep> steps;
+    steps.reserve(dim);
+
+    // Phase correction first: with only level 0 populated, Z_{0,1}(theta)
+    // multiplies the amplitude by e^{+i theta / 2}; choosing
+    // theta = 2 arg(w_0) realizes the phase of w_0 exactly.
+    const double delta = argOrZero(weights[0]);
+    steps.push_back({CascadeStep::Kind::Phase, 0, 1, 2.0 * delta, 0.0});
+
+    // The amplitude t_k traveling down the cascade: |t_k| = r_k by
+    // construction; its phase starts at delta and is steered by each phi.
+    double travelingArg = delta;
+    for (std::size_t k = 0; k + 1 < dim; ++k) {
+        const double theta = 2.0 * std::atan2(tail[k + 1], std::abs(weights[k]));
+        const double targetArg = argOrZero(weights[k + 1]);
+        const double phi = targetArg - travelingArg + kPi / 2.0;
+        steps.push_back({CascadeStep::Kind::Rotation, static_cast<Level>(k),
+                         static_cast<Level>(k + 1), theta, phi});
+        travelingArg = targetArg;
+    }
+    return steps;
+}
+
+std::vector<Complex> applyCascade(const std::vector<CascadeStep>& steps,
+                                  std::vector<Complex> local) {
+    const auto dim = static_cast<Dimension>(local.size());
+    for (const auto& step : steps) {
+        const DenseMatrix m =
+            (step.kind == CascadeStep::Kind::Phase)
+                ? phaseMatrix(dim, step.levelA, step.levelB, step.theta)
+                : givensMatrix(dim, step.levelA, step.levelB, step.theta, step.phi);
+        local = m.apply(local);
+    }
+    return local;
+}
+
+} // namespace mqsp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "mqsp/circuit/gate.hpp"
+#include "mqsp/complexnum/complex.hpp"
+
+#include <vector>
+
+namespace mqsp {
+
+/// One element of a single-qudit rotation cascade.
+struct CascadeStep {
+    enum class Kind { Phase, Rotation };
+    Kind kind = Kind::Rotation;
+    Level levelA = 0;
+    Level levelB = 1;
+    double theta = 0.0; ///< rotation angle; for Phase, the Z angle
+    double phi = 0.0;   ///< rotation phase (unused for Phase)
+};
+
+/// Compute the two-level rotation cascade that maps the basis state |0> of a
+/// d-level qudit to the normalized amplitude vector `weights` (§4.2).
+///
+/// The result is one two-level phase rotation Z_{0,1} (fixing the phase of
+/// level 0 against the parent weight — applied first, where only level 0 is
+/// populated, so it is exactly a relative-phase correction) followed by
+/// d-1 Givens rotations on adjacent level pairs R_{0,1}, R_{1,2}, ...,
+/// R_{d-2,d-1} with
+///     theta_k = 2 atan2(r_{k+1}, |w_k|),   r_k = ||(w_k, ..., w_{d-1})||,
+///     phi_k   = arg(w_{k+1}) - arg(t_k) + pi/2,
+/// where t_k is the amplitude still traveling down the cascade. The angle
+/// parameters match the paper's formulas up to the sign convention of the
+/// rotation generator; correctness is defined by
+///     apply(cascade, e_0) == weights   (verified by tests and the simulator).
+///
+/// All d steps (1 phase + d-1 rotations) are always returned, including
+/// identity steps — the paper's operation counting emits them all; callers
+/// that want shorter circuits filter with CascadeStep-level elision or
+/// Circuit::removeIdentityOperations.
+[[nodiscard]] std::vector<CascadeStep> cascadeFor(const std::vector<Complex>& weights);
+
+/// Apply a cascade to a local amplitude vector (for tests and verification).
+[[nodiscard]] std::vector<Complex> applyCascade(const std::vector<CascadeStep>& steps,
+                                                std::vector<Complex> local);
+
+} // namespace mqsp

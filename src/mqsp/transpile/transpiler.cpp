@@ -1,0 +1,172 @@
+#include "mqsp/transpile/transpiler.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mqsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Emit `op` with its rotation angle replaced by `angle` and its control
+/// list replaced by `controls` (same axis: kind, levels and phi preserved).
+Operation withAngleAndControls(const Operation& payload, double angle,
+                               std::vector<Control> controls) {
+    Operation op = payload;
+    op.theta = angle;
+    op.controls = std::move(controls);
+    return op;
+}
+
+/// Lowers one circuit; holds the output and the ancilla bookkeeping.
+class Lowering {
+public:
+    Lowering(const Circuit& input, Circuit& output) : input_(input), output_(output) {}
+
+    void run() {
+        for (const auto& op : input_.operations()) {
+            lower(op);
+        }
+    }
+
+private:
+    void lower(const Operation& op) {
+        if (op.numControls() <= 1) {
+            output_.append(op);
+            return;
+        }
+        requireThat(op.kind == GateKind::GivensRotation || op.kind == GateKind::PhaseRotation,
+                    "transpileToTwoQudit: only rotation-family ops may carry multiple "
+                    "controls");
+        if (op.numControls() == 2) {
+            emitDoublyControlled(op, op.controls[0], op.controls[1]);
+            return;
+        }
+        // k >= 3: AND-accumulate controls into ancilla qubits, then apply the
+        // payload singly controlled, then uncompute in reverse.
+        const auto& controls = op.controls;
+        std::size_t ancilla = ancillaSite(0);
+        const std::size_t emittedBegin = output_.numOperations();
+        emitAnd(controls[0], controls[1], ancilla);
+        for (std::size_t m = 2; m + 1 < controls.size(); ++m) {
+            const std::size_t next = ancillaSite(m - 1);
+            emitAnd(Control{ancilla, 1}, controls[m], next);
+            ancilla = next;
+        }
+        // The last control conditions the payload directly together with the
+        // final ancilla — that is again a doubly-controlled rotation.
+        const std::size_t computeEnd = output_.numOperations();
+        Operation payload = op;
+        payload.controls.clear();
+        emitDoublyControlled(payload, Control{ancilla, 1}, controls.back());
+        // Uncompute: exact inverses of the compute ops, reversed.
+        for (std::size_t i = computeEnd; i-- > emittedBegin;) {
+            output_.append(output_[i].inverse());
+        }
+    }
+
+    /// AND of two level-controls into ancilla qubit `target` (|0> -> flip to
+    /// |1>-up-to-phase iff both controls hold): a doubly-controlled two-level
+    /// rotation by pi on the ancilla.
+    void emitAnd(const Control& a, const Control& b, std::size_t target) {
+        const Operation flip = Operation::givens(target, 0, 1, kPi, 0.0);
+        emitDoublyControlled(flip, a, b);
+    }
+
+    /// The level-control-safe Barenco block (see transpiler.hpp): lowers
+    /// C_{a,b}(payload) where payload carries no controls of its own.
+    void emitDoublyControlled(const Operation& payload, const Control& a, const Control& b) {
+        const Dimension dimB = output_.radix().dimensionAt(b.qudit);
+        const double theta = payload.theta;
+        const double h = theta / static_cast<double>(dimB);
+        for (Level q = 0; q < dimB; ++q) {
+            if (q == b.level) {
+                continue;
+            }
+            // F1: C_{b=beta}(R(+h))
+            output_.append(withAngleAndControls(payload, h, {b}));
+            // T: C_{a}(swap_b(beta, q)) realized as a pi-Givens
+            output_.append(
+                Operation::givens(b.qudit, b.level, q, kPi, 0.0, {a}));
+            // F2: C_{b=beta}(R(-h))
+            output_.append(withAngleAndControls(payload, -h, {b}));
+            // T dagger
+            output_.append(
+                Operation::givens(b.qudit, b.level, q, -kPi, 0.0, {a}));
+            // F3: C_{a}(R(+h))
+            output_.append(withAngleAndControls(payload, h, {a}));
+        }
+        // Corrective rotation cancelling the stray h(d-2) on branches where
+        // a holds but b sits on a third level.
+        if (dimB > 2) {
+            output_.append(withAngleAndControls(
+                payload, -h * static_cast<double>(dimB - 2), {a}));
+        }
+    }
+
+    [[nodiscard]] std::size_t ancillaSite(std::size_t index) const {
+        return input_.numQudits() + index;
+    }
+
+    const Circuit& input_;
+    Circuit& output_;
+};
+
+std::size_t maxControlCount(const Circuit& input) {
+    std::size_t maxK = 0;
+    for (const auto& op : input.operations()) {
+        maxK = std::max(maxK, op.numControls());
+    }
+    return maxK;
+}
+
+/// Ops emitted by one doubly-controlled lowering with 'b' of dimension dimB.
+std::size_t blockCost(Dimension dimB) {
+    return 5U * (dimB - 1U) + (dimB > 2 ? 1U : 0U);
+}
+
+} // namespace
+
+TranspileResult transpileToTwoQudit(const Circuit& input) {
+    TranspileResult result;
+    const std::size_t maxK = maxControlCount(input);
+    result.numAncillas = maxK >= 3 ? maxK - 2 : 0;
+
+    Dimensions dims = input.dimensions();
+    dims.insert(dims.end(), result.numAncillas, Dimension{2});
+    result.circuit = Circuit(std::move(dims), input.name() + "_2q");
+
+    Lowering lowering(input, result.circuit);
+    lowering.run();
+    return result;
+}
+
+std::size_t estimateTwoQuditCost(const Circuit& input) {
+    std::size_t total = 0;
+    const auto& radix = input.radix();
+    for (const auto& op : input.operations()) {
+        const std::size_t k = op.numControls();
+        if (k <= 1) {
+            total += 1;
+            continue;
+        }
+        if (k == 2) {
+            total += blockCost(radix.dimensionAt(op.controls[1].qudit));
+            continue;
+        }
+        // Compute chain: AND(c0,c1), then AND(anc, c_m) for m in [2, k-2].
+        std::size_t compute = blockCost(radix.dimensionAt(op.controls[1].qudit));
+        for (std::size_t m = 2; m + 1 < k; ++m) {
+            compute += blockCost(radix.dimensionAt(op.controls[m].qudit));
+        }
+        // Payload block on (final ancilla, last control), plus uncompute.
+        total += 2 * compute + blockCost(radix.dimensionAt(op.controls.back().qudit));
+    }
+    return total;
+}
+
+} // namespace mqsp

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+
+#include <cstddef>
+
+namespace mqsp {
+
+/// Result of lowering a multi-controlled circuit to one- and two-qudit
+/// operations.
+struct TranspileResult {
+    /// The lowered circuit. Its register is the input register extended by
+    /// `numAncillas` qubit (dimension-2) ancillas appended at the least
+    /// significant end; every operation carries at most one control. Applied
+    /// to |0...0>, it acts like the input circuit on the original qudits and
+    /// returns every ancilla to |0>.
+    Circuit circuit;
+
+    /// Number of ancilla qubits appended.
+    std::size_t numAncillas = 0;
+};
+
+/// Lower every multi-controlled operation to {0,1}-control two-level
+/// operations (§3.3 / the paper's references [35], [36]: multi-controlled
+/// qudit gates transpile to local and two-qudit operations with linear
+/// overhead).
+///
+/// Scheme: a k-controlled rotation is lowered by AND-accumulating the k
+/// control conditions into a chain of k-1 ancilla qubits (each AND is a
+/// doubly-controlled two-level flip, lowered by the level-control-safe
+/// block construction below), applying the payload rotation controlled on
+/// the final ancilla, and uncomputing the chain. Cost per k-controlled op is
+/// O(k * d) two-qudit operations, linear in k as in [36].
+///
+/// The doubly-controlled base case C_{a=alpha, b=beta}(R(theta)) uses a
+/// generalization of the Barenco V-chain to multi-valued controls: with
+/// d = dim(b) and half-angle h = theta / d, for every level q != beta of b a
+/// block
+///     C_{b=beta}(R(+h)) ; C_{a=alpha}(swap_b(beta,q)) ;
+///     C_{b=beta}(R(-h)) ; C_{a=alpha}(swap_b(beta,q) dagger) ;
+///     C_{a=alpha}(R(+h))
+/// is emitted, followed by one corrective C_{a=alpha}(R(-h*(d-2))). Summing
+/// the fired rotation angles per (a, b) branch yields theta exactly when
+/// a = alpha and b = beta and zero otherwise (all rotations share one axis,
+/// so angles add; see tests/transpile for the exhaustive branch check).
+///
+/// Throws InvalidArgumentError if the input contains Hadamard or Shift ops
+/// with two or more controls (the synthesizer never emits those).
+[[nodiscard]] TranspileResult transpileToTwoQudit(const Circuit& input);
+
+/// Count the two-qudit operations the lowering would emit, without building
+/// the circuit (fast resource estimation for benches).
+[[nodiscard]] std::size_t estimateTwoQuditCost(const Circuit& input);
+
+} // namespace mqsp

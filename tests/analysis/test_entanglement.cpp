@@ -1,0 +1,167 @@
+#include "mqsp/analysis/entanglement.hpp"
+
+#include "mqsp/linalg/eigen.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+using analysis::entanglementEntropy;
+using analysis::purity;
+using analysis::reducedDensityMatrix;
+using analysis::renyi2Entropy;
+using analysis::schmidtRank;
+using analysis::schmidtSpectrum;
+
+TEST(ReducedDensityMatrix, ValidatesArguments) {
+    const StateVector state({2, 2});
+    EXPECT_THROW((void)reducedDensityMatrix(state, {}), InvalidArgumentError);
+    EXPECT_THROW((void)reducedDensityMatrix(state, {5}), InvalidArgumentError);
+    EXPECT_THROW((void)reducedDensityMatrix(state, {0, 0}), InvalidArgumentError);
+}
+
+TEST(ReducedDensityMatrix, ProductStateIsPureLocally) {
+    const StateVector state = states::uniform({3}).kron(states::basis({2}, {1}));
+    const DenseMatrix rho = reducedDensityMatrix(state, {0});
+    EXPECT_EQ(rho.size(), 3U);
+    EXPECT_NEAR(traceOf(rho).real(), 1.0, 1e-12);
+    EXPECT_NEAR(purity(rho), 1.0, 1e-12);
+    // rho = |u><u| for the uniform qutrit: every entry 1/3.
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(rho(i, j).real(), 1.0 / 3.0, 1e-12);
+        }
+    }
+}
+
+TEST(ReducedDensityMatrix, GhzMarginalIsMaximallyMixedOnMatchingLevels) {
+    const StateVector ghz = states::ghz({3, 3});
+    const DenseMatrix rho = reducedDensityMatrix(ghz, {0});
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            const double expected = (i == j) ? 1.0 / 3.0 : 0.0;
+            EXPECT_NEAR(std::abs(rho(i, j) - Complex{expected, 0.0}), 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(ReducedDensityMatrix, KeepAllReturnsFullProjector) {
+    Rng rng(3);
+    const StateVector state = states::random({2, 3}, rng);
+    const DenseMatrix rho = reducedDensityMatrix(state, {0, 1});
+    EXPECT_NEAR(purity(rho), 1.0, 1e-10);
+    EXPECT_NEAR(traceOf(rho).real(), 1.0, 1e-10);
+}
+
+TEST(ReducedDensityMatrix, KeepSiteOrderControlsIndexing) {
+    // |psi> = |0>_a |1>_b : keeping {1, 0} indexes (b, a).
+    const StateVector state = StateVector::basis({2, 3}, {0, 1});
+    const DenseMatrix rho = reducedDensityMatrix(state, {1, 0});
+    // Kept index = b * 2 + a = 1 * 2 + 0 = 2.
+    EXPECT_NEAR(rho(2, 2).real(), 1.0, 1e-12);
+}
+
+TEST(Entropy, ProductStatesHaveZeroEntropy) {
+    Rng rng(5);
+    const StateVector left = states::random({3}, rng);
+    const StateVector right = states::random({4, 2}, rng);
+    const StateVector product = left.kron(right);
+    EXPECT_NEAR(entanglementEntropy(product, {0}), 0.0, 1e-8);
+    EXPECT_EQ(schmidtRank(product, {0}), 1U);
+}
+
+TEST(Entropy, GhzAcrossTheCutIsLog2OfBranchCount) {
+    // GHZ with m branches has Schmidt spectrum {1/m, ..., 1/m}.
+    const StateVector ghz33 = states::ghz({3, 3});
+    EXPECT_NEAR(entanglementEntropy(ghz33, {0}), std::log2(3.0), 1e-8);
+    EXPECT_EQ(schmidtRank(ghz33, {0}), 3U);
+
+    const StateVector ghzMixed = states::ghz({3, 6, 2}); // min dim 2 -> 2 branches
+    EXPECT_NEAR(entanglementEntropy(ghzMixed, {0}), 1.0, 1e-8);
+}
+
+TEST(Entropy, SymmetricAcrossTheBipartition) {
+    Rng rng(11);
+    const StateVector state = states::random({3, 4, 2}, rng);
+    // S(A) == S(B) for pure global states.
+    EXPECT_NEAR(entanglementEntropy(state, {0}), entanglementEntropy(state, {1, 2}), 1e-7);
+    EXPECT_NEAR(entanglementEntropy(state, {0, 1}), entanglementEntropy(state, {2}), 1e-7);
+}
+
+TEST(Entropy, WStateQubitMarginal) {
+    // W on n qubits: one-qubit marginal diag(1 - 1/n, 1/n).
+    const StateVector w = states::wState({2, 2, 2});
+    const DenseMatrix rho = reducedDensityMatrix(w, {0});
+    EXPECT_NEAR(rho(0, 0).real(), 2.0 / 3.0, 1e-10);
+    EXPECT_NEAR(rho(1, 1).real(), 1.0 / 3.0, 1e-10);
+    const double expected =
+        -(2.0 / 3.0) * std::log2(2.0 / 3.0) - (1.0 / 3.0) * std::log2(1.0 / 3.0);
+    EXPECT_NEAR(entanglementEntropy(w, {0}), expected, 1e-8);
+}
+
+TEST(Entropy, Renyi2LowerBoundsVonNeumann) {
+    Rng rng(13);
+    for (int round = 0; round < 5; ++round) {
+        const StateVector state = states::random({3, 3, 2}, rng);
+        const double s1 = entanglementEntropy(state, {0});
+        const double s2 = renyi2Entropy(state, {0});
+        EXPECT_LE(s2, s1 + 1e-8);
+        EXPECT_GE(s2, -1e-10);
+    }
+}
+
+TEST(Entropy, SchmidtSpectrumSumsToOne) {
+    Rng rng(17);
+    const StateVector state = states::random({3, 6, 2}, rng);
+    const auto spectrum = schmidtSpectrum(state, {1});
+    double sum = 0.0;
+    for (const double p : spectrum) {
+        EXPECT_GE(p, -1e-12);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-8);
+    // Descending order.
+    for (std::size_t i = 1; i < spectrum.size(); ++i) {
+        EXPECT_GE(spectrum[i - 1] + 1e-12, spectrum[i]);
+    }
+}
+
+TEST(Entropy, EntropyBoundedByLocalDimension) {
+    Rng rng(19);
+    const StateVector state = states::random({2, 6, 3}, rng);
+    // Qubit cut: at most 1 bit regardless of the other side's size.
+    EXPECT_LE(entanglementEntropy(state, {0}), 1.0 + 1e-8);
+    // Random states are near maximally entangled across small cuts.
+    EXPECT_GE(entanglementEntropy(state, {0}), 0.5);
+}
+
+class EntropySymmetryProperty : public ::testing::TestWithParam<Dimensions> {};
+
+TEST_P(EntropySymmetryProperty, PureStateEntropyIsCutSymmetric) {
+    Rng rng(23);
+    const StateVector state = states::random(GetParam(), rng);
+    const std::size_t n = GetParam().size();
+    for (std::size_t cut = 1; cut < n; ++cut) {
+        std::vector<std::size_t> left;
+        std::vector<std::size_t> right;
+        for (std::size_t site = 0; site < n; ++site) {
+            (site < cut ? left : right).push_back(site);
+        }
+        EXPECT_NEAR(entanglementEntropy(state, left), entanglementEntropy(state, right),
+                    1e-7)
+            << "cut " << cut;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, EntropySymmetryProperty,
+                         ::testing::Values(Dimensions{2, 2}, Dimensions{3, 6, 2},
+                                           Dimensions{2, 3, 4}, Dimensions{3, 3, 3}));
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,135 @@
+#include "mqsp/analysis/observables.hpp"
+
+#include "mqsp/linalg/eigen.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+using namespace analysis;
+
+TEST(GellMann, QubitBasisIsThePauliBasis) {
+    // d = 2: symmetric = X, antisymmetric = Y, diagonal = Z.
+    const DenseMatrix x = gellMannSymmetric(2, 0, 1);
+    EXPECT_NEAR(x(0, 1).real(), 1.0, 1e-12);
+    const DenseMatrix y = gellMannAntisymmetric(2, 0, 1);
+    EXPECT_NEAR(y(0, 1).imag(), -1.0, 1e-12);
+    EXPECT_NEAR(y(1, 0).imag(), 1.0, 1e-12);
+    const DenseMatrix z = gellMannDiagonal(2, 1);
+    EXPECT_NEAR(z(0, 0).real(), 1.0, 1e-12);
+    EXPECT_NEAR(z(1, 1).real(), -1.0, 1e-12);
+}
+
+TEST(GellMann, BasisSizeIsDSquaredMinusOne) {
+    for (const Dimension dim : {2U, 3U, 5U, 7U}) {
+        EXPECT_EQ(gellMannBasis(dim).size(), static_cast<std::size_t>(dim) * dim - 1);
+    }
+}
+
+TEST(GellMann, AllElementsHermitianTracelessOrthogonal) {
+    for (const Dimension dim : {2U, 3U, 4U, 6U}) {
+        const auto basis = gellMannBasis(dim);
+        for (std::size_t a = 0; a < basis.size(); ++a) {
+            EXPECT_TRUE(isHermitian(basis[a])) << "dim " << dim << " element " << a;
+            EXPECT_NEAR(std::abs(traceOf(basis[a])), 0.0, 1e-12);
+            for (std::size_t b = a; b < basis.size(); ++b) {
+                // Tr(G_a G_b) = 2 delta_ab.
+                const Complex product = traceOf(basis[a].multiply(basis[b]));
+                EXPECT_NEAR(product.real(), a == b ? 2.0 : 0.0, 1e-10)
+                    << "dim " << dim << " pair " << a << "," << b;
+                EXPECT_NEAR(product.imag(), 0.0, 1e-10);
+            }
+        }
+    }
+}
+
+TEST(GellMann, RejectsBadIndices) {
+    EXPECT_THROW((void)gellMannSymmetric(3, 1, 1), InvalidArgumentError);
+    EXPECT_THROW((void)gellMannSymmetric(3, 2, 1), InvalidArgumentError);
+    EXPECT_THROW((void)gellMannAntisymmetric(3, 0, 3), InvalidArgumentError);
+    EXPECT_THROW((void)gellMannDiagonal(3, 0), InvalidArgumentError);
+    EXPECT_THROW((void)gellMannDiagonal(3, 3), InvalidArgumentError);
+}
+
+TEST(Expectation, BasisStateDiagonalObservable) {
+    // <2| Z_l |2> on a qutrit in |2>.
+    const StateVector state = states::basis({3}, {2});
+    const DenseMatrix z1 = gellMannDiagonal(3, 1); // diag(1,-1,0)
+    EXPECT_NEAR(expectation(state, 0, z1), 0.0, 1e-12);
+    const DenseMatrix z2 = gellMannDiagonal(3, 2); // sqrt(1/3) diag(1,1,-2)
+    EXPECT_NEAR(expectation(state, 0, z2), -2.0 * std::sqrt(1.0 / 3.0), 1e-12);
+}
+
+TEST(Expectation, OffDiagonalObservableOnSuperposition) {
+    // (|0> + |1>)/sqrt(2): <X_{01}> = 1.
+    const double a = 1.0 / std::sqrt(2.0);
+    const StateVector state({3}, {{a, 0.0}, {a, 0.0}, {0.0, 0.0}});
+    EXPECT_NEAR(expectation(state, 0, gellMannSymmetric(3, 0, 1)), 1.0, 1e-12);
+    EXPECT_NEAR(expectation(state, 0, gellMannAntisymmetric(3, 0, 1)), 0.0, 1e-12);
+}
+
+TEST(Expectation, ActsOnTheRequestedSiteOnly) {
+    // |0>|1> on [2,2]: Z on site 0 gives +1, on site 1 gives -1.
+    const StateVector state = states::basis({2, 2}, {0, 1});
+    const DenseMatrix z = gellMannDiagonal(2, 1);
+    EXPECT_NEAR(expectation(state, 0, z), 1.0, 1e-12);
+    EXPECT_NEAR(expectation(state, 1, z), -1.0, 1e-12);
+}
+
+TEST(Expectation, ValidatesArguments) {
+    const StateVector state({3, 2});
+    EXPECT_THROW((void)expectation(state, 5, gellMannDiagonal(3, 1)), InvalidArgumentError);
+    EXPECT_THROW((void)expectation(state, 0, gellMannDiagonal(2, 1)), InvalidArgumentError);
+    DenseMatrix notHermitian(3);
+    notHermitian(0, 1) = Complex{1.0, 0.0};
+    EXPECT_THROW((void)expectation(state, 0, notHermitian), InvalidArgumentError);
+}
+
+TEST(Variance, ZeroForEigenstatesPositiveOtherwise) {
+    const DenseMatrix z = gellMannDiagonal(2, 1);
+    const StateVector eigen = states::basis({2}, {1});
+    EXPECT_NEAR(variance(eigen, 0, z), 0.0, 1e-12);
+
+    const double a = 1.0 / std::sqrt(2.0);
+    const StateVector plus({2}, {{a, 0.0}, {a, 0.0}});
+    EXPECT_NEAR(variance(plus, 0, z), 1.0, 1e-12); // <Z^2>=1, <Z>=0
+}
+
+TEST(BlochVector, PureProductSiteHasFullNorm) {
+    // For a pure reduced state, |b|^2 = 2(1 - 1/d).
+    Rng rng(5);
+    const StateVector local = states::random({3}, rng);
+    const StateVector product = local.kron(states::basis({2}, {0}));
+    EXPECT_NEAR(blochNormSquared(product, 0), 2.0 * (1.0 - 1.0 / 3.0), 1e-8);
+}
+
+TEST(BlochVector, MaximallyMixedSiteHasZeroNorm) {
+    // GHZ marginals are maximally mixed over the populated levels; for the
+    // qutrit GHZ the site-0 marginal is I/3 -> Bloch vector 0.
+    const StateVector ghz = states::ghz({3, 3});
+    EXPECT_NEAR(blochNormSquared(ghz, 0), 0.0, 1e-10);
+}
+
+TEST(BlochVector, DetectsPartialEntanglement) {
+    // W-state marginals are mixed but not maximally: strictly between.
+    const StateVector w = states::wState({2, 2, 2});
+    const double norm2 = blochNormSquared(w, 0);
+    EXPECT_GT(norm2, 0.1);
+    EXPECT_LT(norm2, 2.0 * (1.0 - 0.5) - 1e-6);
+}
+
+TEST(BlochVector, SizeMatchesBasis) {
+    const StateVector state = states::uniform({3, 6, 2});
+    EXPECT_EQ(blochVector(state, 0).size(), 8U);
+    EXPECT_EQ(blochVector(state, 1).size(), 35U);
+    EXPECT_EQ(blochVector(state, 2).size(), 3U);
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,209 @@
+#include "mqsp/circuit/gate.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mqsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(HadamardMatrix, QutritMatchesPaperExample2) {
+    // Example 2 of the paper: H |0> on a qutrit yields the uniform state.
+    const DenseMatrix h = hadamardMatrix(3);
+    const auto out = h.apply({{1.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}});
+    const double amp = 1.0 / std::sqrt(3.0);
+    for (const auto& value : out) {
+        EXPECT_NEAR(value.real(), amp, 1e-12);
+        EXPECT_NEAR(value.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(HadamardMatrix, IsUnitaryForVariousDimensions) {
+    for (const Dimension dim : {2U, 3U, 5U, 7U, 9U}) {
+        EXPECT_TRUE(hadamardMatrix(dim).isUnitary()) << "dim=" << dim;
+    }
+}
+
+TEST(HadamardMatrix, QubitCaseIsTextbookHadamard) {
+    const DenseMatrix h = hadamardMatrix(2);
+    const double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(h(0, 0).real(), s, 1e-12);
+    EXPECT_NEAR(h(0, 1).real(), s, 1e-12);
+    EXPECT_NEAR(h(1, 0).real(), s, 1e-12);
+    EXPECT_NEAR(h(1, 1).real(), -s, 1e-12);
+}
+
+TEST(ShiftMatrix, CyclicIncrement) {
+    const DenseMatrix x = shiftMatrix(3, 1);
+    // |0> -> |1>, |1> -> |2>, |2> -> |0>
+    const auto out = x.apply({{1.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}});
+    EXPECT_NEAR(out[1].real(), 1.0, 1e-12);
+    const auto wrap = x.apply({{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}});
+    EXPECT_NEAR(wrap[0].real(), 1.0, 1e-12);
+    EXPECT_TRUE(x.isUnitary());
+}
+
+TEST(ShiftMatrix, ShiftByTwoComposesFromShiftByOne) {
+    const DenseMatrix x1 = shiftMatrix(5, 1);
+    const DenseMatrix x2 = shiftMatrix(5, 2);
+    EXPECT_TRUE(x1.multiply(x1).approxEquals(x2));
+}
+
+TEST(GivensMatrix, ThetaZeroIsIdentity) {
+    EXPECT_TRUE(givensMatrix(4, 1, 3, 0.0, 0.7).approxEquals(DenseMatrix::identity(4)));
+}
+
+TEST(GivensMatrix, FullRotationIsMinusIdentityOnSubspace) {
+    // R(2 pi) = -I on the two-level subspace, identity elsewhere.
+    const DenseMatrix r = givensMatrix(3, 0, 1, 2.0 * kPi, 0.0);
+    EXPECT_NEAR(r(0, 0).real(), -1.0, 1e-12);
+    EXPECT_NEAR(r(1, 1).real(), -1.0, 1e-12);
+    EXPECT_NEAR(r(2, 2).real(), 1.0, 1e-12);
+}
+
+TEST(GivensMatrix, IsUnitaryForRandomParameters) {
+    for (const double theta : {0.1, 1.0, 2.5, -1.2}) {
+        for (const double phi : {0.0, 0.5, -2.0, kPi}) {
+            EXPECT_TRUE(givensMatrix(5, 1, 4, theta, phi).isUnitary())
+                << "theta=" << theta << " phi=" << phi;
+        }
+    }
+}
+
+TEST(GivensMatrix, AnglesAddForSameAxis) {
+    const DenseMatrix a = givensMatrix(3, 0, 2, 0.7, 1.1);
+    const DenseMatrix b = givensMatrix(3, 0, 2, 0.5, 1.1);
+    const DenseMatrix sum = givensMatrix(3, 0, 2, 1.2, 1.1);
+    EXPECT_TRUE(a.multiply(b).approxEquals(sum, 1e-12));
+}
+
+TEST(GivensMatrix, MatchesPaperGeneratorConvention) {
+    // R(theta, phi) = exp(-i theta/2 (cos phi X + sin phi Y)) restricted to
+    // the subspace; at phi = 0 the off-diagonals are -i sin(theta/2).
+    const double theta = 1.3;
+    const DenseMatrix r = givensMatrix(2, 0, 1, theta, 0.0);
+    EXPECT_NEAR(r(0, 1).imag(), -std::sin(theta / 2.0), 1e-12);
+    EXPECT_NEAR(r(1, 0).imag(), -std::sin(theta / 2.0), 1e-12);
+    EXPECT_NEAR(r(0, 0).real(), std::cos(theta / 2.0), 1e-12);
+}
+
+TEST(GivensMatrix, RejectsBadLevels) {
+    EXPECT_THROW((void)givensMatrix(3, 0, 3, 1.0, 0.0), InvalidArgumentError);
+    EXPECT_THROW((void)givensMatrix(3, 1, 1, 1.0, 0.0), InvalidArgumentError);
+}
+
+TEST(PhaseMatrix, AppliesOppositePhases) {
+    const double theta = 0.9;
+    const DenseMatrix z = phaseMatrix(4, 1, 2, theta);
+    EXPECT_NEAR(std::arg(z(1, 1)), theta / 2.0, 1e-12);
+    EXPECT_NEAR(std::arg(z(2, 2)), -theta / 2.0, 1e-12);
+    EXPECT_NEAR(z(0, 0).real(), 1.0, 1e-12);
+    EXPECT_NEAR(z(3, 3).real(), 1.0, 1e-12);
+    EXPECT_TRUE(z.isUnitary());
+}
+
+TEST(PhaseMatrix, DecomposesIntoGivensRotations) {
+    // The paper's identity: Z(t) = R(-pi/2, 0) * R(t, pi/2) * R(pi/2, 0).
+    const double t = 0.77;
+    const DenseMatrix lhs = phaseMatrix(2, 0, 1, t);
+    const DenseMatrix rhs = givensMatrix(2, 0, 1, -kPi / 2.0, 0.0)
+                                .multiply(givensMatrix(2, 0, 1, t, kPi / 2.0))
+                                .multiply(givensMatrix(2, 0, 1, kPi / 2.0, 0.0));
+    EXPECT_TRUE(lhs.approxEquals(rhs, 1e-12))
+        << "deviation=" << lhs.maxDeviation(rhs);
+}
+
+TEST(Operation, FactoriesPopulateFields) {
+    const Operation r = Operation::givens(2, 1, 3, 0.5, -0.25, {{0, 1}});
+    EXPECT_EQ(r.kind, GateKind::GivensRotation);
+    EXPECT_EQ(r.target, 2U);
+    EXPECT_EQ(r.levelA, 1U);
+    EXPECT_EQ(r.levelB, 3U);
+    EXPECT_DOUBLE_EQ(r.theta, 0.5);
+    EXPECT_DOUBLE_EQ(r.phi, -0.25);
+    EXPECT_EQ(r.numControls(), 1U);
+
+    const Operation z = Operation::phase(0, 0, 1, 1.5);
+    EXPECT_EQ(z.kind, GateKind::PhaseRotation);
+    EXPECT_DOUBLE_EQ(z.theta, 1.5);
+
+    const Operation h = Operation::hadamard(1);
+    EXPECT_EQ(h.kind, GateKind::Hadamard);
+
+    const Operation x = Operation::shift(1, 2);
+    EXPECT_EQ(x.kind, GateKind::Shift);
+    EXPECT_EQ(x.shiftAmount, 2U);
+}
+
+TEST(LevelSwapMatrix, ExactTransposition) {
+    const DenseMatrix x = levelSwapMatrix(4, 1, 3);
+    EXPECT_TRUE(x.isUnitary());
+    const auto out = x.apply({{0.1, 0.0}, {0.2, 0.0}, {0.3, 0.0}, {0.4, 0.0}});
+    EXPECT_NEAR(out[0].real(), 0.1, 1e-12);
+    EXPECT_NEAR(out[1].real(), 0.4, 1e-12);
+    EXPECT_NEAR(out[2].real(), 0.3, 1e-12);
+    EXPECT_NEAR(out[3].real(), 0.2, 1e-12);
+    // Unlike the Givens rotation at theta = pi, there are no phases.
+    EXPECT_TRUE(x.multiply(x).approxEquals(DenseMatrix::identity(4), 1e-12));
+    EXPECT_THROW((void)levelSwapMatrix(3, 0, 3), InvalidArgumentError);
+}
+
+TEST(Operation, LevelSwapFactoryAndProperties) {
+    const Operation x = Operation::levelSwap(1, 0, 2, {{0, 1}});
+    EXPECT_EQ(x.kind, GateKind::LevelSwap);
+    EXPECT_EQ(x.numControls(), 1U);
+    EXPECT_FALSE(x.isIdentity());
+    // Self-inverse.
+    const DenseMatrix product = x.localMatrix(3).multiply(x.inverse().localMatrix(3));
+    EXPECT_TRUE(product.approxEquals(DenseMatrix::identity(3), 1e-12));
+    EXPECT_NE(x.toString().find("X(0,2)"), std::string::npos);
+    EXPECT_THROW((void)Operation::levelSwap(0, 1, 1), InvalidArgumentError);
+}
+
+TEST(Operation, FactoriesRejectEqualLevels) {
+    EXPECT_THROW((void)Operation::givens(0, 1, 1, 0.5, 0.0), InvalidArgumentError);
+    EXPECT_THROW((void)Operation::phase(0, 2, 2, 0.5), InvalidArgumentError);
+}
+
+TEST(Operation, IdentityDetection) {
+    EXPECT_TRUE(Operation::givens(0, 0, 1, 0.0, 0.3).isIdentity());
+    EXPECT_FALSE(Operation::givens(0, 0, 1, 0.1, 0.3).isIdentity());
+    EXPECT_TRUE(Operation::phase(0, 0, 1, 0.0).isIdentity());
+    EXPECT_FALSE(Operation::phase(0, 0, 1, 0.2).isIdentity());
+    EXPECT_TRUE(Operation::shift(0, 0).isIdentity());
+    EXPECT_FALSE(Operation::shift(0, 1).isIdentity());
+    EXPECT_FALSE(Operation::hadamard(0).isIdentity());
+}
+
+TEST(Operation, InverseUndoesRotation) {
+    const Operation r = Operation::givens(0, 0, 2, 0.8, 0.4);
+    const DenseMatrix product = r.localMatrix(3).multiply(r.inverse().localMatrix(3));
+    EXPECT_TRUE(product.approxEquals(DenseMatrix::identity(3), 1e-12));
+}
+
+TEST(Operation, InverseOfHadamardAndShiftRejected) {
+    EXPECT_THROW((void)Operation::hadamard(0).inverse(), InvalidArgumentError);
+    EXPECT_THROW((void)Operation::shift(0, 1).inverse(), InvalidArgumentError);
+}
+
+TEST(Operation, LocalMatrixRespectsDimension) {
+    const Operation r = Operation::givens(0, 0, 4, 1.0, 0.0);
+    EXPECT_EQ(r.localMatrix(5).size(), 5U);
+    EXPECT_THROW((void)r.localMatrix(3), InvalidArgumentError);
+}
+
+TEST(Operation, ToStringIsReadable) {
+    const Operation r = Operation::givens(1, 0, 2, 0.5, 0.25, {{2, 1}});
+    const std::string text = r.toString();
+    EXPECT_NE(text.find("R(0,2"), std::string::npos);
+    EXPECT_NE(text.find("q1"), std::string::npos);
+    EXPECT_NE(text.find("q2=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,109 @@
+#include "mqsp/circuit/matrix.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqsp {
+namespace {
+
+TEST(DenseMatrix, ZeroConstruction) {
+    const DenseMatrix m(3);
+    EXPECT_EQ(m.size(), 3U);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(m(i, j), (Complex{0.0, 0.0}));
+        }
+    }
+}
+
+TEST(DenseMatrix, IdentityConstruction) {
+    const DenseMatrix id = DenseMatrix::identity(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_EQ(id(i, j), (i == j ? Complex{1.0, 0.0} : Complex{0.0, 0.0}));
+        }
+    }
+    EXPECT_TRUE(id.isUnitary());
+}
+
+TEST(DenseMatrix, IndexBoundsChecked) {
+    DenseMatrix m(2);
+    EXPECT_THROW((void)m(2, 0), InvalidArgumentError);
+    EXPECT_THROW((void)m(0, 2), InvalidArgumentError);
+}
+
+TEST(DenseMatrix, MultiplyAgainstIdentity) {
+    DenseMatrix m(2);
+    m(0, 0) = {1.0, 2.0};
+    m(0, 1) = {3.0, -1.0};
+    m(1, 0) = {0.0, 0.5};
+    m(1, 1) = {-2.0, 0.0};
+    const DenseMatrix id = DenseMatrix::identity(2);
+    EXPECT_TRUE(m.multiply(id).approxEquals(m));
+    EXPECT_TRUE(id.multiply(m).approxEquals(m));
+}
+
+TEST(DenseMatrix, MultiplyMatchesManualComputation) {
+    DenseMatrix a(2);
+    a(0, 0) = {1.0, 0.0};
+    a(0, 1) = {2.0, 0.0};
+    a(1, 0) = {3.0, 0.0};
+    a(1, 1) = {4.0, 0.0};
+    DenseMatrix b(2);
+    b(0, 0) = {0.0, 1.0};
+    b(1, 1) = {1.0, 0.0};
+    const DenseMatrix c = a.multiply(b);
+    EXPECT_EQ(c(0, 0), (Complex{0.0, 1.0}));
+    EXPECT_EQ(c(0, 1), (Complex{2.0, 0.0}));
+    EXPECT_EQ(c(1, 0), (Complex{0.0, 3.0}));
+    EXPECT_EQ(c(1, 1), (Complex{4.0, 0.0}));
+}
+
+TEST(DenseMatrix, MultiplyRejectsSizeMismatch) {
+    EXPECT_THROW((void)DenseMatrix(2).multiply(DenseMatrix(3)), InvalidArgumentError);
+}
+
+TEST(DenseMatrix, AdjointConjugatesAndTransposes) {
+    DenseMatrix m(2);
+    m(0, 1) = {1.0, 2.0};
+    const DenseMatrix adj = m.adjoint();
+    EXPECT_EQ(adj(1, 0), (Complex{1.0, -2.0}));
+    EXPECT_EQ(adj(0, 1), (Complex{0.0, 0.0}));
+}
+
+TEST(DenseMatrix, ApplyMatchesMatrixVectorProduct) {
+    DenseMatrix m(2);
+    m(0, 0) = {0.0, 0.0};
+    m(0, 1) = {1.0, 0.0};
+    m(1, 0) = {1.0, 0.0};
+    m(1, 1) = {0.0, 0.0};
+    const auto out = m.apply({{0.25, 0.0}, {0.75, 0.0}});
+    EXPECT_EQ(out[0], (Complex{0.75, 0.0}));
+    EXPECT_EQ(out[1], (Complex{0.25, 0.0}));
+    EXPECT_THROW((void)m.apply(std::vector<Complex>(3)), InvalidArgumentError);
+}
+
+TEST(DenseMatrix, UnitarityDetection) {
+    DenseMatrix swap(2);
+    swap(0, 1) = {1.0, 0.0};
+    swap(1, 0) = {1.0, 0.0};
+    EXPECT_TRUE(swap.isUnitary());
+
+    DenseMatrix notUnitary(2);
+    notUnitary(0, 0) = {2.0, 0.0};
+    notUnitary(1, 1) = {1.0, 0.0};
+    EXPECT_FALSE(notUnitary.isUnitary());
+}
+
+TEST(DenseMatrix, MaxDeviation) {
+    DenseMatrix a(2);
+    DenseMatrix b(2);
+    b(1, 1) = {0.0, 0.25};
+    EXPECT_DOUBLE_EQ(a.maxDeviation(b), 0.25);
+    EXPECT_TRUE(a.approxEquals(b, 0.3));
+    EXPECT_FALSE(a.approxEquals(b, 0.2));
+}
+
+} // namespace
+} // namespace mqsp

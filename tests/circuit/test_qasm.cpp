@@ -1,0 +1,139 @@
+#include "mqsp/circuit/qasm.hpp"
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqsp {
+namespace {
+
+Circuit sampleCircuit() {
+    Circuit circuit({3, 6, 2}, "qasm_sample");
+    circuit.append(Operation::phase(0, 0, 1, -0.75));
+    circuit.append(Operation::givens(0, 0, 2, 1.25, 0.5));
+    circuit.append(Operation::givens(1, 2, 3, 0.33, -1.5, {{0, 2}}));
+    circuit.append(Operation::phase(2, 0, 1, 2.0, {{0, 1}, {1, 4}}));
+    circuit.append(Operation::hadamard(0));
+    circuit.append(Operation::shift(1, 3, {{2, 1}}));
+    circuit.append(Operation::levelSwap(1, 0, 5));
+    return circuit;
+}
+
+void expectSameOps(const Circuit& a, const Circuit& b) {
+    ASSERT_EQ(a.numOperations(), b.numOperations());
+    EXPECT_EQ(a.dimensions(), b.dimensions());
+    for (std::size_t i = 0; i < a.numOperations(); ++i) {
+        const Operation& x = a[i];
+        const Operation& y = b[i];
+        EXPECT_EQ(x.kind, y.kind) << "op " << i;
+        EXPECT_EQ(x.target, y.target);
+        EXPECT_EQ(x.levelA, y.levelA);
+        EXPECT_EQ(x.levelB, y.levelB);
+        EXPECT_DOUBLE_EQ(x.theta, y.theta);
+        EXPECT_DOUBLE_EQ(x.phi, y.phi);
+        EXPECT_EQ(x.shiftAmount, y.shiftAmount);
+        EXPECT_EQ(x.controls, y.controls);
+    }
+}
+
+TEST(Qasm, EmitsHeaderRegisterAndGates) {
+    const std::string text = toQasm(sampleCircuit());
+    EXPECT_NE(text.find("MQSPQASM 1.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3] = [3, 6, 2];"), std::string::npos);
+    EXPECT_NE(text.find("rxy q[0]"), std::string::npos);
+    EXPECT_NE(text.find("rz q[0]"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("x q[1] (+3) ctl q[2]=1;"), std::string::npos);
+    EXPECT_NE(text.find("swp q[1] (0, 5);"), std::string::npos);
+    EXPECT_NE(text.find("ctl q[0]=1, q[1]=4;"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripsExactly) {
+    const Circuit original = sampleCircuit();
+    const Circuit parsed = parseQasmString(toQasm(original));
+    expectSameOps(original, parsed);
+}
+
+TEST(Qasm, RoundTripsSynthesizedCircuits) {
+    Rng rng(5);
+    const StateVector target = states::random({3, 4, 2}, rng);
+    const auto prep = prepareExact(target);
+    const Circuit parsed = parseQasmString(toQasm(prep.circuit));
+    expectSameOps(prep.circuit, parsed);
+    // Behavioural check on top of the structural one.
+    EXPECT_NEAR(Simulator::preparationFidelity(parsed, target), 1.0, 1e-9);
+}
+
+TEST(Qasm, ToleratesCommentsAndWhitespace) {
+    const std::string text = R"(
+        // leading comment
+        MQSPQASM 1.0;
+
+        qreg q[2] = [3, 2];   // register comment
+        h q[0];               // gate comment
+          rxy   q[1]   ( 0 , 1 , 0.5 , -0.25 )   ctl   q[0]=2 ;
+    )";
+    const Circuit circuit = parseQasmString(text);
+    ASSERT_EQ(circuit.numOperations(), 2U);
+    EXPECT_EQ(circuit[1].kind, GateKind::GivensRotation);
+    EXPECT_EQ(circuit[1].controls, (std::vector<Control>{{0, 2}}));
+}
+
+TEST(Qasm, RejectsMissingHeader) {
+    EXPECT_THROW((void)parseQasmString("qreg q[1] = [2];\n"), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString(""), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString("MQSPQASM 2.0;\nqreg q[1] = [2];\n"),
+                 InvalidArgumentError);
+}
+
+TEST(Qasm, RejectsBadRegister) {
+    EXPECT_THROW((void)parseQasmString("MQSPQASM 1.0;\nqreg q[2] = [3];\n"),
+                 InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString("MQSPQASM 1.0;\nqreg q[1] = [1];\n"),
+                 InvalidArgumentError);
+}
+
+TEST(Qasm, RejectsUnknownGatesAndBadSyntax) {
+    const std::string header = "MQSPQASM 1.0;\nqreg q[2] = [3, 2];\n";
+    EXPECT_THROW((void)parseQasmString(header + "warp q[0];\n"), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString(header + "h q[0]\n"), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString(header + "h q[5];\n"), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString(header + "rxy q[1] (0, 5, 1.0, 0.0);\n"),
+                 InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmString(header + "h q[0]; extra\n"), InvalidArgumentError);
+}
+
+TEST(Qasm, ErrorMessagesCarryLineNumbers) {
+    const std::string text = "MQSPQASM 1.0;\nqreg q[1] = [2];\n\n// c\nbad q[0];\n";
+    try {
+        (void)parseQasmString(text);
+        FAIL() << "expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find("line 5"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Qasm, RoundTripsEveryBenchmarkFamilyCircuit) {
+    Rng rng(9);
+    for (const auto& dims : {Dimensions{3, 6, 2}, Dimensions{9, 5, 6, 3}}) {
+        for (int which = 0; which < 4; ++which) {
+            const StateVector target = which == 0   ? states::ghz(dims)
+                                       : which == 1 ? states::wState(dims)
+                                       : which == 2 ? states::embeddedWState(dims)
+                                                    : states::random(dims, rng);
+            SynthesisOptions lean;
+            lean.emitIdentityOperations = false;
+            const auto prep = prepareExact(target, lean);
+            const Circuit parsed = parseQasmString(toQasm(prep.circuit));
+            expectSameOps(prep.circuit, parsed);
+        }
+    }
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,66 @@
+#include "mqsp/complexnum/complex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqsp {
+namespace {
+
+TEST(ApproxEqual, ExactValuesMatch) {
+    EXPECT_TRUE(approxEqual({0.5, -0.25}, {0.5, -0.25}));
+}
+
+TEST(ApproxEqual, WithinToleranceMatches) {
+    EXPECT_TRUE(approxEqual({1.0, 0.0}, {1.0 + 5e-11, -5e-11}));
+    EXPECT_FALSE(approxEqual({1.0, 0.0}, {1.0 + 5e-9, 0.0}));
+}
+
+TEST(ApproxEqual, ComparesComponentwise) {
+    // Componentwise comparison: both components must be within tolerance.
+    EXPECT_FALSE(approxEqual({1.0, 0.0}, {1.0, 1e-9}));
+    EXPECT_TRUE(approxEqual({1.0, 0.0}, {1.0, 1e-11}));
+}
+
+TEST(ApproxZero, DetectsSmallValues) {
+    EXPECT_TRUE(approxZero({0.0, 0.0}));
+    EXPECT_TRUE(approxZero({1e-12, -1e-12}));
+    EXPECT_FALSE(approxZero({1e-9, 0.0}));
+    EXPECT_FALSE(approxZero({0.0, -1e-9}));
+}
+
+TEST(ApproxOne, DetectsUnitValue) {
+    EXPECT_TRUE(approxOne({1.0, 0.0}));
+    EXPECT_TRUE(approxOne({1.0 - 1e-12, 1e-12}));
+    EXPECT_FALSE(approxOne({-1.0, 0.0}));
+    EXPECT_FALSE(approxOne({0.0, 1.0}));
+}
+
+TEST(SquaredMagnitude, MatchesDefinition) {
+    EXPECT_DOUBLE_EQ(squaredMagnitude({3.0, 4.0}), 25.0);
+    EXPECT_DOUBLE_EQ(squaredMagnitude({0.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(squaredMagnitude({-0.5, 0.0}), 0.25);
+}
+
+TEST(ToString, RealOnly) {
+    EXPECT_EQ(toString({0.5, 0.0}), "0.5");
+    EXPECT_EQ(toString({-2.0, 0.0}), "-2");
+    EXPECT_EQ(toString({0.0, 0.0}), "0");
+}
+
+TEST(ToString, ImaginaryOnly) {
+    EXPECT_EQ(toString({0.0, 1.0}), "1i");
+    EXPECT_EQ(toString({0.0, -0.25}), "-0.25i");
+}
+
+TEST(ToString, MixedSigns) {
+    EXPECT_EQ(toString({-0.5, 0.5}), "-0.5+0.5i");
+    EXPECT_EQ(toString({0.5, -0.5}), "0.5-0.5i");
+}
+
+TEST(Tolerance, CustomToleranceIsRespected) {
+    EXPECT_TRUE(approxEqual({1.0, 0.0}, {1.4, 0.0}, 0.5));
+    EXPECT_FALSE(approxEqual({1.0, 0.0}, {1.6, 0.0}, 0.5));
+    EXPECT_TRUE(approxZero({0.3, -0.3}, 0.5));
+}
+
+} // namespace
+} // namespace mqsp

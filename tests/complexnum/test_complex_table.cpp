@@ -1,0 +1,121 @@
+#include "mqsp/complexnum/complex_table.hpp"
+
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+TEST(ComplexTable, StartsEmpty) {
+    ComplexTable table;
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.size(), 0U);
+}
+
+TEST(ComplexTable, InsertAssignsSequentialIds) {
+    ComplexTable table;
+    EXPECT_EQ(table.lookup({1.0, 0.0}), 0U);
+    EXPECT_EQ(table.lookup({0.0, 1.0}), 1U);
+    EXPECT_EQ(table.lookup({0.5, 0.5}), 2U);
+    EXPECT_EQ(table.size(), 3U);
+}
+
+TEST(ComplexTable, DuplicateLookupReturnsSameId) {
+    ComplexTable table;
+    const auto id = table.lookup({0.25, -0.75});
+    EXPECT_EQ(table.lookup({0.25, -0.75}), id);
+    EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(ComplexTable, UnifiesWithinTolerance) {
+    ComplexTable table(1e-6);
+    const auto id = table.lookup({1.0, 0.0});
+    EXPECT_EQ(table.lookup({1.0 + 5e-7, -5e-7}), id);
+    EXPECT_EQ(table.size(), 1U);
+    EXPECT_NE(table.lookup({1.0 + 5e-5, 0.0}), id);
+    EXPECT_EQ(table.size(), 2U);
+}
+
+TEST(ComplexTable, NearBucketBoundaryStillUnifies) {
+    // Values straddling a grid cell boundary must still unify; the probe
+    // covers adjacent buckets.
+    const double tol = 1e-6;
+    ComplexTable table(tol);
+    // Pick a value right below a multiple of the cell size (4 * tol).
+    const double cell = 4.0 * tol;
+    const double value = 10.0 * cell - 1e-9;
+    const auto id = table.lookup({value, 0.0});
+    EXPECT_EQ(table.lookup({value + 5e-7, 0.0}), id);
+    EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(ComplexTable, ValueOfReturnsCanonicalEntry) {
+    ComplexTable table;
+    const auto id = table.lookup({0.125, 0.25});
+    EXPECT_EQ(table.valueOf(id), (Complex{0.125, 0.25}));
+    EXPECT_THROW((void)table.valueOf(99), InvalidArgumentError);
+}
+
+TEST(ComplexTable, ContainsQueriesWithoutInserting) {
+    ComplexTable table;
+    EXPECT_FALSE(table.contains({1.0, 1.0}));
+    table.lookup({1.0, 1.0});
+    EXPECT_TRUE(table.contains({1.0, 1.0}));
+    EXPECT_TRUE(table.contains({1.0 + 1e-12, 1.0}));
+    EXPECT_FALSE(table.contains({2.0, 1.0}));
+    EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(ComplexTable, ClearResetsEverything) {
+    ComplexTable table;
+    table.lookup({1.0, 0.0});
+    table.lookup({2.0, 0.0});
+    table.clear();
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.lookup({3.0, 0.0}), 0U);
+}
+
+TEST(ComplexTable, RejectsNonPositiveTolerance) {
+    EXPECT_THROW(ComplexTable(0.0), InvalidArgumentError);
+    EXPECT_THROW(ComplexTable(-1e-9), InvalidArgumentError);
+}
+
+TEST(ComplexTable, CountsDistinctValuesUnderNoise) {
+    // 20 base values, each looked up 50 times with noise far below the
+    // tolerance: the table must hold exactly 20 entries.
+    ComplexTable table(1e-8);
+    Rng rng(5);
+    std::vector<Complex> bases;
+    for (int i = 0; i < 20; ++i) {
+        bases.emplace_back(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    for (int round = 0; round < 50; ++round) {
+        for (const auto& base : bases) {
+            table.lookup(base + Complex{rng.uniform(-1e-10, 1e-10),
+                                        rng.uniform(-1e-10, 1e-10)});
+        }
+    }
+    EXPECT_EQ(table.size(), bases.size());
+}
+
+TEST(ComplexTable, LargeRandomStressKeepsIdsStable) {
+    ComplexTable table;
+    Rng rng(77);
+    std::vector<Complex> values;
+    std::vector<std::size_t> ids;
+    for (int i = 0; i < 2000; ++i) {
+        const Complex value{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+        values.push_back(value);
+        ids.push_back(table.lookup(value));
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(table.lookup(values[i]), ids[i]);
+    }
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,83 @@
+#include "mqsp/hardware/architecture.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqsp {
+namespace {
+
+TEST(Architecture, AllToAllConnectsEveryPair) {
+    const auto arch = Architecture::allToAll({3, 6, 2, 4});
+    EXPECT_EQ(arch.numSites(), 4U);
+    EXPECT_EQ(arch.numEdges(), 6U);
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            EXPECT_EQ(arch.connected(a, b), a != b);
+        }
+    }
+}
+
+TEST(Architecture, LinearChainConnectsNeighboursOnly) {
+    const auto arch = Architecture::linearChain({2, 2, 2, 2});
+    EXPECT_TRUE(arch.connected(0, 1));
+    EXPECT_TRUE(arch.connected(2, 3));
+    EXPECT_FALSE(arch.connected(0, 2));
+    EXPECT_FALSE(arch.connected(0, 3));
+    EXPECT_EQ(arch.numEdges(), 3U);
+}
+
+TEST(Architecture, RingAddsWrapAround) {
+    const auto arch = Architecture::ring({3, 3, 3, 3});
+    EXPECT_TRUE(arch.connected(3, 0));
+    EXPECT_FALSE(arch.connected(0, 2));
+    EXPECT_EQ(arch.numEdges(), 4U);
+    EXPECT_THROW((void)Architecture::ring({2, 2}), InvalidArgumentError);
+}
+
+TEST(Architecture, ConnectivityIsSymmetric) {
+    const Architecture arch("custom", {2, 3, 2}, {{0, 1}, {1, 2}});
+    EXPECT_TRUE(arch.connected(0, 1));
+    EXPECT_TRUE(arch.connected(1, 0));
+    EXPECT_FALSE(arch.connected(0, 0));
+}
+
+TEST(Architecture, RejectsBadEdges) {
+    EXPECT_THROW(Architecture("x", {2, 2}, {{0, 5}}), InvalidArgumentError);
+    EXPECT_THROW(Architecture("x", {2, 2}, {{1, 1}}), InvalidArgumentError);
+}
+
+TEST(Architecture, RejectsDisconnectedGraphs) {
+    EXPECT_THROW(Architecture("x", {2, 2, 2, 2}, {{0, 1}, {2, 3}}), InvalidArgumentError);
+    EXPECT_THROW(Architecture("x", {2, 2}, {}), InvalidArgumentError);
+}
+
+TEST(Architecture, RejectsBadDimensions) {
+    EXPECT_THROW(Architecture("x", {}, {}), InvalidArgumentError);
+    EXPECT_THROW(Architecture("x", {2, 1}, {{0, 1}}), InvalidArgumentError);
+}
+
+TEST(Architecture, ShortestPathOnChain) {
+    const auto arch = Architecture::linearChain({2, 2, 2, 2, 2});
+    EXPECT_EQ(arch.shortestPath(0, 4), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(arch.shortestPath(2, 2), (std::vector<std::size_t>{2}));
+    EXPECT_EQ(arch.shortestPath(3, 1), (std::vector<std::size_t>{3, 2, 1}));
+}
+
+TEST(Architecture, ShortestPathUsesRingWrapAround) {
+    const auto arch = Architecture::ring({2, 2, 2, 2, 2, 2});
+    const auto path = arch.shortestPath(0, 5);
+    EXPECT_EQ(path, (std::vector<std::size_t>{0, 5}));
+    EXPECT_EQ(arch.shortestPath(0, 3).size(), 4U); // either way is 3 hops
+}
+
+TEST(Architecture, NoiseModelDefaultsAndOverrides) {
+    NoiseModel noisy;
+    noisy.twoQuditError = 0.05;
+    const auto arch = Architecture::allToAll({2, 2}, noisy);
+    EXPECT_DOUBLE_EQ(arch.noise().twoQuditError, 0.05);
+    EXPECT_DOUBLE_EQ(arch.noise().singleQuditError, 1e-4);
+}
+
+} // namespace
+} // namespace mqsp

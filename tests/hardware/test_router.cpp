@@ -1,0 +1,199 @@
+#include "mqsp/hardware/router.hpp"
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+#include "mqsp/transpile/transpiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mqsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+StateVector randomState(const Dimensions& dims, std::uint64_t seed) {
+    Rng rng(seed);
+    return states::random(dims, rng);
+}
+
+/// Exhaustive process check: the routed circuit must equal the original on
+/// every basis state of the register.
+void expectSameProcess(const Circuit& original, const Circuit& routed, double tol = 1e-9) {
+    const MixedRadix& radix = original.radix();
+    for (std::uint64_t index = 0; index < radix.totalDimension(); ++index) {
+        StateVector input(original.dimensions());
+        input[0] = Complex{0.0, 0.0};
+        input[index] = Complex{1.0, 0.0};
+        const StateVector want = Simulator::run(original, input);
+        const StateVector got = Simulator::run(routed, input);
+        for (std::uint64_t i = 0; i < want.size(); ++i) {
+            EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, tol)
+                << "input " << index << " amplitude " << i;
+        }
+    }
+}
+
+TEST(Swap, ExchangesQutritPairExactly) {
+    Circuit circuit({3, 3});
+    appendSwap(circuit, 0, 1);
+    const MixedRadix radix({3, 3});
+    for (std::uint64_t index = 0; index < 9; ++index) {
+        StateVector input({3, 3});
+        input[0] = Complex{0.0, 0.0};
+        input[index] = Complex{1.0, 0.0};
+        const StateVector out = Simulator::run(circuit, input);
+        const auto digits = radix.digitsOf(index);
+        EXPECT_NEAR(out.at({digits[1], digits[0]}).real(), 1.0, 1e-12)
+            << "index " << index;
+    }
+}
+
+TEST(Swap, ExchangesSuperpositionsWithPhases) {
+    // Not just permutation of basis states: amplitudes and phases must move.
+    Circuit circuit({4, 4});
+    appendSwap(circuit, 0, 1);
+    const StateVector input = randomState({4, 4}, 3);
+    const StateVector out = Simulator::run(circuit, input);
+    const MixedRadix radix({4, 4});
+    for (std::uint64_t index = 0; index < 16; ++index) {
+        const auto digits = radix.digitsOf(index);
+        EXPECT_NEAR(std::abs(out.at({digits[1], digits[0]}) - input.at(digits)), 0.0,
+                    1e-10);
+    }
+}
+
+TEST(Swap, SelfInverse) {
+    Circuit circuit({5, 5});
+    appendSwap(circuit, 0, 1);
+    appendSwap(circuit, 0, 1);
+    const StateVector input = randomState({5, 5}, 9);
+    const StateVector out = Simulator::run(circuit, input);
+    for (std::uint64_t i = 0; i < input.size(); ++i) {
+        EXPECT_NEAR(std::abs(out[i] - input[i]), 0.0, 1e-10);
+    }
+}
+
+TEST(Swap, RejectsDifferentDimensions) {
+    Circuit circuit({3, 2});
+    EXPECT_THROW(appendSwap(circuit, 0, 1), InvalidArgumentError);
+}
+
+TEST(Router, PassesThroughWhenAllPairsCoupled) {
+    const Dimensions dims{3, 3, 3};
+    Circuit circuit(dims);
+    circuit.append(Operation::hadamard(0));
+    circuit.append(Operation::givens(2, 0, 1, 0.7, 0.2, {{0, 1}}));
+    const auto arch = Architecture::allToAll(dims);
+    const auto routed = routeCircuit(circuit, arch);
+    EXPECT_EQ(routed.swapsInserted, 0U);
+    EXPECT_EQ(routed.circuit.numOperations(), 2U);
+}
+
+TEST(Router, InsertsSwapsOnAChain) {
+    const Dimensions dims{3, 3, 3};
+    Circuit circuit(dims);
+    circuit.append(Operation::givens(2, 0, 1, 1.1, -0.4, {{0, 2}}));
+    const auto arch = Architecture::linearChain(dims);
+    const auto routed = routeCircuit(circuit, arch);
+    EXPECT_EQ(routed.swapsInserted, 2U); // there and back
+    expectSameProcess(circuit, routed.circuit);
+}
+
+TEST(Router, LongerChainsRouteAcrossSeveralHops) {
+    const Dimensions dims{2, 2, 2, 2};
+    Circuit circuit(dims);
+    circuit.append(Operation::givens(3, 0, 1, kPi / 3.0, 0.8, {{0, 1}}));
+    const auto arch = Architecture::linearChain(dims);
+    const auto routed = routeCircuit(circuit, arch);
+    EXPECT_EQ(routed.swapsInserted, 4U);
+    expectSameProcess(circuit, routed.circuit);
+}
+
+TEST(Router, MixedCircuitOnChain) {
+    const Dimensions dims{3, 3, 3};
+    Circuit circuit(dims);
+    circuit.append(Operation::hadamard(0));
+    circuit.append(Operation::givens(1, 0, 2, 0.9, 0.1, {{0, 1}}));
+    circuit.append(Operation::phase(2, 0, 1, 1.3, {{0, 2}}));
+    circuit.append(Operation::shift(2, 1, {{1, 1}}));
+    const auto arch = Architecture::linearChain(dims);
+    const auto routed = routeCircuit(circuit, arch);
+    expectSameProcess(circuit, routed.circuit);
+}
+
+TEST(Router, RejectsRegisterMismatchAndMultiControls) {
+    Circuit circuit({3, 3});
+    circuit.append(Operation::givens(1, 0, 1, 0.5, 0.0, {{0, 1}}));
+    EXPECT_THROW((void)routeCircuit(circuit, Architecture::allToAll({3, 3, 3})),
+                 InvalidArgumentError);
+
+    Circuit multi({2, 2, 2});
+    multi.append(Operation::givens(2, 0, 1, 0.5, 0.0, {{0, 1}, {1, 1}}));
+    EXPECT_THROW((void)routeCircuit(multi, Architecture::allToAll({2, 2, 2})),
+                 InvalidArgumentError);
+}
+
+TEST(Router, RejectsRoutingThroughMismatchedDimensions) {
+    // Control must travel through a site of different dimension -> error.
+    const Dimensions dims{3, 2, 3};
+    Circuit circuit(dims);
+    circuit.append(Operation::givens(2, 0, 1, 0.5, 0.0, {{0, 1}}));
+    const auto arch = Architecture::linearChain(dims);
+    EXPECT_THROW((void)routeCircuit(circuit, arch), InvalidArgumentError);
+}
+
+TEST(Router, EndToEndStatePreparationOnAChain) {
+    // Full stack: synthesize -> transpile -> route -> simulate.
+    const Dimensions dims{3, 3, 3};
+    const StateVector target = states::ghz(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+    const auto lowered = transpileToTwoQudit(prep.circuit);
+
+    // The transpiled register may have ancillas; route on a chain over it.
+    const auto arch = Architecture::linearChain(lowered.circuit.dimensions());
+    const auto routed = routeCircuit(lowered.circuit, arch);
+
+    const StateVector out = Simulator::runFromZero(routed.circuit);
+    std::uint64_t scale = 1;
+    for (std::size_t a = 0; a < lowered.numAncillas; ++a) {
+        scale *= 2;
+    }
+    Complex overlap{0.0, 0.0};
+    for (std::uint64_t i = 0; i < target.size(); ++i) {
+        overlap += std::conj(target[i]) * out[i * scale];
+    }
+    EXPECT_NEAR(std::abs(overlap), 1.0, 1e-8);
+}
+
+TEST(FidelityEstimator, MultipliesPerOpErrors) {
+    NoiseModel noise;
+    noise.singleQuditError = 0.01;
+    noise.twoQuditError = 0.1;
+    Circuit circuit({2, 2, 2});
+    circuit.append(Operation::hadamard(0));                                   // 0.99
+    circuit.append(Operation::givens(1, 0, 1, 0.5, 0.0, {{0, 1}}));           // 0.9
+    circuit.append(Operation::givens(2, 0, 1, 0.5, 0.0, {{0, 1}, {1, 1}}));   // 0.9^2
+    EXPECT_NEAR(estimateCircuitFidelity(circuit, noise), 0.99 * 0.9 * 0.81, 1e-12);
+}
+
+TEST(FidelityEstimator, RoutedCircuitsCostMoreOnSparseTopologies) {
+    const Dimensions dims{3, 3, 3, 3};
+    Circuit circuit(dims);
+    circuit.append(Operation::givens(3, 0, 1, 0.4, 0.0, {{0, 1}}));
+    const auto chainRouted = routeCircuit(circuit, Architecture::linearChain(dims));
+    const auto fullRouted = routeCircuit(circuit, Architecture::allToAll(dims));
+    const NoiseModel noise;
+    EXPECT_LT(estimateCircuitFidelity(chainRouted.circuit, noise),
+              estimateCircuitFidelity(fullRouted.circuit, noise));
+}
+
+} // namespace
+} // namespace mqsp

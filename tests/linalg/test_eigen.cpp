@@ -1,0 +1,135 @@
+#include "mqsp/linalg/eigen.hpp"
+
+#include "mqsp/circuit/gate.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+DenseMatrix randomHermitian(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    DenseMatrix m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = Complex{rng.uniform(-1.0, 1.0), 0.0};
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const Complex value{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+            m(i, j) = value;
+            m(j, i) = std::conj(value);
+        }
+    }
+    return m;
+}
+
+TEST(IsHermitian, DetectsHermitianAndNot) {
+    EXPECT_TRUE(isHermitian(randomHermitian(4, 1)));
+    DenseMatrix bad(2);
+    bad(0, 1) = Complex{1.0, 0.0};
+    bad(1, 0) = Complex{0.5, 0.0};
+    EXPECT_FALSE(isHermitian(bad));
+}
+
+TEST(TraceOf, SumsDiagonal) {
+    DenseMatrix m(3);
+    m(0, 0) = {1.0, 0.0};
+    m(1, 1) = {0.0, 2.0};
+    m(2, 2) = {-0.5, 0.0};
+    const Complex t = traceOf(m);
+    EXPECT_NEAR(t.real(), 0.5, 1e-12);
+    EXPECT_NEAR(t.imag(), 2.0, 1e-12);
+}
+
+TEST(EigenHermitian, DiagonalMatrixIsItsOwnSpectrum) {
+    DenseMatrix m(3);
+    m(0, 0) = {3.0, 0.0};
+    m(1, 1) = {-1.0, 0.0};
+    m(2, 2) = {2.0, 0.0};
+    const auto result = eigenHermitian(m);
+    ASSERT_EQ(result.values.size(), 3U);
+    EXPECT_NEAR(result.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(result.values[1], 2.0, 1e-10);
+    EXPECT_NEAR(result.values[2], 3.0, 1e-10);
+}
+
+TEST(EigenHermitian, PauliXSpectrum) {
+    DenseMatrix x(2);
+    x(0, 1) = {1.0, 0.0};
+    x(1, 0) = {1.0, 0.0};
+    const auto result = eigenHermitian(x);
+    EXPECT_NEAR(result.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(result.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenHermitian, PauliYSpectrumComplexEntries) {
+    DenseMatrix y(2);
+    y(0, 1) = {0.0, -1.0};
+    y(1, 0) = {0.0, 1.0};
+    const auto result = eigenHermitian(y);
+    EXPECT_NEAR(result.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(result.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenHermitian, RejectsNonHermitian) {
+    DenseMatrix bad(2);
+    bad(0, 1) = {1.0, 0.0};
+    EXPECT_THROW((void)eigenHermitian(bad), InvalidArgumentError);
+    EXPECT_THROW((void)eigenHermitian(DenseMatrix{}), InvalidArgumentError);
+}
+
+class EigenRandomProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenRandomProperty, ReconstructionAndOrthonormality) {
+    const std::size_t n = GetParam();
+    const DenseMatrix m = randomHermitian(n, 100 + n);
+    const auto result = eigenHermitian(m);
+
+    // Eigenvalues ascending.
+    for (std::size_t k = 1; k < n; ++k) {
+        EXPECT_LE(result.values[k - 1], result.values[k] + 1e-12);
+    }
+    // Eigenvector matrix unitary.
+    EXPECT_TRUE(result.vectors.isUnitary(1e-8));
+    // A v_k == lambda_k v_k.
+    for (std::size_t k = 0; k < n; ++k) {
+        std::vector<Complex> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v[i] = result.vectors(i, k);
+        }
+        const auto mv = m.apply(v);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(std::abs(mv[i] - result.values[k] * v[i]), 0.0, 1e-7)
+                << "n=" << n << " k=" << k << " i=" << i;
+        }
+    }
+    // Trace preserved.
+    double sum = 0.0;
+    for (const double value : result.values) {
+        sum += value;
+    }
+    EXPECT_NEAR(sum, traceOf(m).real(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenRandomProperty,
+                         ::testing::Values(1U, 2U, 3U, 4U, 6U, 9U, 16U, 25U));
+
+TEST(EigenHermitian, DegenerateSpectrum) {
+    // Projector onto a 2D subspace of C^4: eigenvalues {0, 0, 1, 1}.
+    DenseMatrix p(4);
+    p(0, 0) = {0.5, 0.0};
+    p(0, 1) = {0.5, 0.0};
+    p(1, 0) = {0.5, 0.0};
+    p(1, 1) = {0.5, 0.0};
+    p(2, 2) = {1.0, 0.0};
+    const auto result = eigenHermitian(p);
+    EXPECT_NEAR(result.values[0], 0.0, 1e-10);
+    EXPECT_NEAR(result.values[1], 0.0, 1e-10);
+    EXPECT_NEAR(result.values[2], 1.0, 1e-10);
+    EXPECT_NEAR(result.values[3], 1.0, 1e-10);
+}
+
+} // namespace
+} // namespace mqsp

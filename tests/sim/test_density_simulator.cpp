@@ -1,0 +1,142 @@
+#include "mqsp/sim/density_simulator.hpp"
+
+#include "mqsp/hardware/router.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+TEST(DensityMatrix, ZeroStateConstruction) {
+    const DensityMatrix rho({3, 2});
+    EXPECT_EQ(rho.size(), 6U);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.matrix()(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FromPureMatchesProjector) {
+    Rng rng(3);
+    const StateVector psi = states::random({3, 2}, rng);
+    const DensityMatrix rho = DensityMatrix::fromPure(psi);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+    EXPECT_NEAR(rho.fidelityWithPure(psi), 1.0, 1e-10);
+    // Off-diagonal structure: rho_ij = psi_i conj(psi_j).
+    EXPECT_NEAR(std::abs(rho.matrix()(1, 4) - psi[1] * std::conj(psi[4])), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, RejectsHugeRegisters) {
+    EXPECT_THROW(DensityMatrix({9, 9, 9, 9}), InvalidArgumentError);
+}
+
+TEST(NoisySimulator, UnitaryAgreesWithStateVectorSimulator) {
+    Rng rng(7);
+    const Dimensions dims{3, 2, 2};
+    const StateVector input = states::random(dims, rng);
+    Circuit circuit(dims);
+    circuit.append(Operation::hadamard(0));
+    circuit.append(Operation::givens(1, 0, 1, 0.9, -0.4, {{0, 2}}));
+    circuit.append(Operation::phase(2, 0, 1, 1.3, {{0, 1}, {1, 1}}));
+    circuit.append(Operation::levelSwap(0, 0, 2));
+    circuit.append(Operation::shift(0, 1, {{2, 1}}));
+
+    DensityMatrix rho = DensityMatrix::fromPure(input);
+    for (const auto& op : circuit.operations()) {
+        NoisySimulator::applyUnitary(rho, op);
+    }
+    const StateVector want = Simulator::run(circuit, input);
+    EXPECT_NEAR(rho.fidelityWithPure(want), 1.0, 1e-9);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+}
+
+TEST(NoisySimulator, DepolarizingPreservesTraceAndMixes) {
+    Rng rng(9);
+    DensityMatrix rho = DensityMatrix::fromPure(states::random({3, 2}, rng));
+    NoisySimulator::applyDepolarizing(rho, 0, 0.3);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_LT(rho.purity(), 1.0);
+    EXPECT_THROW(NoisySimulator::applyDepolarizing(rho, 5, 0.1), InvalidArgumentError);
+    EXPECT_THROW(NoisySimulator::applyDepolarizing(rho, 0, 1.5), InvalidArgumentError);
+}
+
+TEST(NoisySimulator, FullDepolarizingYieldsMaximallyMixedSite) {
+    // strength = 1 on a single-qudit register: rho -> I/d.
+    const StateVector psi = states::basis({3}, {1});
+    DensityMatrix rho = DensityMatrix::fromPure(psi);
+    NoisySimulator::applyDepolarizing(rho, 0, 1.0);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            const double expected = (i == j) ? 1.0 / 3.0 : 0.0;
+            EXPECT_NEAR(std::abs(rho.matrix()(i, j) - Complex{expected, 0.0}), 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(NoisySimulator, ZeroNoiseRunMatchesPureSimulation) {
+    const Dimensions dims{3, 3};
+    const StateVector target = states::ghz(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+
+    NoiseModel noiseless;
+    noiseless.singleQuditError = 0.0;
+    noiseless.twoQuditError = 0.0;
+    const DensityMatrix rho = NoisySimulator::run(prep.circuit, noiseless);
+    EXPECT_NEAR(rho.fidelityWithPure(target), 1.0, 1e-9);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+}
+
+TEST(NoisySimulator, NoiseDegradesFidelityMonotonically) {
+    const Dimensions dims{3, 3};
+    const StateVector target = states::ghz(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+
+    double previous = 1.1;
+    for (const double eps : {0.0, 0.001, 0.01, 0.05}) {
+        NoiseModel noise;
+        noise.singleQuditError = eps / 10.0;
+        noise.twoQuditError = eps;
+        const DensityMatrix rho = NoisySimulator::run(prep.circuit, noise);
+        const double fidelity = rho.fidelityWithPure(target);
+        EXPECT_LT(fidelity, previous);
+        EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+        previous = fidelity;
+    }
+}
+
+TEST(NoisySimulator, EstimatorTracksSimulatedFidelityAtSmallNoise) {
+    // The product-of-(1-eps) estimate must agree with the density-matrix
+    // simulation to first order in the error rate.
+    const Dimensions dims{3, 3};
+    const StateVector target = states::ghz(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+
+    NoiseModel noise;
+    noise.singleQuditError = 1e-4;
+    noise.twoQuditError = 1e-3;
+    const double simulated =
+        NoisySimulator::run(prep.circuit, noise).fidelityWithPure(target);
+    const double estimated = estimateCircuitFidelity(prep.circuit, noise);
+    // Depolarizing noise can land partly back on the target, so the
+    // simulation sits at or above the estimate; both are within O(eps^2
+    // * ops) of each other.
+    EXPECT_GE(simulated + 1e-6, estimated);
+    EXPECT_NEAR(simulated, estimated, 5e-3);
+}
+
+} // namespace
+} // namespace mqsp

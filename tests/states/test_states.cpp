@@ -1,0 +1,177 @@
+#include "mqsp/states/states.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+TEST(States, GhzUsesMinimumDimensionLevels) {
+    const StateVector ghz = states::ghz({3, 6, 2});
+    EXPECT_EQ(ghz.countNonZero(), 2U); // min dim = 2
+    const double amp = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(ghz.at({0, 0, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(ghz.at({1, 1, 1}).real(), amp, 1e-12);
+    EXPECT_TRUE(ghz.isNormalized(1e-12));
+}
+
+TEST(States, GhzOnUniformQutrits) {
+    const StateVector ghz = states::ghz({3, 3, 3});
+    EXPECT_EQ(ghz.countNonZero(), 3U);
+    const double amp = 1.0 / std::sqrt(3.0);
+    for (Level k = 0; k < 3; ++k) {
+        EXPECT_NEAR(ghz.at({k, k, k}).real(), amp, 1e-12);
+    }
+}
+
+TEST(States, WStateCountsAllExcitations) {
+    // Terms = sum (d_i - 1) = 2 + 5 + 1 = 8 on [3,6,2].
+    const StateVector w = states::wState({3, 6, 2});
+    EXPECT_EQ(w.countNonZero(), 8U);
+    EXPECT_TRUE(w.isNormalized(1e-12));
+    const double amp = 1.0 / std::sqrt(8.0);
+    EXPECT_NEAR(w.at({2, 0, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 5, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 0, 1}).real(), amp, 1e-12);
+    EXPECT_NEAR(std::abs(w.at({1, 1, 0})), 0.0, 1e-12); // two excitations
+}
+
+TEST(States, WStateOnQubitsIsTextbookW) {
+    const StateVector w = states::wState({2, 2, 2});
+    EXPECT_EQ(w.countNonZero(), 3U);
+    const double amp = 1.0 / std::sqrt(3.0);
+    EXPECT_NEAR(w.at({1, 0, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 1, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 0, 1}).real(), amp, 1e-12);
+}
+
+TEST(States, EmbeddedWStateUsesOnlyLevelOne) {
+    const StateVector w = states::embeddedWState({3, 6, 2});
+    EXPECT_EQ(w.countNonZero(), 3U); // one term per qudit
+    const double amp = 1.0 / std::sqrt(3.0);
+    EXPECT_NEAR(w.at({1, 0, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 1, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(w.at({0, 0, 1}).real(), amp, 1e-12);
+    EXPECT_NEAR(std::abs(w.at({2, 0, 0})), 0.0, 1e-12); // level 2 unused
+}
+
+TEST(States, RandomIsNormalizedAndDense) {
+    Rng rng(5);
+    const StateVector state = states::random({3, 6, 2}, rng);
+    EXPECT_TRUE(state.isNormalized(1e-10));
+    EXPECT_EQ(state.countNonZero(1e-6), 36U); // dense with probability ~1
+}
+
+TEST(States, RandomIsDeterministicPerSeed) {
+    Rng a(9);
+    Rng b(9);
+    const StateVector x = states::random({3, 4}, a);
+    const StateVector y = states::random({3, 4}, b);
+    EXPECT_NEAR(x.fidelityWith(y), 1.0, 1e-12);
+}
+
+TEST(States, RandomKindsDiffer) {
+    Rng rng(3);
+    const StateVector real = states::random({2, 3}, rng, states::RandomKind::RealUniform);
+    for (std::uint64_t i = 0; i < real.size(); ++i) {
+        EXPECT_NEAR(real[i].imag(), 0.0, 1e-12);
+        EXPECT_GE(real[i].real(), 0.0);
+    }
+    const StateVector phase = states::random({2, 3}, rng, states::RandomKind::PhaseOnly);
+    const double mag = 1.0 / std::sqrt(6.0);
+    for (std::uint64_t i = 0; i < phase.size(); ++i) {
+        EXPECT_NEAR(std::abs(phase[i]), mag, 1e-10);
+    }
+}
+
+TEST(States, RandomSparseHonorsCount) {
+    Rng rng(8);
+    const StateVector state = states::randomSparse({3, 6, 2}, 7, rng);
+    EXPECT_EQ(state.countNonZero(1e-12), 7U);
+    EXPECT_TRUE(state.isNormalized(1e-10));
+    EXPECT_THROW((void)states::randomSparse({2, 2}, 5, rng), InvalidArgumentError);
+    EXPECT_THROW((void)states::randomSparse({2, 2}, 0, rng), InvalidArgumentError);
+}
+
+TEST(States, UniformHasEqualAmplitudes) {
+    const StateVector state = states::uniform({3, 2});
+    const double amp = 1.0 / std::sqrt(6.0);
+    for (std::uint64_t i = 0; i < state.size(); ++i) {
+        EXPECT_NEAR(state[i].real(), amp, 1e-12);
+    }
+}
+
+TEST(States, BasisDelegatesToStateVector) {
+    const StateVector state = states::basis({4, 3}, {3, 2});
+    EXPECT_EQ(state.countNonZero(), 1U);
+    EXPECT_NEAR(state.at({3, 2}).real(), 1.0, 1e-12);
+}
+
+TEST(States, CyclicShiftsWrapPerDimension) {
+    // Start |0 0> on [3,2] with 2 shifts: {|00>, |11>}.
+    const StateVector state = states::cyclic({3, 2}, {0, 0}, 2);
+    EXPECT_EQ(state.countNonZero(), 2U);
+    const double amp = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(state.at({0, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(state.at({1, 1}).real(), amp, 1e-12);
+}
+
+TEST(States, CyclicDeduplicatesCollidingWords) {
+    // On [2,2], shift 2 returns to the start: 4 requested shifts yield only
+    // 2 distinct words, amplitudes stay uniform.
+    const StateVector state = states::cyclic({2, 2}, {0, 1}, 4);
+    EXPECT_EQ(state.countNonZero(), 2U);
+    EXPECT_TRUE(state.isNormalized(1e-12));
+}
+
+TEST(States, CyclicValidatesArguments) {
+    EXPECT_THROW((void)states::cyclic({2, 2}, {0}, 1), InvalidArgumentError);
+    EXPECT_THROW((void)states::cyclic({2, 2}, {0, 0}, 0), InvalidArgumentError);
+}
+
+TEST(States, DickeEnumeratesFixedWeight) {
+    // Weight 1 on [2,2,2] is the W state.
+    const StateVector dicke = states::dicke({2, 2, 2}, 1);
+    EXPECT_NEAR(dicke.fidelityWith(states::wState({2, 2, 2})), 1.0, 1e-12);
+    // Weight 2 on [2,2]: only |11>.
+    const StateVector top = states::dicke({2, 2}, 2);
+    EXPECT_EQ(top.countNonZero(), 1U);
+    EXPECT_NEAR(top.at({1, 1}).real(), 1.0, 1e-12);
+}
+
+TEST(States, DickeMixedDimensions) {
+    // Weight 2 on [3,2]: |2 0> and |1 1>.
+    const StateVector dicke = states::dicke({3, 2}, 2);
+    EXPECT_EQ(dicke.countNonZero(), 2U);
+    const double amp = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(dicke.at({2, 0}).real(), amp, 1e-12);
+    EXPECT_NEAR(dicke.at({1, 1}).real(), amp, 1e-12);
+}
+
+TEST(States, DickeRejectsImpossibleWeight) {
+    EXPECT_THROW((void)states::dicke({2, 2}, 5), InvalidArgumentError);
+}
+
+class StatesNormalizationProperty : public ::testing::TestWithParam<Dimensions> {};
+
+TEST_P(StatesNormalizationProperty, AllGeneratorsNormalize) {
+    Rng rng(77);
+    EXPECT_TRUE(states::ghz(GetParam()).isNormalized(1e-10));
+    EXPECT_TRUE(states::wState(GetParam()).isNormalized(1e-10));
+    EXPECT_TRUE(states::embeddedWState(GetParam()).isNormalized(1e-10));
+    EXPECT_TRUE(states::uniform(GetParam()).isNormalized(1e-10));
+    EXPECT_TRUE(states::random(GetParam(), rng).isNormalized(1e-10));
+    EXPECT_TRUE(states::dicke(GetParam(), 1).isNormalized(1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRegisters, StatesNormalizationProperty,
+                         ::testing::Values(Dimensions{3, 6, 2}, Dimensions{9, 5, 6, 3},
+                                           Dimensions{6, 6, 5, 3, 3},
+                                           Dimensions{5, 4, 2, 5, 5, 2},
+                                           Dimensions{4, 7, 4, 4, 3, 5}));
+
+} // namespace
+} // namespace mqsp

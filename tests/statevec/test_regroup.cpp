@@ -1,0 +1,84 @@
+#include "mqsp/statevec/regroup.hpp"
+
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqsp {
+namespace {
+
+TEST(GroupDimensions, PacksAdjacentSites) {
+    EXPECT_EQ(groupDimensions({2, 2, 2, 2, 2, 2}, {2, 1, 3}), (Dimensions{4, 2, 8}));
+    EXPECT_EQ(groupDimensions({3, 2}, {2}), (Dimensions{6}));
+    EXPECT_EQ(groupDimensions({3, 2}, {1, 1}), (Dimensions{3, 2}));
+}
+
+TEST(GroupDimensions, ValidatesCoverage) {
+    EXPECT_THROW((void)groupDimensions({2, 2}, {3}), InvalidArgumentError);
+    EXPECT_THROW((void)groupDimensions({2, 2}, {1}), InvalidArgumentError);
+    EXPECT_THROW((void)groupDimensions({2, 2}, {}), InvalidArgumentError);
+    EXPECT_THROW((void)groupDimensions({2, 2}, {0, 2}), InvalidArgumentError);
+}
+
+TEST(GroupSites, AmplitudesCarryOverVerbatim) {
+    Rng rng(3);
+    const StateVector qubits = states::random({2, 2, 2, 2}, rng);
+    const StateVector grouped = groupSites(qubits, {2, 2});
+    EXPECT_EQ(grouped.dimensions(), (Dimensions{4, 4}));
+    for (std::uint64_t i = 0; i < qubits.size(); ++i) {
+        EXPECT_EQ(grouped[i], qubits[i]);
+    }
+}
+
+TEST(GroupSites, DigitMappingMatchesMixedRadixSemantics) {
+    // |1 0 1 1> over qubits packs to |2 3> over two ququarts.
+    const StateVector qubits = StateVector::basis({2, 2, 2, 2}, {1, 0, 1, 1});
+    const StateVector grouped = groupSites(qubits, {2, 2});
+    EXPECT_NEAR(grouped.at({2, 3}).real(), 1.0, 1e-12);
+}
+
+TEST(GroupSites, GhzOverQubitsBecomesGhzOverQudits) {
+    // The 4-qubit GHZ packs into the ququart-pair state (|00>+|33>)/sqrt(2).
+    const StateVector ghz = states::ghz({2, 2, 2, 2});
+    const StateVector grouped = groupSites(ghz, {2, 2});
+    EXPECT_NEAR(grouped.at({0, 0}).real(), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(grouped.at({3, 3}).real(), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_EQ(grouped.countNonZero(), 2U);
+}
+
+TEST(SplitSites, InvertsGroupSites) {
+    Rng rng(5);
+    const StateVector original = states::random({2, 3, 2, 2}, rng);
+    const StateVector grouped = groupSites(original, {2, 2});
+    const StateVector restored = splitSites(grouped, {{2, 3}, {2, 2}});
+    EXPECT_EQ(restored.dimensions(), original.dimensions());
+    EXPECT_NEAR(restored.fidelityWith(original), 1.0, 1e-12);
+}
+
+TEST(SplitSites, ValidatesFactorizations) {
+    const StateVector state({6, 4});
+    EXPECT_THROW((void)splitSites(state, {{2, 2}, {2, 2}}), InvalidArgumentError);
+    EXPECT_THROW((void)splitSites(state, {{2, 3}}), InvalidArgumentError);
+    EXPECT_THROW((void)splitSites(state, {{6, 1}, {2, 2}}), InvalidArgumentError);
+    EXPECT_NO_THROW((void)splitSites(state, {{2, 3}, {2, 2}}));
+    EXPECT_NO_THROW((void)splitSites(state, {{6}, {4}}));
+}
+
+TEST(GroupSites, RoundTripPreservesNormAndEntanglementStructure) {
+    Rng rng(7);
+    const StateVector state = states::random({2, 2, 3}, rng);
+    const StateVector grouped = groupSites(state, {2, 1});
+    EXPECT_TRUE(grouped.isNormalized(1e-10));
+    // Flat amplitudes identical => inner products with any relabeled state
+    // identical.
+    const StateVector other = states::random({2, 2, 3}, rng);
+    const StateVector otherGrouped = groupSites(other, {2, 1});
+    EXPECT_NEAR(std::abs(state.innerProduct(other) -
+                         grouped.innerProduct(otherGrouped)),
+                0.0, 1e-12);
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,154 @@
+#include "mqsp/statevec/state_vector.hpp"
+
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace mqsp {
+namespace {
+
+TEST(StateVector, DefaultConstructionIsZeroKet) {
+    const StateVector state({3, 2});
+    EXPECT_EQ(state.size(), 6U);
+    EXPECT_EQ(state[0], (Complex{1.0, 0.0}));
+    for (std::uint64_t i = 1; i < state.size(); ++i) {
+        EXPECT_EQ(state[i], (Complex{0.0, 0.0}));
+    }
+    EXPECT_TRUE(state.isNormalized());
+}
+
+TEST(StateVector, AdoptsAmplitudeVector) {
+    const std::vector<Complex> amps{{0.6, 0.0}, {0.0, 0.8}};
+    const StateVector state({2}, amps);
+    EXPECT_EQ(state[0], amps[0]);
+    EXPECT_EQ(state[1], amps[1]);
+    EXPECT_TRUE(state.isNormalized());
+}
+
+TEST(StateVector, RejectsWrongLength) {
+    EXPECT_THROW(StateVector({2, 2}, std::vector<Complex>(3)), InvalidArgumentError);
+}
+
+TEST(StateVector, DigitAccess) {
+    StateVector state({3, 2});
+    state.at({2, 1}) = Complex{0.5, 0.0};
+    EXPECT_EQ(state[5], (Complex{0.5, 0.0}));
+}
+
+TEST(StateVector, NormAndNormalize) {
+    StateVector state({2}, {{3.0, 0.0}, {4.0, 0.0}});
+    EXPECT_DOUBLE_EQ(state.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(state.normSquared(), 25.0);
+    state.normalize();
+    EXPECT_TRUE(state.isNormalized());
+    EXPECT_NEAR(state[0].real(), 0.6, 1e-12);
+}
+
+TEST(StateVector, NormalizeRejectsZeroVector) {
+    StateVector state({2}, std::vector<Complex>(2, Complex{0.0, 0.0}));
+    EXPECT_THROW(state.normalize(), InvalidArgumentError);
+}
+
+TEST(StateVector, InnerProductIsConjugateLinear) {
+    const StateVector a({2}, {{1.0, 0.0}, {0.0, 0.0}});
+    const StateVector b({2}, {{0.0, 1.0}, {0.0, 0.0}});
+    // <a|b> = conj(1) * i = i
+    EXPECT_NEAR(a.innerProduct(b).imag(), 1.0, 1e-12);
+    // <b|a> = conj(i) * 1 = -i
+    EXPECT_NEAR(b.innerProduct(a).imag(), -1.0, 1e-12);
+}
+
+TEST(StateVector, InnerProductRejectsMismatchedRegisters) {
+    const StateVector a({2});
+    const StateVector b({3});
+    EXPECT_THROW((void)a.innerProduct(b), InvalidArgumentError);
+}
+
+TEST(StateVector, FidelityIsPhaseInvariant) {
+    const StateVector a({2}, {{1.0, 0.0}, {0.0, 0.0}});
+    const StateVector b({2}, {{0.0, 1.0}, {0.0, 0.0}}); // i * |0>
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, FidelityOfOrthogonalStatesIsZero) {
+    const StateVector a = StateVector::basis({2, 2}, {0, 1});
+    const StateVector b = StateVector::basis({2, 2}, {1, 0});
+    EXPECT_NEAR(a.fidelityWith(b), 0.0, 1e-12);
+}
+
+TEST(StateVector, CountNonZero) {
+    const StateVector state({2, 2}, {{1.0, 0.0}, {0.0, 0.0}, {1e-14, 0.0}, {0.0, 0.5}});
+    EXPECT_EQ(state.countNonZero(), 2U);
+}
+
+TEST(StateVector, KronComposesRegisters) {
+    const StateVector a({2}, {{0.0, 0.0}, {1.0, 0.0}}); // |1>
+    const StateVector b({3}, {{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}}); // |2>
+    const StateVector joint = a.kron(b);
+    EXPECT_EQ(joint.dimensions(), (Dimensions{2, 3}));
+    EXPECT_EQ(joint.at({1, 2}), (Complex{1.0, 0.0}));
+    EXPECT_EQ(joint.countNonZero(), 1U);
+}
+
+TEST(StateVector, KronOfNormalizedStatesIsNormalized) {
+    Rng rng(3);
+    std::vector<Complex> ampsA(3);
+    std::vector<Complex> ampsB(4);
+    for (auto& a : ampsA) {
+        a = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+    for (auto& b : ampsB) {
+        b = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+    StateVector a({3}, ampsA);
+    StateVector b({4}, ampsB);
+    a.normalize();
+    b.normalize();
+    EXPECT_TRUE(a.kron(b).isNormalized(1e-9));
+}
+
+TEST(StateVector, BasisPlacesSingleAmplitude) {
+    const StateVector state = StateVector::basis({3, 6, 2}, {2, 4, 1});
+    EXPECT_EQ(state.countNonZero(), 1U);
+    EXPECT_EQ(state.at({2, 4, 1}), (Complex{1.0, 0.0}));
+}
+
+TEST(StateVector, StreamOutputListsNonZeroTerms) {
+    const StateVector state({2, 2}, {{0.0, 0.0}, {1.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}});
+    std::ostringstream out;
+    out << state;
+    EXPECT_EQ(out.str(), "(1) |0 1>");
+}
+
+TEST(StateVector, StreamOutputOfZeroVector) {
+    const StateVector state({2}, std::vector<Complex>(2, Complex{0.0, 0.0}));
+    std::ostringstream out;
+    out << state;
+    EXPECT_EQ(out.str(), "0");
+}
+
+class StateVectorNormProperty : public ::testing::TestWithParam<Dimensions> {};
+
+TEST_P(StateVectorNormProperty, RandomVectorsNormalizeToUnit) {
+    Rng rng(11);
+    const MixedRadix radix(GetParam());
+    std::vector<Complex> amps(radix.totalDimension());
+    for (auto& a : amps) {
+        a = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+    StateVector state(GetParam(), std::move(amps));
+    state.normalize();
+    EXPECT_TRUE(state.isNormalized(1e-10));
+    EXPECT_NEAR(state.fidelityWith(state), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, StateVectorNormProperty,
+                         ::testing::Values(Dimensions{2}, Dimensions{5}, Dimensions{3, 6, 2},
+                                           Dimensions{9, 5, 6, 3}, Dimensions{2, 2, 2, 2}));
+
+} // namespace
+} // namespace mqsp

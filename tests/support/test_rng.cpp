@@ -1,0 +1,85 @@
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mqsp {
+namespace {
+
+TEST(Rng, DeterministicWithSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    bool anyDifferent = false;
+    for (int i = 0; i < 10; ++i) {
+        anyDifferent |= a.uniform01() != b.uniform01();
+    }
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+    Rng rng;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 3.5);
+    }
+}
+
+TEST(Rng, UniformIndexCoversRangeAndRejectsZero) {
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.uniformIndex(5);
+        EXPECT_LT(v, 5U);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5U);
+    EXPECT_THROW(rng.uniformIndex(0), InvalidArgumentError);
+}
+
+TEST(Rng, ChildSeedsAreDistinct) {
+    Rng rng(123);
+    std::set<std::uint64_t> seeds;
+    for (int i = 0; i < 100; ++i) {
+        seeds.insert(rng.childSeed());
+    }
+    EXPECT_EQ(seeds.size(), 100U);
+}
+
+TEST(Rng, GaussianHasPlausibleMoments) {
+    Rng rng(2024);
+    double sum = 0.0;
+    double sumSquares = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sumSquares += v * v;
+    }
+    const double mean = sum / kSamples;
+    const double variance = sumSquares / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,71 @@
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/timing.hpp"
+#include "mqsp/support/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace mqsp {
+namespace {
+
+TEST(Error, HierarchyIsCatchable) {
+    // Every library error derives from mqsp::Error derives from
+    // std::runtime_error, so callers can catch at any granularity.
+    try {
+        requireThat(false, "boom");
+        FAIL() << "expected throw";
+    } catch (const InvalidArgumentError& e) {
+        EXPECT_EQ(std::string(e.what()), "boom");
+    }
+    try {
+        ensureThat(false, "internal");
+        FAIL() << "expected throw";
+    } catch (const Error& e) {
+        EXPECT_EQ(std::string(e.what()), "internal");
+    }
+    EXPECT_THROW(detail::throwInvalidArgument("x"), std::runtime_error);
+    EXPECT_THROW(detail::throwInternal("y"), std::runtime_error);
+}
+
+TEST(Error, ChecksPassSilently) {
+    EXPECT_NO_THROW(requireThat(true, "unused"));
+    EXPECT_NO_THROW(ensureThat(true, "unused"));
+}
+
+TEST(Error, InternalAndInvalidAreDistinct) {
+    bool caughtInvalid = false;
+    try {
+        ensureThat(false, "internal bug");
+    } catch (const InvalidArgumentError&) {
+        caughtInvalid = true;
+    } catch (const InternalError&) {
+    }
+    EXPECT_FALSE(caughtInvalid);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+    WallTimer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const double elapsed = timer.elapsedSeconds();
+    EXPECT_GE(elapsed, 0.015);
+    EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(WallTimer, ResetRestartsTheClock) {
+    WallTimer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    timer.reset();
+    EXPECT_LT(timer.elapsedSeconds(), 0.015);
+}
+
+TEST(Version, IsSemanticVersionString) {
+    const std::string version = versionString();
+    EXPECT_FALSE(version.empty());
+    EXPECT_NE(version.find('.'), std::string::npos);
+}
+
+} // namespace
+} // namespace mqsp

@@ -1,0 +1,137 @@
+#include "mqsp/synth/rotation_cascade.hpp"
+
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mqsp {
+namespace {
+
+std::vector<Complex> basisE0(std::size_t dim) {
+    std::vector<Complex> v(dim, Complex{0.0, 0.0});
+    v[0] = Complex{1.0, 0.0};
+    return v;
+}
+
+void expectRealizes(const std::vector<Complex>& weights, double tol = 1e-10) {
+    const auto steps = cascadeFor(weights);
+    const auto out = applyCascade(steps, basisE0(weights.size()));
+    ASSERT_EQ(out.size(), weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(std::abs(out[i] - weights[i]), 0.0, tol)
+            << "level " << i << ": got " << toString(out[i]) << " want "
+            << toString(weights[i]);
+    }
+}
+
+TEST(Cascade, RejectsSingleLevel) {
+    EXPECT_THROW((void)cascadeFor({Complex{1.0, 0.0}}), InvalidArgumentError);
+}
+
+TEST(Cascade, EmitsExactlyDimSteps) {
+    // Paper-faithful counting: one phase + (d-1) rotations per node.
+    for (std::size_t dim : {2U, 3U, 6U, 9U}) {
+        std::vector<Complex> w(dim, Complex{1.0 / std::sqrt(double(dim)), 0.0});
+        const auto steps = cascadeFor(w);
+        EXPECT_EQ(steps.size(), dim);
+        EXPECT_EQ(steps[0].kind, CascadeStep::Kind::Phase);
+        for (std::size_t i = 1; i < steps.size(); ++i) {
+            EXPECT_EQ(steps[i].kind, CascadeStep::Kind::Rotation);
+            EXPECT_EQ(steps[i].levelA, i - 1);
+            EXPECT_EQ(steps[i].levelB, i);
+        }
+    }
+}
+
+TEST(Cascade, TrivialE0IsAllIdentity) {
+    const auto steps = cascadeFor({Complex{1.0, 0.0}, Complex{0.0, 0.0}});
+    for (const auto& step : steps) {
+        EXPECT_NEAR(step.theta, 0.0, 1e-12);
+    }
+}
+
+TEST(Cascade, RealizesRealUniform) {
+    const double a = 1.0 / std::sqrt(3.0);
+    expectRealizes({{a, 0.0}, {a, 0.0}, {a, 0.0}});
+}
+
+TEST(Cascade, RealizesSingleHighLevel) {
+    // Amplitude entirely on the last level: the rotations walk it down the
+    // adjacent-pair chain.
+    expectRealizes({{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}});
+}
+
+TEST(Cascade, RealizesNegativeAndComplexPhases) {
+    const double a = 1.0 / std::sqrt(3.0);
+    expectRealizes({{-a, 0.0}, {0.0, a}, {a, 0.0}});
+}
+
+TEST(Cascade, RealizesPhaseOnLevelZero) {
+    // The leading phase rotation must fix arg(w_0) exactly.
+    const double a = 1.0 / std::sqrt(2.0);
+    expectRealizes({{0.0, a}, {a, 0.0}});
+    expectRealizes({{-a, 0.0}, {0.0, -a}});
+}
+
+TEST(Cascade, RealizesVectorWithInteriorZeros) {
+    const double a = 1.0 / std::sqrt(2.0);
+    expectRealizes({{a, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, -a}});
+    expectRealizes({{0.0, 0.0}, {a, 0.0}, {0.0, 0.0}, {a, 0.0}});
+    expectRealizes({{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}});
+}
+
+class CascadeRandomProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CascadeRandomProperty, RealizesRandomNormalizedVectors) {
+    const std::size_t dim = GetParam();
+    Rng rng(1000 + dim);
+    for (int round = 0; round < 25; ++round) {
+        std::vector<Complex> w(dim);
+        double norm = 0.0;
+        for (auto& value : w) {
+            value = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+            norm += squaredMagnitude(value);
+        }
+        norm = std::sqrt(norm);
+        for (auto& value : w) {
+            value /= norm;
+        }
+        expectRealizes(w);
+    }
+}
+
+TEST_P(CascadeRandomProperty, RealizesRandomSparseVectors) {
+    const std::size_t dim = GetParam();
+    Rng rng(2000 + dim);
+    for (int round = 0; round < 25; ++round) {
+        std::vector<Complex> w(dim, Complex{0.0, 0.0});
+        // Between 1 and dim nonzero entries at random positions.
+        const auto nnz = 1 + rng.uniformIndex(dim);
+        double norm = 0.0;
+        for (std::uint64_t i = 0; i < nnz; ++i) {
+            const auto at = rng.uniformIndex(dim);
+            w[at] = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+        }
+        for (const auto& value : w) {
+            norm += squaredMagnitude(value);
+        }
+        if (norm == 0.0) {
+            w[0] = Complex{1.0, 0.0};
+            norm = 1.0;
+        }
+        norm = std::sqrt(norm);
+        for (auto& value : w) {
+            value /= norm;
+        }
+        expectRealizes(w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, CascadeRandomProperty,
+                         ::testing::Values(2U, 3U, 4U, 5U, 6U, 7U, 9U, 12U));
+
+} // namespace
+} // namespace mqsp
