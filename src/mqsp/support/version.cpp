@@ -1,7 +1,9 @@
 #include "mqsp/support/version.hpp"
 
+#include "mqsp/support/version_info.hpp"
+
 namespace mqsp {
 
-const char* versionString() noexcept { return "1.0.0"; }
+const char* versionString() noexcept { return MQSP_VERSION_STRING; }
 
 } // namespace mqsp

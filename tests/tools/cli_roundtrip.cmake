@@ -1,0 +1,50 @@
+# CTest script: mqsp_prep --qasm must leave a clean, parseable MQSP-QASM
+# circuit on stdout (statistics belong on stderr), and mqsp_sim must
+# replay it to the expected GHZ state. Run via:
+#   cmake -DMQSP_PREP=... -DMQSP_SIM=... -DWORK_DIR=... -P cli_roundtrip.cmake
+
+set(qasm_file ${WORK_DIR}/cli_roundtrip_ghz.qasm)
+
+execute_process(
+  COMMAND ${MQSP_PREP} --dims 3,6,2 --state ghz --verify --qasm
+  OUTPUT_FILE ${qasm_file}
+  ERROR_VARIABLE prep_stderr
+  RESULT_VARIABLE prep_result)
+if(NOT prep_result EQUAL 0)
+  message(FATAL_ERROR "mqsp_prep failed (${prep_result}): ${prep_stderr}")
+endif()
+
+# The statistics report must be on stderr...
+if(NOT prep_stderr MATCHES "verified fidelity : 1\\.0")
+  message(FATAL_ERROR "mqsp_prep stderr missing fidelity report: ${prep_stderr}")
+endif()
+
+# ...and stdout must be pure MQSP-QASM, header first.
+file(READ ${qasm_file} qasm_text)
+if(NOT qasm_text MATCHES "^MQSPQASM 1\\.0;")
+  message(FATAL_ERROR "--qasm stdout does not start with the MQSPQASM header:\n${qasm_text}")
+endif()
+if(qasm_text MATCHES "register|diagram nodes|operations")
+  message(FATAL_ERROR "--qasm stdout polluted with statistics:\n${qasm_text}")
+endif()
+
+execute_process(
+  COMMAND ${MQSP_SIM} --qasm ${qasm_file} --print-state --shots 100 --seed 7
+  OUTPUT_VARIABLE sim_stdout
+  ERROR_VARIABLE sim_stderr
+  RESULT_VARIABLE sim_result)
+if(NOT sim_result EQUAL 0)
+  message(FATAL_ERROR "mqsp_sim failed (${sim_result}): ${sim_stderr}")
+endif()
+
+# GHZ on [3,6,2]: exactly the |0 0 0> and |1 1 1> kets, each at p = 0.5.
+foreach(ket "|0 0 0>" "|1 1 1>")
+  if(NOT sim_stdout MATCHES "\\${ket}")
+    message(FATAL_ERROR "mqsp_sim output missing ${ket}:\n${sim_stdout}")
+  endif()
+endforeach()
+if(NOT sim_stdout MATCHES "p = 0\\.500000")
+  message(FATAL_ERROR "mqsp_sim output missing p = 0.5 amplitudes:\n${sim_stdout}")
+endif()
+
+message(STATUS "cli_roundtrip OK")

@@ -133,35 +133,40 @@ int main(int argc, char** argv) {
             result = prepareExact(target, options);
         }
 
+        // Statistics go to stderr so that `--qasm` leaves a clean, pipeable
+        // circuit on stdout (`mqsp_prep --qasm > f && mqsp_sim --qasm f`).
         if (argFlag(argc, argv, "--optimize")) {
             const auto report = optimizeCircuit(result.circuit);
-            std::printf("optimizer: %zu -> %zu ops (%zu merges, %zu identities, "
-                        "%zu fans)\n",
-                        report.opsBefore, report.opsAfter, report.mergedRotations,
-                        report.droppedIdentities, report.mergedControlFans);
+            std::fprintf(stderr,
+                         "optimizer: %zu -> %zu ops (%zu merges, %zu identities, "
+                         "%zu fans)\n",
+                         report.opsBefore, report.opsAfter, report.mergedRotations,
+                         report.droppedIdentities, report.mergedControlFans);
         }
 
         const auto stats = result.circuit.stats();
-        std::printf("register          : %s (%llu amplitudes)\n",
-                    formatDimensionSpec(dims).c_str(),
-                    static_cast<unsigned long long>(target.size()));
-        std::printf("diagram nodes     : %llu internal, %llu tree slots\n",
-                    static_cast<unsigned long long>(
-                        result.diagram.nodeCount(NodeCountMode::Internal)),
-                    static_cast<unsigned long long>(
-                        result.diagram.nodeCount(NodeCountMode::TreeSlots)));
-        std::printf("distinct complex  : %zu\n", result.diagram.distinctComplexCount());
-        std::printf("operations        : %zu (median controls %.1f, max %zu, depth ~%zu)\n",
-                    stats.numOperations, stats.medianControls, stats.maxControls,
-                    stats.depthEstimate);
+        std::fprintf(stderr, "register          : %s (%llu amplitudes)\n",
+                     formatDimensionSpec(dims).c_str(),
+                     static_cast<unsigned long long>(target.size()));
+        std::fprintf(stderr, "diagram nodes     : %llu internal, %llu tree slots\n",
+                     static_cast<unsigned long long>(
+                         result.diagram.nodeCount(NodeCountMode::Internal)),
+                     static_cast<unsigned long long>(
+                         result.diagram.nodeCount(NodeCountMode::TreeSlots)));
+        std::fprintf(stderr, "distinct complex  : %zu\n",
+                     result.diagram.distinctComplexCount());
+        std::fprintf(stderr,
+                     "operations        : %zu (median controls %.1f, max %zu, depth ~%zu)\n",
+                     stats.numOperations, stats.medianControls, stats.maxControls,
+                     stats.depthEstimate);
         if (approx) {
-            std::printf("approx fidelity   : %.6f (threshold %.4f)\n",
-                        result.approx.fidelity, std::stod(*approx));
+            std::fprintf(stderr, "approx fidelity   : %.6f (threshold %.4f)\n",
+                         result.approx.fidelity, std::stod(*approx));
         }
         if (argFlag(argc, argv, "--verify")) {
             const double fidelity =
                 Simulator::preparationFidelity(result.circuit, target);
-            std::printf("verified fidelity : %.9f\n", fidelity);
+            std::fprintf(stderr, "verified fidelity : %.9f\n", fidelity);
         }
         if (argFlag(argc, argv, "--qasm")) {
             emitQasm(std::cout, result.circuit);

@@ -1,6 +1,6 @@
-// mqsp_run — command-line simulator for MQSP-QASM circuits.
+// mqsp_sim — command-line simulator for MQSP-QASM circuits.
 //
-//   mqsp_run --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
+//   mqsp_sim --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
 //
 // Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm),
 // simulates it from |0...0>, and prints the final state and/or a sampled
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
         const auto path = argValue(argc, argv, "--qasm");
         if (!path) {
             std::fprintf(stderr,
-                         "usage: mqsp_run --qasm <file|-> [--shots n] [--print-state] "
+                         "usage: mqsp_sim --qasm <file|-> [--shots n] [--print-state] "
                          "[--seed n]\n");
             return 2;
         }
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
         }
         return 0;
     } catch (const std::exception& error) {
-        std::fprintf(stderr, "mqsp_run: %s\n", error.what());
+        std::fprintf(stderr, "mqsp_sim: %s\n", error.what());
         return 1;
     }
 }
