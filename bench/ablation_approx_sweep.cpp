@@ -4,13 +4,13 @@
 // maps the whole trade-off curve that §4.3 advertises.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
@@ -18,36 +18,33 @@ int main() {
     const std::vector<double> thresholds{1.0, 0.999, 0.99, 0.98, 0.95, 0.90, 0.80, 0.70};
     const std::vector<Dimensions> registers{{3, 6, 2}, {9, 5, 6, 3}, {6, 6, 5, 3, 3}};
 
+    Harness harness("ablation_approx_sweep");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& dims : registers) {
-        std::printf("Random states on %s (%d runs per threshold)\n",
-                    formatDimensionSpec(dims).c_str(), kRuns);
-        std::printf("%10s %10s %12s %10s %10s %10s\n", "threshold", "nodes", "operations",
-                    "#controls", "fidelity", "time[s]");
-        Rng seeder(Rng::kDefaultSeed);
         for (const double threshold : thresholds) {
-            double nodes = 0.0;
-            double operations = 0.0;
-            double controls = 0.0;
-            double fidelity = 0.0;
-            double seconds = 0.0;
-            for (int run = 0; run < kRuns; ++run) {
-                Rng rng(seeder.childSeed());
+            const std::uint64_t caseSeed = driverSeeder.childSeed();
+            char label[32];
+            std::snprintf(label, sizeof(label), "random t=%.3f", threshold);
+            CaseSpec spec;
+            spec.name = label;
+            spec.dims = dims;
+            spec.reps = kRuns;
+            spec.smoke = dims.size() == 3 && threshold == 0.98;
+            spec.body = [dims, threshold, caseSeed](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
                 const StateVector state = states::random(dims, rng);
-                const WallTimer timer;
-                const auto result = prepareApproximated(state, threshold);
-                seconds += timer.elapsedSeconds();
-                nodes += static_cast<double>(
-                    result.diagram.nodeCount(NodeCountMode::TreeSlots));
-                operations += static_cast<double>(result.circuit.numOperations());
-                controls += result.circuit.stats().medianControls;
-                fidelity += result.approx.fidelity;
-            }
-            const double inv = 1.0 / kRuns;
-            std::printf("%10.3f %10.1f %12.1f %10.2f %10.4f %10.4f\n", threshold,
-                        nodes * inv, operations * inv, controls * inv, fidelity * inv,
-                        seconds * inv);
+                PreparationResult result;
+                rep.time([&] { result = prepareApproximated(state, threshold); });
+                rep.metric("nodes",
+                           static_cast<double>(
+                               result.diagram.nodeCount(NodeCountMode::TreeSlots)));
+                rep.metric("operations",
+                           static_cast<double>(result.circuit.numOperations()));
+                rep.metric("median_controls", result.circuit.stats().medianControls);
+                rep.metric("fidelity", result.approx.fidelity);
+            };
+            harness.add(std::move(spec));
         }
-        std::printf("\n");
     }
-    return 0;
+    return harness.main(argc, argv);
 }

@@ -1,41 +1,52 @@
 // Ablation B: paper-faithful operation emission (every node contributes
 // dim-many ops, matching Table 1's counting) versus identity elision (skip
 // theta=0 rotations and zero phases). Both circuits prepare the same state;
-// the difference is pure overhead, largest on sparse structured states.
+// the difference is pure overhead, largest on sparse structured states
+// (their cascades are mostly identities; random dense states save only the
+// zero-phase ops). The timed region covers both syntheses.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
-
-    std::printf("Operation counts: paper-faithful emission vs identity elision\n\n");
-    std::printf("%-14s %-22s %12s %12s %10s\n", "Name", "Qudits", "faithful", "elided",
-                "saved");
 
     SynthesisOptions faithful;
     faithful.emitIdentityOperations = true;
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("ablation_elision");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
-        Rng rng(seeder.childSeed());
-        const StateVector state = makeState(workload, rng);
-        const auto full = prepareExact(state, faithful);
-        const auto slim = prepareExact(state, lean);
-        const auto saved = full.circuit.numOperations() - slim.circuit.numOperations();
-        std::printf("%-14s %-22s %12zu %12zu %9.1f%%\n", workload.family.c_str(),
-                    formatDimensionSpec(workload.dims).c_str(),
-                    full.circuit.numOperations(), slim.circuit.numOperations(),
-                    100.0 * static_cast<double>(saved) /
-                        static_cast<double>(full.circuit.numOperations()));
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.family;
+        spec.dims = workload.dims;
+        spec.reps = 5;
+        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
+        spec.body = [workload, caseSeed, faithful, lean](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
+            const StateVector state = makeState(workload, rng);
+            PreparationResult full;
+            PreparationResult slim;
+            rep.time([&] {
+                full = prepareExact(state, faithful);
+                slim = prepareExact(state, lean);
+            });
+            const auto faithfulOps = full.circuit.numOperations();
+            const auto elidedOps = slim.circuit.numOperations();
+            rep.metric("faithful_ops", static_cast<double>(faithfulOps));
+            rep.metric("elided_ops", static_cast<double>(elidedOps));
+            rep.metric("saved_percent",
+                       100.0 * static_cast<double>(faithfulOps - elidedOps) /
+                           static_cast<double>(faithfulOps));
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\nStructured states save the most: their cascades are mostly "
-                "identities.\nRandom dense states save only the zero-phase ops.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

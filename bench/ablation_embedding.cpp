@@ -3,29 +3,30 @@
 // into higher-dimensional qudits — and compare synthesis cost. Packing
 // trades control count (circuit "width" of conditions) for local dimension:
 // fewer, wider rotations with fewer controls, exactly the compression
-// effect ref [15] exploits.
+// effect ref [15] exploits. The timed region covers both syntheses.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/statevec/regroup.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 #include "mqsp/transpile/transpiler.hpp"
 
-#include <cstdio>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
-    struct Workload2 {
+    struct PackedWorkload {
         const char* label;
         Dimensions qubits;
         std::vector<std::size_t> grouping;
     };
-    const std::vector<Workload2> workloads = {
+    const std::vector<PackedWorkload> workloads = {
         {"GHZ 6 qubits -> 3 ququarts", {2, 2, 2, 2, 2, 2}, {2, 2, 2}},
         {"GHZ 6 qubits -> 2 octits", {2, 2, 2, 2, 2, 2}, {3, 3}},
         {"W 6 qubits -> 3 ququarts", {2, 2, 2, 2, 2, 2}, {2, 2, 2}},
@@ -33,36 +34,46 @@ int main() {
         {"random 8 qubits -> 4 ququarts", {2, 2, 2, 2, 2, 2, 2, 2}, {2, 2, 2, 2}},
     };
 
-    std::printf("Qubit-native vs qudit-packed preparation of the same state\n\n");
-    std::printf("%-32s | %8s %9s %9s | %8s %9s %9s\n", "workload", "ops", "medCtl",
-                "2q-cost", "ops", "medCtl", "2q-cost");
-    std::printf("%-32s | %28s | %28s\n", "", "qubit-native", "qudit-packed");
-
-    Rng rng(Rng::kDefaultSeed);
+    Harness harness("ablation_embedding");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : workloads) {
-        StateVector state({2});
-        const std::string label = workload.label;
-        if (label.rfind("GHZ", 0) == 0) {
-            state = states::ghz(workload.qubits);
-        } else if (label.rfind("W", 0) == 0) {
-            state = states::wState(workload.qubits);
-        } else {
-            state = states::random(workload.qubits, rng);
-        }
-        const StateVector packed = groupSites(state, workload.grouping);
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.label;
+        spec.dims = workload.qubits;
+        spec.reps = 5;
+        spec.smoke = std::string(workload.label).rfind("GHZ 6 qubits -> 3", 0) == 0;
+        spec.body = [workload, caseSeed, lean](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
+            StateVector state({2});
+            const std::string label = workload.label;
+            if (label.rfind("GHZ", 0) == 0) {
+                state = states::ghz(workload.qubits);
+            } else if (label.rfind("W", 0) == 0) {
+                state = states::wState(workload.qubits);
+            } else {
+                state = states::random(workload.qubits, rng);
+            }
+            const StateVector packed = groupSites(state, workload.grouping);
 
-        const auto native = prepareExact(state, lean);
-        const auto grouped = prepareExact(packed, lean);
-
-        std::printf("%-32s | %8zu %9.1f %9zu | %8zu %9.1f %9zu\n", workload.label,
-                    native.circuit.numOperations(),
-                    native.circuit.stats().medianControls,
-                    estimateTwoQuditCost(native.circuit),
-                    grouped.circuit.numOperations(),
-                    grouped.circuit.stats().medianControls,
-                    estimateTwoQuditCost(grouped.circuit));
+            PreparationResult native;
+            PreparationResult grouped;
+            rep.time([&] {
+                native = prepareExact(state, lean);
+                grouped = prepareExact(packed, lean);
+            });
+            rep.metric("native_ops",
+                       static_cast<double>(native.circuit.numOperations()));
+            rep.metric("native_median_controls", native.circuit.stats().medianControls);
+            rep.metric("native_2q_cost",
+                       static_cast<double>(estimateTwoQuditCost(native.circuit)));
+            rep.metric("packed_ops",
+                       static_cast<double>(grouped.circuit.numOperations()));
+            rep.metric("packed_median_controls", grouped.circuit.stats().medianControls);
+            rep.metric("packed_2q_cost",
+                       static_cast<double>(estimateTwoQuditCost(grouped.circuit)));
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\nPacking shortens control chains (fewer sites above each node) at\n"
-                "the price of larger local rotations — the ref [15] trade-off.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

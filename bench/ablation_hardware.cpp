@@ -1,20 +1,23 @@
 // Ablation D (beyond the paper; its stated future work): hardware-aware
 // cost of the synthesized circuits. For each benchmark family, lower the
-// state-preparation circuit to two-level operations and map it onto three
-// device topologies, reporting routing overhead and the noise-model
-// fidelity estimate. Also shows how approximation (fewer ops and controls)
-// propagates into the routed cost — the paper's "more resource-efficient
-// sequences of operations" made quantitative.
+// state-preparation circuit to two-level operations and map it onto device
+// topologies, reporting routing overhead and the noise-model fidelity
+// estimate. A second case group shows how approximation (fewer ops and
+// controls) propagates into the routed cost — the paper's "more
+// resource-efficient sequences of operations" made quantitative. The timed
+// region covers transpilation plus routing.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/hardware/router.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 #include "mqsp/transpile/transpiler.hpp"
 
 #include <cstdio>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
@@ -22,67 +25,93 @@ int main() {
     noise.singleQuditError = 1e-4;
     noise.twoQuditError = 5e-3;
 
-    // Uniform-dimension registers so chain routing is dimension-compatible.
-    const std::vector<Dimensions> registers{{3, 3, 3}, {3, 3, 3, 3}, {4, 4, 4, 4}};
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
-    std::printf("Routing overhead and noise-estimated fidelity per topology\n\n");
-    std::printf("%-14s %-14s %9s %9s | %21s | %21s\n", "", "", "", "", "all-to-all",
-                "linear chain");
-    std::printf("%-14s %-14s %9s %9s | %9s %11s | %9s %11s\n", "state", "register",
-                "hl-ops", "2l-ops", "2q-ops", "est.fid", "2q-ops", "est.fid");
+    Harness harness("ablation_hardware");
 
-    Rng seeder(Rng::kDefaultSeed);
+    // Uniform-dimension registers so chain routing is dimension-compatible.
+    const std::vector<Dimensions> registers{{3, 3, 3}, {3, 3, 3, 3}, {4, 4, 4, 4}};
+    const char* families[] = {"GHZ", "W", "random"};
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& dims : registers) {
-        struct Case {
-            const char* label;
-            StateVector state;
-        };
-        Rng rng(seeder.childSeed());
-        const Case cases[] = {
-            {"GHZ", states::ghz(dims)},
-            {"W", states::wState(dims)},
-            {"random", states::random(dims, rng)},
-        };
-        for (const auto& [label, state] : cases) {
-            const auto prep = prepareExact(state, lean);
-            const auto lowered = transpileToTwoQudit(prep.circuit);
-            const Dimensions device = lowered.circuit.dimensions();
-            // Ancillas are qubits; chains over mixed dims cannot swap across
-            // them, so route on all-to-all when ancillas exist, and on both
-            // when the register is uniform without ancillas.
-            const auto full =
-                routeCircuit(lowered.circuit, Architecture::allToAll(device, noise));
-            std::printf("%-14s %-14s %9zu %9zu | %9zu %11.4f | ", label,
-                        formatDimensionSpec(dims).c_str(), prep.circuit.numOperations(),
-                        lowered.circuit.numOperations(), full.twoQuditOps,
-                        estimateCircuitFidelity(full.circuit, noise));
-            if (lowered.numAncillas == 0) {
-                const auto chain = routeCircuit(lowered.circuit,
-                                                Architecture::linearChain(device, noise));
-                std::printf("%9zu %11.4f\n", chain.twoQuditOps,
-                            estimateCircuitFidelity(chain.circuit, noise));
-            } else {
-                std::printf("%9s %11s\n", "(anc)", "(anc)");
-            }
+        for (const char* family : families) {
+            const std::uint64_t caseSeed = driverSeeder.childSeed();
+            CaseSpec spec;
+            spec.name = family;
+            spec.dims = dims;
+            spec.reps = 5;
+            spec.smoke = std::string(family) == "GHZ" && dims.size() == 3;
+            spec.body = [dims, family = std::string(family), caseSeed, lean,
+                         noise](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                StateVector state({2});
+                if (family == "GHZ") {
+                    state = states::ghz(dims);
+                } else if (family == "W") {
+                    state = states::wState(dims);
+                } else {
+                    state = states::random(dims, rng);
+                }
+                const auto prep = prepareExact(state, lean);
+                TranspileResult lowered;
+                RoutingResult full;
+                rep.time([&] {
+                    lowered = transpileToTwoQudit(prep.circuit);
+                    full = routeCircuit(lowered.circuit,
+                                        Architecture::allToAll(
+                                            lowered.circuit.dimensions(), noise));
+                });
+                rep.metric("hl_ops", static_cast<double>(prep.circuit.numOperations()));
+                rep.metric("2l_ops",
+                           static_cast<double>(lowered.circuit.numOperations()));
+                rep.metric("a2a_2q_ops", static_cast<double>(full.twoQuditOps));
+                rep.metric("a2a_est_fidelity",
+                           estimateCircuitFidelity(full.circuit, noise));
+                // Ancillas are qubits; chains over mixed dims cannot swap
+                // across them, so chain routing only applies without ancillas.
+                if (lowered.numAncillas == 0) {
+                    const auto chain =
+                        routeCircuit(lowered.circuit,
+                                     Architecture::linearChain(
+                                         lowered.circuit.dimensions(), noise));
+                    rep.metric("chain_2q_ops", static_cast<double>(chain.twoQuditOps));
+                    rep.metric("chain_est_fidelity",
+                               estimateCircuitFidelity(chain.circuit, noise));
+                }
+            };
+            harness.add(std::move(spec));
         }
     }
 
-    std::printf("\nApproximation propagates into routed cost (random state, %s):\n",
-                "[4x4]");
-    const Dimensions dims{4, 4, 4, 4};
-    Rng rng(7);
-    const StateVector state = states::random(dims, rng);
-    std::printf("%10s %9s %9s %11s\n", "threshold", "hl-ops", "2q-ops", "est.fid");
+    // Approximation propagating into routed cost (random state on [4x4]).
+    const Dimensions sweepDims{4, 4, 4, 4};
     for (const double threshold : {1.0, 0.98, 0.90, 0.80}) {
-        const auto prep = threshold == 1.0 ? prepareExact(state, lean)
-                                           : prepareApproximated(state, threshold, lean);
-        const auto lowered = transpileToTwoQudit(prep.circuit);
-        const auto routed = routeCircuit(
-            lowered.circuit, Architecture::allToAll(lowered.circuit.dimensions(), noise));
-        std::printf("%10.2f %9zu %9zu %11.4f\n", threshold, prep.circuit.numOperations(),
-                    routed.twoQuditOps, estimateCircuitFidelity(routed.circuit, noise));
+        char label[40];
+        std::snprintf(label, sizeof(label), "random routed t=%.2f", threshold);
+        CaseSpec spec;
+        spec.name = label;
+        spec.dims = sweepDims;
+        spec.reps = 5;
+        spec.body = [sweepDims, threshold, lean, noise](Repetition& rep) {
+            Rng rng(7);
+            const StateVector state = states::random(sweepDims, rng);
+            const auto prep = threshold == 1.0
+                                  ? prepareExact(state, lean)
+                                  : prepareApproximated(state, threshold, lean);
+            TranspileResult lowered;
+            RoutingResult routed;
+            rep.time([&] {
+                lowered = transpileToTwoQudit(prep.circuit);
+                routed = routeCircuit(lowered.circuit,
+                                      Architecture::allToAll(
+                                          lowered.circuit.dimensions(), noise));
+            });
+            rep.metric("hl_ops", static_cast<double>(prep.circuit.numOperations()));
+            rep.metric("routed_2q_ops", static_cast<double>(routed.twoQuditOps));
+            rep.metric("est_fidelity", estimateCircuitFidelity(routed.circuit, noise));
+        };
+        harness.add(std::move(spec));
     }
-    return 0;
+    return harness.main(argc, argv);
 }

@@ -1,47 +1,56 @@
 // Ablation E: the peephole optimizer on synthesized circuits. Quantifies
 // how much of the paper-faithful operation count the optimizer recovers
 // (identity stripping should match the synthesizer's own elision mode) and
-// what rotation merging / control-fan collapsing add on top.
+// what rotation merging / control-fan collapsing add on top: 'optimized_ops'
+// at or below 'elided_ops' everywhere. The timed region is the optimizer
+// pass alone (synthesis is setup).
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/opt/optimizer.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
-
-    std::printf("Optimizer gains on paper-faithful synthesized circuits\n\n");
-    std::printf("%-14s %-22s %10s %10s %10s %8s %8s %8s\n", "Name", "Qudits", "faithful",
-                "elided", "optimized", "merges", "idents", "fans");
 
     SynthesisOptions faithful;
     faithful.emitIdentityOperations = true;
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("ablation_optimizer");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
-        Rng rng(seeder.childSeed());
-        const StateVector state = makeState(workload, rng);
-        const auto full = prepareExact(state, faithful);
-        const auto slim = prepareExact(state, lean);
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.family;
+        spec.dims = workload.dims;
+        spec.reps = 5;
+        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
+        spec.body = [workload, caseSeed, faithful, lean](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
+            const StateVector state = makeState(workload, rng);
+            const auto full = prepareExact(state, faithful);
+            const auto slim = prepareExact(state, lean);
 
-        Circuit optimized = full.circuit;
-        const auto report = optimizeCircuit(optimized);
+            Circuit optimized = full.circuit;
+            OptimizerReport report;
+            rep.time([&] { report = optimizeCircuit(optimized); });
 
-        std::printf("%-14s %-22s %10zu %10zu %10zu %8zu %8zu %8zu\n",
-                    workload.family.c_str(),
-                    formatDimensionSpec(workload.dims).c_str(),
-                    full.circuit.numOperations(), slim.circuit.numOperations(),
-                    optimized.numOperations(), report.mergedRotations,
-                    report.droppedIdentities, report.mergedControlFans);
+            rep.metric("faithful_ops",
+                       static_cast<double>(full.circuit.numOperations()));
+            rep.metric("elided_ops", static_cast<double>(slim.circuit.numOperations()));
+            rep.metric("optimized_ops", static_cast<double>(optimized.numOperations()));
+            rep.metric("merged_rotations", static_cast<double>(report.mergedRotations));
+            rep.metric("dropped_identities",
+                       static_cast<double>(report.droppedIdentities));
+            rep.metric("merged_control_fans",
+                       static_cast<double>(report.mergedControlFans));
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\n'optimized' at or below 'elided' everywhere: the optimizer subsumes\n"
-                "the synthesizer's identity elision and additionally merges rotations\n"
-                "and collapses full control fans where the state structure allows.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

@@ -3,71 +3,100 @@
 // stored once instead of per path — and (b) the control saving from the
 // tensor-product elision rule, reported both as control counts and as the
 // estimated two-qudit cost after transpilation (the paper's "more
-// resource-efficient sequences of operations").
+// resource-efficient sequences of operations"). Uniform/product states
+// collapse to one node per level and lose all controls; random dense states
+// have no redundancy and gain nothing. The timed region covers reduce()
+// plus both syntheses.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/synth/synthesizer.hpp"
 #include "mqsp/transpile/transpiler.hpp"
 
-#include <cstdio>
+#include <functional>
+#include <utility>
 
-namespace {
-
-void reportRow(const char* name, const mqsp::StateVector& state) {
-    using namespace mqsp;
-
-    DecisionDiagram tree = DecisionDiagram::fromStateVector(state);
-    const auto nodesTree = tree.nodeCount(NodeCountMode::Internal);
-
-    DecisionDiagram dag = DecisionDiagram::fromStateVector(state);
-    dag.reduce();
-    const auto nodesDag = dag.nodeCount(NodeCountMode::Internal);
-
-    SynthesisOptions with;
-    with.emitIdentityOperations = false;
-    with.elideTensorProductControls = true;
-    SynthesisOptions without = with;
-    without.elideTensorProductControls = false;
-
-    const Circuit elided = synthesize(dag, with);
-    const Circuit plain = synthesize(dag, without);
-
-    std::printf("%-24s %10llu %10llu %10zu %10zu %12zu %12zu\n", name,
-                static_cast<unsigned long long>(nodesTree),
-                static_cast<unsigned long long>(nodesDag),
-                plain.stats().totalControls, elided.stats().totalControls,
-                estimateTwoQuditCost(plain), estimateTwoQuditCost(elided));
-}
-
-} // namespace
-
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
-    std::printf("Reduction (sharing) ablation\n\n");
-    std::printf("%-24s %10s %10s %10s %10s %12s %12s\n", "state", "nodes", "nodes",
-                "controls", "controls", "2q-cost", "2q-cost");
-    std::printf("%-24s %10s %10s %10s %10s %12s %12s\n", "", "(tree)", "(reduced)",
-                "(plain)", "(elided)", "(plain)", "(elided)");
+    struct ReductionCase {
+        const char* label;
+        Dimensions dims;
+        std::function<StateVector()> make;
+        bool smoke = false;
+    };
+    const std::vector<ReductionCase> cases = {
+        {"uniform", {3, 6, 2}, [] { return states::uniform({3, 6, 2}); }, true},
+        {"uniform", {9, 5, 6, 3}, [] { return states::uniform({9, 5, 6, 3}); }, false},
+        {"uniform",
+         {4, 7, 4, 4, 3, 5},
+         [] { return states::uniform({4, 7, 4, 4, 3, 5}); },
+         false},
+        {"ghz", {3, 6, 2}, [] { return states::ghz({3, 6, 2}); }, false},
+        {"ghz", {9, 5, 6, 3}, [] { return states::ghz({9, 5, 6, 3}); }, false},
+        {"w", {9, 5, 6, 3}, [] { return states::wState({9, 5, 6, 3}); }, false},
+        {"embw",
+         {4, 7, 4, 4, 3, 5},
+         [] { return states::embeddedWState({4, 7, 4, 4, 3, 5}); },
+         false},
+        {"random",
+         {3, 6, 2},
+         [] {
+             Rng rng(Rng::kDefaultSeed);
+             return states::random({3, 6, 2}, rng);
+         },
+         false},
+        {"product(u3 x rand)",
+         {3, 4, 2},
+         [] {
+             Rng inner(7);
+             return states::uniform({3}).kron(states::random({4, 2}, inner));
+         },
+         false},
+    };
 
-    Rng rng(Rng::kDefaultSeed);
-    reportRow("uniform [3,6,2]", states::uniform({3, 6, 2}));
-    reportRow("uniform [9,5,6,3]", states::uniform({9, 5, 6, 3}));
-    reportRow("uniform [4,7,4,4,3,5]", states::uniform({4, 7, 4, 4, 3, 5}));
-    reportRow("ghz [3,6,2]", states::ghz({3, 6, 2}));
-    reportRow("ghz [9,5,6,3]", states::ghz({9, 5, 6, 3}));
-    reportRow("w [9,5,6,3]", states::wState({9, 5, 6, 3}));
-    reportRow("embw [4,7,4,4,3,5]", states::embeddedWState({4, 7, 4, 4, 3, 5}));
-    reportRow("random [3,6,2]", states::random({3, 6, 2}, rng));
-    reportRow("product(u3 x rand)", [] {
-        Rng inner(7);
-        return states::uniform({3}).kron(states::random({4, 2}, inner));
-    }());
+    Harness harness("ablation_reduction");
+    for (const auto& reductionCase : cases) {
+        CaseSpec spec;
+        spec.name = reductionCase.label;
+        spec.dims = reductionCase.dims;
+        spec.reps = 5;
+        spec.smoke = reductionCase.smoke;
+        spec.body = [make = reductionCase.make](Repetition& rep) {
+            const StateVector state = make();
 
-    std::printf("\nUniform/product states collapse to one node per level and lose "
-                "all controls;\nrandom dense states have no redundancy and gain "
-                "nothing — the paper's expected shape.\n");
-    return 0;
+            DecisionDiagram tree = DecisionDiagram::fromStateVector(state);
+            const auto nodesTree = tree.nodeCount(NodeCountMode::Internal);
+
+            SynthesisOptions with;
+            with.emitIdentityOperations = false;
+            with.elideTensorProductControls = true;
+            SynthesisOptions without = with;
+            without.elideTensorProductControls = false;
+
+            DecisionDiagram dag = DecisionDiagram::fromStateVector(state);
+            Circuit elided;
+            Circuit plain;
+            rep.time([&] {
+                dag.reduce();
+                elided = synthesize(dag, with);
+                plain = synthesize(dag, without);
+            });
+            const auto nodesDag = dag.nodeCount(NodeCountMode::Internal);
+
+            rep.metric("nodes_tree", static_cast<double>(nodesTree));
+            rep.metric("nodes_reduced", static_cast<double>(nodesDag));
+            rep.metric("controls_plain",
+                       static_cast<double>(plain.stats().totalControls));
+            rep.metric("controls_elided",
+                       static_cast<double>(elided.stats().totalControls));
+            rep.metric("2q_cost_plain", static_cast<double>(estimateTwoQuditCost(plain)));
+            rep.metric("2q_cost_elided",
+                       static_cast<double>(estimateTwoQuditCost(elided)));
+        };
+        harness.add(std::move(spec));
+    }
+    return harness.main(argc, argv);
 }

@@ -3,55 +3,65 @@
 // baseline (the exhaustive uniformly-controlled cascade that visits every
 // node of the full splitting tree, as classical qubit state preparation
 // does). The gap is the abstract's claim made concrete: "performance
-// directly linked to the size of the decision diagram".
+// directly linked to the size of the decision diagram" (structured states:
+// the DD skips every zero sub-tree; dense random states: ratio 1). Both
+// circuits are verified on registers small enough to simulate instantly;
+// a verification failure fails the case. The timed region covers both
+// syntheses.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/sim/simulator.hpp"
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
+#include <stdexcept>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
-
-    std::printf("DD-aware synthesis vs dense multiplexor baseline\n\n");
-    std::printf("%-14s %-22s %10s %10s %10s %12s\n", "Name", "Qudits", "DD ops",
-                "dense ops", "speedup", "verified");
 
     SynthesisOptions options; // paper-faithful emission for both
     options.elideTensorProductControls = false;
 
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("baseline_dense");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
-        Rng rng(seeder.childSeed());
-        const StateVector state = makeState(workload, rng);
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.family;
+        spec.dims = workload.dims;
+        spec.reps = 5;
+        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
+        spec.body = [workload, caseSeed, options](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
+            const StateVector state = makeState(workload, rng);
 
-        const DecisionDiagram sparse = DecisionDiagram::fromStateVector(state);
-        const Circuit ddCircuit = synthesize(sparse, options);
+            Circuit ddCircuit;
+            Circuit baseline;
+            rep.time([&] {
+                const DecisionDiagram sparse = DecisionDiagram::fromStateVector(state);
+                ddCircuit = synthesize(sparse, options);
+                const DecisionDiagram dense = DecisionDiagram::fromStateVectorDense(state);
+                baseline = synthesize(dense, options);
+            });
 
-        const DecisionDiagram dense = DecisionDiagram::fromStateVectorDense(state);
-        const Circuit baseline = synthesize(dense, options);
-
-        // Verify both on registers small enough to simulate instantly.
-        const char* verified = "-";
-        if (state.size() <= 1024) {
-            const bool okA =
-                Simulator::preparationFidelity(ddCircuit, state) > 1.0 - 1e-8;
-            const bool okB =
-                Simulator::preparationFidelity(baseline, state) > 1.0 - 1e-8;
-            verified = (okA && okB) ? "both" : "FAILED";
-        }
-        std::printf("%-14s %-22s %10zu %10zu %9.1fx %12s\n", workload.family.c_str(),
-                    formatDimensionSpec(workload.dims).c_str(),
-                    ddCircuit.numOperations(), baseline.numOperations(),
-                    static_cast<double>(baseline.numOperations()) /
-                        static_cast<double>(ddCircuit.numOperations()),
-                    verified);
+            rep.metric("dd_ops", static_cast<double>(ddCircuit.numOperations()));
+            rep.metric("dense_ops", static_cast<double>(baseline.numOperations()));
+            rep.metric("speedup", static_cast<double>(baseline.numOperations()) /
+                                      static_cast<double>(ddCircuit.numOperations()));
+            if (rep.index() == 0 && state.size() <= 1024) {
+                const bool okA =
+                    Simulator::preparationFidelity(ddCircuit, state) > 1.0 - 1e-8;
+                const bool okB =
+                    Simulator::preparationFidelity(baseline, state) > 1.0 - 1e-8;
+                if (!okA || !okB) {
+                    throw std::runtime_error("synthesized circuit failed verification");
+                }
+                rep.metric("verified", 1.0);
+            }
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\nStructured states: the DD skips every zero sub-tree (GHZ 6-qudit:\n"
-                "73 vs 8656 ops). Dense random states: no zeros to skip, ratio 1.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

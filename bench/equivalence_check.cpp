@@ -2,87 +2,101 @@
 // verify that every transformation stage of the toolchain — identity
 // elision, peephole optimization, transpilation to two-level gates —
 // preserves the *full unitary* of the synthesized circuit, not merely its
-// action on |0...0>. Reports diagram sizes and check times.
+// action on |0...0>. Reports diagram sizes; an inequivalence fails the case.
+// The timed region is the matrix-DD construction and comparison.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/mdd/matrix_dd.hpp"
 #include "mqsp/opt/optimizer.hpp"
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 #include "mqsp/transpile/transpiler.hpp"
 
-#include <cstdio>
+#include <stdexcept>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
-    struct Case {
+    struct EquivalenceCase {
         const char* label;
         Dimensions dims;
+        bool smoke = false;
     };
-    const Case cases[] = {
-        {"GHZ", {3, 6, 2}},
-        {"W", {3, 6, 2}},
-        {"Emb. W", {3, 6, 2}},
-        {"GHZ", {2, 3, 2, 2}},
-        {"random", {3, 3, 2}},
+    const EquivalenceCase cases[] = {
+        {"GHZ", {3, 6, 2}, true},
+        {"W", {3, 6, 2}, false},
+        {"Emb. W", {3, 6, 2}, false},
+        {"GHZ", {2, 3, 2, 2}, false},
+        {"random", {3, 3, 2}, false},
     };
 
-    std::printf("Unitary-level equivalence of toolchain stages (matrix DDs)\n\n");
-    std::printf("%-10s %-14s %8s %8s %9s %9s %9s %10s\n", "state", "register", "ops",
-                "nodes", "==elided", "==opt", "==2q", "time[ms]");
-
-    Rng rng(Rng::kDefaultSeed);
+    Harness harness("equivalence_check");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& testCase : cases) {
-        StateVector target({2});
-        const std::string label = testCase.label;
-        if (label == "GHZ") {
-            target = states::ghz(testCase.dims);
-        } else if (label == "W") {
-            target = states::wState(testCase.dims);
-        } else if (label == "Emb. W") {
-            target = states::embeddedWState(testCase.dims);
-        } else {
-            target = states::random(testCase.dims, rng);
-        }
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = testCase.label;
+        spec.dims = testCase.dims;
+        spec.reps = 5;
+        spec.smoke = testCase.smoke;
+        spec.body = [label = std::string(testCase.label), dims = testCase.dims,
+                     caseSeed](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
+            StateVector target({2});
+            if (label == "GHZ") {
+                target = states::ghz(dims);
+            } else if (label == "W") {
+                target = states::wState(dims);
+            } else if (label == "Emb. W") {
+                target = states::embeddedWState(dims);
+            } else {
+                target = states::random(dims, rng);
+            }
 
-        SynthesisOptions faithful;
-        const auto full = prepareExact(target, faithful);
-        SynthesisOptions leanOptions;
-        leanOptions.emitIdentityOperations = false;
-        const auto lean = prepareExact(target, leanOptions);
+            SynthesisOptions faithful;
+            const auto full = prepareExact(target, faithful);
+            SynthesisOptions leanOptions;
+            leanOptions.emitIdentityOperations = false;
+            const auto lean = prepareExact(target, leanOptions);
 
-        Circuit optimized = full.circuit;
-        (void)optimizeCircuit(optimized);
+            Circuit optimized = full.circuit;
+            (void)optimizeCircuit(optimized);
 
-        const WallTimer timer;
-        const MatrixDD reference = MatrixDD::fromCircuit(full.circuit);
-        const bool elidedOk = reference.equivalentUpToGlobalPhase(
-            MatrixDD::fromCircuit(lean.circuit), 1e-8);
-        const bool optimizedOk = reference.equivalentUpToGlobalPhase(
-            MatrixDD::fromCircuit(optimized), 1e-8);
+            // Transpile only when no ancillas are needed (same register).
+            const auto lowered = transpileToTwoQudit(lean.circuit);
 
-        // Transpile only when no ancillas are needed (same register).
-        bool transpiledOk = true;
-        const auto lowered = transpileToTwoQudit(lean.circuit);
-        if (lowered.numAncillas == 0) {
-            transpiledOk = reference.equivalentUpToGlobalPhase(
-                MatrixDD::fromCircuit(lowered.circuit), 1e-7);
-        }
-        const double ms = timer.elapsedSeconds() * 1e3;
+            bool elidedOk = false;
+            bool optimizedOk = false;
+            bool transpiledOk = true;
+            std::uint64_t nodes = 0;
+            rep.time([&] {
+                const MatrixDD reference = MatrixDD::fromCircuit(full.circuit);
+                nodes = reference.nodeCount();
+                elidedOk = reference.equivalentUpToGlobalPhase(
+                    MatrixDD::fromCircuit(lean.circuit), 1e-8);
+                optimizedOk = reference.equivalentUpToGlobalPhase(
+                    MatrixDD::fromCircuit(optimized), 1e-8);
+                if (lowered.numAncillas == 0) {
+                    transpiledOk = reference.equivalentUpToGlobalPhase(
+                        MatrixDD::fromCircuit(lowered.circuit), 1e-7);
+                }
+            });
 
-        std::printf("%-10s %-14s %8zu %8llu %9s %9s %9s %10.2f\n", testCase.label,
-                    formatDimensionSpec(testCase.dims).c_str(),
-                    full.circuit.numOperations(),
-                    static_cast<unsigned long long>(reference.nodeCount()),
-                    elidedOk ? "yes" : "NO", optimizedOk ? "yes" : "NO",
-                    lowered.numAncillas == 0 ? (transpiledOk ? "yes" : "NO") : "(anc)",
-                    ms);
-        if (!elidedOk || !optimizedOk || !transpiledOk) {
-            return 1;
-        }
+            rep.metric("ops", static_cast<double>(full.circuit.numOperations()));
+            rep.metric("nodes", static_cast<double>(nodes));
+            rep.metric("eq_elided", elidedOk ? 1.0 : 0.0);
+            rep.metric("eq_optimized", optimizedOk ? 1.0 : 0.0);
+            if (lowered.numAncillas == 0) {
+                rep.metric("eq_transpiled", transpiledOk ? 1.0 : 0.0);
+            }
+            if (!elidedOk || !optimizedOk || !transpiledOk) {
+                throw std::runtime_error("toolchain stage broke unitary equivalence");
+            }
+        };
+        harness.add(std::move(spec));
     }
-    return 0;
+    return harness.main(argc, argv);
 }

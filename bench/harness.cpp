@@ -1,0 +1,303 @@
+#include "harness.hpp"
+
+#include "cli_args.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mqsp::bench {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t elapsedNsSince(const SteadyClock::time_point& start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() - start)
+        .count();
+}
+
+/// JSON string escaping for the small character set our labels use.
+[[nodiscard]] std::string escapeJson(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// Shortest round-trippable representation of a metric value.
+[[nodiscard]] std::string formatJsonNumber(double value) {
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    double reparsed = 0.0;
+    std::sscanf(buf, "%lf", &reparsed);
+    for (int precision = 6; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+        std::sscanf(shorter, "%lf", &reparsed);
+        if (reparsed == value) {
+            return shorter;
+        }
+    }
+    return buf;
+}
+
+[[nodiscard]] double metricMean(const MetricSample& metric) {
+    return metric.count == 0 ? 0.0 : metric.sum / metric.count;
+}
+
+void printHumanReport(const std::string& driver, const RunOptions& options,
+                      const std::vector<CaseResult>& results) {
+    std::printf("%s — %zu case(s), %s mode\n\n", driver.c_str(), results.size(),
+                options.smoke ? "smoke" : "full");
+    std::printf("%-32s %-18s %5s %10s %10s %10s %10s\n", "case", "dims", "reps", "min[ms]",
+                "med[ms]", "mean[ms]", "sd[ms]");
+    for (const auto& result : results) {
+        std::printf("%-32s %-18s %5d %10.4f %10.4f %10.4f %10.4f\n", result.name.c_str(),
+                    result.dims.empty() ? "-" : result.dims.c_str(), result.reps,
+                    result.stats.minNs * 1e-6, result.stats.medianNs * 1e-6,
+                    result.stats.meanNs * 1e-6, result.stats.stddevNs * 1e-6);
+        if (!result.metrics.empty()) {
+            std::printf("  ");
+            for (const auto& metric : result.metrics) {
+                std::printf(" %s=%.4g", metric.name.c_str(), metricMean(metric));
+            }
+            std::printf("\n");
+        }
+        if (result.failed) {
+            std::printf("   FAILED: %s\n", result.error.c_str());
+        }
+    }
+}
+
+void usage(const std::string& driver) {
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --smoke          run only smoke-marked cases, 1 rep, no warmup\n"
+                 "  --reps <n>       override the repetition count for every case\n"
+                 "  --warmup <n>     untimed warmup repetitions per case (default 1)\n"
+                 "  --case <substr>  run only cases whose name or dims contain <substr>\n"
+                 "  --json <path>    also write the mqsp-bench-v1 JSON report to <path>\n"
+                 "  --list           print the registered case names and exit\n",
+                 driver.c_str());
+}
+
+} // namespace
+
+void Repetition::time(const std::function<void()>& timedSection) {
+    if (timed_) {
+        throw std::logic_error("Repetition::time() called twice in one repetition");
+    }
+    const auto start = SteadyClock::now();
+    timedSection();
+    elapsedNs_ = elapsedNsSince(start);
+    timed_ = true;
+}
+
+void Repetition::metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+}
+
+CaseStats computeStats(const std::vector<std::int64_t>& timesNs) {
+    CaseStats stats;
+    if (timesNs.empty()) {
+        return stats;
+    }
+    std::vector<std::int64_t> sorted(timesNs);
+    std::sort(sorted.begin(), sorted.end());
+    stats.minNs = static_cast<double>(sorted.front());
+    const std::size_t n = sorted.size();
+    stats.medianNs = n % 2 == 1 ? static_cast<double>(sorted[n / 2])
+                                : 0.5 * (static_cast<double>(sorted[n / 2 - 1]) +
+                                         static_cast<double>(sorted[n / 2]));
+    double sum = 0.0;
+    for (const auto t : sorted) {
+        sum += static_cast<double>(t);
+    }
+    stats.meanNs = sum / static_cast<double>(n);
+    if (n >= 2) {
+        double accum = 0.0;
+        for (const auto t : sorted) {
+            const double delta = static_cast<double>(t) - stats.meanNs;
+            accum += delta * delta;
+        }
+        stats.stddevNs = std::sqrt(accum / static_cast<double>(n - 1));
+    }
+    return stats;
+}
+
+void writeJsonReport(std::ostream& out, const std::string& driver, const RunOptions& options,
+                     const std::vector<CaseResult>& results) {
+    out << "{\n";
+    out << "  \"schema\": \"mqsp-bench-v1\",\n";
+    out << "  \"driver\": \"" << escapeJson(driver) << "\",\n";
+    out << "  \"mode\": \"" << (options.smoke ? "smoke" : "full") << "\",\n";
+    out << "  \"filter\": \"" << escapeJson(options.caseFilter) << "\",\n";
+    out << "  \"cases\": [";
+    bool firstCase = true;
+    for (const auto& result : results) {
+        out << (firstCase ? "\n" : ",\n");
+        firstCase = false;
+        out << "    {\n";
+        out << "      \"driver\": \"" << escapeJson(driver) << "\",\n";
+        out << "      \"case\": \"" << escapeJson(result.name) << "\",\n";
+        out << "      \"dims\": \"" << escapeJson(result.dims) << "\",\n";
+        out << "      \"reps\": " << result.reps << ",\n";
+        out << "      \"warmup\": " << result.warmup << ",\n";
+        out << "      \"times_ns\": [";
+        for (std::size_t i = 0; i < result.timesNs.size(); ++i) {
+            out << (i == 0 ? "" : ", ") << result.timesNs[i];
+        }
+        out << "],\n";
+        out << "      \"stats\": {\"min_ns\": " << formatJsonNumber(result.stats.minNs)
+            << ", \"median_ns\": " << formatJsonNumber(result.stats.medianNs)
+            << ", \"mean_ns\": " << formatJsonNumber(result.stats.meanNs)
+            << ", \"stddev_ns\": " << formatJsonNumber(result.stats.stddevNs) << "},\n";
+        out << "      \"metrics\": {";
+        bool firstMetric = true;
+        for (const auto& metric : result.metrics) {
+            out << (firstMetric ? "" : ", ");
+            firstMetric = false;
+            out << "\"" << escapeJson(metric.name)
+                << "\": " << formatJsonNumber(metricMean(metric));
+        }
+        out << "}";
+        if (result.failed) {
+            out << ",\n      \"failed\": true,\n";
+            out << "      \"error\": \"" << escapeJson(result.error) << "\"\n";
+        } else {
+            out << "\n";
+        }
+        out << "    }";
+    }
+    out << "\n  ]\n}\n";
+}
+
+std::vector<CaseResult> Harness::execute(const RunOptions& options) const {
+    std::vector<CaseResult> results;
+    for (const auto& spec : cases_) {
+        const std::string dims = spec.dims.empty() ? "" : formatDimensionSpec(spec.dims);
+        if (options.smoke && !spec.smoke) {
+            continue;
+        }
+        if (!options.caseFilter.empty() &&
+            spec.name.find(options.caseFilter) == std::string::npos &&
+            dims.find(options.caseFilter) == std::string::npos) {
+            continue;
+        }
+        CaseResult result;
+        result.name = spec.name;
+        result.dims = dims;
+        result.reps = options.smoke            ? 1
+                      : options.repsOverride > 0 ? options.repsOverride
+                                                 : spec.reps;
+        result.warmup = options.smoke ? 0 : options.warmup;
+        try {
+            for (int warm = 0; warm < result.warmup; ++warm) {
+                Repetition rep(-1 - warm);
+                spec.body(rep);
+            }
+            for (int run = 0; run < result.reps; ++run) {
+                Repetition rep(run);
+                const auto bodyStart = SteadyClock::now();
+                spec.body(rep);
+                const std::int64_t bodyNs = elapsedNsSince(bodyStart);
+                result.timesNs.push_back(rep.timed() ? rep.elapsedNs() : bodyNs);
+                for (const auto& [name, value] : rep.metrics()) {
+                    auto existing = std::find_if(
+                        result.metrics.begin(), result.metrics.end(),
+                        [&name = name](const MetricSample& m) { return m.name == name; });
+                    if (existing == result.metrics.end()) {
+                        result.metrics.push_back({name, value, 1});
+                    } else {
+                        existing->sum += value;
+                        existing->count += 1;
+                    }
+                }
+            }
+        } catch (const std::exception& error) {
+            result.failed = true;
+            result.error = error.what();
+        }
+        result.stats = computeStats(result.timesNs);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+int Harness::main(int argc, char** argv) const {
+    try {
+        if (cli::argFlag(argc, argv, "--help") || cli::argFlag(argc, argv, "-h")) {
+            usage(driver_);
+            return 0;
+        }
+        RunOptions options;
+        options.smoke = cli::argFlag(argc, argv, "--smoke");
+        options.repsOverride =
+            static_cast<int>(cli::argUint(argc, argv, "--reps", 0));
+        options.warmup = static_cast<int>(cli::argUint(argc, argv, "--warmup", 1));
+        options.caseFilter = cli::argValue(argc, argv, "--case").value_or("");
+        options.jsonPath = cli::argValue(argc, argv, "--json").value_or("");
+        options.list = cli::argFlag(argc, argv, "--list");
+
+        if (options.list) {
+            for (const auto& spec : cases_) {
+                std::printf("%s%s%s%s\n", spec.name.c_str(), spec.dims.empty() ? "" : " ",
+                            spec.dims.empty() ? "" : formatDimensionSpec(spec.dims).c_str(),
+                            spec.smoke ? "  [smoke]" : "");
+            }
+            return 0;
+        }
+
+        const std::vector<CaseResult> results = execute(options);
+        printHumanReport(driver_, options, results);
+
+        if (!options.jsonPath.empty()) {
+            std::ofstream out(options.jsonPath);
+            if (!out.good()) {
+                std::fprintf(stderr, "%s: cannot write JSON report to %s\n", driver_.c_str(),
+                             options.jsonPath.c_str());
+                return 1;
+            }
+            writeJsonReport(out, driver_, options, results);
+        }
+
+        const bool anyFailed = std::any_of(results.begin(), results.end(),
+                                           [](const CaseResult& r) { return r.failed; });
+        if (results.empty()) {
+            std::fprintf(stderr, "%s: no cases matched the selection\n", driver_.c_str());
+            return 1;
+        }
+        return anyFailed ? 1 : 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s: %s\n", driver_.c_str(), error.what());
+        usage(driver_);
+        return 2;
+    }
+}
+
+} // namespace mqsp::bench

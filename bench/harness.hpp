@@ -1,0 +1,145 @@
+#pragma once
+
+// Shared benchmark harness: every driver in bench/ registers its cases here
+// and delegates main() to Harness::main(). The harness owns the methodology
+// (warmup, repetitions, per-case min/median/mean/stddev) and the output
+// contract (a human table on stdout, one JSON schema across all drivers via
+// --json). `--smoke` runs the smoke-marked subset once with no warmup so
+// each driver doubles as a ctest target; see docs/BENCHMARKS.md.
+
+#include "mqsp/support/mixed_radix.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mqsp::bench {
+
+/// Number of repetitions the paper averages over (Table 1); the default
+/// repetition count for registered cases.
+inline constexpr int kPaperRuns = 40;
+
+/// One named metric sample: circuit/diagram quantities a case reports
+/// alongside its timing (operation counts, fidelities, node counts, ...).
+struct MetricSample {
+    std::string name;
+    double sum = 0.0;
+    int count = 0;
+};
+
+/// Handle passed to a case body for one repetition. The body wraps the
+/// region to be timed in `time()` (setup such as state construction stays
+/// untimed); if `time()` is never called the harness falls back to the wall
+/// time of the whole body. Metrics recorded on any repetition are averaged
+/// over the repetitions that recorded them.
+class Repetition {
+public:
+    explicit Repetition(int index) : index_(index) {}
+
+    /// Repetition number, 0-based (warmup repetitions use negative indices).
+    [[nodiscard]] int index() const noexcept { return index_; }
+
+    /// Execute and time `timedSection`; at most one call per repetition.
+    void time(const std::function<void()>& timedSection);
+
+    /// Record a named metric value for this repetition.
+    void metric(const std::string& name, double value);
+
+    /// Harness-side accessors.
+    [[nodiscard]] bool timed() const noexcept { return timed_; }
+    [[nodiscard]] std::int64_t elapsedNs() const noexcept { return elapsedNs_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics() const noexcept {
+        return metrics_;
+    }
+
+private:
+    int index_ = 0;
+    bool timed_ = false;
+    std::int64_t elapsedNs_ = 0;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// The body of a benchmark case: one repetition of the measured workload.
+/// Throwing marks the case (and the whole run) as failed.
+using CaseBody = std::function<void(Repetition&)>;
+
+/// A registered benchmark case.
+struct CaseSpec {
+    std::string name;       ///< workload label, unique together with dims
+    Dimensions dims;        ///< register (empty when not register-shaped)
+    int reps = kPaperRuns;  ///< full-mode repetitions
+    bool smoke = false;     ///< included in --smoke runs
+    CaseBody body;
+};
+
+/// Aggregate statistics over a case's repetition times.
+struct CaseStats {
+    double minNs = 0.0;
+    double medianNs = 0.0;
+    double meanNs = 0.0;
+    double stddevNs = 0.0;  ///< sample stddev (n-1); 0 when fewer than 2 reps
+};
+
+/// Compute min/median/mean/stddev of the given times (empty input -> zeros).
+[[nodiscard]] CaseStats computeStats(const std::vector<std::int64_t>& timesNs);
+
+/// Result of executing one case.
+struct CaseResult {
+    std::string name;
+    std::string dims;  ///< formatted register spec, "" when dimension-less
+    int reps = 0;
+    int warmup = 0;
+    std::vector<std::int64_t> timesNs;
+    std::vector<MetricSample> metrics;  ///< registration order, summed
+    CaseStats stats;
+    bool failed = false;
+    std::string error;
+};
+
+/// Execution options, normally parsed from argv by Harness::main().
+struct RunOptions {
+    bool smoke = false;      ///< smoke cases only, 1 rep, no warmup
+    int repsOverride = 0;    ///< > 0 forces this repetition count
+    int warmup = 1;          ///< untimed warmup repetitions per case
+    std::string caseFilter;  ///< substring match on case name or dims
+    std::string jsonPath;    ///< write the JSON report here when non-empty
+    bool list = false;       ///< print case names and exit
+};
+
+/// Write the machine-readable report: one schema across all drivers
+/// ("mqsp-bench-v1"; see docs/BENCHMARKS.md).
+void writeJsonReport(std::ostream& out, const std::string& driver, const RunOptions& options,
+                     const std::vector<CaseResult>& results);
+
+/// The driver runner. Typical use:
+///
+///   Harness harness("table1_exact");
+///   harness.add({"GHZ State", {3, 6, 2}, kPaperRuns, /*smoke=*/true, body});
+///   return harness.main(argc, argv);
+class Harness {
+public:
+    explicit Harness(std::string driver) : driver_(std::move(driver)) {}
+
+    /// Register one case. Cases run in registration order.
+    void add(CaseSpec spec) { cases_.push_back(std::move(spec)); }
+
+    [[nodiscard]] const std::string& driver() const noexcept { return driver_; }
+    [[nodiscard]] std::size_t numCases() const noexcept { return cases_.size(); }
+
+    /// Execute the selected cases (no argv parsing, no printing) — the
+    /// testable core of the runner.
+    [[nodiscard]] std::vector<CaseResult> execute(const RunOptions& options) const;
+
+    /// Parse flags, run, print the human table, emit JSON when requested.
+    /// Returns the process exit code (1 when any case failed).
+    int main(int argc, char** argv) const;
+
+private:
+    std::string driver_;
+    std::vector<CaseSpec> cases_;
+};
+
+} // namespace mqsp::bench

@@ -2,62 +2,82 @@
 // (hardware/router.hpp) against the depolarizing density-matrix simulation
 // (sim/density_simulator.hpp) on synthesized preparation circuits, across a
 // sweep of two-qudit error rates. Agreement at small rates justifies using
-// the cheap estimator to rank routed circuits in the hardware ablation.
+// the cheap estimator to rank routed circuits in the hardware ablation: the
+// estimator is exact to first order in eps, the gap is the O(eps^2)
+// depolarizing back-action the product form ignores. The timed region is
+// the density-matrix simulation.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/hardware/router.hpp"
 #include "mqsp/sim/density_simulator.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
-    struct Case {
+    struct NoiseCase {
         const char* label;
         Dimensions dims;
     };
-    const Case cases[] = {
-        {"GHZ [3,3]", {3, 3}},
-        {"W [3,3]", {3, 3}},
-        {"GHZ [3,6,2]", {3, 6, 2}},
-        {"random [3,2,2]", {3, 2, 2}},
+    const NoiseCase cases[] = {
+        {"GHZ", {3, 3}},
+        {"W", {3, 3}},
+        {"GHZ", {3, 6, 2}},
+        {"random", {3, 2, 2}},
     };
 
-    std::printf("Estimator vs density-matrix simulation (depolarizing noise)\n\n");
-    std::printf("%-16s %8s | %10s %10s %10s\n", "circuit", "eps2", "estimated",
-                "simulated", "|delta|");
-
-    Rng rng(Rng::kDefaultSeed);
-    for (const auto& testCase : cases) {
-        StateVector target({2});
-        const std::string label = testCase.label;
-        if (label.rfind("GHZ", 0) == 0) {
-            target = states::ghz(testCase.dims);
-        } else if (label.rfind("W", 0) == 0) {
-            target = states::wState(testCase.dims);
-        } else {
-            target = states::random(testCase.dims, rng);
-        }
-        const auto prep = prepareExact(target, lean);
+    Harness harness("noise_validation");
+    Rng driverSeeder(Rng::kDefaultSeed);
+    for (const auto& noiseCase : cases) {
         for (const double eps : {1e-4, 1e-3, 5e-3, 2e-2}) {
-            NoiseModel noise;
-            noise.singleQuditError = eps / 10.0;
-            noise.twoQuditError = eps;
-            const double estimated = estimateCircuitFidelity(prep.circuit, noise);
-            const double simulated =
-                NoisySimulator::run(prep.circuit, noise).fidelityWithPure(target);
-            std::printf("%-16s %8.0e | %10.5f %10.5f %10.2e\n", testCase.label, eps,
-                        estimated, simulated, std::abs(estimated - simulated));
+            const std::uint64_t caseSeed = driverSeeder.childSeed();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s eps=%.0e", noiseCase.label, eps);
+            CaseSpec spec;
+            spec.name = label;
+            spec.dims = noiseCase.dims;
+            spec.reps = 5;
+            spec.smoke =
+                std::string(noiseCase.label) == "GHZ" && noiseCase.dims.size() == 2 &&
+                eps == 1e-3;
+            spec.body = [family = std::string(noiseCase.label), dims = noiseCase.dims,
+                         eps, caseSeed, lean](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                StateVector target({2});
+                if (family == "GHZ") {
+                    target = states::ghz(dims);
+                } else if (family == "W") {
+                    target = states::wState(dims);
+                } else {
+                    target = states::random(dims, rng);
+                }
+                const auto prep = prepareExact(target, lean);
+
+                NoiseModel noise;
+                noise.singleQuditError = eps / 10.0;
+                noise.twoQuditError = eps;
+                const double estimated = estimateCircuitFidelity(prep.circuit, noise);
+                double simulated = 0.0;
+                rep.time([&] {
+                    simulated =
+                        NoisySimulator::run(prep.circuit, noise).fidelityWithPure(target);
+                });
+                rep.metric("estimated_fidelity", estimated);
+                rep.metric("simulated_fidelity", simulated);
+                rep.metric("abs_delta", std::abs(estimated - simulated));
+            };
+            harness.add(std::move(spec));
         }
     }
-    std::printf("\nThe estimator is exact to first order in eps; the gap is the\n"
-                "O(eps^2) depolarizing back-action the product form ignores.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

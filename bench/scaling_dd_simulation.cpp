@@ -1,21 +1,41 @@
 // DD-native simulation scaling (the substrate of the paper's reference
 // [12]): replay synthesized preparation circuits on the decision diagram
 // and compare wall time against the dense state-vector simulator. On
-// structured states the DD stays small and DD simulation wins by orders of
-// magnitude as the register grows; on dense random states the DD degenerates
-// to the full tree and the dense simulator is the better tool — the
-// classic DD-simulation trade-off.
+// structured states the DD stays small and DD simulation wins as the
+// register grows; on dense random states the DD degenerates to the full
+// tree and the dense simulator is the better tool — the classic
+// DD-simulation trade-off. Each workload registers a "/dense" and a "/dd"
+// case so the two simulators are timed under the same methodology; both
+// verify their output against the target state.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/dd/decision_diagram.hpp"
 #include "mqsp/sim/simulator.hpp"
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
-int main() {
+namespace {
+
+mqsp::StateVector makeTarget(const std::string& family, const mqsp::Dimensions& dims,
+                             mqsp::Rng& rng) {
+    using namespace mqsp;
+    if (family == "GHZ") {
+        return states::ghz(dims);
+    }
+    if (family == "W") {
+        return states::wState(dims);
+    }
+    return states::random(dims, rng);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
@@ -25,56 +45,74 @@ int main() {
     struct Row {
         const char* family;
         Dimensions dims;
+        bool smoke = false;
     };
     const Row rows[] = {
-        {"GHZ", {3, 3, 3}},
-        {"GHZ", {3, 3, 3, 3, 3}},
-        {"GHZ", {3, 3, 3, 3, 3, 3, 3}},
-        {"GHZ", {4, 4, 4, 4, 4, 4}},
-        {"W", {3, 3, 3, 3, 3}},
-        {"W", {2, 2, 2, 2, 2, 2, 2, 2}},
-        {"random", {3, 6, 2}},
-        {"random", {9, 5, 6, 3}},
+        {"GHZ", {3, 3, 3}, true},
+        {"GHZ", {3, 3, 3, 3, 3}, false},
+        {"GHZ", {3, 3, 3, 3, 3, 3, 3}, false},
+        {"GHZ", {4, 4, 4, 4, 4, 4}, false},
+        {"W", {3, 3, 3, 3, 3}, false},
+        {"W", {2, 2, 2, 2, 2, 2, 2, 2}, false},
+        {"random", {3, 6, 2}, false},
+        {"random", {9, 5, 6, 3}, false},
     };
 
-    std::printf("DD-native vs dense simulation of preparation circuits\n\n");
-    std::printf("%-8s %-24s %10s %8s %12s %12s %10s\n", "state", "register", "dim",
-                "ops", "dense[ms]", "dd[ms]", "fidelity");
-
-    Rng rng(Rng::kDefaultSeed);
+    Harness harness("scaling_dd_simulation");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& row : rows) {
-        StateVector target({2});
-        const std::string family = row.family;
-        if (family == "GHZ") {
-            target = states::ghz(row.dims);
-        } else if (family == "W") {
-            target = states::wState(row.dims);
-        } else {
-            target = states::random(row.dims, rng);
+        {
+            const std::uint64_t caseSeed = driverSeeder.childSeed();
+            CaseSpec spec;
+            spec.name = std::string(row.family) + "/dense";
+            spec.dims = row.dims;
+            spec.reps = 10;
+            spec.smoke = row.smoke;
+            spec.body = [family = std::string(row.family), dims = row.dims, caseSeed,
+                         lean](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                const StateVector target = makeTarget(family, dims, rng);
+                const auto prep = prepareExact(target, lean);
+                StateVector dense({2});
+                rep.time([&] { dense = Simulator::runFromZero(prep.circuit); });
+                rep.metric("amplitudes", static_cast<double>(target.size()));
+                rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
+                const double fidelity = dense.fidelityWith(target);
+                rep.metric("fidelity", fidelity);
+                if (std::abs(fidelity - 1.0) > 1e-6) {
+                    throw std::runtime_error("dense simulation failed verification");
+                }
+            };
+            harness.add(std::move(spec));
         }
-        const auto prep = prepareExact(target, lean);
-
-        const WallTimer denseTimer;
-        const StateVector dense = Simulator::runFromZero(prep.circuit);
-        const double denseMs = denseTimer.elapsedSeconds() * 1e3;
-
-        const WallTimer ddTimer;
-        const DecisionDiagram simulated = DecisionDiagram::simulateCircuit(prep.circuit);
-        const double ddMs = ddTimer.elapsedSeconds() * 1e3;
-
-        // Verify both agree with the target, DD-natively for the DD run.
-        const DecisionDiagram targetDD = DecisionDiagram::fromStateVector(target);
-        const double fidelity =
-            squaredMagnitude(targetDD.innerProductWith(simulated));
-
-        std::printf("%-8s %-24s %10llu %8zu %12.3f %12.3f %10.6f\n", row.family,
-                    formatDimensionSpec(row.dims).c_str(),
-                    static_cast<unsigned long long>(target.size()),
-                    prep.circuit.numOperations(), denseMs, ddMs, fidelity);
-        if (std::abs(dense.fidelityWith(target) - 1.0) > 1e-6) {
-            std::printf("dense verification failed!\n");
-            return 1;
+        {
+            const std::uint64_t caseSeed = driverSeeder.childSeed();
+            CaseSpec spec;
+            spec.name = std::string(row.family) + "/dd";
+            spec.dims = row.dims;
+            spec.reps = 10;
+            spec.smoke = row.smoke;
+            spec.body = [family = std::string(row.family), dims = row.dims, caseSeed,
+                         lean](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                const StateVector target = makeTarget(family, dims, rng);
+                const auto prep = prepareExact(target, lean);
+                DecisionDiagram simulated;
+                rep.time(
+                    [&] { simulated = DecisionDiagram::simulateCircuit(prep.circuit); });
+                rep.metric("amplitudes", static_cast<double>(target.size()));
+                rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
+                // Verify DD-natively against the target's diagram.
+                const DecisionDiagram targetDD = DecisionDiagram::fromStateVector(target);
+                const double fidelity =
+                    squaredMagnitude(targetDD.innerProductWith(simulated));
+                rep.metric("fidelity", fidelity);
+                if (std::abs(fidelity - 1.0) > 1e-6) {
+                    throw std::runtime_error("DD simulation failed verification");
+                }
+            };
+            harness.add(std::move(spec));
         }
     }
-    return 0;
+    return harness.main(argc, argv);
 }

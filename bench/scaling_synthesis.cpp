@@ -1,55 +1,50 @@
 // Scaling: the synthesis routine is linear in the number of decision-diagram
-// nodes (§3.3). This bench grows random registers and reports DD size,
-// synthesis time, and the time-per-node ratio, which should stay flat.
+// nodes (§3.3). This bench grows random registers and reports DD size and
+// synthesis time; time divided by dd_nodes should stay flat, confirming the
+// linear-complexity claim. The timed region is synthesize() alone (diagram
+// construction is setup).
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
+#include <stdexcept>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
     const std::vector<Dimensions> registers{
-        {3, 2},          {3, 3, 2},       {3, 4, 3, 2},   {4, 4, 3, 3, 2},
+        {3, 2},          {3, 3, 2},       {3, 4, 3, 2},    {4, 4, 3, 3, 2},
         {4, 4, 4, 3, 3}, {5, 4, 4, 4, 3}, {5, 5, 4, 4, 4}, {6, 5, 5, 4, 4, 2},
     };
-    constexpr int kRuns = 10;
 
-    std::printf("Synthesis scaling on dense random states (%d runs each)\n\n", kRuns);
-    std::printf("%-22s %10s %12s %14s %16s\n", "register", "amplitudes", "DD nodes",
-                "synth[ms]", "ns per node");
-
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("scaling_synthesis");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& dims : registers) {
-        double nodes = 0.0;
-        double seconds = 0.0;
-        std::uint64_t amplitudes = 0;
-        for (int run = 0; run < kRuns; ++run) {
-            Rng rng(seeder.childSeed());
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = "random";
+        spec.dims = dims;
+        spec.reps = 10;
+        spec.smoke = dims.size() == 2;
+        spec.body = [dims, caseSeed](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
             const StateVector state = states::random(dims, rng);
-            amplitudes = state.size();
             const DecisionDiagram dd = DecisionDiagram::fromStateVector(state);
-            nodes += static_cast<double>(dd.nodeCount(NodeCountMode::Internal));
-            const WallTimer timer;
-            const Circuit circuit = synthesize(dd);
-            seconds += timer.elapsedSeconds();
-            // Keep the optimizer honest.
+            Circuit circuit;
+            rep.time([&] { circuit = synthesize(dd); });
+            rep.metric("amplitudes", static_cast<double>(state.size()));
+            rep.metric("dd_nodes",
+                       static_cast<double>(dd.nodeCount(NodeCountMode::Internal)));
+            rep.metric("operations", static_cast<double>(circuit.numOperations()));
+            // Keep the synthesizer honest.
             if (circuit.numOperations() == 0) {
-                std::printf("unexpected empty circuit\n");
-                return 1;
+                throw std::runtime_error("unexpected empty circuit");
             }
-        }
-        nodes /= kRuns;
-        seconds /= kRuns;
-        std::printf("%-22s %10llu %12.0f %14.3f %16.1f\n",
-                    formatDimensionSpec(dims).c_str(),
-                    static_cast<unsigned long long>(amplitudes), nodes,
-                    seconds * 1e3, seconds * 1e9 / nodes);
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\nFlat ns-per-node confirms the linear-complexity claim.\n");
-    return 0;
+    return harness.main(argc, argv);
 }

@@ -5,65 +5,49 @@
 // Fidelity is the approximation guarantee (1 - removed mass); the test suite
 // verifies on the simulator that the synthesized circuits reach exactly this
 // value, and this bench re-verifies one run per row on registers small
-// enough to simulate quickly.
+// enough to simulate quickly (reported as sim_fidelity).
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "mqsp/sim/simulator.hpp"
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
     constexpr double kThreshold = 0.98;
-    std::printf("Table 1 — Approximated %.0f%% synthesis (averaged over %d runs)\n\n",
-                kThreshold * 100, kPaperRuns);
-    std::printf("%-14s %3s %-22s %10s %10s %12s %10s %10s %10s %10s\n", "Name", "#Q",
-                "Qudits", "Nodes", "DistinctC", "Operations", "#Controls", "Time[s]",
-                "Fidelity", "SimFid");
 
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("table1_approx");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
-        double nodes = 0.0;
-        double distinct = 0.0;
-        double operations = 0.0;
-        double controls = 0.0;
-        double seconds = 0.0;
-        double fidelity = 0.0;
-        double simFidelity = -1.0;
-        for (int run = 0; run < kPaperRuns; ++run) {
-            Rng rng(seeder.childSeed());
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.family;
+        spec.dims = workload.dims;
+        spec.reps = kPaperRuns;
+        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
+        spec.body = [workload, caseSeed](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
             const StateVector state = makeState(workload, rng);
-            const WallTimer timer;
-            const auto result = prepareApproximated(state, kThreshold);
-            seconds += timer.elapsedSeconds();
-            nodes += static_cast<double>(
-                result.diagram.nodeCount(NodeCountMode::TreeSlots));
-            distinct += static_cast<double>(result.diagram.distinctComplexCount());
-            operations += static_cast<double>(result.circuit.numOperations());
-            controls += result.circuit.stats().medianControls;
-            fidelity += result.approx.fidelity;
-            if (run == 0 && state.size() <= 2048) {
-                simFidelity = Simulator::preparationFidelity(result.circuit, state);
+            PreparationResult result;
+            rep.time([&] { result = prepareApproximated(state, kThreshold); });
+            rep.metric("nodes", static_cast<double>(
+                                    result.diagram.nodeCount(NodeCountMode::TreeSlots)));
+            rep.metric("distinct_complex",
+                       static_cast<double>(result.diagram.distinctComplexCount()));
+            rep.metric("operations",
+                       static_cast<double>(result.circuit.numOperations()));
+            rep.metric("median_controls", result.circuit.stats().medianControls);
+            rep.metric("fidelity", result.approx.fidelity);
+            if (rep.index() == 0 && state.size() <= 2048) {
+                rep.metric("sim_fidelity",
+                           Simulator::preparationFidelity(result.circuit, state));
             }
-        }
-        const double inv = 1.0 / kPaperRuns;
-        std::printf("%-14s %3zu %-22s %10.2f %10.2f %12.2f %10.2f %10.4f %10.4f ",
-                    workload.family.c_str(), workload.dims.size(),
-                    formatDimensionSpec(workload.dims).c_str(), nodes * inv,
-                    distinct * inv, operations * inv, controls * inv, seconds * inv,
-                    fidelity * inv);
-        if (simFidelity >= 0.0) {
-            std::printf("%10.4f\n", simFidelity);
-        } else {
-            std::printf("%10s\n", "(large)");
-        }
+        };
+        harness.add(std::move(spec));
     }
-    std::printf("\nSimFid: simulator-verified fidelity of the first run "
-                "(registers up to 2048 amplitudes).\n");
-    return 0;
+    return harness.main(argc, argv);
 }

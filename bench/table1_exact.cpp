@@ -7,44 +7,38 @@
 // authors' Python) but stay sub-second per run, matching the paper's claim.
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 
-#include "mqsp/support/timing.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
-#include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mqsp;
     using namespace mqsp::bench;
 
-    std::printf("Table 1 — Exact synthesis (averaged over %d runs)\n\n", kPaperRuns);
-    std::printf("%-14s %3s %-22s %10s %10s %12s %10s %10s\n", "Name", "#Q", "Qudits",
-                "Nodes", "DistinctC", "Operations", "#Controls", "Time[s]");
-
-    Rng seeder(Rng::kDefaultSeed);
+    Harness harness("table1_exact");
+    Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
-        double nodes = 0.0;
-        double distinct = 0.0;
-        double operations = 0.0;
-        double controls = 0.0;
-        double seconds = 0.0;
-        for (int run = 0; run < kPaperRuns; ++run) {
-            Rng rng(seeder.childSeed());
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        CaseSpec spec;
+        spec.name = workload.family;
+        spec.dims = workload.dims;
+        spec.reps = kPaperRuns;
+        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
+        spec.body = [workload, caseSeed](Repetition& rep) {
+            Rng rng = repetitionRng(caseSeed, rep.index());
             const StateVector state = makeState(workload, rng);
-            const WallTimer timer;
-            const auto result = prepareExact(state);
-            seconds += timer.elapsedSeconds();
-            nodes += static_cast<double>(
-                result.diagram.nodeCount(NodeCountMode::DenseTree));
-            distinct += static_cast<double>(result.diagram.distinctComplexCount());
-            operations += static_cast<double>(result.circuit.numOperations());
-            controls += result.circuit.stats().medianControls;
-        }
-        const double inv = 1.0 / kPaperRuns;
-        std::printf("%-14s %3zu %-22s %10.1f %10.1f %12.1f %10.1f %10.4f\n",
-                    workload.family.c_str(), workload.dims.size(),
-                    formatDimensionSpec(workload.dims).c_str(), nodes * inv,
-                    distinct * inv, operations * inv, controls * inv, seconds * inv);
+            PreparationResult result;
+            rep.time([&] { result = prepareExact(state); });
+            rep.metric("nodes", static_cast<double>(
+                                    result.diagram.nodeCount(NodeCountMode::DenseTree)));
+            rep.metric("distinct_complex",
+                       static_cast<double>(result.diagram.distinctComplexCount()));
+            rep.metric("operations",
+                       static_cast<double>(result.circuit.numOperations()));
+            rep.metric("median_controls", result.circuit.stats().medianControls);
+        };
+        harness.add(std::move(spec));
     }
-    return 0;
+    return harness.main(argc, argv);
 }

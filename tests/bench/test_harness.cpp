@@ -1,0 +1,281 @@
+// Tier-1 coverage for the shared benchmark harness (bench/harness.hpp):
+// the statistics aggregation on known samples, case selection (smoke and
+// filters), metric averaging, failure capture, and the shape of the
+// mqsp-bench-v1 JSON report every driver emits.
+
+#include "harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mqsp::bench {
+namespace {
+
+TEST(HarnessStats, EmptyInputIsAllZero) {
+    const CaseStats stats = computeStats({});
+    EXPECT_EQ(stats.minNs, 0.0);
+    EXPECT_EQ(stats.medianNs, 0.0);
+    EXPECT_EQ(stats.meanNs, 0.0);
+    EXPECT_EQ(stats.stddevNs, 0.0);
+}
+
+TEST(HarnessStats, SingleSample) {
+    const CaseStats stats = computeStats({42});
+    EXPECT_EQ(stats.minNs, 42.0);
+    EXPECT_EQ(stats.medianNs, 42.0);
+    EXPECT_EQ(stats.meanNs, 42.0);
+    EXPECT_EQ(stats.stddevNs, 0.0);  // sample stddev undefined for n=1
+}
+
+TEST(HarnessStats, OddCountMedianIsMiddleElement) {
+    const CaseStats stats = computeStats({5, 1, 3});
+    EXPECT_EQ(stats.minNs, 1.0);
+    EXPECT_EQ(stats.medianNs, 3.0);
+    EXPECT_EQ(stats.meanNs, 3.0);
+    EXPECT_DOUBLE_EQ(stats.stddevNs, 2.0);  // sqrt(((2)^2 + 0 + (2)^2) / 2)
+}
+
+TEST(HarnessStats, EvenCountMedianAveragesTheMiddlePair) {
+    const CaseStats stats = computeStats({4, 1, 3, 2});
+    EXPECT_EQ(stats.minNs, 1.0);
+    EXPECT_DOUBLE_EQ(stats.medianNs, 2.5);
+    EXPECT_DOUBLE_EQ(stats.meanNs, 2.5);
+}
+
+TEST(HarnessStats, KnownStddev) {
+    // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population variance 4,
+    // sample variance 32/7.
+    const CaseStats stats = computeStats({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_DOUBLE_EQ(stats.meanNs, 5.0);
+    EXPECT_NEAR(stats.stddevNs, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+Harness makeTwoCaseHarness() {
+    Harness harness("unit_test_driver");
+    CaseSpec fast;
+    fast.name = "fast case";
+    fast.dims = {3, 2};
+    fast.reps = 4;
+    fast.smoke = true;
+    fast.body = [](Repetition& rep) {
+        rep.time([] {});
+        rep.metric("ops", 10.0);
+        if (rep.index() == 0) {
+            rep.metric("first_rep_only", 7.0);
+        }
+    };
+    harness.add(fast);
+    CaseSpec slow;
+    slow.name = "slow case";
+    slow.reps = 2;
+    slow.smoke = false;
+    slow.body = [](Repetition& rep) { rep.metric("ops", 20.0); };
+    harness.add(slow);
+    return harness;
+}
+
+TEST(HarnessExecute, FullModeRunsEveryCaseAtItsRepCount) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 0;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].name, "fast case");
+    EXPECT_EQ(results[0].dims, "[1x3,1x2]");
+    EXPECT_EQ(results[0].reps, 4);
+    EXPECT_EQ(results[0].timesNs.size(), 4u);
+    EXPECT_FALSE(results[0].failed);
+    EXPECT_EQ(results[1].name, "slow case");
+    EXPECT_EQ(results[1].dims, "");  // dimension-less case
+    EXPECT_EQ(results[1].timesNs.size(), 2u);
+}
+
+TEST(HarnessExecute, SmokeModeSelectsSmokeCasesWithOneRep) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.smoke = true;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].name, "fast case");
+    EXPECT_EQ(results[0].reps, 1);
+    EXPECT_EQ(results[0].warmup, 0);
+    EXPECT_EQ(results[0].timesNs.size(), 1u);
+}
+
+TEST(HarnessExecute, CaseFilterMatchesNameOrDims) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 0;
+    options.caseFilter = "slow";
+    auto results = harness.execute(options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].name, "slow case");
+
+    options.caseFilter = "[1x3";
+    results = harness.execute(options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].name, "fast case");
+}
+
+TEST(HarnessExecute, MetricsAverageOverTheRepsThatRecordedThem) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 0;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results[0].metrics.size(), 2u);
+    EXPECT_EQ(results[0].metrics[0].name, "ops");
+    EXPECT_EQ(results[0].metrics[0].count, 4);
+    EXPECT_DOUBLE_EQ(results[0].metrics[0].sum, 40.0);
+    // first_rep_only was recorded once; its average must not be diluted.
+    EXPECT_EQ(results[0].metrics[1].name, "first_rep_only");
+    EXPECT_EQ(results[0].metrics[1].count, 1);
+    EXPECT_DOUBLE_EQ(results[0].metrics[1].sum, 7.0);
+}
+
+TEST(HarnessExecute, RepsOverrideWins) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 0;
+    options.repsOverride = 3;
+    const auto results = harness.execute(options);
+    EXPECT_EQ(results[0].timesNs.size(), 3u);
+    EXPECT_EQ(results[1].timesNs.size(), 3u);
+}
+
+TEST(HarnessExecute, ThrowingBodyMarksTheCaseFailed) {
+    Harness harness("unit_test_driver");
+    CaseSpec spec;
+    spec.name = "boom";
+    spec.body = [](Repetition& rep) {
+        if (rep.index() == 1) {
+            throw std::runtime_error("deliberate failure");
+        }
+        rep.time([] {});
+    };
+    harness.add(spec);
+    RunOptions options;
+    options.warmup = 0;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_EQ(results[0].error, "deliberate failure");
+    EXPECT_EQ(results[0].timesNs.size(), 1u);  // the completed rep is kept
+}
+
+TEST(HarnessExecute, DoubleTimeCallIsALogicError) {
+    Harness harness("unit_test_driver");
+    CaseSpec spec;
+    spec.name = "double time";
+    spec.body = [](Repetition& rep) {
+        rep.time([] {});
+        rep.time([] {});
+    };
+    harness.add(spec);
+    RunOptions options;
+    options.warmup = 0;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].failed);
+}
+
+TEST(HarnessExecute, UntimedBodyFallsBackToWholeBodyTime) {
+    Harness harness("unit_test_driver");
+    CaseSpec spec;
+    spec.name = "untimed";
+    spec.body = [](Repetition&) {};
+    harness.add(spec);
+    RunOptions options;
+    options.warmup = 0;
+    options.repsOverride = 2;
+    const auto results = harness.execute(options);
+    ASSERT_EQ(results[0].timesNs.size(), 2u);
+    EXPECT_GE(results[0].timesNs[0], 0);
+}
+
+TEST(HarnessJson, ReportHasTheSchemaFieldsOfEveryDriver) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 1;
+    const auto results = harness.execute(options);
+    std::ostringstream out;
+    writeJsonReport(out, harness.driver(), options, results);
+    const std::string json = out.str();
+
+    EXPECT_NE(json.find("\"schema\": \"mqsp-bench-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"driver\": \"unit_test_driver\""), std::string::npos);
+    EXPECT_NE(json.find("\"mode\": \"full\""), std::string::npos);
+    EXPECT_NE(json.find("\"filter\": \"\""), std::string::npos);
+    EXPECT_NE(json.find("\"case\": \"fast case\""), std::string::npos);
+    EXPECT_NE(json.find("\"dims\": \"[1x3,1x2]\""), std::string::npos);
+    EXPECT_NE(json.find("\"reps\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"warmup\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"times_ns\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"min_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"median_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"stddev_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"ops\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"first_rep_only\": 7"), std::string::npos);
+    // No case failed, so the failure fields must be absent.
+    EXPECT_EQ(json.find("\"failed\""), std::string::npos);
+}
+
+TEST(HarnessJson, FailedCaseCarriesErrorAndEscapesStrings) {
+    RunOptions options;
+    CaseResult result;
+    result.name = "needs \"escaping\"\n";
+    result.failed = true;
+    result.error = "path\\to\\failure";
+    std::ostringstream out;
+    writeJsonReport(out, "d", options, {result});
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"case\": \"needs \\\"escaping\\\"\\n\""), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"error\": \"path\\\\to\\\\failure\""), std::string::npos);
+}
+
+TEST(HarnessJson, BalancedBracesAndBrackets) {
+    const Harness harness = makeTwoCaseHarness();
+    RunOptions options;
+    options.warmup = 0;
+    const auto results = harness.execute(options);
+    std::ostringstream out;
+    writeJsonReport(out, harness.driver(), options, results);
+    const std::string json = out.str();
+    int braces = 0;
+    int brackets = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (inString) {
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                inString = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{') {
+            ++braces;
+        } else if (c == '}') {
+            --braces;
+        } else if (c == '[') {
+            ++brackets;
+        } else if (c == ']') {
+            --brackets;
+        }
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(inString);
+}
+
+} // namespace
+} // namespace mqsp::bench

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Merge and compare mqsp-bench-v1 benchmark reports.
+
+Every bench driver emits the same JSON schema (see docs/BENCHMARKS.md):
+
+    {"schema": "mqsp-bench-v1", "driver": ..., "mode": ..., "cases": [...]}
+
+with one entry per case carrying `driver`, `case`, `dims`, `reps`,
+`times_ns`, `stats` (min/median/mean/stddev in ns) and `metrics`.
+
+Subcommands:
+
+    merge   -o merged.json a.json b.json ...
+        Concatenate the case lists of several reports into one file (the
+        format of bench/baselines/*.json).
+
+    compare baseline.json current.json [--threshold 0.30] [--stat median_ns]
+            [--metrics]
+        Match cases by (driver, case, dims) and flag every case whose
+        timing statistic regressed by more than the threshold fraction.
+        With --metrics, also flag any metric whose value drifted (metrics
+        are counts/fidelities, so any change beyond 1e-9 is reported).
+        Exit code 1 when at least one regression or metric drift is found.
+
+Record a baseline by running every driver with --json and merging:
+
+    for b in build/bench/bench_*; do "$b" --json "$b.json"; done
+    tools/bench_compare.py merge -o bench/baselines/dev-container.json \
+        build/bench/bench_*.json
+"""
+
+import argparse
+import json
+import sys
+
+
+SCHEMA = "mqsp-bench-v1"
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema '{SCHEMA}', got '{report.get('schema')}'")
+    if not isinstance(report.get("cases"), list):
+        sys.exit(f"{path}: missing 'cases' list")
+    return report
+
+
+def case_key(case):
+    return (case.get("driver", ""), case.get("case", ""), case.get("dims", ""))
+
+
+def merge(args):
+    cases = []
+    seen = set()
+    for path in args.inputs:
+        for case in load_report(path)["cases"]:
+            key = case_key(case)
+            if key in seen:
+                sys.exit(f"{path}: duplicate case {key} while merging")
+            seen.add(key)
+            cases.append(case)
+    merged = {"schema": SCHEMA, "driver": "merged", "mode": "merged", "cases": cases}
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"merged {len(cases)} case(s) from {len(args.inputs)} report(s) "
+          f"into {args.output}")
+    return 0
+
+
+def format_ns(value):
+    if value >= 1e9:
+        return f"{value / 1e9:.3f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.3f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.3f}us"
+    return f"{value:.0f}ns"
+
+
+def compare(args):
+    baseline = {case_key(c): c for c in load_report(args.baseline)["cases"]}
+    current_report = load_report(args.current)
+    current = {case_key(c): c for c in current_report["cases"]}
+    # A smoke or --case-filtered run deliberately covers a subset, so absent
+    # baseline cases are not a coverage loss there.
+    partial_run = (current_report.get("mode") == "smoke"
+                   or bool(current_report.get("filter")))
+
+    regressions = []
+    improvements = []
+    drifted = []
+    failed = []
+
+    for key in sorted(current):
+        case = current[key]
+        label = "/".join(part for part in key if part)
+        if case.get("failed"):
+            failed.append(f"{label}: FAILED ({case.get('error', 'unknown error')})")
+            continue
+        base = baseline.get(key)
+        if base is None:
+            continue
+        base_stat = base["stats"].get(args.stat, 0.0)
+        cur_stat = case["stats"].get(args.stat, 0.0)
+        if base_stat > 0:
+            ratio = cur_stat / base_stat
+            line = (f"{label}: {args.stat} {format_ns(base_stat)} -> "
+                    f"{format_ns(cur_stat)} ({(ratio - 1) * 100:+.1f}%)")
+            if ratio > 1.0 + args.threshold:
+                regressions.append(line)
+            elif ratio < 1.0 - args.threshold:
+                improvements.append(line)
+        if args.metrics:
+            for name, base_value in base.get("metrics", {}).items():
+                cur_value = case.get("metrics", {}).get(name)
+                if cur_value is None:
+                    drifted.append(f"{label}: metric '{name}' disappeared")
+                elif abs(cur_value - base_value) > 1e-9:
+                    drifted.append(f"{label}: metric '{name}' "
+                                   f"{base_value:.6g} -> {cur_value:.6g}")
+
+    # When a single driver's report is compared against a merged baseline,
+    # only that driver's cases can meaningfully be missing — and none can in
+    # a deliberately partial (smoke / --case-filtered) run.
+    current_drivers = {key[0] for key in current}
+    missing = [] if partial_run else sorted(key for key in set(baseline) - set(current)
+                                            if key[0] in current_drivers)
+    new = sorted(set(current) - set(baseline))
+
+    print(f"compared {len(set(baseline) & set(current))} matching case(s) "
+          f"(threshold {args.threshold * 100:.0f}% on {args.stat})"
+          + (" — partial run, missing-case check skipped" if partial_run else ""))
+    for section, lines in (("REGRESSIONS", regressions), ("improvements", improvements),
+                           ("metric drift", drifted), ("failed cases", failed)):
+        if lines:
+            print(f"\n{section}:")
+            for line in lines:
+                print(f"  {line}")
+    if missing:
+        print(f"\nmissing from current ({len(missing)}):")
+        for key in missing:
+            print(f"  {'/'.join(part for part in key if part)}")
+    if new:
+        print(f"\nnew in current ({len(new)}):")
+        for key in new:
+            print(f"  {'/'.join(part for part in key if part)}")
+    if not regressions and not drifted and not failed:
+        print("\nno regressions")
+        return 0
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    merge_parser = subparsers.add_parser("merge", help="merge reports into one file")
+    merge_parser.add_argument("-o", "--output", required=True)
+    merge_parser.add_argument("inputs", nargs="+")
+    merge_parser.set_defaults(func=merge)
+
+    compare_parser = subparsers.add_parser("compare",
+                                           help="flag regressions against a baseline")
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("current")
+    compare_parser.add_argument("--threshold", type=float, default=0.30,
+                                help="regression threshold as a fraction (default 0.30)")
+    compare_parser.add_argument("--stat", default="median_ns",
+                                choices=["min_ns", "median_ns", "mean_ns"],
+                                help="which statistic to compare (default median_ns)")
+    compare_parser.add_argument("--metrics", action="store_true",
+                                help="also flag drifted metric values")
+    compare_parser.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

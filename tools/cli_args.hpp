@@ -1,0 +1,82 @@
+#pragma once
+
+// Minimal shared command-line helpers for the mqsp executables (the CLI
+// tools and the benchmark harness). Flags are matched literally; values
+// follow their flag as the next argv entry. Numeric parsers validate the
+// whole token and report the offending flag instead of dying with a bare
+// std::stoull exception.
+
+#include "mqsp/support/error.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mqsp::cli {
+
+/// The value following `flag`, or nullopt when the flag is absent. The last
+/// occurrence wins so that appended overrides behave as expected.
+inline std::optional<std::string> argValue(int argc, char** argv, const std::string& flag) {
+    std::optional<std::string> value;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i]) {
+            value = std::string(argv[i + 1]);
+        }
+    }
+    return value;
+}
+
+/// True when `flag` appears anywhere on the command line.
+inline bool argFlag(int argc, char** argv, const std::string& flag) {
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Parse a non-negative integer value for `flag`, or `fallback` when absent.
+/// Throws InvalidArgumentError naming the flag on malformed input.
+inline std::uint64_t argUint(int argc, char** argv, const std::string& flag,
+                             std::uint64_t fallback) {
+    const auto text = argValue(argc, argv, flag);
+    if (!text) {
+        return fallback;
+    }
+    std::size_t consumed = 0;
+    std::uint64_t parsed = 0;
+    try {
+        // stoull accepts and wraps a leading minus; reject it up front.
+        if (text->empty() || text->front() == '-') {
+            throw std::invalid_argument(*text);
+        }
+        parsed = std::stoull(*text, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    requireThat(!text->empty() && consumed == text->size(),
+                flag + " expects a non-negative integer, got '" + *text + "'");
+    return parsed;
+}
+
+/// Parse a floating-point value for `flag`, or `fallback` when absent.
+/// Throws InvalidArgumentError naming the flag on malformed input.
+inline double argDouble(int argc, char** argv, const std::string& flag, double fallback) {
+    const auto text = argValue(argc, argv, flag);
+    if (!text) {
+        return fallback;
+    }
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(*text, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    requireThat(!text->empty() && consumed == text->size(),
+                flag + " expects a number, got '" + *text + "'");
+    return parsed;
+}
+
+} // namespace mqsp::cli

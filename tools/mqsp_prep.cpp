@@ -10,6 +10,8 @@
 // The amplitude file format is one "re im" pair per line, in mixed-radix
 // order (most significant qudit first); the vector is normalized on load.
 
+#include "cli_args.hpp"
+
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/opt/optimizer.hpp"
 #include "mqsp/support/error.hpp"
@@ -26,6 +28,8 @@
 namespace {
 
 using namespace mqsp;
+using cli::argFlag;
+using cli::argValue;
 
 void usage() {
     std::fprintf(stderr, R"(usage: mqsp_prep --dims <spec> (--state <name> | --amplitudes <file>) [options]
@@ -40,24 +44,6 @@ void usage() {
   --qasm               print the circuit in MQSP-QASM
   --verify             replay on the simulator and report the fidelity
 )");
-}
-
-std::optional<std::string> argValue(int argc, char** argv, const std::string& flag) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i]) {
-            return std::string(argv[i + 1]);
-        }
-    }
-    return std::nullopt;
-}
-
-bool argFlag(int argc, char** argv, const std::string& flag) {
-    for (int i = 1; i < argc; ++i) {
-        if (flag == argv[i]) {
-            return true;
-        }
-    }
-    return false;
 }
 
 StateVector loadAmplitudes(const Dimensions& dims, const std::string& path) {
@@ -115,9 +101,7 @@ int main(int argc, char** argv) {
             usage();
             return 2;
         }
-        const std::uint64_t seed =
-            argValue(argc, argv, "--seed") ? std::stoull(*argValue(argc, argv, "--seed"))
-                                           : Rng::kDefaultSeed;
+        const std::uint64_t seed = cli::argUint(argc, argv, "--seed", Rng::kDefaultSeed);
         const StateVector target = amplitudePath ? loadAmplitudes(dims, *amplitudePath)
                                                  : makeNamedState(*stateName, dims, seed);
 
@@ -127,8 +111,9 @@ int main(int argc, char** argv) {
 
         PreparationResult result;
         const auto approx = argValue(argc, argv, "--approx");
+        const double threshold = cli::argDouble(argc, argv, "--approx", 1.0);
         if (approx) {
-            result = prepareApproximated(target, std::stod(*approx), options);
+            result = prepareApproximated(target, threshold, options);
         } else {
             result = prepareExact(target, options);
         }
@@ -161,7 +146,7 @@ int main(int argc, char** argv) {
                      stats.depthEstimate);
         if (approx) {
             std::fprintf(stderr, "approx fidelity   : %.6f (threshold %.4f)\n",
-                         result.approx.fidelity, std::stod(*approx));
+                         result.approx.fidelity, threshold);
         }
         if (argFlag(argc, argv, "--verify")) {
             const double fidelity =

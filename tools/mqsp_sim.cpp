@@ -6,6 +6,8 @@
 // simulates it from |0...0>, and prints the final state and/or a sampled
 // measurement histogram (sampled from the decision diagram of the output).
 
+#include "cli_args.hpp"
+
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
 #include "mqsp/sim/simulator.hpp"
@@ -16,31 +18,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 namespace {
 
 using namespace mqsp;
-
-std::optional<std::string> argValue(int argc, char** argv, const std::string& flag) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i]) {
-            return std::string(argv[i + 1]);
-        }
-    }
-    return std::nullopt;
-}
-
-bool argFlag(int argc, char** argv, const std::string& flag) {
-    for (int i = 1; i < argc; ++i) {
-        if (flag == argv[i]) {
-            return true;
-        }
-    }
-    return false;
-}
+using cli::argFlag;
+using cli::argValue;
 
 } // namespace
 
@@ -83,12 +68,10 @@ int main(int argc, char** argv) {
             }
         }
 
-        if (const auto shots = argValue(argc, argv, "--shots")) {
-            const std::uint64_t count = std::stoull(*shots);
+        if (argValue(argc, argv, "--shots")) {
+            const std::uint64_t count = cli::argUint(argc, argv, "--shots", 0);
             const std::uint64_t seed =
-                argValue(argc, argv, "--seed")
-                    ? std::stoull(*argValue(argc, argv, "--seed"))
-                    : Rng::kDefaultSeed;
+                cli::argUint(argc, argv, "--seed", Rng::kDefaultSeed);
             const DecisionDiagram dd = DecisionDiagram::fromStateVector(out);
             Rng rng(seed);
             const auto histogram = dd.sampleHistogram(rng, count);
