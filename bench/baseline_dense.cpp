@@ -12,7 +12,7 @@
 #include "bench_common.hpp"
 #include "harness.hpp"
 
-#include "mqsp/sim/simulator.hpp"
+#include "mqsp/sim/backend.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <stdexcept>
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
         CaseSpec spec;
         spec.name = workload.family;
         spec.dims = workload.dims;
+        spec.backend = "dense";
         spec.reps = 5;
         spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
         spec.body = [workload, caseSeed, options](Repetition& rep) {
@@ -51,10 +52,14 @@ int main(int argc, char** argv) {
             rep.metric("speedup", static_cast<double>(baseline.numOperations()) /
                                       static_cast<double>(ddCircuit.numOperations()));
             if (rep.index() == 0 && state.size() <= 1024) {
+                // Verification goes through the backend interface; this
+                // driver's provenance is the dense backend.
+                const DenseBackend verifier;
+                const EvalState target(state);
                 const bool okA =
-                    Simulator::preparationFidelity(ddCircuit, state) > 1.0 - 1e-8;
+                    verifier.preparationFidelity(ddCircuit, target) > 1.0 - 1e-8;
                 const bool okB =
-                    Simulator::preparationFidelity(baseline, state) > 1.0 - 1e-8;
+                    verifier.preparationFidelity(baseline, target) > 1.0 - 1e-8;
                 if (!okA || !okB) {
                     throw std::runtime_error("synthesized circuit failed verification");
                 }

@@ -74,11 +74,12 @@ void printHumanReport(const std::string& driver, const RunOptions& options,
                       const std::vector<CaseResult>& results) {
     std::printf("%s — %zu case(s), %s mode\n\n", driver.c_str(), results.size(),
                 options.smoke ? "smoke" : "full");
-    std::printf("%-32s %-18s %5s %10s %10s %10s %10s\n", "case", "dims", "reps", "min[ms]",
-                "med[ms]", "mean[ms]", "sd[ms]");
+    std::printf("%-32s %-18s %-7s %5s %10s %10s %10s %10s\n", "case", "dims", "backend",
+                "reps", "min[ms]", "med[ms]", "mean[ms]", "sd[ms]");
     for (const auto& result : results) {
-        std::printf("%-32s %-18s %5d %10.4f %10.4f %10.4f %10.4f\n", result.name.c_str(),
-                    result.dims.empty() ? "-" : result.dims.c_str(), result.reps,
+        std::printf("%-32s %-18s %-7s %5d %10.4f %10.4f %10.4f %10.4f\n",
+                    result.name.c_str(), result.dims.empty() ? "-" : result.dims.c_str(),
+                    result.backend.empty() ? "-" : result.backend.c_str(), result.reps,
                     result.stats.minNs * 1e-6, result.stats.medianNs * 1e-6,
                     result.stats.meanNs * 1e-6, result.stats.stddevNs * 1e-6);
         if (!result.metrics.empty()) {
@@ -100,7 +101,7 @@ void usage(const std::string& driver) {
                  "  --smoke          run only smoke-marked cases, 1 rep, no warmup\n"
                  "  --reps <n>       override the repetition count for every case\n"
                  "  --warmup <n>     untimed warmup repetitions per case (default 1)\n"
-                 "  --case <substr>  run only cases whose name or dims contain <substr>\n"
+                 "  --case <substr>  run only cases whose name, dims or backend contain <substr>\n"
                  "  --json <path>    also write the mqsp-bench-v1 JSON report to <path>\n"
                  "  --list           print the registered case names and exit\n",
                  driver.c_str());
@@ -166,6 +167,9 @@ void writeJsonReport(std::ostream& out, const std::string& driver, const RunOpti
         out << "      \"driver\": \"" << escapeJson(driver) << "\",\n";
         out << "      \"case\": \"" << escapeJson(result.name) << "\",\n";
         out << "      \"dims\": \"" << escapeJson(result.dims) << "\",\n";
+        if (!result.backend.empty()) {
+            out << "      \"backend\": \"" << escapeJson(result.backend) << "\",\n";
+        }
         out << "      \"reps\": " << result.reps << ",\n";
         out << "      \"warmup\": " << result.warmup << ",\n";
         out << "      \"times_ns\": [";
@@ -206,12 +210,14 @@ std::vector<CaseResult> Harness::execute(const RunOptions& options) const {
         }
         if (!options.caseFilter.empty() &&
             spec.name.find(options.caseFilter) == std::string::npos &&
-            dims.find(options.caseFilter) == std::string::npos) {
+            dims.find(options.caseFilter) == std::string::npos &&
+            spec.backend.find(options.caseFilter) == std::string::npos) {
             continue;
         }
         CaseResult result;
         result.name = spec.name;
         result.dims = dims;
+        result.backend = spec.backend;
         result.reps = options.smoke            ? 1
                       : options.repsOverride > 0 ? options.repsOverride
                                                  : spec.reps;
@@ -266,8 +272,10 @@ int Harness::main(int argc, char** argv) const {
 
         if (options.list) {
             for (const auto& spec : cases_) {
-                std::printf("%s%s%s%s\n", spec.name.c_str(), spec.dims.empty() ? "" : " ",
+                std::printf("%s%s%s%s%s%s\n", spec.name.c_str(),
+                            spec.dims.empty() ? "" : " ",
                             spec.dims.empty() ? "" : formatDimensionSpec(spec.dims).c_str(),
+                            spec.backend.empty() ? "" : " @", spec.backend.c_str(),
                             spec.smoke ? "  [smoke]" : "");
             }
             return 0;

@@ -68,8 +68,10 @@ using CaseBody = std::function<void(Repetition&)>;
 
 /// A registered benchmark case.
 struct CaseSpec {
-    std::string name;       ///< workload label, unique together with dims
+    std::string name;       ///< workload label, unique together with dims+backend
     Dimensions dims;        ///< register (empty when not register-shaped)
+    std::string backend;    ///< evaluation-backend provenance ("dense"/"dd";
+                            ///< "" for cases not tied to a backend)
     int reps = kPaperRuns;  ///< full-mode repetitions
     bool smoke = false;     ///< included in --smoke runs
     CaseBody body;
@@ -89,7 +91,8 @@ struct CaseStats {
 /// Result of executing one case.
 struct CaseResult {
     std::string name;
-    std::string dims;  ///< formatted register spec, "" when dimension-less
+    std::string dims;     ///< formatted register spec, "" when dimension-less
+    std::string backend;  ///< backend provenance, "" when not backend-tied
     int reps = 0;
     int warmup = 0;
     std::vector<std::int64_t> timesNs;
@@ -117,7 +120,12 @@ void writeJsonReport(std::ostream& out, const std::string& driver, const RunOpti
 /// The driver runner. Typical use:
 ///
 ///   Harness harness("table1_exact");
-///   harness.add({"GHZ State", {3, 6, 2}, kPaperRuns, /*smoke=*/true, body});
+///   CaseSpec spec;
+///   spec.name = "GHZ State";
+///   spec.dims = {3, 6, 2};
+///   spec.smoke = true;
+///   spec.body = body;
+///   harness.add(std::move(spec));
 ///   return harness.main(argc, argv);
 class Harness {
 public:

@@ -1,29 +1,36 @@
-// DD-native simulation scaling (the substrate of the paper's reference
-// [12]): replay synthesized preparation circuits on the decision diagram
-// and compare wall time against the dense state-vector simulator. On
-// structured states the DD stays small and DD simulation wins as the
-// register grows; on dense random states the DD degenerates to the full
-// tree and the dense simulator is the better tool — the classic
-// DD-simulation trade-off. Each workload registers a "/dense" and a "/dd"
-// case so the two simulators are timed under the same methodology; both
-// verify their output against the target state.
+// Evaluation-backend scaling (the substrate of the paper's reference [12]):
+// replay synthesized preparation circuits through the pluggable
+// EvaluationBackend interface (sim/backend.hpp) and compare the dense
+// state-vector backend against the decision-diagram backend under one
+// methodology. On structured states the DD stays small and the dd backend
+// wins as the register grows; on dense random states the DD degenerates to
+// the full tree and the dense backend is the better tool — the classic
+// DD-simulation trade-off. Each small-register workload registers the same
+// case under both backends (the `backend` provenance field keeps them apart
+// in reports); the past-the-ceiling rows (>= 10^8 amplitudes, far beyond
+// what the dense backend will allocate) register dd-only and demonstrate
+// preparation + verification that never materializes an amplitude vector.
+// Every case verifies its output against the target state and fails on
+// mismatch.
 
 #include "bench_common.hpp"
 #include "harness.hpp"
 
 #include "mqsp/dd/decision_diagram.hpp"
-#include "mqsp/sim/simulator.hpp"
+#include "mqsp/sim/backend.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace {
 
-mqsp::StateVector makeTarget(const std::string& family, const mqsp::Dimensions& dims,
-                             mqsp::Rng& rng) {
-    using namespace mqsp;
+using namespace mqsp;
+using namespace mqsp::bench;
+
+StateVector makeDenseTarget(const std::string& family, const Dimensions& dims, Rng& rng) {
     if (family == "GHZ") {
         return states::ghz(dims);
     }
@@ -33,15 +40,91 @@ mqsp::StateVector makeTarget(const std::string& family, const mqsp::Dimensions& 
     return states::random(dims, rng);
 }
 
-} // namespace
+/// DD-native target for the structured families — the only construction
+/// path that works past the dense ceiling.
+DecisionDiagram makeDiagramTarget(const std::string& family, const Dimensions& dims) {
+    if (family == "GHZ") {
+        return DecisionDiagram::ghzState(dims);
+    }
+    if (family == "W") {
+        return DecisionDiagram::wState(dims);
+    }
+    if (family == "Emb. W") {
+        return DecisionDiagram::embeddedWState(dims);
+    }
+    throw std::runtime_error("no diagram builder for family " + family);
+}
 
-int main(int argc, char** argv) {
-    using namespace mqsp;
-    using namespace mqsp::bench;
-
+/// Register one backend's case for a workload whose target fits in memory.
+void addSmallRegisterCase(Harness& harness, const std::string& family,
+                          const Dimensions& dims, BackendKind kind,
+                          std::uint64_t caseSeed, bool smoke) {
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
+    CaseSpec spec;
+    spec.name = family;
+    spec.dims = dims;
+    spec.backend = backendName(kind);
+    spec.reps = 10;
+    spec.smoke = smoke;
+    spec.body = [family, dims, kind, caseSeed, lean](Repetition& rep) {
+        Rng rng = repetitionRng(caseSeed, rep.index());
+        const StateVector target = makeDenseTarget(family, dims, rng);
+        const auto prep = prepareExact(target, lean);
+        const auto backend = makeBackend(kind);
+
+        EvalState out;
+        rep.time([&] { out = backend->runFromZero(prep.circuit); });
+        rep.metric("amplitudes", static_cast<double>(target.size()));
+        rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
+        const double fidelity = out.fidelityWith(EvalState(target));
+        rep.metric("fidelity", fidelity);
+        if (std::abs(fidelity - 1.0) > 1e-6) {
+            throw std::runtime_error(std::string(backendName(kind)) +
+                                     " simulation failed verification");
+        }
+    };
+    harness.add(std::move(spec));
+}
+
+/// Register a dd-only case on a register past the dense ceiling: target,
+/// synthesis, replay and fidelity all stay on diagrams.
+void addPastCeilingCase(Harness& harness, const std::string& family,
+                        const Dimensions& dims, bool smoke) {
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    CaseSpec spec;
+    spec.name = family;
+    spec.dims = dims;
+    spec.backend = "dd";
+    spec.reps = 10;
+    spec.smoke = smoke;
+    spec.body = [family, dims, lean](Repetition& rep) {
+        const DecisionDiagram target = makeDiagramTarget(family, dims);
+        const Circuit circuit = synthesize(target, lean);
+        const auto backend = makeBackend(BackendKind::Dd);
+
+        EvalState out;
+        rep.time([&] { out = backend->runFromZero(circuit); });
+        rep.metric("amplitudes",
+                   static_cast<double>(MixedRadix(dims).totalDimension()));
+        rep.metric("ops", static_cast<double>(circuit.numOperations()));
+        rep.metric("nodes", static_cast<double>(
+                                target.nodeCount(NodeCountMode::Internal)));
+        const double fidelity = EvalState(target).fidelityWith(out);
+        rep.metric("fidelity", fidelity);
+        if (std::abs(fidelity - 1.0) > 1e-6) {
+            throw std::runtime_error("past-ceiling dd preparation failed verification");
+        }
+    };
+    harness.add(std::move(spec));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
     struct Row {
         const char* family;
         Dimensions dims;
@@ -58,61 +141,28 @@ int main(int argc, char** argv) {
         {"random", {9, 5, 6, 3}, false},
     };
 
+    // Structured states on registers the dense backend refuses outright
+    // (>= 10^8 amplitudes): the headline workloads of the dd backend.
+    const Row pastCeiling[] = {
+        {"GHZ", Dimensions(27, 2), true},       // 2^27 ≈ 1.34e8
+        {"GHZ", Dimensions(17, 3), false},      // 3^17 ≈ 1.29e8
+        {"W", Dimensions(17, 3), false},
+        {"Emb. W", Dimensions(27, 2), true},
+        {"GHZ", Dimensions(14, 4), false},      // 4^14 ≈ 2.68e8
+    };
+
     Harness harness("scaling_dd_simulation");
     Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& row : rows) {
-        {
-            const std::uint64_t caseSeed = driverSeeder.childSeed();
-            CaseSpec spec;
-            spec.name = std::string(row.family) + "/dense";
-            spec.dims = row.dims;
-            spec.reps = 10;
-            spec.smoke = row.smoke;
-            spec.body = [family = std::string(row.family), dims = row.dims, caseSeed,
-                         lean](Repetition& rep) {
-                Rng rng = repetitionRng(caseSeed, rep.index());
-                const StateVector target = makeTarget(family, dims, rng);
-                const auto prep = prepareExact(target, lean);
-                StateVector dense({2});
-                rep.time([&] { dense = Simulator::runFromZero(prep.circuit); });
-                rep.metric("amplitudes", static_cast<double>(target.size()));
-                rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
-                const double fidelity = dense.fidelityWith(target);
-                rep.metric("fidelity", fidelity);
-                if (std::abs(fidelity - 1.0) > 1e-6) {
-                    throw std::runtime_error("dense simulation failed verification");
-                }
-            };
-            harness.add(std::move(spec));
-        }
-        {
-            const std::uint64_t caseSeed = driverSeeder.childSeed();
-            CaseSpec spec;
-            spec.name = std::string(row.family) + "/dd";
-            spec.dims = row.dims;
-            spec.reps = 10;
-            spec.smoke = row.smoke;
-            spec.body = [family = std::string(row.family), dims = row.dims, caseSeed,
-                         lean](Repetition& rep) {
-                Rng rng = repetitionRng(caseSeed, rep.index());
-                const StateVector target = makeTarget(family, dims, rng);
-                const auto prep = prepareExact(target, lean);
-                DecisionDiagram simulated;
-                rep.time(
-                    [&] { simulated = DecisionDiagram::simulateCircuit(prep.circuit); });
-                rep.metric("amplitudes", static_cast<double>(target.size()));
-                rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
-                // Verify DD-natively against the target's diagram.
-                const DecisionDiagram targetDD = DecisionDiagram::fromStateVector(target);
-                const double fidelity =
-                    squaredMagnitude(targetDD.innerProductWith(simulated));
-                rep.metric("fidelity", fidelity);
-                if (std::abs(fidelity - 1.0) > 1e-6) {
-                    throw std::runtime_error("DD simulation failed verification");
-                }
-            };
-            harness.add(std::move(spec));
-        }
+        const std::uint64_t denseSeed = driverSeeder.childSeed();
+        addSmallRegisterCase(harness, row.family, row.dims, BackendKind::Dense,
+                             denseSeed, row.smoke);
+        const std::uint64_t ddSeed = driverSeeder.childSeed();
+        addSmallRegisterCase(harness, row.family, row.dims, BackendKind::Dd, ddSeed,
+                             row.smoke);
+    }
+    for (const auto& row : pastCeiling) {
+        addPastCeilingCase(harness, row.family, row.dims, row.smoke);
     }
     return harness.main(argc, argv);
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 namespace mqsp {
@@ -24,7 +25,10 @@ struct WeightedEdge {
 } // namespace
 
 DecisionDiagram DecisionDiagram::zeroState(const Dimensions& dims) {
-    return fromStateVector(StateVector(dims));
+    // Built natively as a weight-1 chain (structured.cpp), NOT via a dense
+    // round trip: this is the starting point of DD simulation, which must
+    // work on registers whose total dimension exceeds memory.
+    return basisState(dims, Digits(MixedRadix(dims).numQudits(), 0));
 }
 
 void DecisionDiagram::applyOperation(const Operation& op, double tol) {
@@ -60,24 +64,30 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
         if (yZero) {
             return x;
         }
-        const DDNode& nx = node(x.node);
-        const DDNode& ny = node(y.node);
-        if (nx.isTerminal()) {
-            ensureThat(ny.isTerminal(), "applyOperation: level mismatch in addition");
+        if (node(x.node).isTerminal()) {
+            ensureThat(node(y.node).isTerminal(),
+                       "applyOperation: level mismatch in addition");
             const Complex sum = x.weight + y.weight;
             if (approxZero(sum, tol)) {
                 return {};
             }
             return {/*terminal=*/0, sum};
         }
-        ensureThat(nx.site == ny.site, "applyOperation: site mismatch in addition");
-        const std::size_t arity = nx.edges.size();
+        ensureThat(node(x.node).site == node(y.node).site,
+                   "applyOperation: site mismatch in addition");
+        // Re-fetch through the NodeRefs on every access: the recursive call
+        // below allocates into nodes_ and may reallocate the pool, so
+        // references into it must not be held across it.
+        const std::uint32_t site = node(x.node).site;
+        const std::size_t arity = node(x.node).edges.size();
         std::vector<DDEdge> edges(arity);
         double sumSquares = 0.0;
         bool any = false;
         for (std::size_t k = 0; k < arity; ++k) {
-            const WeightedEdge xk{nx.edges[k].node, x.weight * nx.edges[k].weight};
-            const WeightedEdge yk{ny.edges[k].node, y.weight * ny.edges[k].weight};
+            const DDEdge ex = node(x.node).edges[k];
+            const DDEdge ey = node(y.node).edges[k];
+            const WeightedEdge xk{ex.node, x.weight * ex.weight};
+            const WeightedEdge yk{ey.node, y.weight * ey.weight};
             const WeightedEdge sum = add(xk, yk);
             if (sum.isZero(tol)) {
                 edges[k] = DDEdge{};
@@ -96,22 +106,40 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                 edge.weight /= norm;
             }
         }
-        const NodeRef ref = allocate(nx.site, std::move(edges));
+        const NodeRef ref = allocate(site, std::move(edges));
         return {ref, Complex{norm, 0.0}};
     };
 
     // Rebuild the diagram along affected paths (copy-on-write: shared nodes
     // on unaffected paths are reused). Returns the replacement edge for a
-    // sub-tree rooted at `ref` whose in-edge weight was `weight`.
+    // sub-tree rooted at `ref` whose in-edge weight was `weight`. The
+    // rebuild of a sub-tree is independent of the path that reached it (the
+    // in-weight only scales the returned edge linearly), so results are
+    // memoized per node for in-weight 1 — on a reduced (shared) diagram a
+    // node is rebuilt once, not once per root-to-node path, which keeps
+    // gate application polynomial on DAG-shaped states like the uniform
+    // superposition.
+    std::unordered_map<NodeRef, WeightedEdge> visitMemo;
     const std::function<WeightedEdge(NodeRef, Complex)> visit =
         [&](NodeRef ref, Complex weight) -> WeightedEdge {
-        const DDNode& n = node(ref);
-        ensureThat(!n.isTerminal(), "applyOperation: traversal reached the terminal");
+        if (const auto it = visitMemo.find(ref); it != visitMemo.end()) {
+            const WeightedEdge& base = it->second;
+            if (base.node == kNoNode) {
+                return {};
+            }
+            return {base.node, weight * base.weight};
+        }
+        ensureThat(!node(ref).isTerminal(),
+                   "applyOperation: traversal reached the terminal");
+        // Copy this node's shape up front: add()/visit() below allocate into
+        // nodes_ and may reallocate the pool, invalidating references.
+        const std::uint32_t site = node(ref).site;
+        const std::vector<DDEdge> sourceEdges = node(ref).edges;
 
-        if (n.site == op.target) {
+        if (site == op.target) {
             // Mix the out-edges by the local matrix:
             // new_edge_r = sum_c local(r, c) * edge_c.
-            const std::size_t arity = n.edges.size();
+            const std::size_t arity = sourceEdges.size();
             std::vector<DDEdge> edges(arity);
             double sumSquares = 0.0;
             bool any = false;
@@ -119,11 +147,11 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                 WeightedEdge acc;
                 for (std::size_t c = 0; c < arity; ++c) {
                     const Complex coefficient = local(r, c);
-                    if (coefficient == Complex{0.0, 0.0} || n.edges[c].isZeroStub()) {
+                    if (coefficient == Complex{0.0, 0.0} || sourceEdges[c].isZeroStub()) {
                         continue;
                     }
-                    acc = add(acc, WeightedEdge{n.edges[c].node,
-                                                coefficient * n.edges[c].weight});
+                    acc = add(acc, WeightedEdge{sourceEdges[c].node,
+                                                coefficient * sourceEdges[c].weight});
                 }
                 if (acc.isZero(tol)) {
                     edges[r] = DDEdge{};
@@ -134,6 +162,7 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                 any = true;
             }
             if (!any) {
+                visitMemo.emplace(ref, WeightedEdge{});
                 return {};
             }
             const double norm = std::sqrt(sumSquares);
@@ -142,19 +171,20 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                     edge.weight /= norm;
                 }
             }
-            const NodeRef newRef = allocate(n.site, std::move(edges));
+            const NodeRef newRef = allocate(site, std::move(edges));
+            visitMemo.emplace(ref, WeightedEdge{newRef, Complex{norm, 0.0}});
             return {newRef, weight * norm};
         }
 
         // Above the target: check whether this site carries a control.
         const Control* control = nullptr;
         for (const auto& ctrl : op.controls) {
-            if (ctrl.qudit == n.site) {
+            if (ctrl.qudit == site) {
                 control = &ctrl;
                 break;
             }
         }
-        std::vector<DDEdge> edges = n.edges;
+        std::vector<DDEdge> edges = sourceEdges;
         double sumSquares = 0.0;
         bool any = false;
         for (std::size_t k = 0; k < edges.size(); ++k) {
@@ -173,6 +203,7 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
             any = true;
         }
         if (!any) {
+            visitMemo.emplace(ref, WeightedEdge{});
             return {};
         }
         const double norm = std::sqrt(sumSquares);
@@ -181,7 +212,8 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                 edge.weight /= norm;
             }
         }
-        const NodeRef newRef = allocate(n.site, std::move(edges));
+        const NodeRef newRef = allocate(site, std::move(edges));
+        visitMemo.emplace(ref, WeightedEdge{newRef, Complex{norm, 0.0}});
         return {newRef, weight * norm};
     };
 
@@ -198,8 +230,13 @@ DecisionDiagram DecisionDiagram::simulateCircuit(const Circuit& circuit, double 
     DecisionDiagram dd = zeroState(circuit.dimensions());
     for (const auto& op : circuit.operations()) {
         dd.applyOperation(op, tol);
-        // applyOperation rebuilds affected paths copy-on-write; compact the
-        // pool so a long circuit does not accumulate garbage nodes.
+        // applyOperation rebuilds affected paths copy-on-write and does not
+        // hash-cons, so identical sub-trees proliferate: without re-sharing,
+        // a product-state superposition (e.g. the uniform state mid-
+        // preparation) would blow up to the full exponential tree. Reduce
+        // after every gate to keep the diagram canonical-small, then drop
+        // the disconnected garbage.
+        dd.reduce(tol);
         dd.garbageCollect();
     }
     return dd;

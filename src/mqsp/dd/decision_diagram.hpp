@@ -7,6 +7,7 @@
 #include "mqsp/support/rng.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <limits>
 #include <string>
@@ -138,8 +139,18 @@ public:
     /// sizes, independent of the Hilbert dimension.
     [[nodiscard]] Complex innerProductWith(const DecisionDiagram& other) const;
 
-    /// Sum of squared amplitude magnitudes (1 for a normalized diagram).
+    /// Sum of squared amplitude magnitudes (1 for a normalized diagram),
+    /// computed natively on the diagram (memoized per node, no dense
+    /// expansion) — safe on registers far past the dense ceiling.
     [[nodiscard]] double normSquared() const;
+
+    /// Visit every nonzero amplitude in flat mixed-radix (lexicographic
+    /// digit) order without materializing the dense vector. The visitor
+    /// receives the digit string and the amplitude; returning false stops
+    /// the traversal early. Cost is linear in the number of nonzero
+    /// amplitudes visited, independent of the Hilbert dimension.
+    void forEachNonZero(
+        const std::function<bool(const Digits&, const Complex&)>& visitor) const;
 
     /// --- metrics (metrics.cpp) -----------------------------------------
 
@@ -213,6 +224,37 @@ public:
     /// The |0...0> diagram on a register.
     [[nodiscard]] static DecisionDiagram zeroState(const Dimensions& dims);
 
+    /// --- structured-state construction (structured.cpp) -------------------
+    ///
+    /// DD-native builders for the paper's structured benchmark families (§5):
+    /// the diagrams are assembled node-by-node in O(numQudits^2) time and
+    /// space, without ever materializing the dense amplitude vector — the
+    /// entry point for registers past the dense O(∏dims) ceiling. The
+    /// builders reproduce exactly the tree `fromStateVector` would return on
+    /// the same state (same shape, same canonical weights), so synthesis
+    /// from either source emits the identical circuit.
+
+    /// Mixed-dimensional GHZ state 1/sqrt(m) sum_k |k...k>, m = min(dims).
+    [[nodiscard]] static DecisionDiagram ghzState(const Dimensions& dims);
+
+    /// Mixed-dimensional W state: equal superposition of every basis state
+    /// with exactly one qudit in some nonzero level, all others |0>.
+    [[nodiscard]] static DecisionDiagram wState(const Dimensions& dims);
+
+    /// Embedded W state: the qubit W state in the qudit register — exactly
+    /// one qudit in level |1>, all others |0>.
+    [[nodiscard]] static DecisionDiagram embeddedWState(const Dimensions& dims);
+
+    /// A single basis state |digits> as a weight-1 chain.
+    [[nodiscard]] static DecisionDiagram basisState(const Dimensions& dims,
+                                                    const Digits& digits);
+
+    /// The uniform superposition, returned *reduced* (one shared chain of
+    /// numQudits nodes — the tree form would be the full dense tree, which
+    /// is exactly what these builders exist to avoid). Synthesis handles the
+    /// sharing via the §4.3 tensor-product control elision.
+    [[nodiscard]] static DecisionDiagram uniformState(const Dimensions& dims);
+
     /// --- sampling (sample.cpp) ------------------------------------------
 
     /// Draw one measurement outcome in the computational basis directly from
@@ -247,6 +289,9 @@ public:
 private:
     [[nodiscard]] DDNode& mutableNode(NodeRef ref);
     NodeRef allocate(std::uint32_t site, std::vector<DDEdge> edges);
+    /// Shared W-family builder (structured.cpp); familyTag 0 = full W,
+    /// 1 = embedded W.
+    [[nodiscard]] static DecisionDiagram buildWTree(const Dimensions& dims, int familyTag);
     DDEdge buildTree(std::size_t site, const Complex* amps, std::uint64_t count, double tol);
     DDEdge buildDenseTree(std::size_t site, const Complex* amps, std::uint64_t count);
 

@@ -104,6 +104,62 @@ Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
     return std::conj(rootWeight_) * other.rootWeight_ * visit(root_, other.root_);
 }
 
-double DecisionDiagram::normSquared() const { return toStateVector().normSquared(); }
+double DecisionDiagram::normSquared() const {
+    if (root_ == kNoNode) {
+        return 0.0;
+    }
+    // Sum of |amplitude|^2 over all paths, memoized per node (shared
+    // sub-trees contribute once per incoming weight) — no dense expansion,
+    // so this stays cheap on registers past the dense ceiling.
+    std::unordered_map<NodeRef, double> memo;
+    const std::function<double(NodeRef)> visit = [&](NodeRef ref) -> double {
+        const DDNode& n = node(ref);
+        if (n.isTerminal()) {
+            return 1.0;
+        }
+        if (const auto it = memo.find(ref); it != memo.end()) {
+            return it->second;
+        }
+        double sum = 0.0;
+        for (const DDEdge& edge : n.edges) {
+            if (!edge.isZeroStub()) {
+                sum += squaredMagnitude(edge.weight) * visit(edge.node);
+            }
+        }
+        memo.emplace(ref, sum);
+        return sum;
+    };
+    return squaredMagnitude(rootWeight_) * visit(root_);
+}
+
+void DecisionDiagram::forEachNonZero(
+    const std::function<bool(const Digits&, const Complex&)>& visitor) const {
+    if (root_ == kNoNode) {
+        return;
+    }
+    Digits digits(radix_.numQudits(), 0);
+    // DFS over nonzero edges in digit order == flat mixed-radix index order,
+    // the order a dense enumeration would visit. Returns false to stop.
+    const std::function<bool(NodeRef, Complex)> visit = [&](NodeRef ref,
+                                                            Complex prefix) -> bool {
+        const DDNode& n = node(ref);
+        if (n.isTerminal()) {
+            return visitor(digits, prefix);
+        }
+        for (std::size_t k = 0; k < n.edges.size(); ++k) {
+            const DDEdge& edge = n.edges[k];
+            if (edge.isZeroStub()) {
+                continue;
+            }
+            digits[n.site] = static_cast<Level>(k);
+            if (!visit(edge.node, prefix * edge.weight)) {
+                return false;
+            }
+        }
+        digits[n.site] = 0;
+        return true;
+    };
+    (void)visit(root_, rootWeight_);
+}
 
 } // namespace mqsp

@@ -1,0 +1,171 @@
+// DD-native construction of the structured benchmark families (§5 of the
+// paper): GHZ, W, embedded W, basis and uniform states assembled directly as
+// decision diagrams. No dense amplitude vector is ever allocated, so these
+// run on registers whose total dimension exceeds memory by orders of
+// magnitude — the target-construction half of breaking the dense O(∏dims)
+// verification ceiling (the simulation half is DecisionDiagram::
+// simulateCircuit and the backend layer in sim/backend.hpp).
+//
+// Each tree builder reproduces the tree `fromStateVector` returns on the
+// same state: the canonical normalization pushes every node's norm into its
+// in-edge and keeps upper weights real non-negative, so synthesis from
+// either source emits the same circuit (up to last-ulp rounding in rotation
+// angles, where the analytic weights sqrt(T'/T) and the summed norms may
+// differ) — pinned by the cross-validation suite and the dd-backend golden
+// CLI fixtures. uniformState is the one exception: its tree form *is* the
+// full dense tree, so it is returned in reduced (shared-chain) form instead.
+
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mqsp {
+
+DecisionDiagram DecisionDiagram::basisState(const Dimensions& dims, const Digits& digits) {
+    DecisionDiagram dd;
+    dd.radix_ = MixedRadix(dims);
+    requireThat(digits.size() == dd.radix_.numQudits(),
+                "DecisionDiagram::basisState: digit count mismatch");
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+
+    // Weight-1 chain, built bottom-up: site n-1 points at the terminal.
+    NodeRef below = 0; // terminal
+    for (std::size_t site = dd.radix_.numQudits(); site-- > 0;) {
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        requireThat(digits[site] < dim,
+                    "DecisionDiagram::basisState: digit exceeds dimension");
+        std::vector<DDEdge> edges(dim);
+        edges[digits[site]] = DDEdge{below, Complex{1.0, 0.0}};
+        below = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+    }
+    dd.root_ = below;
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+DecisionDiagram DecisionDiagram::ghzState(const Dimensions& dims) {
+    DecisionDiagram dd;
+    dd.radix_ = MixedRadix(dims);
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    const std::size_t n = dd.radix_.numQudits();
+    const Dimension m = *std::min_element(dims.begin(), dims.end());
+
+    // One weight-1 chain |k k ... k> per branch k < m. The chains are not
+    // shared — tree shape, matching fromStateVector.
+    std::vector<DDEdge> rootEdges(dd.radix_.dimensionAt(0));
+    const double branchWeight = 1.0 / std::sqrt(static_cast<double>(m));
+    for (Dimension k = 0; k < m; ++k) {
+        NodeRef below = 0; // terminal
+        for (std::size_t site = n; site-- > 1;) {
+            std::vector<DDEdge> edges(dd.radix_.dimensionAt(site));
+            edges[k] = DDEdge{below, Complex{1.0, 0.0}};
+            below = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+        }
+        rootEdges[k] = DDEdge{below, Complex{branchWeight, 0.0}};
+    }
+    dd.root_ = dd.allocate(0, std::move(rootEdges));
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+namespace {
+
+/// Number of excitation levels each qudit contributes to a W-family state:
+/// levels 1..d_i-1 for the full W state, level 1 only for the embedded one.
+enum class WFamily { Full, Embedded };
+
+[[nodiscard]] Dimension excitationLevels(WFamily family, Dimension dim) {
+    return family == WFamily::Embedded ? Dimension{1} : dim - 1;
+}
+
+} // namespace
+
+/// Shared W-family builder. With T_i the number of W terms contributed by
+/// sites i..n-1, the node at site i carries edge 0 -> (W sub-state on the
+/// suffix) with weight sqrt(T_{i+1}/T_i) and one edge per excitation level
+/// l with weight 1/sqrt(T_i) -> an all-|0> chain; per-node normalization
+/// holds by construction ((T_{i+1} + L_i)/T_i = 1).
+DecisionDiagram DecisionDiagram::buildWTree(const Dimensions& dims, int familyTag) {
+    const WFamily family = familyTag == 0 ? WFamily::Full : WFamily::Embedded;
+    DecisionDiagram dd;
+    dd.radix_ = MixedRadix(dims);
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    const std::size_t n = dd.radix_.numQudits();
+
+    // Suffix term counts T_i (T_n = 0).
+    std::vector<std::uint64_t> suffixTerms(n + 1, 0);
+    for (std::size_t site = n; site-- > 0;) {
+        suffixTerms[site] =
+            suffixTerms[site + 1] + excitationLevels(family, dd.radix_.dimensionAt(site));
+    }
+
+    // Fresh all-|0> suffix chain below `site` (one copy per use: tree shape).
+    const auto zeroChain = [&dd, n](std::size_t site) -> NodeRef {
+        NodeRef below = 0; // terminal
+        for (std::size_t s = n; s-- > site;) {
+            std::vector<DDEdge> edges(dd.radix_.dimensionAt(s));
+            edges[0] = DDEdge{below, Complex{1.0, 0.0}};
+            below = dd.allocate(static_cast<std::uint32_t>(s), std::move(edges));
+        }
+        return below;
+    };
+
+    // Build the W spine bottom-up.
+    NodeRef spine = kNoNode;
+    for (std::size_t site = n; site-- > 0;) {
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        const Dimension levels = excitationLevels(family, dim);
+        const double total = static_cast<double>(suffixTerms[site]);
+        std::vector<DDEdge> edges(dim);
+        if (suffixTerms[site + 1] > 0) {
+            edges[0] = DDEdge{
+                spine,
+                Complex{std::sqrt(static_cast<double>(suffixTerms[site + 1]) / total), 0.0}};
+        }
+        const double excitationWeight = 1.0 / std::sqrt(total);
+        for (Dimension l = 1; l <= levels; ++l) {
+            edges[l] = DDEdge{zeroChain(site + 1), Complex{excitationWeight, 0.0}};
+        }
+        spine = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+    }
+    dd.root_ = spine;
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+DecisionDiagram DecisionDiagram::wState(const Dimensions& dims) {
+    return buildWTree(dims, /*familyTag=*/0);
+}
+
+DecisionDiagram DecisionDiagram::embeddedWState(const Dimensions& dims) {
+    return buildWTree(dims, /*familyTag=*/1);
+}
+
+DecisionDiagram DecisionDiagram::uniformState(const Dimensions& dims) {
+    DecisionDiagram dd;
+    dd.radix_ = MixedRadix(dims);
+    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+
+    // One shared chain: node at site s has d_s edges of weight 1/sqrt(d_s),
+    // all pointing at the same child — already the reduced (DAG) form.
+    NodeRef below = 0; // terminal
+    for (std::size_t site = dd.radix_.numQudits(); site-- > 0;) {
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        const double weight = 1.0 / std::sqrt(static_cast<double>(dim));
+        std::vector<DDEdge> edges(dim);
+        for (Dimension k = 0; k < dim; ++k) {
+            edges[k] = DDEdge{below, Complex{weight, 0.0}};
+        }
+        below = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+    }
+    dd.root_ = below;
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+} // namespace mqsp

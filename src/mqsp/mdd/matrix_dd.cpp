@@ -193,25 +193,30 @@ MatrixDD::Edge MatrixDD::addEdges(Edge a, Edge b, double tol) {
     if (b.isZero() || std::abs(b.weight) <= tol) {
         return a;
     }
-    const Node& na = node(a.node);
-    const Node& nb = node(b.node);
-    if (na.site == kTerminalSite) {
-        ensureThat(nb.site == kTerminalSite, "MatrixDD::addEdges: level mismatch");
+    if (node(a.node).site == kTerminalSite) {
+        ensureThat(node(b.node).site == kTerminalSite,
+                   "MatrixDD::addEdges: level mismatch");
         const Complex sum = a.weight + b.weight;
         if (std::abs(sum) <= tol) {
             return Edge{};
         }
         return Edge{0, sum};
     }
-    ensureThat(na.site == nb.site, "MatrixDD::addEdges: site mismatch");
-    std::vector<Edge> edges(na.edges.size());
-    for (std::size_t k = 0; k < edges.size(); ++k) {
-        const Edge ea{na.edges[k].node, a.weight * na.edges[k].weight};
-        const Edge eb{nb.edges[k].node, b.weight * nb.edges[k].weight};
+    ensureThat(node(a.node).site == node(b.node).site,
+               "MatrixDD::addEdges: site mismatch");
+    // Re-fetch through the NodeRefs on every access: the recursive call
+    // below appends to nodes_ and may reallocate the pool, so references
+    // into it must not be held across it.
+    const std::uint32_t site = node(a.node).site;
+    const std::size_t arity = node(a.node).edges.size();
+    std::vector<Edge> edges(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        const Edge ea{node(a.node).edges[k].node, a.weight * node(a.node).edges[k].weight};
+        const Edge eb{node(b.node).edges[k].node, b.weight * node(b.node).edges[k].weight};
         edges[k] = addEdges(ea, eb, tol);
     }
     Complex weight;
-    const NodeRef ref = makeNode(na.site, std::move(edges), weight, tol);
+    const NodeRef ref = makeNode(site, std::move(edges), weight, tol);
     return Edge{ref, weight};
 }
 

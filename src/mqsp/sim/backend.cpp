@@ -1,0 +1,258 @@
+#include "mqsp/sim/backend.hpp"
+
+#include "mqsp/mdd/matrix_dd.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace mqsp {
+
+namespace {
+
+/// Register ceiling of the dense *equivalence* check: it walks all ∏dims
+/// columns of both unitaries, so it is quadratic where dense simulation is
+/// linear (mirrors MatrixDD::toDenseMatrix's small-register limit).
+constexpr std::uint64_t kDenseEquivalenceCeiling = 4096;
+
+std::string formatAmplitudeCount(std::uint64_t count) {
+    return std::to_string(count);
+}
+
+} // namespace
+
+const char* backendName(BackendKind kind) noexcept {
+    return kind == BackendKind::Dense ? "dense" : "dd";
+}
+
+BackendKind resolveBackendKind(const std::string& spec, std::uint64_t totalDimension,
+                               std::uint64_t autoThreshold) {
+    if (spec == "dense") {
+        return BackendKind::Dense;
+    }
+    if (spec == "dd") {
+        return BackendKind::Dd;
+    }
+    if (spec == "auto") {
+        return totalDimension > autoThreshold ? BackendKind::Dd : BackendKind::Dense;
+    }
+    detail::throwInvalidArgument("unknown evaluation backend '" + spec +
+                                 "' (expected dense, dd, or auto)");
+}
+
+// --- EvalState -------------------------------------------------------------
+
+const MixedRadix& EvalState::radix() const {
+    return isDense() ? std::get<StateVector>(value_).radix()
+                     : std::get<DecisionDiagram>(value_).radix();
+}
+
+const StateVector& EvalState::dense() const {
+    requireThat(isDense(), "EvalState::dense: state is a decision diagram");
+    return std::get<StateVector>(value_);
+}
+
+StateVector& EvalState::dense() {
+    requireThat(isDense(), "EvalState::dense: state is a decision diagram");
+    return std::get<StateVector>(value_);
+}
+
+const DecisionDiagram& EvalState::diagram() const {
+    requireThat(isDiagram(), "EvalState::diagram: state is a dense vector");
+    return std::get<DecisionDiagram>(value_);
+}
+
+DecisionDiagram& EvalState::diagram() {
+    requireThat(isDiagram(), "EvalState::diagram: state is a dense vector");
+    return std::get<DecisionDiagram>(value_);
+}
+
+Complex EvalState::amplitudeOf(const Digits& digits) const {
+    if (isDense()) {
+        return dense().at(digits);
+    }
+    return diagram().amplitudeOf(digits);
+}
+
+double EvalState::normSquared() const {
+    return isDense() ? dense().normSquared() : diagram().normSquared();
+}
+
+Complex EvalState::overlapWith(const EvalState& other) const {
+    requireThat(radix() == other.radix(), "EvalState::overlapWith: registers differ");
+    if (isDense() && other.isDense()) {
+        return dense().innerProduct(other.dense());
+    }
+    if (isDiagram() && other.isDiagram()) {
+        return diagram().innerProductWith(other.diagram());
+    }
+    // Mixed pair: lift the dense side into a diagram (linear in its size);
+    // the diagram side is never expanded.
+    if (isDiagram()) {
+        return diagram().innerProductWith(DecisionDiagram::fromStateVector(other.dense()));
+    }
+    return DecisionDiagram::fromStateVector(dense()).innerProductWith(other.diagram());
+}
+
+double EvalState::fidelityWith(const EvalState& other) const {
+    return squaredMagnitude(overlapWith(other));
+}
+
+DecisionDiagram EvalState::toDiagram() const {
+    return isDiagram() ? diagram() : DecisionDiagram::fromStateVector(dense());
+}
+
+StateVector EvalState::toStateVector(std::uint64_t ceiling) const {
+    if (isDense()) {
+        return dense();
+    }
+    requireThat(totalDimension() <= ceiling,
+                "EvalState::toStateVector: register has " +
+                    formatAmplitudeCount(totalDimension()) +
+                    " amplitudes, past the dense ceiling of " +
+                    formatAmplitudeCount(ceiling) + " — keep it as a diagram");
+    return diagram().toStateVector();
+}
+
+// --- DenseBackend ----------------------------------------------------------
+
+void DenseBackend::requireWithinCeiling(std::uint64_t totalDimension,
+                                        const char* what) const {
+    requireThat(totalDimension <= maxAmplitudes_,
+                std::string(what) + ": register has " +
+                    formatAmplitudeCount(totalDimension) +
+                    " amplitudes, past the dense backend ceiling of " +
+                    formatAmplitudeCount(maxAmplitudes_) +
+                    " — use the dd backend (--backend dd)");
+}
+
+EvalState DenseBackend::runFromZero(const Circuit& circuit) const {
+    requireWithinCeiling(circuit.radix().totalDimension(), "DenseBackend::runFromZero");
+    return EvalState(Simulator::runFromZero(circuit));
+}
+
+void DenseBackend::apply(EvalState& state, const Operation& op) const {
+    Simulator::apply(state.dense(), op);
+}
+
+double DenseBackend::preparationFidelity(const Circuit& circuit,
+                                         const EvalState& target) const {
+    requireWithinCeiling(circuit.radix().totalDimension(),
+                         "DenseBackend::preparationFidelity");
+    if (target.isDense()) {
+        return Simulator::preparationFidelity(circuit, target.dense());
+    }
+    return Simulator::preparationFidelity(circuit, target.toStateVector(maxAmplitudes_));
+}
+
+bool DenseBackend::circuitsEquivalent(const Circuit& a, const Circuit& b,
+                                      double tol) const {
+    requireThat(a.radix() == b.radix(),
+                "DenseBackend::circuitsEquivalent: registers differ");
+    const std::uint64_t total = a.radix().totalDimension();
+    requireThat(total <= kDenseEquivalenceCeiling,
+                "DenseBackend::circuitsEquivalent: register has " +
+                    formatAmplitudeCount(total) +
+                    " amplitudes; dense equivalence walks every column (limit " +
+                    formatAmplitudeCount(kDenseEquivalenceCeiling) +
+                    ") — use the dd backend");
+
+    // Column-by-column comparison of the two unitaries up to one global
+    // phase. The phase is fixed by the *largest*-magnitude entry of the
+    // first column — for a unitary column (norm 1) that entry is at least
+    // 1/sqrt(total), far above tol, so the quotient is never dominated by
+    // rounding noise the way a barely-above-tolerance entry would be.
+    Complex phase{0.0, 0.0};
+    bool havePhase = false;
+    for (std::uint64_t column = 0; column < total; ++column) {
+        const StateVector basis =
+            StateVector::basis(a.dimensions(), a.radix().digitsOf(column));
+        const StateVector columnA = Simulator::run(a, basis);
+        const StateVector columnB = Simulator::run(b, basis);
+        if (!havePhase) {
+            std::uint64_t anchor = 0;
+            double best = 0.0;
+            for (std::uint64_t row = 0; row < total; ++row) {
+                const double magnitude = std::abs(columnA[row]);
+                if (magnitude > best) {
+                    best = magnitude;
+                    anchor = row;
+                }
+            }
+            if (best > tol) {
+                phase = columnB[anchor] / columnA[anchor];
+                if (std::abs(std::abs(phase) - 1.0) > tol) {
+                    return false;
+                }
+                havePhase = true;
+            } else {
+                // Column A vanishes (non-unitary input); B must vanish too.
+                for (std::uint64_t row = 0; row < total; ++row) {
+                    if (std::abs(columnB[row]) > tol) {
+                        return false;
+                    }
+                }
+                continue;
+            }
+        }
+        for (std::uint64_t row = 0; row < total; ++row) {
+            if (std::abs(columnB[row] - phase * columnA[row]) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// --- DdBackend -------------------------------------------------------------
+
+EvalState DdBackend::runFromZero(const Circuit& circuit) const {
+    return EvalState(DecisionDiagram::simulateCircuit(circuit, tolerance_));
+}
+
+void DdBackend::apply(EvalState& state, const Operation& op) const {
+    // Same per-gate hygiene as simulateCircuit: applyOperation's
+    // copy-on-write rebuild does not hash-cons, so without re-sharing and
+    // compaction a sequence of apply() calls would grow the diagram toward
+    // the full exponential tree on DAG-shaped states (e.g. the uniform
+    // superposition mid-preparation).
+    DecisionDiagram& diagram = state.diagram();
+    diagram.applyOperation(op, tolerance_);
+    diagram.reduce(tolerance_);
+    diagram.garbageCollect();
+}
+
+double DdBackend::preparationFidelity(const Circuit& circuit,
+                                      const EvalState& target) const {
+    const DecisionDiagram prepared = DecisionDiagram::simulateCircuit(circuit, tolerance_);
+    if (target.isDiagram()) {
+        return squaredMagnitude(target.diagram().innerProductWith(prepared));
+    }
+    const DecisionDiagram targetDiagram = DecisionDiagram::fromStateVector(target.dense());
+    return squaredMagnitude(targetDiagram.innerProductWith(prepared));
+}
+
+bool DdBackend::circuitsEquivalent(const Circuit& a, const Circuit& b, double tol) const {
+    requireThat(a.radix() == b.radix(), "DdBackend::circuitsEquivalent: registers differ");
+    const MatrixDD lhs = MatrixDD::fromCircuit(a, tolerance_);
+    const MatrixDD rhs = MatrixDD::fromCircuit(b, tolerance_);
+    return lhs.equivalentUpToGlobalPhase(rhs, tol);
+}
+
+// --- factories -------------------------------------------------------------
+
+std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind) {
+    if (kind == BackendKind::Dense) {
+        return std::make_unique<DenseBackend>();
+    }
+    return std::make_unique<DdBackend>();
+}
+
+std::unique_ptr<EvaluationBackend> makeBackend(const std::string& spec,
+                                               std::uint64_t totalDimension) {
+    return makeBackend(resolveBackendKind(spec, totalDimension));
+}
+
+} // namespace mqsp

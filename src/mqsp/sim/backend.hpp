@@ -1,0 +1,177 @@
+#pragma once
+
+#include "mqsp/circuit/circuit.hpp"
+#include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/statevec/state_vector.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace mqsp {
+
+/// Which evaluation substrate a backend runs on.
+enum class BackendKind {
+    Dense, ///< dense state vector (O(∏dims) memory, exact reference)
+    Dd,    ///< decision diagram (memory ∝ diagram size, scales past dense)
+};
+
+/// Human-readable backend name ("dense" / "dd") — also the CLI spelling.
+[[nodiscard]] const char* backendName(BackendKind kind) noexcept;
+
+/// Total dimension above which `auto` backend selection switches from the
+/// dense simulator to the decision-diagram backend: 2^22 ≈ 4.2M amplitudes
+/// (64 MiB of Complex), comfortably inside any dev machine while keeping
+/// the asymptotically safe choice for everything larger.
+inline constexpr std::uint64_t kAutoBackendThreshold = std::uint64_t{1} << 22U;
+
+/// Largest register the DenseBackend agrees to materialize: 2^26 amplitudes
+/// (1 GiB of Complex). Beyond this the dense backend *refuses* with a clear
+/// error instead of dying in the allocator — `--backend dd` is the tool for
+/// those registers.
+inline constexpr std::uint64_t kDenseBackendCeiling = std::uint64_t{1} << 26U;
+
+/// Resolve a CLI backend spec ("dense" | "dd" | "auto") against a register's
+/// total dimension. "auto" picks Dense up to `autoThreshold` and Dd beyond;
+/// anything else throws InvalidArgumentError.
+[[nodiscard]] BackendKind resolveBackendKind(const std::string& spec,
+                                             std::uint64_t totalDimension,
+                                             std::uint64_t autoThreshold = kAutoBackendThreshold);
+
+/// A quantum state as handled by the evaluation backends: either a dense
+/// StateVector or a DecisionDiagram, with the common read-side operations
+/// (amplitudes, norms, overlaps) dispatched to the native representation.
+/// Mixed-representation overlaps convert the *dense* side to a diagram —
+/// never the diagram to a dense vector — so a huge DD state is never
+/// materialized by accident.
+class EvalState {
+public:
+    EvalState() = default;
+    explicit EvalState(StateVector state) : value_(std::move(state)) {}
+    explicit EvalState(DecisionDiagram diagram) : value_(std::move(diagram)) {}
+
+    [[nodiscard]] bool isDense() const noexcept {
+        return std::holds_alternative<StateVector>(value_);
+    }
+    [[nodiscard]] bool isDiagram() const noexcept { return !isDense(); }
+
+    /// Register geometry (shared by both representations).
+    [[nodiscard]] const MixedRadix& radix() const;
+    [[nodiscard]] const Dimensions& dimensions() const { return radix().dimensions(); }
+    [[nodiscard]] std::uint64_t totalDimension() const { return radix().totalDimension(); }
+
+    /// Native accessors; throw InvalidArgumentError on representation
+    /// mismatch (callers branch on isDense()/isDiagram()).
+    [[nodiscard]] const StateVector& dense() const;
+    [[nodiscard]] const DecisionDiagram& diagram() const;
+    [[nodiscard]] StateVector& dense();
+    [[nodiscard]] DecisionDiagram& diagram();
+
+    /// Amplitude of one basis state, whatever the representation.
+    [[nodiscard]] Complex amplitudeOf(const Digits& digits) const;
+
+    /// Sum of squared amplitude magnitudes.
+    [[nodiscard]] double normSquared() const;
+
+    /// <this|other>. Registers must match; a mixed pair converts the dense
+    /// side to a diagram first.
+    [[nodiscard]] Complex overlapWith(const EvalState& other) const;
+
+    /// |<this|other>|^2 — the fidelity metric of Table 1.
+    [[nodiscard]] double fidelityWith(const EvalState& other) const;
+
+    /// This state as a diagram (identity when already one; O(∏dims) build
+    /// from a dense vector).
+    [[nodiscard]] DecisionDiagram toDiagram() const;
+
+    /// This state as a dense vector. Refuses (InvalidArgumentError) when the
+    /// register exceeds `ceiling` amplitudes — the guard that keeps huge DD
+    /// states from being expanded by accident.
+    [[nodiscard]] StateVector toStateVector(std::uint64_t ceiling = kDenseBackendCeiling) const;
+
+private:
+    std::variant<StateVector, DecisionDiagram> value_;
+};
+
+/// The pluggable evaluation substrate: everything the toolchain needs to
+/// *run* and *verify* circuits — replay from |0...0>, single-op application,
+/// preparation fidelity against a target, and whole-unitary equivalence —
+/// behind one interface, so callers (CLI tools, bench drivers, tests) are
+/// written once and switch substrate with a flag.
+class EvaluationBackend {
+public:
+    virtual ~EvaluationBackend() = default;
+
+    [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
+    [[nodiscard]] const char* name() const noexcept { return backendName(kind()); }
+
+    /// Replay the circuit from |0...0> — the state-preparation setting.
+    [[nodiscard]] virtual EvalState runFromZero(const Circuit& circuit) const = 0;
+
+    /// Apply a single (possibly multi-controlled) operation in place. The
+    /// state must be in this backend's native representation.
+    virtual void apply(EvalState& state, const Operation& op) const = 0;
+
+    /// |<target|circuit(|0...0>)>|^2 — the verification metric.
+    [[nodiscard]] virtual double preparationFidelity(const Circuit& circuit,
+                                                     const EvalState& target) const = 0;
+
+    /// True when the two circuits implement the same unitary up to a global
+    /// phase (full-operator equivalence, not merely equal action on |0>).
+    [[nodiscard]] virtual bool circuitsEquivalent(const Circuit& a, const Circuit& b,
+                                                  double tol = 1e-9) const = 0;
+};
+
+/// Dense state-vector backend: wraps the existing Simulator. Exact and
+/// fast on small registers; refuses registers beyond `maxAmplitudes` with
+/// a clear error pointing at the DD backend.
+class DenseBackend final : public EvaluationBackend {
+public:
+    explicit DenseBackend(std::uint64_t maxAmplitudes = kDenseBackendCeiling)
+        : maxAmplitudes_(maxAmplitudes) {}
+
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dense; }
+    [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
+    void apply(EvalState& state, const Operation& op) const override;
+    [[nodiscard]] double preparationFidelity(const Circuit& circuit,
+                                             const EvalState& target) const override;
+    [[nodiscard]] bool circuitsEquivalent(const Circuit& a, const Circuit& b,
+                                          double tol = 1e-9) const override;
+
+    [[nodiscard]] std::uint64_t maxAmplitudes() const noexcept { return maxAmplitudes_; }
+
+private:
+    void requireWithinCeiling(std::uint64_t totalDimension, const char* what) const;
+
+    std::uint64_t maxAmplitudes_ = kDenseBackendCeiling;
+};
+
+/// Decision-diagram backend: replay on DecisionDiagram (dd/apply.cpp),
+/// fidelity as a DD-DD overlap, equivalence on matrix decision diagrams
+/// (mdd/MatrixDD) — memory and time scale with diagram size, not with
+/// ∏dims, so structured states verify on registers of 10^8+ amplitudes.
+class DdBackend final : public EvaluationBackend {
+public:
+    explicit DdBackend(double tolerance = Tolerance::kDefault) : tolerance_(tolerance) {}
+
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dd; }
+    [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
+    void apply(EvalState& state, const Operation& op) const override;
+    [[nodiscard]] double preparationFidelity(const Circuit& circuit,
+                                             const EvalState& target) const override;
+    [[nodiscard]] bool circuitsEquivalent(const Circuit& a, const Circuit& b,
+                                          double tol = 1e-9) const override;
+
+private:
+    double tolerance_ = Tolerance::kDefault;
+};
+
+/// Factory for a backend of the given kind.
+[[nodiscard]] std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind);
+
+/// Convenience: resolve a CLI spec against a register and construct.
+[[nodiscard]] std::unique_ptr<EvaluationBackend> makeBackend(const std::string& spec,
+                                                             std::uint64_t totalDimension);
+
+} // namespace mqsp

@@ -3,6 +3,7 @@
 #include "mqsp/support/error.hpp"
 
 #include <functional>
+#include <utility>
 
 namespace mqsp {
 
@@ -81,16 +82,27 @@ Circuit synthesize(const DecisionDiagram& dd, const SynthesisOptions& options) {
 }
 
 PreparationResult prepareExact(const StateVector& state, const SynthesisOptions& options) {
+    return prepareExact(DecisionDiagram::fromStateVector(state, options.tolerance),
+                        options);
+}
+
+PreparationResult prepareExact(DecisionDiagram diagram, const SynthesisOptions& options) {
     PreparationResult result;
-    result.diagram = DecisionDiagram::fromStateVector(state, options.tolerance);
+    result.diagram = std::move(diagram);
     result.circuit = synthesize(result.diagram, options);
     return result;
 }
 
 PreparationResult prepareApproximated(const StateVector& state, double fidelityThreshold,
                                       const SynthesisOptions& options) {
+    return prepareApproximated(DecisionDiagram::fromStateVector(state, options.tolerance),
+                               fidelityThreshold, options);
+}
+
+PreparationResult prepareApproximated(DecisionDiagram diagram, double fidelityThreshold,
+                                      const SynthesisOptions& options) {
     PreparationResult result;
-    result.diagram = DecisionDiagram::fromStateVector(state, options.tolerance);
+    result.diagram = std::move(diagram);
     ApproximationOptions approxOptions;
     approxOptions.fidelityThreshold = fidelityThreshold;
     approxOptions.tolerance = options.tolerance;

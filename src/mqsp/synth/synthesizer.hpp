@@ -51,9 +51,19 @@ struct PreparationResult {
 [[nodiscard]] PreparationResult prepareExact(const StateVector& state,
                                              const SynthesisOptions& options = {});
 
+/// Exact pipeline from an already-built diagram (e.g. a DD-native
+/// structured-state builder on a register past the dense ceiling).
+[[nodiscard]] PreparationResult prepareExact(DecisionDiagram diagram,
+                                             const SynthesisOptions& options = {});
+
 /// The paper's "Approximated" pipeline: state -> weighted tree -> prune to
 /// the fidelity threshold -> reduce -> circuit.
 [[nodiscard]] PreparationResult prepareApproximated(const StateVector& state,
+                                                    double fidelityThreshold = 0.98,
+                                                    const SynthesisOptions& options = {});
+
+/// Approximated pipeline from an already-built (tree-shaped) diagram.
+[[nodiscard]] PreparationResult prepareApproximated(DecisionDiagram diagram,
                                                     double fidelityThreshold = 0.98,
                                                     const SynthesisOptions& options = {});
 

@@ -1,22 +1,32 @@
 // Randomized cross-validation: decision-diagram evaluation (dd/evaluate.cpp)
 // against the dense state-vector simulator on random mixed-radix states,
-// seeded and repeatable — the first step toward DD-native verification
-// replacing the dense simulator as the default (ROADMAP). Two layers:
+// seeded and repeatable — the safety net under DD-native verification
+// (ROADMAP). Three layers:
 //
 //  1. representation: a diagram built from a random dense state must
 //     reproduce every amplitude (amplitudeOf / toStateVector) to 1e-10;
 //  2. simulation: DD-native replay of the synthesized preparation circuit
 //     (DecisionDiagram::simulateCircuit) must agree with the dense
-//     simulator (Simulator::runFromZero) amplitude-by-amplitude to 1e-10.
+//     simulator (Simulator::runFromZero) amplitude-by-amplitude to 1e-10;
+//  3. backends: the pluggable DenseBackend and DdBackend (sim/backend.hpp)
+//     must agree on preparation fidelity and circuit equivalence to 1e-10
+//     on randomized registers — the parity contract that makes the dd
+//     backend a drop-in verification substrate — and the dd backend alone
+//     must verify structured states on a register too large for dense
+//     allocation.
 
 #include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/sim/backend.hpp"
 #include "mqsp/sim/simulator.hpp"
 #include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
 #include "mqsp/support/rng.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
 #include <vector>
 
 namespace mqsp {
@@ -109,6 +119,149 @@ TEST(CrossValidation, InnerProductAgreesWithDenseOverlap) {
             << formatDimensionSpec(dims);
         EXPECT_NEAR(ddOverlap.imag(), denseOverlap.imag(), kTol);
     }
+}
+
+// --- backend-parity suite --------------------------------------------------
+
+TEST(BackendParity, FidelityAgreesToTenDigitsOnRandomRegisters) {
+    const DenseBackend dense;
+    const DdBackend dd;
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    Rng seeder(kSuiteSeed);
+    for (const auto& dims : crossValidationRegisters()) {
+        for (int draw = 0; draw < kStatesPerRegister; ++draw) {
+            Rng rng(seeder.childSeed());
+            const StateVector target = states::random(dims, rng);
+            const auto prep = prepareExact(target, lean);
+            const EvalState targetState(target);
+
+            const double viaDense = dense.preparationFidelity(prep.circuit, targetState);
+            const double viaDd = dd.preparationFidelity(prep.circuit, targetState);
+            EXPECT_NEAR(viaDense, viaDd, kTol)
+                << formatDimensionSpec(dims) << " draw " << draw;
+            EXPECT_NEAR(viaDense, 1.0, 1e-9);
+            EXPECT_NEAR(viaDd, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(BackendParity, ApproximatedFidelityAgreesBelowOne) {
+    // A deliberately approximated circuit: both backends must report the
+    // *same* sub-unit fidelity, not merely agree at 1.
+    const DenseBackend dense;
+    const DdBackend dd;
+    Rng rng(kSuiteSeed);
+    const Dimensions dims{4, 3, 2, 5};
+    const StateVector target = states::random(dims, rng);
+    const auto prep = prepareApproximated(target, 0.98);
+    ASSERT_LT(prep.approx.fidelity, 1.0);
+
+    const EvalState targetState(target);
+    const double viaDense = dense.preparationFidelity(prep.circuit, targetState);
+    const double viaDd = dd.preparationFidelity(prep.circuit, targetState);
+    EXPECT_NEAR(viaDense, viaDd, kTol);
+    EXPECT_NEAR(viaDense, prep.approx.fidelity, 1e-6);
+}
+
+TEST(BackendParity, EquivalenceVerdictsAgreeOnRandomRegisters) {
+    const DenseBackend dense;
+    const DdBackend dd;
+    SynthesisOptions faithful;
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    Rng seeder(kSuiteSeed);
+    for (const auto& dims : {Dimensions{3, 6, 2}, Dimensions{4, 3, 2}, Dimensions{7, 2, 3}}) {
+        Rng rng(seeder.childSeed());
+        const StateVector target = states::random(dims, rng);
+        const auto full = prepareExact(target, faithful);
+        const auto elided = prepareExact(target, lean);
+
+        // Identity elision preserves the unitary: both backends say yes.
+        EXPECT_TRUE(dense.circuitsEquivalent(full.circuit, elided.circuit, 1e-8));
+        EXPECT_TRUE(dd.circuitsEquivalent(full.circuit, elided.circuit, 1e-8));
+
+        // A deliberately broken copy: both backends say no.
+        Circuit broken = elided.circuit;
+        broken.append(Operation::givens(0, 0, 1, 0.7, 0.3, {}));
+        EXPECT_FALSE(dense.circuitsEquivalent(full.circuit, broken, 1e-8));
+        EXPECT_FALSE(dd.circuitsEquivalent(full.circuit, broken, 1e-8));
+    }
+}
+
+TEST(BackendParity, StructuredDiagramBuildersMatchDenseGenerators) {
+    for (const auto& dims : crossValidationRegisters()) {
+        const std::vector<std::pair<DecisionDiagram, StateVector>> pairs = [&] {
+            std::vector<std::pair<DecisionDiagram, StateVector>> list;
+            list.emplace_back(DecisionDiagram::ghzState(dims), states::ghz(dims));
+            list.emplace_back(DecisionDiagram::wState(dims), states::wState(dims));
+            list.emplace_back(DecisionDiagram::embeddedWState(dims),
+                              states::embeddedWState(dims));
+            list.emplace_back(DecisionDiagram::uniformState(dims), states::uniform(dims));
+            return list;
+        }();
+        for (const auto& [diagram, state] : pairs) {
+            EXPECT_TRUE(diagram.checkInvariants().empty()) << diagram.checkInvariants();
+            EXPECT_NEAR(diagram.normSquared(), 1.0, kTol);
+            for (std::uint64_t i = 0; i < state.size(); ++i) {
+                const Digits digits = state.radix().digitsOf(i);
+                const Complex amp = diagram.amplitudeOf(digits);
+                EXPECT_NEAR(amp.real(), state[i].real(), kTol)
+                    << formatDimensionSpec(dims) << " index " << i;
+                EXPECT_NEAR(amp.imag(), state[i].imag(), kTol);
+            }
+        }
+    }
+}
+
+TEST(BackendParity, DdBackendVerifiesPastTheDenseCeiling) {
+    // 2^27 ≈ 1.34e8 amplitudes: the dense backend refuses the register
+    // outright, the dd backend prepares and verifies it in milliseconds.
+    const Dimensions dims(27, 2);
+    ASSERT_GE(MixedRadix(dims).totalDimension(), std::uint64_t{100'000'000});
+
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const DecisionDiagram target = DecisionDiagram::ghzState(dims);
+    const Circuit circuit = synthesize(target, lean);
+
+    const DenseBackend dense;
+    EXPECT_THROW((void)dense.runFromZero(circuit), InvalidArgumentError);
+    EXPECT_THROW((void)dense.preparationFidelity(circuit, EvalState(target)),
+                 InvalidArgumentError);
+
+    const DdBackend dd;
+    const double fidelity = dd.preparationFidelity(circuit, EvalState(target));
+    EXPECT_NEAR(fidelity, 1.0, 1e-9);
+
+    // The whole chain never allocates O(∏dims): spot-check amplitudes too.
+    const EvalState out = dd.runFromZero(circuit);
+    const double amp = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(out.amplitudeOf(Digits(27, 0)).real(), amp, 1e-9);
+    EXPECT_NEAR(out.amplitudeOf(Digits(27, 1)).real(), amp, 1e-9);
+    EXPECT_NEAR(out.amplitudeOf([&] {
+                       Digits d(27, 1);
+                       d.back() = 0;
+                       return d;
+                   }()).real(),
+                0.0, 1e-12);
+}
+
+TEST(BackendParity, UniformReplayStaysPolynomialPastTheCeiling) {
+    // The uniform superposition is the adversarial case for DD replay: its
+    // intermediate states are product superpositions, which without the
+    // per-gate reduction + memoized rebuild in simulateCircuit would blow
+    // up to the full exponential tree. This must finish in well under a
+    // second on 2^27 amplitudes.
+    const Dimensions dims(27, 2);
+    const DecisionDiagram target = DecisionDiagram::uniformState(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const Circuit circuit = synthesize(target, lean);
+    const double fidelity = DdBackend().preparationFidelity(circuit, EvalState(target));
+    EXPECT_NEAR(fidelity, 1.0, 1e-9);
 }
 
 TEST(CrossValidation, RerunWithTheSameSeedIsBitwiseRepeatable) {

@@ -1,0 +1,148 @@
+// Unit tests for the pluggable evaluation-backend layer (sim/backend.hpp):
+// backend resolution and auto-selection, EvalState representation handling
+// and mixed dense/diagram overlaps, the dense backend's ceiling guard, and
+// per-operation apply parity between the two substrates.
+
+#include "mqsp/sim/backend.hpp"
+
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mqsp {
+namespace {
+
+TEST(BackendResolution, ForcedNamesResolveRegardlessOfSize) {
+    EXPECT_EQ(resolveBackendKind("dense", 10), BackendKind::Dense);
+    EXPECT_EQ(resolveBackendKind("dense", std::uint64_t{1} << 40U), BackendKind::Dense);
+    EXPECT_EQ(resolveBackendKind("dd", 10), BackendKind::Dd);
+    EXPECT_EQ(resolveBackendKind("dd", std::uint64_t{1} << 40U), BackendKind::Dd);
+}
+
+TEST(BackendResolution, AutoSwitchesAtTheThreshold) {
+    EXPECT_EQ(resolveBackendKind("auto", kAutoBackendThreshold), BackendKind::Dense);
+    EXPECT_EQ(resolveBackendKind("auto", kAutoBackendThreshold + 1), BackendKind::Dd);
+    EXPECT_EQ(resolveBackendKind("auto", 36), BackendKind::Dense);
+}
+
+TEST(BackendResolution, UnknownSpecThrows) {
+    EXPECT_THROW((void)resolveBackendKind("sparse", 10), InvalidArgumentError);
+    EXPECT_THROW((void)resolveBackendKind("", 10), InvalidArgumentError);
+}
+
+TEST(BackendResolution, FactoriesProduceTheRequestedKind) {
+    EXPECT_EQ(makeBackend(BackendKind::Dense)->kind(), BackendKind::Dense);
+    EXPECT_EQ(makeBackend(BackendKind::Dd)->kind(), BackendKind::Dd);
+    EXPECT_STREQ(makeBackend("auto", 10)->name(), "dense");
+    EXPECT_STREQ(makeBackend("auto", kAutoBackendThreshold + 1)->name(), "dd");
+}
+
+TEST(EvalStateTest, RepresentationAccessorsGuard) {
+    const EvalState dense(states::ghz({2, 2}));
+    EXPECT_TRUE(dense.isDense());
+    EXPECT_FALSE(dense.isDiagram());
+    EXPECT_NO_THROW((void)dense.dense());
+    EXPECT_THROW((void)dense.diagram(), InvalidArgumentError);
+
+    const EvalState diagram(DecisionDiagram::ghzState({2, 2}));
+    EXPECT_TRUE(diagram.isDiagram());
+    EXPECT_THROW((void)diagram.dense(), InvalidArgumentError);
+    EXPECT_EQ(diagram.totalDimension(), 4u);
+}
+
+TEST(EvalStateTest, OverlapsAgreeAcrossAllRepresentationPairs) {
+    const Dimensions dims{3, 6, 2};
+    const StateVector ghzDense = states::ghz(dims);
+    const StateVector wDense = states::wState(dims);
+    const EvalState dd1(DecisionDiagram::ghzState(dims));
+    const EvalState dd2(DecisionDiagram::wState(dims));
+    const EvalState dv1(ghzDense);
+    const EvalState dv2(wDense);
+
+    const Complex reference = ghzDense.innerProduct(wDense);
+    for (const auto* lhs : {&dd1, &dv1}) {
+        for (const auto* rhs : {&dd2, &dv2}) {
+            const Complex overlap = lhs->overlapWith(*rhs);
+            EXPECT_NEAR(overlap.real(), reference.real(), 1e-10);
+            EXPECT_NEAR(overlap.imag(), reference.imag(), 1e-10);
+        }
+    }
+    EXPECT_NEAR(dd1.fidelityWith(dv1), 1.0, 1e-10);
+    EXPECT_NEAR(dd1.normSquared(), 1.0, 1e-10);
+    EXPECT_NEAR(dv1.normSquared(), 1.0, 1e-10);
+}
+
+TEST(EvalStateTest, ToStateVectorHonorsTheCeiling) {
+    const EvalState small(DecisionDiagram::ghzState({2, 2}));
+    EXPECT_EQ(small.toStateVector().size(), 4u);
+    EXPECT_THROW((void)small.toStateVector(/*ceiling=*/3), InvalidArgumentError);
+
+    const EvalState big(DecisionDiagram::ghzState(Dimensions(27, 2)));
+    EXPECT_THROW((void)big.toStateVector(), InvalidArgumentError);
+    EXPECT_NO_THROW((void)big.toDiagram());
+}
+
+TEST(DenseBackendTest, RefusesPastItsCeilingWithAClearError) {
+    const DenseBackend backend(/*maxAmplitudes=*/32);
+    const Circuit big(Dimensions{4, 4, 4}); // 64 amplitudes
+    try {
+        (void)backend.runFromZero(big);
+        FAIL() << "expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("dense backend ceiling"), std::string::npos) << what;
+        EXPECT_NE(what.find("--backend dd"), std::string::npos) << what;
+    }
+}
+
+TEST(ApplyParity, PerOperationApplicationMatchesAcrossBackends) {
+    const Dimensions dims{3, 4, 2};
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    Rng rng(12345);
+    const StateVector target = states::random(dims, rng);
+    const auto prep = prepareExact(target, lean);
+
+    const DenseBackend dense;
+    const DdBackend dd;
+    EvalState dv{StateVector(dims)};
+    EvalState diagram{DecisionDiagram::zeroState(dims)};
+    for (const Operation& op : prep.circuit.operations()) {
+        dense.apply(dv, op);
+        dd.apply(diagram, op);
+    }
+    for (std::uint64_t i = 0; i < dv.dense().size(); ++i) {
+        const Digits digits = dv.radix().digitsOf(i);
+        const Complex a = dv.amplitudeOf(digits);
+        const Complex b = diagram.amplitudeOf(digits);
+        EXPECT_NEAR(a.real(), b.real(), 1e-10) << "index " << i;
+        EXPECT_NEAR(a.imag(), b.imag(), 1e-10);
+    }
+    // Applying with the wrong representation is a caller error.
+    EXPECT_THROW(dense.apply(diagram, prep.circuit.operations().front()),
+                 InvalidArgumentError);
+    EXPECT_THROW(dd.apply(dv, prep.circuit.operations().front()), InvalidArgumentError);
+}
+
+TEST(RunFromZeroTest, BothBackendsPrepareTheSameState) {
+    const Dimensions dims{2, 3, 2};
+    const StateVector target = states::wState(dims);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+
+    const EvalState dense = DenseBackend().runFromZero(prep.circuit);
+    const EvalState diagram = DdBackend().runFromZero(prep.circuit);
+    EXPECT_TRUE(dense.isDense());
+    EXPECT_TRUE(diagram.isDiagram());
+    EXPECT_NEAR(dense.fidelityWith(diagram), 1.0, 1e-10);
+    EXPECT_NEAR(dense.fidelityWith(EvalState(target)), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace mqsp

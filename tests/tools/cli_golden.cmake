@@ -1,9 +1,10 @@
 # CTest script: golden-file round trip for one fixture circuit. Runs
 #   mqsp_prep --dims <PREP_DIMS> --state <PREP_STATE> [--seed <PREP_SEED>]
-#             --verify --qasm
+#             [--backend <PREP_BACKEND>] --verify --qasm
 # and diffs the emitted MQSP-QASM against the committed golden file — this
 # pins the MQSP-QASM dialect at the CLI layer. The stderr fidelity report
-# must show exact preparation, and mqsp_sim must replay the golden circuit.
+# must show exact preparation (whatever the evaluation backend), and
+# mqsp_sim must replay the golden circuit on the same backend.
 #
 # Regenerate a golden after an *intentional* dialect change with -DUPDATE=1:
 #   cmake -DMQSP_PREP=build/tools/mqsp_prep -DMQSP_SIM=build/tools/mqsp_sim \
@@ -16,6 +17,13 @@ set(actual_file ${WORK_DIR}/golden_actual_${CASE_NAME}.qasm)
 set(prep_args --dims ${PREP_DIMS} --state ${PREP_STATE})
 if(DEFINED PREP_SEED)
   list(APPEND prep_args --seed ${PREP_SEED})
+endif()
+set(sim_args "")
+if(DEFINED PREP_BACKEND)
+  list(APPEND prep_args --backend ${PREP_BACKEND})
+  list(APPEND sim_args --backend ${PREP_BACKEND})
+  # The stderr report must name the backend that actually ran.
+  set(expected_backend_line "backend           : ${PREP_BACKEND}")
 endif()
 
 execute_process(
@@ -30,6 +38,10 @@ endif()
 # Exact synthesis must verify at fidelity 1 (the golden fidelity output).
 if(NOT prep_stderr MATCHES "verified fidelity : 1\\.0000000")
   message(FATAL_ERROR "mqsp_prep fidelity not exact for ${CASE_NAME}: ${prep_stderr}")
+endif()
+if(DEFINED expected_backend_line AND NOT prep_stderr MATCHES "${expected_backend_line}")
+  message(FATAL_ERROR
+    "mqsp_prep did not run on the ${PREP_BACKEND} backend for ${CASE_NAME}: ${prep_stderr}")
 endif()
 
 if(UPDATE)
@@ -53,9 +65,10 @@ if(NOT golden_text STREQUAL actual_text)
     "(see the header of cli_golden.cmake).")
 endif()
 
-# The golden circuit must still replay through the simulator.
+# The golden circuit must still replay through the simulator (on the same
+# backend the fixture targets).
 execute_process(
-  COMMAND ${MQSP_SIM} --qasm ${golden_file}
+  COMMAND ${MQSP_SIM} --qasm ${golden_file} ${sim_args}
   OUTPUT_VARIABLE sim_stdout
   ERROR_VARIABLE sim_stderr
   RESULT_VARIABLE sim_result)

@@ -5,8 +5,15 @@ Every bench driver emits the same JSON schema (see docs/BENCHMARKS.md):
 
     {"schema": "mqsp-bench-v1", "driver": ..., "mode": ..., "cases": [...]}
 
-with one entry per case carrying `driver`, `case`, `dims`, `reps`,
+with one entry per case carrying `driver`, `case`, `dims`, an optional
+`backend` (evaluation-backend provenance: "dense" or "dd"), `reps`,
 `times_ns`, `stats` (min/median/mean/stddev in ns) and `metrics`.
+
+Cases are identified by (driver, case, dims, backend) everywhere: a
+dense-backend case and a dd-backend case of the same driver measure
+different substrates and are never compared against each other, and every
+report line spells out the backend (`...@dd`) so a regression is
+attributable to its substrate at a glance.
 
 Subcommands:
 
@@ -48,7 +55,16 @@ def load_report(path):
 
 
 def case_key(case):
-    return (case.get("driver", ""), case.get("case", ""), case.get("dims", ""))
+    # `backend` is part of the identity: same-named cases on different
+    # evaluation backends (dense vs dd) are distinct measurements.
+    return (case.get("driver", ""), case.get("case", ""), case.get("dims", ""),
+            case.get("backend", ""))
+
+
+def case_label(key):
+    driver, name, dims, backend = key
+    label = "/".join(part for part in (driver, name, dims) if part)
+    return f"{label}@{backend}" if backend else label
 
 
 def merge(args):
@@ -96,7 +112,7 @@ def compare(args):
 
     for key in sorted(current):
         case = current[key]
-        label = "/".join(part for part in key if part)
+        label = case_label(key)
         if case.get("failed"):
             failed.append(f"{label}: FAILED ({case.get('error', 'unknown error')})")
             continue
@@ -142,11 +158,11 @@ def compare(args):
     if missing:
         print(f"\nmissing from current ({len(missing)}):")
         for key in missing:
-            print(f"  {'/'.join(part for part in key if part)}")
+            print(f"  {case_label(key)}")
     if new:
         print(f"\nnew in current ({len(new)}):")
         for key in new:
-            print(f"  {'/'.join(part for part in key if part)}")
+            print(f"  {case_label(key)}")
     if not regressions and not drifted and not failed:
         print("\nno regressions")
         return 0

@@ -1,22 +1,30 @@
 // mqsp_prep — command-line state preparation.
 //
 // Synthesizes a mixed-dimensional state-preparation circuit and prints its
-// statistics, QASM, and (optionally) a simulator verification:
+// statistics, QASM, and (optionally) a verification replay:
 //
 //   mqsp_prep --dims 3,6,2 --state ghz --qasm
 //   mqsp_prep --dims 1x9,1x5,1x6,1x3 --state random --seed 7 --approx 0.98 --verify
 //   mqsp_prep --dims 3,2 --amplitudes psi.txt --optimize --qasm
+//   mqsp_prep --dims 27x2 --state ghz --verify --backend dd
 //
 // The amplitude file format is one "re im" pair per line, in mixed-radix
 // order (most significant qudit first); the vector is normalized on load.
+//
+// `--backend` selects the evaluation substrate (sim/backend.hpp): `dense`
+// replays on the state-vector simulator, `dd` stays on decision diagrams
+// end-to-end — structured targets (ghz/w/embw/uniform) are built natively
+// as diagrams, so preparation AND verification work on registers far past
+// the dense O(∏dims) ceiling. `auto` (the default) picks dense on small
+// registers and dd beyond kAutoBackendThreshold amplitudes.
 
 #include "cli_args.hpp"
 
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/opt/optimizer.hpp"
-#include "mqsp/support/error.hpp"
-#include "mqsp/sim/simulator.hpp"
+#include "mqsp/sim/backend.hpp"
 #include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <cstdio>
@@ -24,6 +32,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 
 namespace {
 
@@ -41,8 +50,10 @@ void usage() {
   --approx <f>         approximate with fidelity threshold f in (0, 1]
   --faithful           paper-faithful op emission (default: elide identities)
   --optimize           run the peephole optimizer on the result
+  --backend <name>     evaluation substrate: dense | dd | auto (default auto;
+                       dd scales past the dense memory ceiling)
   --qasm               print the circuit in MQSP-QASM
-  --verify             replay on the simulator and report the fidelity
+  --verify             replay on the selected backend and report the fidelity
 )");
 }
 
@@ -84,6 +95,29 @@ StateVector makeNamedState(const std::string& name, const Dimensions& dims,
     detail::throwInvalidArgument("unknown state '" + name + "'");
 }
 
+/// DD-native construction for the structured families — the targets that
+/// stay compact past the dense ceiling. One table serves both the "is a
+/// native builder available?" question (backend auto-selection) and the
+/// construction itself; states without a builder (random, dicke) return
+/// nullptr and must go through a dense vector.
+using DiagramBuilder = DecisionDiagram (*)(const Dimensions&);
+
+DiagramBuilder namedDiagramBuilder(const std::string& name) {
+    if (name == "ghz") {
+        return &DecisionDiagram::ghzState;
+    }
+    if (name == "w") {
+        return &DecisionDiagram::wState;
+    }
+    if (name == "embw") {
+        return &DecisionDiagram::embeddedWState;
+    }
+    if (name == "uniform") {
+        return &DecisionDiagram::uniformState;
+    }
+    return nullptr;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +128,7 @@ int main(int argc, char** argv) {
             return 2;
         }
         const Dimensions dims = parseDimensionSpec(*dimsSpec);
+        const MixedRadix radix(dims);
 
         const auto stateName = argValue(argc, argv, "--state");
         const auto amplitudePath = argValue(argc, argv, "--amplitudes");
@@ -102,20 +137,85 @@ int main(int argc, char** argv) {
             return 2;
         }
         const std::uint64_t seed = cli::argUint(argc, argv, "--seed", Rng::kDefaultSeed);
-        const StateVector target = amplitudePath ? loadAmplitudes(dims, *amplitudePath)
-                                                 : makeNamedState(*stateName, dims, seed);
+
+        const auto approx = argValue(argc, argv, "--approx");
+        const double threshold = cli::argDouble(argc, argv, "--approx", 1.0);
+
+        // Does the dd pipeline have a native diagram builder for this
+        // target? (uniform's reduced diagram is not usable under --approx —
+        // the approximation pass needs a tree.)
+        const DiagramBuilder diagramBuilder =
+            amplitudePath ? nullptr : namedDiagramBuilder(*stateName);
+        const bool hasNativeDiagram =
+            diagramBuilder != nullptr && !(approx && *stateName == "uniform");
+
+        const std::string backendSpec =
+            argValue(argc, argv, "--backend").value_or("auto");
+        // `auto` policy: dense below the threshold; above it, dd — except
+        // that a target with no diagram builder must construct its dense
+        // vector anyway, so while the register still fits the dense
+        // ceiling, the dense pipeline is the strictly better tool for it.
+        const BackendKind backendKind =
+            (backendSpec == "auto" && !hasNativeDiagram &&
+             radix.totalDimension() <= kDenseBackendCeiling)
+                ? BackendKind::Dense
+                : resolveBackendKind(backendSpec, radix.totalDimension());
+        const auto backend = makeBackend(backendKind);
 
         SynthesisOptions options;
         options.emitIdentityOperations = argFlag(argc, argv, "--faithful");
         options.circuitName = stateName.value_or("from_file");
 
         PreparationResult result;
-        const auto approx = argValue(argc, argv, "--approx");
-        const double threshold = cli::argDouble(argc, argv, "--approx", 1.0);
-        if (approx) {
-            result = prepareApproximated(target, threshold, options);
+        EvalState target;
+        if (backendKind == BackendKind::Dense) {
+            // Dense pipeline, exactly as before the backend layer existed —
+            // refusing up front past the ceiling instead of dying in the
+            // allocator while building the target.
+            requireThat(radix.totalDimension() <= kDenseBackendCeiling,
+                        "register has " + std::to_string(radix.totalDimension()) +
+                            " amplitudes, past the dense backend ceiling of " +
+                            std::to_string(kDenseBackendCeiling) +
+                            " — use --backend dd");
+            const StateVector state = amplitudePath
+                                          ? loadAmplitudes(dims, *amplitudePath)
+                                          : makeNamedState(*stateName, dims, seed);
+            result = approx ? prepareApproximated(state, threshold, options)
+                            : prepareExact(state, options);
+            target = EvalState(state);
         } else {
-            result = prepareExact(target, options);
+            // DD pipeline: structured targets are built natively as
+            // diagrams; everything else goes dense -> diagram under the
+            // dense ceiling guard. (uniform + --approx lands on the dense
+            // path too: the approximation pass needs a tree-shaped diagram,
+            // and uniformState's tree form is the full dense tree — routed
+            // through the dense constructor, the semantics match the dense
+            // backend exactly.)
+            DecisionDiagram diagram;
+            if (hasNativeDiagram) {
+                diagram = diagramBuilder(dims);
+            }
+            if (diagram.rootNode() == kNoNode) {
+                requireThat(radix.totalDimension() <= kDenseBackendCeiling,
+                            approx && !amplitudePath && *stateName == "uniform"
+                                ? std::string(
+                                      "--approx needs a tree-shaped diagram, and the "
+                                      "uniform state's tree is the full dense tree — "
+                                      "drop --approx (it cannot prune the uniform "
+                                      "state) or stay within the dense ceiling")
+                                : "state '" + stateName.value_or("from_file") +
+                                      "' needs a dense amplitude vector to construct, "
+                                      "and the register is past the dense ceiling — "
+                                      "use ghz, w, embw, or uniform with --backend dd "
+                                      "on registers this large");
+                const StateVector state = amplitudePath
+                                              ? loadAmplitudes(dims, *amplitudePath)
+                                              : makeNamedState(*stateName, dims, seed);
+                diagram = DecisionDiagram::fromStateVector(state, options.tolerance);
+            }
+            target = EvalState(diagram); // pre-approximation copy: the verify target
+            result = approx ? prepareApproximated(std::move(diagram), threshold, options)
+                            : prepareExact(std::move(diagram), options);
         }
 
         // Statistics go to stderr so that `--qasm` leaves a clean, pipeable
@@ -132,7 +232,9 @@ int main(int argc, char** argv) {
         const auto stats = result.circuit.stats();
         std::fprintf(stderr, "register          : %s (%llu amplitudes)\n",
                      formatDimensionSpec(dims).c_str(),
-                     static_cast<unsigned long long>(target.size()));
+                     static_cast<unsigned long long>(radix.totalDimension()));
+        std::fprintf(stderr, "backend           : %s%s\n", backend->name(),
+                     backendSpec == "auto" ? " (auto)" : "");
         std::fprintf(stderr, "diagram nodes     : %llu internal, %llu tree slots\n",
                      static_cast<unsigned long long>(
                          result.diagram.nodeCount(NodeCountMode::Internal)),
@@ -150,7 +252,7 @@ int main(int argc, char** argv) {
         }
         if (argFlag(argc, argv, "--verify")) {
             const double fidelity =
-                Simulator::preparationFidelity(result.circuit, target);
+                backend->preparationFidelity(result.circuit, target);
             std::fprintf(stderr, "verified fidelity : %.9f\n", fidelity);
         }
         if (argFlag(argc, argv, "--qasm")) {

@@ -1,16 +1,21 @@
 // mqsp_sim — command-line simulator for MQSP-QASM circuits.
 //
 //   mqsp_sim --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
+//            [--backend dense|dd|auto]
 //
-// Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm),
-// simulates it from |0...0>, and prints the final state and/or a sampled
-// measurement histogram (sampled from the decision diagram of the output).
+// Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm)
+// and simulates it from |0...0> on the selected evaluation backend
+// (sim/backend.hpp): `dense` replays on the state-vector simulator, `dd`
+// replays natively on decision diagrams — amplitudes, sampling and the
+// printed state all come straight off the diagram, so circuits on registers
+// far past the dense O(∏dims) ceiling simulate in milliseconds. `auto` (the
+// default) picks dense below kAutoBackendThreshold amplitudes, dd beyond.
 
 #include "cli_args.hpp"
 
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
-#include "mqsp/sim/simulator.hpp"
+#include "mqsp/sim/backend.hpp"
 #include "mqsp/support/error.hpp"
 #include "mqsp/support/rng.hpp"
 
@@ -27,6 +32,15 @@ using namespace mqsp;
 using cli::argFlag;
 using cli::argValue;
 
+/// Cap on --print-state lines from a diagram-backed state: a DD can hold
+/// more nonzero amplitudes than any terminal wants to scroll.
+constexpr std::uint64_t kMaxPrintedAmplitudes = 1U << 16U;
+
+void printAmplitudeLine(const Digits& digits, const Complex& amplitude) {
+    std::printf("  %-14s %s   (p = %.6f)\n", MixedRadix::toKetString(digits).c_str(),
+                toString(amplitude).c_str(), squaredMagnitude(amplitude));
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -35,7 +49,7 @@ int main(int argc, char** argv) {
         if (!path) {
             std::fprintf(stderr,
                          "usage: mqsp_sim --qasm <file|-> [--shots n] [--print-state] "
-                         "[--seed n]\n");
+                         "[--seed n] [--backend dense|dd|auto]\n");
             return 2;
         }
 
@@ -48,23 +62,51 @@ int main(int argc, char** argv) {
             circuit = parseQasm(in);
         }
 
-        const auto stats = circuit.stats();
-        std::printf("circuit on %s: %zu ops (depth ~%zu)\n",
-                    formatDimensionSpec(circuit.dimensions()).c_str(),
-                    stats.numOperations, stats.depthEstimate);
+        const std::string backendSpec =
+            argValue(argc, argv, "--backend").value_or("auto");
+        const auto backend =
+            makeBackend(backendSpec, circuit.radix().totalDimension());
 
-        const StateVector out = Simulator::runFromZero(circuit);
+        const auto stats = circuit.stats();
+        std::printf("circuit on %s: %zu ops (depth ~%zu), %s backend\n",
+                    formatDimensionSpec(circuit.dimensions()).c_str(),
+                    stats.numOperations, stats.depthEstimate, backend->name());
+
+        const EvalState out = backend->runFromZero(circuit);
+        const MixedRadix& radix = out.radix();
 
         if (argFlag(argc, argv, "--print-state")) {
-            const MixedRadix& radix = out.radix();
             std::printf("\nfinal state (amplitudes above 1e-9):\n");
-            for (std::uint64_t i = 0; i < out.size(); ++i) {
-                if (approxZero(out[i], 1e-9)) {
-                    continue;
+            if (out.isDense()) {
+                const StateVector& state = out.dense();
+                for (std::uint64_t i = 0; i < state.size(); ++i) {
+                    if (approxZero(state[i], 1e-9)) {
+                        continue;
+                    }
+                    printAmplitudeLine(radix.digitsOf(i), state[i]);
                 }
-                std::printf("  %-14s %s   (p = %.6f)\n",
-                            MixedRadix::toKetString(radix.digitsOf(i)).c_str(),
-                            toString(out[i]).c_str(), squaredMagnitude(out[i]));
+            } else {
+                // Walk the diagram's nonzero paths in the same flat-index
+                // order the dense loop uses, capped for sanity.
+                std::uint64_t printed = 0;
+                bool truncated = false;
+                out.diagram().forEachNonZero(
+                    [&](const Digits& digits, const Complex& amplitude) {
+                        if (approxZero(amplitude, 1e-9)) {
+                            return true;
+                        }
+                        if (printed == kMaxPrintedAmplitudes) {
+                            truncated = true;
+                            return false;
+                        }
+                        printAmplitudeLine(digits, amplitude);
+                        ++printed;
+                        return true;
+                    });
+                if (truncated) {
+                    std::printf("  ... (further amplitudes elided after %llu lines)\n",
+                                static_cast<unsigned long long>(kMaxPrintedAmplitudes));
+                }
             }
         }
 
@@ -72,7 +114,9 @@ int main(int argc, char** argv) {
             const std::uint64_t count = cli::argUint(argc, argv, "--shots", 0);
             const std::uint64_t seed =
                 cli::argUint(argc, argv, "--seed", Rng::kDefaultSeed);
-            const DecisionDiagram dd = DecisionDiagram::fromStateVector(out);
+            // Sampling always happens on a diagram: dense output is
+            // converted once; diagram output samples in O(depth) directly.
+            const DecisionDiagram dd = out.toDiagram();
             Rng rng(seed);
             const auto histogram = dd.sampleHistogram(rng, count);
             std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(histogram.begin(),
@@ -81,7 +125,6 @@ int main(int argc, char** argv) {
                 return a.second > b.second;
             });
             std::printf("\n%llu shots:\n", static_cast<unsigned long long>(count));
-            const MixedRadix& radix = out.radix();
             for (const auto& [index, hits] : sorted) {
                 std::printf("  %-14s %8llu  (%.4f)\n",
                             MixedRadix::toKetString(radix.digitsOf(index)).c_str(),
