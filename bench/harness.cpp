@@ -2,10 +2,13 @@
 
 #include "cli_args.hpp"
 
+#include "mqsp/support/parallel.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <exception>
 #include <fstream>
 #include <ostream>
@@ -22,6 +25,7 @@ using SteadyClock = std::chrono::steady_clock;
     return std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() - start)
         .count();
 }
+
 
 /// JSON string escaping for the small character set our labels use.
 [[nodiscard]] std::string escapeJson(const std::string& text) {
@@ -74,14 +78,16 @@ void printHumanReport(const std::string& driver, const RunOptions& options,
                       const std::vector<CaseResult>& results) {
     std::printf("%s — %zu case(s), %s mode\n\n", driver.c_str(), results.size(),
                 options.smoke ? "smoke" : "full");
-    std::printf("%-32s %-18s %-7s %5s %10s %10s %10s %10s\n", "case", "dims", "backend",
-                "reps", "min[ms]", "med[ms]", "mean[ms]", "sd[ms]");
+    std::printf("%-32s %-18s %-7s %3s %5s %10s %10s %10s %10s %10s\n", "case", "dims",
+                "backend", "thr", "reps", "min[ms]", "med[ms]", "mean[ms]", "sd[ms]",
+                "cpu md[ms]");
     for (const auto& result : results) {
-        std::printf("%-32s %-18s %-7s %5d %10.4f %10.4f %10.4f %10.4f\n",
+        std::printf("%-32s %-18s %-7s %3u %5d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
                     result.name.c_str(), result.dims.empty() ? "-" : result.dims.c_str(),
-                    result.backend.empty() ? "-" : result.backend.c_str(), result.reps,
-                    result.stats.minNs * 1e-6, result.stats.medianNs * 1e-6,
-                    result.stats.meanNs * 1e-6, result.stats.stddevNs * 1e-6);
+                    result.backend.empty() ? "-" : result.backend.c_str(), result.threads,
+                    result.reps, result.stats.minNs * 1e-6, result.stats.medianNs * 1e-6,
+                    result.stats.meanNs * 1e-6, result.stats.stddevNs * 1e-6,
+                    result.cpuStats.medianNs * 1e-6);
         if (!result.metrics.empty()) {
             std::printf("  ");
             for (const auto& metric : result.metrics) {
@@ -101,7 +107,10 @@ void usage(const std::string& driver) {
                  "  --smoke          run only smoke-marked cases, 1 rep, no warmup\n"
                  "  --reps <n>       override the repetition count for every case\n"
                  "  --warmup <n>     untimed warmup repetitions per case (default 1)\n"
-                 "  --case <substr>  run only cases whose name, dims or backend contain <substr>\n"
+                 "  --threads <n>    worker threads for cases not pinned by their spec\n"
+                 "                   (default: MQSP_THREADS, else hardware concurrency)\n"
+                 "  --case <substr>  run only cases whose name, dims or backend contain\n"
+                 "                   <substr>, or whose tN thread tag equals it (--case t4)\n"
                  "  --json <path>    also write the mqsp-bench-v1 JSON report to <path>\n"
                  "  --list           print the registered case names and exit\n",
                  driver.c_str());
@@ -109,13 +118,27 @@ void usage(const std::string& driver) {
 
 } // namespace
 
+std::int64_t processCpuNs() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+        return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+    }
+#endif
+    // Fallback: std::clock is process CPU time on POSIX (coarser tick).
+    return static_cast<std::int64_t>(static_cast<double>(std::clock()) *
+                                     (1e9 / CLOCKS_PER_SEC));
+}
+
 void Repetition::time(const std::function<void()>& timedSection) {
     if (timed_) {
         throw std::logic_error("Repetition::time() called twice in one repetition");
     }
+    const std::int64_t cpuStart = processCpuNs();
     const auto start = SteadyClock::now();
     timedSection();
     elapsedNs_ = elapsedNsSince(start);
+    cpuNs_ = processCpuNs() - cpuStart;
     timed_ = true;
 }
 
@@ -170,6 +193,7 @@ void writeJsonReport(std::ostream& out, const std::string& driver, const RunOpti
         if (!result.backend.empty()) {
             out << "      \"backend\": \"" << escapeJson(result.backend) << "\",\n";
         }
+        out << "      \"threads\": " << result.threads << ",\n";
         out << "      \"reps\": " << result.reps << ",\n";
         out << "      \"warmup\": " << result.warmup << ",\n";
         out << "      \"times_ns\": [";
@@ -177,10 +201,19 @@ void writeJsonReport(std::ostream& out, const std::string& driver, const RunOpti
             out << (i == 0 ? "" : ", ") << result.timesNs[i];
         }
         out << "],\n";
+        out << "      \"times_cpu_ns\": [";
+        for (std::size_t i = 0; i < result.cpuTimesNs.size(); ++i) {
+            out << (i == 0 ? "" : ", ") << result.cpuTimesNs[i];
+        }
+        out << "],\n";
         out << "      \"stats\": {\"min_ns\": " << formatJsonNumber(result.stats.minNs)
             << ", \"median_ns\": " << formatJsonNumber(result.stats.medianNs)
             << ", \"mean_ns\": " << formatJsonNumber(result.stats.meanNs)
             << ", \"stddev_ns\": " << formatJsonNumber(result.stats.stddevNs) << "},\n";
+        out << "      \"cpu_stats\": {\"min_ns\": " << formatJsonNumber(result.cpuStats.minNs)
+            << ", \"median_ns\": " << formatJsonNumber(result.cpuStats.medianNs)
+            << ", \"mean_ns\": " << formatJsonNumber(result.cpuStats.meanNs)
+            << ", \"stddev_ns\": " << formatJsonNumber(result.cpuStats.stddevNs) << "},\n";
         out << "      \"metrics\": {";
         bool firstMetric = true;
         for (const auto& metric : result.metrics) {
@@ -205,34 +238,51 @@ std::vector<CaseResult> Harness::execute(const RunOptions& options) const {
     std::vector<CaseResult> results;
     for (const auto& spec : cases_) {
         const std::string dims = spec.dims.empty() ? "" : formatDimensionSpec(spec.dims);
+        // A spec pinned to a thread count always runs there; everything else
+        // follows the run-level --threads (or the process-wide default).
+        const unsigned effectiveThreads =
+            spec.threads != 0  ? spec.threads
+            : options.threads != 0 ? options.threads
+                                   : parallel::globalThreads();
         if (options.smoke && !spec.smoke) {
             continue;
         }
+        // (Built by append: GCC 12's -Wrestrict false-positives on the
+        // temporary produced by operator+ here.)
+        std::string threadTag = "t";
+        threadTag += std::to_string(effectiveThreads);
         if (!options.caseFilter.empty() &&
             spec.name.find(options.caseFilter) == std::string::npos &&
             dims.find(options.caseFilter) == std::string::npos &&
-            spec.backend.find(options.caseFilter) == std::string::npos) {
+            spec.backend.find(options.caseFilter) == std::string::npos &&
+            threadTag != options.caseFilter) {
             continue;
         }
         CaseResult result;
         result.name = spec.name;
         result.dims = dims;
         result.backend = spec.backend;
+        result.threads = effectiveThreads;
         result.reps = options.smoke            ? 1
                       : options.repsOverride > 0 ? options.repsOverride
                                                  : spec.reps;
         result.warmup = options.smoke ? 0 : options.warmup;
         try {
+            // Per-case pin, restored even when the body throws.
+            const parallel::ScopedThreadCount threadScope(effectiveThreads);
             for (int warm = 0; warm < result.warmup; ++warm) {
                 Repetition rep(-1 - warm);
                 spec.body(rep);
             }
             for (int run = 0; run < result.reps; ++run) {
                 Repetition rep(run);
+                const std::int64_t bodyCpuStart = processCpuNs();
                 const auto bodyStart = SteadyClock::now();
                 spec.body(rep);
                 const std::int64_t bodyNs = elapsedNsSince(bodyStart);
+                const std::int64_t bodyCpuNs = processCpuNs() - bodyCpuStart;
                 result.timesNs.push_back(rep.timed() ? rep.elapsedNs() : bodyNs);
+                result.cpuTimesNs.push_back(rep.timed() ? rep.cpuNs() : bodyCpuNs);
                 for (const auto& [name, value] : rep.metrics()) {
                     auto existing = std::find_if(
                         result.metrics.begin(), result.metrics.end(),
@@ -250,6 +300,7 @@ std::vector<CaseResult> Harness::execute(const RunOptions& options) const {
             result.error = error.what();
         }
         result.stats = computeStats(result.timesNs);
+        result.cpuStats = computeStats(result.cpuTimesNs);
         results.push_back(std::move(result));
     }
     return results;
@@ -266,17 +317,20 @@ int Harness::main(int argc, char** argv) const {
         options.repsOverride =
             static_cast<int>(cli::argUint(argc, argv, "--reps", 0));
         options.warmup = static_cast<int>(cli::argUint(argc, argv, "--warmup", 1));
+        options.threads = cli::argThreads(argc, argv);
         options.caseFilter = cli::argValue(argc, argv, "--case").value_or("");
         options.jsonPath = cli::argValue(argc, argv, "--json").value_or("");
         options.list = cli::argFlag(argc, argv, "--list");
 
         if (options.list) {
             for (const auto& spec : cases_) {
-                std::printf("%s%s%s%s%s%s\n", spec.name.c_str(),
+                const std::string threadTag =
+                    spec.threads == 0 ? "" : " t" + std::to_string(spec.threads);
+                std::printf("%s%s%s%s%s%s%s\n", spec.name.c_str(),
                             spec.dims.empty() ? "" : " ",
                             spec.dims.empty() ? "" : formatDimensionSpec(spec.dims).c_str(),
                             spec.backend.empty() ? "" : " @", spec.backend.c_str(),
-                            spec.smoke ? "  [smoke]" : "");
+                            threadTag.c_str(), spec.smoke ? "  [smoke]" : "");
             }
             return 0;
         }

@@ -33,8 +33,10 @@ struct MetricSample {
 /// Handle passed to a case body for one repetition. The body wraps the
 /// region to be timed in `time()` (setup such as state construction stays
 /// untimed); if `time()` is never called the harness falls back to the wall
-/// time of the whole body. Metrics recorded on any repetition are averaged
-/// over the repetitions that recorded them.
+/// time of the whole body. Alongside wall time every measured region also
+/// records process CPU time (all threads), so parallel efficiency is
+/// visible as the cpu/wall ratio per case. Metrics recorded on any
+/// repetition are averaged over the repetitions that recorded them.
 class Repetition {
 public:
     explicit Repetition(int index) : index_(index) {}
@@ -51,6 +53,7 @@ public:
     /// Harness-side accessors.
     [[nodiscard]] bool timed() const noexcept { return timed_; }
     [[nodiscard]] std::int64_t elapsedNs() const noexcept { return elapsedNs_; }
+    [[nodiscard]] std::int64_t cpuNs() const noexcept { return cpuNs_; }
     [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics() const noexcept {
         return metrics_;
     }
@@ -59,8 +62,13 @@ private:
     int index_ = 0;
     bool timed_ = false;
     std::int64_t elapsedNs_ = 0;
+    std::int64_t cpuNs_ = 0;
     std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Process CPU time (all threads) in nanoseconds — the counterpart of the
+/// wall clock in every timing record.
+[[nodiscard]] std::int64_t processCpuNs();
 
 /// The body of a benchmark case: one repetition of the measured workload.
 /// Throwing marks the case (and the whole run) as failed.
@@ -68,10 +76,13 @@ using CaseBody = std::function<void(Repetition&)>;
 
 /// A registered benchmark case.
 struct CaseSpec {
-    std::string name;       ///< workload label, unique together with dims+backend
+    std::string name;       ///< workload label, unique together with dims+backend+threads
     Dimensions dims;        ///< register (empty when not register-shaped)
     std::string backend;    ///< evaluation-backend provenance ("dense"/"dd";
                             ///< "" for cases not tied to a backend)
+    unsigned threads = 0;   ///< worker threads this case is pinned to
+                            ///< (0 = the run-level / process-wide setting);
+                            ///< part of the case identity in reports
     int reps = kPaperRuns;  ///< full-mode repetitions
     bool smoke = false;     ///< included in --smoke runs
     CaseBody body;
@@ -93,11 +104,14 @@ struct CaseResult {
     std::string name;
     std::string dims;     ///< formatted register spec, "" when dimension-less
     std::string backend;  ///< backend provenance, "" when not backend-tied
+    unsigned threads = 0; ///< the resolved worker-thread count the case ran at
     int reps = 0;
     int warmup = 0;
     std::vector<std::int64_t> timesNs;
+    std::vector<std::int64_t> cpuTimesNs;  ///< process CPU time per repetition
     std::vector<MetricSample> metrics;  ///< registration order, summed
     CaseStats stats;
+    CaseStats cpuStats;
     bool failed = false;
     std::string error;
 };
@@ -107,7 +121,10 @@ struct RunOptions {
     bool smoke = false;      ///< smoke cases only, 1 rep, no warmup
     int repsOverride = 0;    ///< > 0 forces this repetition count
     int warmup = 1;          ///< untimed warmup repetitions per case
-    std::string caseFilter;  ///< substring match on case name or dims
+    unsigned threads = 0;    ///< worker threads for cases not pinned by their
+                             ///< spec (0 = the process-wide default)
+    std::string caseFilter;  ///< substring match on case name, dims or
+                             ///< backend; exact match on the "tN" thread tag
     std::string jsonPath;    ///< write the JSON report here when non-empty
     bool list = false;       ///< print case names and exit
 };

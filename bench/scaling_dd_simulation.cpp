@@ -55,10 +55,12 @@ DecisionDiagram makeDiagramTarget(const std::string& family, const Dimensions& d
     throw std::runtime_error("no diagram builder for family " + family);
 }
 
-/// Register one backend's case for a workload whose target fits in memory.
+/// Register one backend's case for a workload whose target fits in memory,
+/// pinned to `threads` workers (1 = the historical single-threaded rows;
+/// higher counts register speedup-curve variants of the same workload).
 void addSmallRegisterCase(Harness& harness, const std::string& family,
                           const Dimensions& dims, BackendKind kind,
-                          std::uint64_t caseSeed, bool smoke) {
+                          std::uint64_t caseSeed, bool smoke, unsigned threads = 1) {
     SynthesisOptions lean;
     lean.emitIdentityOperations = false;
 
@@ -66,6 +68,7 @@ void addSmallRegisterCase(Harness& harness, const std::string& family,
     spec.name = family;
     spec.dims = dims;
     spec.backend = backendName(kind);
+    spec.threads = threads;
     spec.reps = 10;
     spec.smoke = smoke;
     spec.body = [family, dims, kind, caseSeed, lean](Repetition& rep) {
@@ -99,6 +102,7 @@ void addPastCeilingCase(Harness& harness, const std::string& family,
     spec.name = family;
     spec.dims = dims;
     spec.backend = "dd";
+    spec.threads = 1;
     spec.reps = 10;
     spec.smoke = smoke;
     spec.body = [family, dims, lean](Repetition& rep) {
@@ -117,6 +121,56 @@ void addPastCeilingCase(Harness& harness, const std::string& family,
         rep.metric("fidelity", fidelity);
         if (std::abs(fidelity - 1.0) > 1e-6) {
             throw std::runtime_error("past-ceiling dd preparation failed verification");
+        }
+    };
+    harness.add(std::move(spec));
+}
+
+/// Register a batch case: `count` independent prepare-and-verify items
+/// through EvaluationBackend::prepareAndVerifyBatch. With threads pinned
+/// above 1 the items fan out across the pool workers (and each item's
+/// kernels run serially inside its worker — the nested-use contract);
+/// at 1 thread the same batch runs sequentially, so the t1/tN pair is the
+/// batch-level speedup curve. This is where the dd backend, whose diagram
+/// replay stays single-threaded, picks up its concurrency.
+void addBatchCase(Harness& harness, const std::string& family, const Dimensions& dims,
+                  BackendKind kind, std::size_t count, unsigned threads, bool smoke) {
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    CaseSpec spec;
+    spec.name = family + " batch" + std::to_string(count);
+    spec.dims = dims;
+    spec.backend = backendName(kind);
+    spec.threads = threads;
+    spec.reps = 10;
+    spec.smoke = smoke;
+    spec.body = [family, dims, kind, count, lean](Repetition& rep) {
+        Rng rng(Rng::kDefaultSeed);
+        std::vector<StateVector> targets;
+        std::vector<EvalState> evalTargets;
+        std::vector<Circuit> circuits;
+        std::vector<BatchVerifyItem> items;
+        targets.reserve(count);
+        circuits.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            targets.push_back(makeDenseTarget(family, dims, rng));
+            circuits.push_back(prepareExact(targets.back(), lean).circuit);
+        }
+        evalTargets.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            evalTargets.emplace_back(targets[i]);
+            items.push_back({&circuits[i], &evalTargets[i]});
+        }
+        const auto backend = makeBackend(kind);
+
+        std::vector<BatchVerifyResult> results;
+        rep.time([&] { results = backend->prepareAndVerifyBatch(items); });
+        rep.metric("batch_items", static_cast<double>(count));
+        for (const auto& result : results) {
+            if (result.failed || std::abs(result.fidelity - 1.0) > 1e-6) {
+                throw std::runtime_error("batch item failed verification: " + result.error);
+            }
         }
     };
     harness.add(std::move(spec));
@@ -163,6 +217,24 @@ int main(int argc, char** argv) {
     }
     for (const auto& row : pastCeiling) {
         addPastCeilingCase(harness, row.family, row.dims, row.smoke);
+    }
+
+    // Thread-count variants. In-state parallelism: the same 2^20-amplitude
+    // dense replay at 1 and at 4 workers. Batch parallelism: eight
+    // independent prepare-and-verify items on each backend, sequential vs
+    // fanned out across four workers.
+    const Dimensions megaRegister(20, 2);
+    const std::uint64_t megaSeed = driverSeeder.childSeed();
+    addSmallRegisterCase(harness, "GHZ", megaRegister, BackendKind::Dense, megaSeed, false,
+                         1);
+    addSmallRegisterCase(harness, "GHZ", megaRegister, BackendKind::Dense, megaSeed, false,
+                         4);
+    const Dimensions batchRegister{3, 3, 3, 3, 3};
+    for (const unsigned threads : {1U, 4U}) {
+        addBatchCase(harness, "GHZ", batchRegister, BackendKind::Dense, 8, threads,
+                     threads == 4);
+        addBatchCase(harness, "GHZ", batchRegister, BackendKind::Dd, 8, threads,
+                     threads == 4);
     }
     return harness.main(argc, argv);
 }

@@ -24,30 +24,41 @@ int main(int argc, char** argv) {
     Rng driverSeeder(Rng::kDefaultSeed);
     for (const auto& workload : table1Workloads()) {
         const std::uint64_t caseSeed = driverSeeder.childSeed();
-        CaseSpec spec;
-        spec.name = workload.family;
-        spec.dims = workload.dims;
-        spec.reps = kPaperRuns;
-        spec.smoke = workload.family == "GHZ State" && workload.dims.size() == 3;
-        spec.body = [workload, caseSeed](Repetition& rep) {
-            Rng rng = repetitionRng(caseSeed, rep.index());
-            const StateVector state = makeState(workload, rng);
-            PreparationResult result;
-            rep.time([&] { result = prepareApproximated(state, kThreshold); });
-            rep.metric("nodes", static_cast<double>(
-                                    result.diagram.nodeCount(NodeCountMode::TreeSlots)));
-            rep.metric("distinct_complex",
-                       static_cast<double>(result.diagram.distinctComplexCount()));
-            rep.metric("operations",
-                       static_cast<double>(result.circuit.numOperations()));
-            rep.metric("median_controls", result.circuit.stats().medianControls);
-            rep.metric("fidelity", result.approx.fidelity);
-            if (rep.index() == 0 && state.size() <= 2048) {
-                rep.metric("sim_fidelity",
-                           Simulator::preparationFidelity(result.circuit, state));
+        const bool flagship =
+            workload.family == "GHZ State" && workload.dims.size() == 3;
+        // Paper rows pinned to one thread for baseline continuity; the
+        // flagship row re-registers at 4 workers (see table1_exact).
+        for (const unsigned threads : {1U, 4U}) {
+            if (threads != 1 && !flagship) {
+                continue;
             }
-        };
-        harness.add(std::move(spec));
+            CaseSpec spec;
+            spec.name = workload.family;
+            spec.dims = workload.dims;
+            spec.threads = threads;
+            spec.reps = kPaperRuns;
+            spec.smoke = flagship && threads == 1;
+            spec.body = [workload, caseSeed](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                const StateVector state = makeState(workload, rng);
+                PreparationResult result;
+                rep.time([&] { result = prepareApproximated(state, kThreshold); });
+                rep.metric("nodes",
+                           static_cast<double>(
+                               result.diagram.nodeCount(NodeCountMode::TreeSlots)));
+                rep.metric("distinct_complex",
+                           static_cast<double>(result.diagram.distinctComplexCount()));
+                rep.metric("operations",
+                           static_cast<double>(result.circuit.numOperations()));
+                rep.metric("median_controls", result.circuit.stats().medianControls);
+                rep.metric("fidelity", result.approx.fidelity);
+                if (rep.index() == 0 && state.size() <= 2048) {
+                    rep.metric("sim_fidelity",
+                               Simulator::preparationFidelity(result.circuit, state));
+                }
+            };
+            harness.add(std::move(spec));
+        }
     }
     return harness.main(argc, argv);
 }

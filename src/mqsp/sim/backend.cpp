@@ -116,6 +116,36 @@ StateVector EvalState::toStateVector(std::uint64_t ceiling) const {
     return diagram().toStateVector();
 }
 
+// --- EvaluationBackend -----------------------------------------------------
+
+std::vector<BatchVerifyResult>
+EvaluationBackend::prepareAndVerifyBatch(const std::vector<BatchVerifyItem>& items) const {
+    std::vector<BatchVerifyResult> results(items.size());
+    // Grain 1: every item is its own unit of work. With one item (or one
+    // configured thread) this runs inline on the caller — *outside* any
+    // parallel region — so a dense single-item batch still parallelizes its
+    // amplitude walks; with many items the pool workers each take items
+    // whole and the nested kernels run serially on their worker.
+    const auto runItem = [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+            requireThat(items[i].circuit != nullptr && items[i].target != nullptr,
+                        "prepareAndVerifyBatch: null circuit or target");
+            try {
+                results[i].fidelity = preparationFidelity(*items[i].circuit, *items[i].target);
+            } catch (const std::exception& error) {
+                results[i].failed = true;
+                results[i].error = error.what();
+            }
+        }
+    };
+    // Pin the process width to this backend's configuration for the whole
+    // batch: a 1-thread backend runs items (and their kernels) serially, a
+    // 4-thread one fans the items out 4-wide.
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
+    parallel::parallelFor(std::uint64_t{0}, items.size(), 1, runItem);
+    return results;
+}
+
 // --- DenseBackend ----------------------------------------------------------
 
 void DenseBackend::requireWithinCeiling(std::uint64_t totalDimension,
@@ -130,6 +160,7 @@ void DenseBackend::requireWithinCeiling(std::uint64_t totalDimension,
 
 EvalState DenseBackend::runFromZero(const Circuit& circuit) const {
     requireWithinCeiling(circuit.radix().totalDimension(), "DenseBackend::runFromZero");
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
     return EvalState(Simulator::runFromZero(circuit));
 }
 
@@ -141,6 +172,7 @@ double DenseBackend::preparationFidelity(const Circuit& circuit,
                                          const EvalState& target) const {
     requireWithinCeiling(circuit.radix().totalDimension(),
                          "DenseBackend::preparationFidelity");
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
     if (target.isDense()) {
         return Simulator::preparationFidelity(circuit, target.dense());
     }
@@ -151,6 +183,7 @@ bool DenseBackend::circuitsEquivalent(const Circuit& a, const Circuit& b,
                                       double tol) const {
     requireThat(a.radix() == b.radix(),
                 "DenseBackend::circuitsEquivalent: registers differ");
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
     const std::uint64_t total = a.radix().totalDimension();
     requireThat(total <= kDenseEquivalenceCeiling,
                 "DenseBackend::circuitsEquivalent: register has " +
@@ -244,10 +277,15 @@ bool DdBackend::circuitsEquivalent(const Circuit& a, const Circuit& b, double to
 // --- factories -------------------------------------------------------------
 
 std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind) {
+    return makeBackend(kind, parallel::globalExecutionConfig());
+}
+
+std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind,
+                                               parallel::ExecutionConfig config) {
     if (kind == BackendKind::Dense) {
-        return std::make_unique<DenseBackend>();
+        return std::make_unique<DenseBackend>(kDenseBackendCeiling, config);
     }
-    return std::make_unique<DdBackend>();
+    return std::make_unique<DdBackend>(Tolerance::kDefault, config);
 }
 
 std::unique_ptr<EvaluationBackend> makeBackend(const std::string& spec,

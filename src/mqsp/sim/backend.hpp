@@ -3,11 +3,13 @@
 #include "mqsp/circuit/circuit.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
 #include "mqsp/statevec/state_vector.hpp"
+#include "mqsp/support/parallel.hpp"
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace mqsp {
 
@@ -94,17 +96,67 @@ private:
     std::variant<StateVector, DecisionDiagram> value_;
 };
 
+/// One prepare-and-verify work item of a batch: replay `circuit` from
+/// |0...0> and measure the fidelity against `target`. The pointed-to
+/// objects must outlive the batch call.
+struct BatchVerifyItem {
+    const Circuit* circuit = nullptr;
+    const EvalState* target = nullptr;
+};
+
+/// Outcome of one batch item. A throwing item (e.g. a register past the
+/// dense ceiling) is reported here instead of aborting its siblings.
+struct BatchVerifyResult {
+    double fidelity = 0.0;
+    bool failed = false;
+    std::string error;
+};
+
 /// The pluggable evaluation substrate: everything the toolchain needs to
 /// *run* and *verify* circuits — replay from |0...0>, single-op application,
 /// preparation fidelity against a target, and whole-unitary equivalence —
 /// behind one interface, so callers (CLI tools, bench drivers, tests) are
 /// written once and switch substrate with a flag.
+///
+/// Threading: each backend carries an ExecutionConfig (default: a snapshot
+/// of the process-wide one at construction; `threads == 0` = follow the
+/// ambient setting) and pins the process width to it for the duration of
+/// its evaluation entry points — a 1-thread backend is genuinely
+/// single-threaded whatever the ambient width. Within one evaluation the
+/// dense backend parallelizes the amplitude walks of its kernels;
+/// `prepareAndVerifyBatch` additionally fans *independent* items out
+/// across the pool workers — whereupon each item's inner kernels run
+/// serially (nested-use refusal), which is the right split for many small
+/// cases. The dd backend keeps its diagram replay single-threaded and gets
+/// its concurrency from the batch level. (`apply`, the per-operation
+/// primitive, is the one exception: it is called in tight loops and
+/// follows the ambient width rather than re-pinning per call.)
+///
+/// Because the width is process-wide, evaluation entry points on backends
+/// with *different* configs must not overlap from different application
+/// threads — their width pins would interleave. Drive backends from one
+/// coordinating thread (as the tools, bench drivers and tests do) and get
+/// concurrency from `prepareAndVerifyBatch`, not from racing backends.
 class EvaluationBackend {
 public:
+    EvaluationBackend() : config_(parallel::globalExecutionConfig()) {}
+    explicit EvaluationBackend(parallel::ExecutionConfig config) : config_(config) {}
     virtual ~EvaluationBackend() = default;
 
     [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
     [[nodiscard]] const char* name() const noexcept { return backendName(kind()); }
+
+    /// The execution configuration this backend was constructed under.
+    [[nodiscard]] const parallel::ExecutionConfig& executionConfig() const noexcept {
+        return config_;
+    }
+
+    /// Replay + verify every item. Items are independent: with more than
+    /// one item and more than one configured thread they run concurrently
+    /// across the pool workers; a single item keeps the whole pool for its
+    /// own kernels. Per-item exceptions land in the item's result.
+    [[nodiscard]] std::vector<BatchVerifyResult>
+    prepareAndVerifyBatch(const std::vector<BatchVerifyItem>& items) const;
 
     /// Replay the circuit from |0...0> — the state-preparation setting.
     [[nodiscard]] virtual EvalState runFromZero(const Circuit& circuit) const = 0;
@@ -121,6 +173,9 @@ public:
     /// phase (full-operator equivalence, not merely equal action on |0>).
     [[nodiscard]] virtual bool circuitsEquivalent(const Circuit& a, const Circuit& b,
                                                   double tol = 1e-9) const = 0;
+
+private:
+    parallel::ExecutionConfig config_;
 };
 
 /// Dense state-vector backend: wraps the existing Simulator. Exact and
@@ -130,6 +185,8 @@ class DenseBackend final : public EvaluationBackend {
 public:
     explicit DenseBackend(std::uint64_t maxAmplitudes = kDenseBackendCeiling)
         : maxAmplitudes_(maxAmplitudes) {}
+    DenseBackend(std::uint64_t maxAmplitudes, parallel::ExecutionConfig config)
+        : EvaluationBackend(config), maxAmplitudes_(maxAmplitudes) {}
 
     [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dense; }
     [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
@@ -154,6 +211,8 @@ private:
 class DdBackend final : public EvaluationBackend {
 public:
     explicit DdBackend(double tolerance = Tolerance::kDefault) : tolerance_(tolerance) {}
+    DdBackend(double tolerance, parallel::ExecutionConfig config)
+        : EvaluationBackend(config), tolerance_(tolerance) {}
 
     [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dd; }
     [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
@@ -167,8 +226,12 @@ private:
     double tolerance_ = Tolerance::kDefault;
 };
 
-/// Factory for a backend of the given kind.
+/// Factory for a backend of the given kind (process-wide ExecutionConfig).
 [[nodiscard]] std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind);
+
+/// Factory for a backend of the given kind under an explicit configuration.
+[[nodiscard]] std::unique_ptr<EvaluationBackend> makeBackend(BackendKind kind,
+                                                             parallel::ExecutionConfig config);
 
 /// Convenience: resolve a CLI spec against a register and construct.
 [[nodiscard]] std::unique_ptr<EvaluationBackend> makeBackend(const std::string& spec,

@@ -1,6 +1,7 @@
 #include "mqsp/sim/simulator.hpp"
 
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parallel.hpp"
 
 #include <vector>
 
@@ -8,19 +9,79 @@ namespace mqsp {
 
 namespace {
 
-/// True when `index` satisfies all control conditions.
-bool controlsSatisfied(const MixedRadix& radix, std::uint64_t index,
-                       const std::vector<Control>& controls) {
-    for (const auto& ctrl : controls) {
-        if (radix.digitAt(index, ctrl.qudit) != ctrl.level) {
+/// Minimum work items per chunk when the gate kernels fan out over the
+/// pool. Registers whose (block, inner) walk fits one grain run inline with
+/// zero dispatch overhead, so small-register circuits behave exactly as the
+/// single-threaded code did.
+constexpr std::uint64_t kKernelGrain = 4096;
+
+/// One precomputed control test: flat index `x` satisfies the control iff
+/// (x / stride) % dim == level. Splitting the controls by stride lets the
+/// inner loops test only the digits that can actually vary there, instead
+/// of calling MixedRadix::digitAt per control per amplitude.
+struct DigitCheck {
+    std::uint64_t stride = 1;
+    std::uint64_t dim = 2;
+    std::uint64_t level = 0;
+};
+
+[[nodiscard]] bool satisfies(const std::vector<DigitCheck>& checks, std::uint64_t index) {
+    for (const auto& check : checks) {
+        if ((index / check.stride) % check.dim != check.level) {
             return false;
         }
     }
     return true;
 }
 
+/// The control tests of one gate, partitioned by where the controlled digit
+/// lives relative to the target's (block, inner) decomposition: a control on
+/// a more-significant qudit (stride >= blockSize) is constant per block; a
+/// control on a less-significant qudit (stride < target stride) is constant
+/// per inner offset. A control on the target itself (forbidden by Circuit,
+/// but legal to hand to Simulator::apply directly) depends only on the fixed
+/// level offset the kernel walks, so it collapses to a gate-level yes/no.
+struct ControlSplit {
+    std::vector<DigitCheck> perBlock;  ///< test against the block base index
+    std::vector<DigitCheck> perInner;  ///< test against the inner offset
+    bool neverFires = false;           ///< a target-site control missed the walked level
+};
+
+[[nodiscard]] ControlSplit splitControls(const MixedRadix& radix, std::size_t target,
+                                         Level walkedLevel,
+                                         const std::vector<Control>& controls) {
+    const std::uint64_t targetStride = radix.strideAt(target);
+    const std::uint64_t blockSize =
+        targetStride * static_cast<std::uint64_t>(radix.dimensionAt(target));
+    ControlSplit split;
+    for (const auto& ctrl : controls) {
+        // Qudit bounds mirror the digitAt() check of the historical walk; an
+        // out-of-range *level* stays what it always was — a condition no
+        // digit ever satisfies, i.e. a silent no-op gate.
+        requireThat(ctrl.qudit < radix.numQudits(), "Simulator: control qudit out of range");
+        if (ctrl.qudit == target) {
+            if (ctrl.level != walkedLevel) {
+                split.neverFires = true;
+            }
+            continue;
+        }
+        const DigitCheck check{radix.strideAt(ctrl.qudit),
+                               static_cast<std::uint64_t>(radix.dimensionAt(ctrl.qudit)),
+                               static_cast<std::uint64_t>(ctrl.level)};
+        if (check.stride >= blockSize) {
+            split.perBlock.push_back(check);
+        } else {
+            split.perInner.push_back(check);
+        }
+    }
+    return split;
+}
+
 /// Apply a two-level update (rows/cols a,b of a 2x2 block) across the
-/// register. `m00..m11` is the block in the (a, b) basis.
+/// register. `m00..m11` is the block in the (a, b) basis. The (block, inner)
+/// pairs are independent, so they fan out over the thread pool; control
+/// checks are hoisted to one test per block and cheap stride arithmetic per
+/// inner offset.
 void applyTwoLevel(StateVector& state, std::size_t target, Level a, Level b, Complex m00,
                    Complex m01, Complex m10, Complex m11,
                    const std::vector<Control>& controls) {
@@ -31,25 +92,45 @@ void applyTwoLevel(StateVector& state, std::size_t target, Level a, Level b, Com
     auto& amps = state.amplitudes();
     // Walk indices whose target digit is `a`; the partner index differs only
     // in the target digit (a -> b).
+    const ControlSplit split = splitControls(radix, target, a, controls);
+    if (split.neverFires) {
+        return;
+    }
     const std::uint64_t offsetA = static_cast<std::uint64_t>(a) * stride;
     const std::uint64_t offsetB = static_cast<std::uint64_t>(b) * stride;
     const std::uint64_t blockSize = stride * dim;
-    for (std::uint64_t block = 0; block < total; block += blockSize) {
-        for (std::uint64_t inner = 0; inner < stride; ++inner) {
-            const std::uint64_t idxA = block + inner + offsetA;
-            if (!controls.empty() && !controlsSatisfied(radix, idxA, controls)) {
+    const std::uint64_t numPairs = (total / blockSize) * stride;
+    parallel::parallelFor(0, numPairs, kKernelGrain, [&](std::uint64_t chunkBegin,
+                                                         std::uint64_t chunkEnd) {
+        std::uint64_t pair = chunkBegin;
+        while (pair < chunkEnd) {
+            const std::uint64_t block = pair / stride;
+            const std::uint64_t blockBase = block * blockSize;
+            const std::uint64_t segmentEnd =
+                chunkEnd < (block + 1) * stride ? chunkEnd : (block + 1) * stride;
+            if (!satisfies(split.perBlock, blockBase)) {
+                pair = segmentEnd;
                 continue;
             }
-            const std::uint64_t idxB = block + inner + offsetB;
-            const Complex va = amps[idxA];
-            const Complex vb = amps[idxB];
-            amps[idxA] = m00 * va + m01 * vb;
-            amps[idxB] = m10 * va + m11 * vb;
+            for (; pair < segmentEnd; ++pair) {
+                const std::uint64_t inner = pair - block * stride;
+                if (!satisfies(split.perInner, inner)) {
+                    continue;
+                }
+                const std::uint64_t idxA = blockBase + inner + offsetA;
+                const std::uint64_t idxB = blockBase + inner + offsetB;
+                const Complex va = amps[idxA];
+                const Complex vb = amps[idxB];
+                amps[idxA] = m00 * va + m01 * vb;
+                amps[idxB] = m10 * va + m11 * vb;
+            }
         }
-    }
+    });
 }
 
-/// Apply a full dxd single-qudit matrix (Hadamard, Shift) across the register.
+/// Apply a full dxd single-qudit matrix (Hadamard, Shift) across the
+/// register. Each (block, inner) base owns its d-entry column, so bases fan
+/// out over the pool with a per-chunk scratch column.
 void applyDense(StateVector& state, std::size_t target, const DenseMatrix& matrix,
                 const std::vector<Control>& controls) {
     const auto& radix = state.radix();
@@ -57,26 +138,46 @@ void applyDense(StateVector& state, std::size_t target, const DenseMatrix& matri
     const auto stride = radix.strideAt(target);
     const auto dim = radix.dimensionAt(target);
     auto& amps = state.amplitudes();
-    std::vector<Complex> scratch(dim);
+    // The historical dense walk tests controls against the base index, whose
+    // target digit is 0.
+    const ControlSplit split = splitControls(radix, target, 0, controls);
+    if (split.neverFires) {
+        return;
+    }
     const std::uint64_t blockSize = stride * dim;
-    for (std::uint64_t block = 0; block < total; block += blockSize) {
-        for (std::uint64_t inner = 0; inner < stride; ++inner) {
-            const std::uint64_t base = block + inner;
-            if (!controls.empty() && !controlsSatisfied(radix, base, controls)) {
+    const std::uint64_t numBases = (total / blockSize) * stride;
+    parallel::parallelFor(0, numBases, kKernelGrain, [&](std::uint64_t chunkBegin,
+                                                         std::uint64_t chunkEnd) {
+        std::vector<Complex> scratch(dim);
+        std::uint64_t item = chunkBegin;
+        while (item < chunkEnd) {
+            const std::uint64_t block = item / stride;
+            const std::uint64_t blockBase = block * blockSize;
+            const std::uint64_t segmentEnd =
+                chunkEnd < (block + 1) * stride ? chunkEnd : (block + 1) * stride;
+            if (!satisfies(split.perBlock, blockBase)) {
+                item = segmentEnd;
                 continue;
             }
-            for (Dimension k = 0; k < dim; ++k) {
-                scratch[k] = amps[base + static_cast<std::uint64_t>(k) * stride];
-            }
-            for (Dimension r = 0; r < dim; ++r) {
-                Complex acc{0.0, 0.0};
-                for (Dimension c = 0; c < dim; ++c) {
-                    acc += matrix(r, c) * scratch[c];
+            for (; item < segmentEnd; ++item) {
+                const std::uint64_t inner = item - block * stride;
+                if (!satisfies(split.perInner, inner)) {
+                    continue;
                 }
-                amps[base + static_cast<std::uint64_t>(r) * stride] = acc;
+                const std::uint64_t base = blockBase + inner;
+                for (Dimension k = 0; k < dim; ++k) {
+                    scratch[k] = amps[base + static_cast<std::uint64_t>(k) * stride];
+                }
+                for (Dimension r = 0; r < dim; ++r) {
+                    Complex acc{0.0, 0.0};
+                    for (Dimension c = 0; c < dim; ++c) {
+                        acc += matrix(r, c) * scratch[c];
+                    }
+                    amps[base + static_cast<std::uint64_t>(r) * stride] = acc;
+                }
             }
         }
-    }
+    });
 }
 
 } // namespace
@@ -118,6 +219,8 @@ StateVector Simulator::run(const Circuit& circuit, const StateVector& initial) {
     requireThat(circuit.radix() == initial.radix(),
                 "Simulator::run: circuit and state registers differ");
     StateVector state = initial;
+    // Gates are sequential (each reads the previous one's output); the
+    // parallelism lives inside each application's amplitude walk.
     for (const auto& op : circuit.operations()) {
         apply(state, op);
     }

@@ -1,0 +1,207 @@
+// Thread-count determinism: the parallel execution layer must not change
+// results. parallelReduce-based norms and inner products are bit-identical
+// at 1 and at N threads (ordered-chunk contract); full prepare + verify
+// pipelines produce end states identical to 1e-12 (in fact bit-identical:
+// each amplitude's arithmetic is independent of the partition) across
+// ghz / w / random targets on mixed-radix registers.
+
+#include "mqsp/sim/backend.hpp"
+#include "mqsp/sim/simulator.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/parallel.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace mqsp {
+namespace {
+
+using ScopedThreads = parallel::ScopedThreadCount;
+
+struct Target {
+    std::string family;
+    Dimensions dims;
+};
+
+std::vector<Target> targets() {
+    return {
+        {"ghz", {3, 4, 2, 5}},
+        {"ghz", {2, 2, 2, 2, 2, 2, 2, 2, 2, 2}},
+        {"w", {3, 6, 2}},
+        {"w", {2, 3, 2, 3, 2}},
+        {"random", {9, 5, 6, 3}},
+        {"random", {4, 4, 4, 4}},
+    };
+}
+
+StateVector makeTarget(const Target& target) {
+    if (target.family == "ghz") {
+        return states::ghz(target.dims);
+    }
+    if (target.family == "w") {
+        return states::wState(target.dims);
+    }
+    Rng rng(12345);
+    return states::random(target.dims, rng);
+}
+
+TEST(ThreadDeterminism, NormsBitIdenticalAcrossThreadCounts) {
+    for (const auto& target : targets()) {
+        const StateVector state = makeTarget(target);
+        double norm1 = 0.0;
+        Complex inner1{0.0, 0.0};
+        {
+            const ScopedThreads scope(1);
+            norm1 = state.normSquared();
+            inner1 = state.innerProduct(state);
+        }
+        for (const unsigned threads : {2U, 4U}) {
+            const ScopedThreads scope(threads);
+            // Bit-identical, not merely close: EXPECT_EQ on the doubles.
+            EXPECT_EQ(norm1, state.normSquared())
+                << target.family << " norm at " << threads << " threads";
+            const Complex innerN = state.innerProduct(state);
+            EXPECT_EQ(inner1.real(), innerN.real())
+                << target.family << " inner product at " << threads << " threads";
+            EXPECT_EQ(inner1.imag(), innerN.imag());
+        }
+    }
+}
+
+TEST(ThreadDeterminism, PrepVerifyEndStatesIdenticalAcrossThreadCounts) {
+    for (const auto& target : targets()) {
+        const StateVector state = makeTarget(target);
+        const auto prep = prepareExact(state);
+
+        StateVector out1;
+        double fidelity1 = 0.0;
+        {
+            const ScopedThreads scope(1);
+            out1 = Simulator::runFromZero(prep.circuit);
+            fidelity1 = state.fidelityWith(out1);
+        }
+        EXPECT_NEAR(fidelity1, 1.0, 1e-9);
+
+        for (const unsigned threads : {2U, 4U}) {
+            const ScopedThreads scope(threads);
+            const StateVector outN = Simulator::runFromZero(prep.circuit);
+            ASSERT_EQ(out1.size(), outN.size());
+            for (std::uint64_t i = 0; i < out1.size(); ++i) {
+                EXPECT_NEAR(out1[i].real(), outN[i].real(), 1e-12)
+                    << target.family << " amplitude " << i << " at " << threads
+                    << " threads";
+                EXPECT_NEAR(out1[i].imag(), outN[i].imag(), 1e-12);
+            }
+            EXPECT_NEAR(state.fidelityWith(outN), fidelity1, 1e-12);
+        }
+    }
+}
+
+TEST(ThreadDeterminism, BackendVerificationIdenticalAcrossThreadCounts) {
+    for (const auto& target : targets()) {
+        const StateVector state = makeTarget(target);
+        const auto prep = prepareExact(state);
+        const EvalState evalTarget(state);
+
+        double fidelity1 = 0.0;
+        {
+            const ScopedThreads scope(1);
+            fidelity1 = DenseBackend().preparationFidelity(prep.circuit, evalTarget);
+        }
+        for (const unsigned threads : {2U, 4U}) {
+            const ScopedThreads scope(threads);
+            const double fidelityN =
+                DenseBackend().preparationFidelity(prep.circuit, evalTarget);
+            EXPECT_NEAR(fidelityN, fidelity1, 1e-12) << target.family;
+        }
+    }
+}
+
+/// Controlled-gate-heavy circuits exercise the hoisted (block, inner)
+/// control checks; the digit-check decomposition must agree with the
+/// generic per-index digitAt walk for every control placement.
+TEST(ThreadDeterminism, HoistedControlChecksMatchDigitWalk) {
+    const Dimensions dims{3, 2, 4, 2};
+    const MixedRadix radix(dims);
+    Rng rng(777);
+    StateVector state = states::random(dims, rng);
+    // Controls on a more-significant site, a less-significant site, and
+    // both; targets at the register edges and middle.
+    const std::vector<Operation> ops = {
+        Operation::givens(1, 0, 1, 0.7, 0.3, {{0, 2}}),
+        Operation::givens(1, 0, 1, 0.7, 0.3, {{2, 3}}),
+        Operation::givens(2, 1, 3, 1.2, -0.4, {{0, 1}, {3, 1}}),
+        Operation::hadamard(0, {{2, 2}, {1, 1}}),
+        Operation::shift(3, 1, {{0, 0}, {2, 0}}),
+        Operation::phase(2, 0, 2, -0.9, {{1, 1}}),
+    };
+    StateVector expected = state;
+    for (const auto& op : ops) {
+        // Reference: the pre-hoist semantics, computed directly.
+        const Dimension dim = radix.dimensionAt(op.target);
+        const DenseMatrix local = op.localMatrix(dim);
+        std::vector<Complex> next(expected.amplitudes().begin(), expected.amplitudes().end());
+        const std::uint64_t stride = radix.strideAt(op.target);
+        for (std::uint64_t base = 0; base < radix.totalDimension(); ++base) {
+            if (radix.digitAt(base, op.target) != 0) {
+                continue;
+            }
+            bool satisfied = true;
+            for (const auto& ctrl : op.controls) {
+                if (radix.digitAt(base, ctrl.qudit) != ctrl.level) {
+                    satisfied = false;
+                    break;
+                }
+            }
+            if (op.kind == GateKind::GivensRotation || op.kind == GateKind::PhaseRotation ||
+                op.kind == GateKind::LevelSwap) {
+                // Two-level walk checks the controls on the index whose
+                // target digit is levelA.
+                const std::uint64_t idxA =
+                    base + static_cast<std::uint64_t>(op.levelA) * stride;
+                satisfied = true;
+                for (const auto& ctrl : op.controls) {
+                    if (radix.digitAt(idxA, ctrl.qudit) != ctrl.level) {
+                        satisfied = false;
+                        break;
+                    }
+                }
+                if (!satisfied) {
+                    continue;
+                }
+                const std::uint64_t idxB =
+                    base + static_cast<std::uint64_t>(op.levelB) * stride;
+                const Complex va = expected[idxA];
+                const Complex vb = expected[idxB];
+                next[idxA] = local(op.levelA, op.levelA) * va + local(op.levelA, op.levelB) * vb;
+                next[idxB] = local(op.levelB, op.levelA) * va + local(op.levelB, op.levelB) * vb;
+            } else {
+                if (!satisfied) {
+                    continue;
+                }
+                for (Dimension r = 0; r < dim; ++r) {
+                    Complex acc{0.0, 0.0};
+                    for (Dimension c = 0; c < dim; ++c) {
+                        acc += local(r, c) *
+                               expected[base + static_cast<std::uint64_t>(c) * stride];
+                    }
+                    next[base + static_cast<std::uint64_t>(r) * stride] = acc;
+                }
+            }
+        }
+        expected = StateVector(dims, std::move(next));
+
+        Simulator::apply(state, op);
+        for (std::uint64_t i = 0; i < state.size(); ++i) {
+            ASSERT_NEAR(state[i].real(), expected[i].real(), 1e-12) << op.toString();
+            ASSERT_NEAR(state[i].imag(), expected[i].imag(), 1e-12) << op.toString();
+        }
+    }
+}
+
+} // namespace
+} // namespace mqsp

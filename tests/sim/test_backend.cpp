@@ -1,18 +1,21 @@
 // Unit tests for the pluggable evaluation-backend layer (sim/backend.hpp):
 // backend resolution and auto-selection, EvalState representation handling
-// and mixed dense/diagram overlaps, the dense backend's ceiling guard, and
-// per-operation apply parity between the two substrates.
+// and mixed dense/diagram overlaps, the dense backend's ceiling guard,
+// per-operation apply parity between the two substrates, and the batched
+// prepare-and-verify API (concurrent-item semantics and per-item errors).
 
 #include "mqsp/sim/backend.hpp"
 
 #include "mqsp/sim/simulator.hpp"
 #include "mqsp/states/states.hpp"
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parallel.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 namespace mqsp {
 namespace {
@@ -143,6 +146,121 @@ TEST(RunFromZeroTest, BothBackendsPrepareTheSameState) {
     EXPECT_NEAR(dense.fidelityWith(diagram), 1.0, 1e-10);
     EXPECT_NEAR(dense.fidelityWith(EvalState(target)), 1.0, 1e-9);
 }
+
+using ScopedThreads = parallel::ScopedThreadCount;
+
+TEST(ExecutionConfigPlumbing, BackendsCarryTheConfigTheyWereBuiltWith) {
+    const ScopedThreads scope(3);
+    EXPECT_EQ(DenseBackend().executionConfig().threads, 3U);
+    EXPECT_EQ(makeBackend(BackendKind::Dd)->executionConfig().threads, 3U);
+    const auto pinned = makeBackend(BackendKind::Dense, parallel::ExecutionConfig{1});
+    EXPECT_EQ(pinned->executionConfig().threads, 1U);
+}
+
+TEST(ExecutionConfigPlumbing, EntryPointsPinTheirConfigAndRestoreTheAmbientWidth) {
+    const ScopedThreads ambient(2);
+    const auto backend = makeBackend(BackendKind::Dense, parallel::ExecutionConfig{4});
+    const StateVector target = states::ghz({3, 3});
+    const auto prep = prepareExact(target);
+    const EvalState evalTarget(target);
+    EXPECT_NEAR(backend->preparationFidelity(prep.circuit, evalTarget), 1.0, 1e-9);
+    EXPECT_EQ(parallel::globalThreads(), 2U);
+    const auto results = backend->prepareAndVerifyBatch({{&prep.circuit, &evalTarget}});
+    ASSERT_EQ(results.size(), 1U);
+    EXPECT_NEAR(results.front().fidelity, 1.0, 1e-9);
+    EXPECT_EQ(parallel::globalThreads(), 2U);
+}
+
+/// Batch fixture: a handful of independent prepare-and-verify items on
+/// small mixed-radix registers.
+struct BatchFixture {
+    std::vector<StateVector> targets;
+    std::vector<Circuit> circuits;
+    std::vector<EvalState> evalTargets;
+    std::vector<BatchVerifyItem> items;
+
+    BatchFixture() {
+        SynthesisOptions lean;
+        lean.emitIdentityOperations = false;
+        const std::vector<Dimensions> registers = {
+            {3, 6, 2}, {2, 2, 2, 2}, {3, 3, 3}, {9, 5, 6, 3}, {2, 3, 2}};
+        Rng rng(99);
+        for (const auto& dims : registers) {
+            targets.push_back(states::random(dims, rng));
+            circuits.push_back(prepareExact(targets.back(), lean).circuit);
+        }
+        // Fill evalTargets completely before taking addresses: a growing
+        // vector would invalidate the earlier items' pointers.
+        evalTargets.reserve(targets.size());
+        for (const auto& target : targets) {
+            evalTargets.emplace_back(target);
+        }
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            items.push_back({&circuits[i], &evalTargets[i]});
+        }
+    }
+};
+
+class BatchVerify : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BatchVerify, AllItemsVerifyOnBothBackends) {
+    const ScopedThreads scope(GetParam());
+    const BatchFixture fixture;
+    for (const BackendKind kind : {BackendKind::Dense, BackendKind::Dd}) {
+        const auto backend = makeBackend(kind);
+        const auto results = backend->prepareAndVerifyBatch(fixture.items);
+        ASSERT_EQ(results.size(), fixture.items.size());
+        for (const auto& result : results) {
+            EXPECT_FALSE(result.failed) << result.error;
+            EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST_P(BatchVerify, MatchesSequentialFidelities) {
+    const BatchFixture fixture;
+    const auto backend = makeBackend(BackendKind::Dense);
+    std::vector<double> sequential;
+    {
+        const ScopedThreads scope(1);
+        for (const auto& item : fixture.items) {
+            sequential.push_back(backend->preparationFidelity(*item.circuit, *item.target));
+        }
+    }
+    const ScopedThreads scope(GetParam());
+    const auto results = backend->prepareAndVerifyBatch(fixture.items);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_NEAR(results[i].fidelity, sequential[i], 1e-12);
+    }
+}
+
+TEST_P(BatchVerify, PerItemFailureDoesNotAbortSiblings) {
+    const ScopedThreads scope(GetParam());
+    BatchFixture fixture;
+    // Make item 2 fail on the dense backend: a register past a tiny ceiling.
+    const DenseBackend tiny(16);
+    const auto results = tiny.prepareAndVerifyBatch(fixture.items);
+    ASSERT_EQ(results.size(), fixture.items.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const bool fits = fixture.targets[i].size() <= 16;
+        EXPECT_EQ(results[i].failed, !fits) << "item " << i;
+        if (fits) {
+            EXPECT_NEAR(results[i].fidelity, 1.0, 1e-9);
+        } else {
+            EXPECT_NE(results[i].error.find("ceiling"), std::string::npos);
+        }
+    }
+}
+
+TEST_P(BatchVerify, EmptyBatchIsANoOp) {
+    const ScopedThreads scope(GetParam());
+    EXPECT_TRUE(DenseBackend().prepareAndVerifyBatch({}).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchVerify, ::testing::Values(1U, 2U, 4U),
+                         [](const auto& paramInfo) {
+                             return "t" + std::to_string(paramInfo.param);
+                         });
 
 } // namespace
 } // namespace mqsp

@@ -6,14 +6,19 @@ Every bench driver emits the same JSON schema (see docs/BENCHMARKS.md):
     {"schema": "mqsp-bench-v1", "driver": ..., "mode": ..., "cases": [...]}
 
 with one entry per case carrying `driver`, `case`, `dims`, an optional
-`backend` (evaluation-backend provenance: "dense" or "dd"), `reps`,
-`times_ns`, `stats` (min/median/mean/stddev in ns) and `metrics`.
+`backend` (evaluation-backend provenance: "dense" or "dd"), `threads`
+(the worker-thread count the case ran at), `reps`, `times_ns` and
+`times_cpu_ns`, `stats`/`cpu_stats` (min/median/mean/stddev in ns) and
+`metrics`.
 
-Cases are identified by (driver, case, dims, backend) everywhere: a
-dense-backend case and a dd-backend case of the same driver measure
-different substrates and are never compared against each other, and every
-report line spells out the backend (`...@dd`) so a regression is
-attributable to its substrate at a glance.
+Cases are identified by (driver, case, dims, backend, threads)
+everywhere: a dense-backend case and a dd-backend case of the same driver
+measure different substrates, and a 1-thread and a 4-thread run of the
+same workload measure different execution widths — neither pair is ever
+compared against each other, and every report line spells out the
+provenance (`...@dd#t4`) so a regression is attributable at a glance.
+(Reports predating the parallel layer carry no `threads` field; their
+cases only match other thread-less reports.)
 
 Subcommands:
 
@@ -23,7 +28,7 @@ Subcommands:
 
     compare baseline.json current.json [--threshold 0.30] [--stat median_ns]
             [--metrics]
-        Match cases by (driver, case, dims) and flag every case whose
+        Match cases by (driver, case, dims, backend, threads) and flag every case whose
         timing statistic regressed by more than the threshold fraction.
         With --metrics, also flag any metric whose value drifted (metrics
         are counts/fidelities, so any change beyond 1e-9 is reported).
@@ -55,16 +60,20 @@ def load_report(path):
 
 
 def case_key(case):
-    # `backend` is part of the identity: same-named cases on different
-    # evaluation backends (dense vs dd) are distinct measurements.
+    # `backend` and `threads` are part of the identity: same-named cases on
+    # different evaluation backends (dense vs dd) or at different worker
+    # counts (t1 vs t4) are distinct measurements.
+    threads = case.get("threads")
     return (case.get("driver", ""), case.get("case", ""), case.get("dims", ""),
-            case.get("backend", ""))
+            case.get("backend", ""), "" if threads is None else str(threads))
 
 
 def case_label(key):
-    driver, name, dims, backend = key
+    driver, name, dims, backend, threads = key
     label = "/".join(part for part in (driver, name, dims) if part)
-    return f"{label}@{backend}" if backend else label
+    if backend:
+        label = f"{label}@{backend}"
+    return f"{label}#t{threads}" if threads else label
 
 
 def merge(args):

@@ -7,6 +7,7 @@
 // std::stoull exception.
 
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parallel.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -77,6 +78,22 @@ inline double argDouble(int argc, char** argv, const std::string& flag, double f
     requireThat(!text->empty() && consumed == text->size(),
                 flag + " expects a number, got '" + *text + "'");
     return parsed;
+}
+
+/// Parse `--threads N` (0 or absent = automatic). Shared by the CLI tools
+/// and the bench harness so the flag spells and validates identically
+/// everywhere.
+inline unsigned argThreads(int argc, char** argv) {
+    return static_cast<unsigned>(argUint(argc, argv, "--threads", 0));
+}
+
+/// Resolve and install the process-wide worker-thread count: `--threads N`
+/// wins, else the MQSP_THREADS environment variable, else the hardware
+/// concurrency. Returns the resolved count. Call once at tool startup,
+/// before any simulation work.
+inline unsigned configureThreads(int argc, char** argv) {
+    parallel::setGlobalThreads(argThreads(argc, argv));
+    return parallel::globalThreads();
 }
 
 } // namespace mqsp::cli

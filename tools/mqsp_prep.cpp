@@ -52,6 +52,9 @@ void usage() {
   --optimize           run the peephole optimizer on the result
   --backend <name>     evaluation substrate: dense | dd | auto (default auto;
                        dd scales past the dense memory ceiling)
+  --threads <n>        worker threads for the dense kernels (default: the
+                       MQSP_THREADS env var, else hardware concurrency;
+                       1 = single-threaded)
   --qasm               print the circuit in MQSP-QASM
   --verify             replay on the selected backend and report the fidelity
 )");
@@ -122,6 +125,7 @@ DiagramBuilder namedDiagramBuilder(const std::string& name) {
 
 int main(int argc, char** argv) {
     try {
+        cli::configureThreads(argc, argv);
         const auto dimsSpec = argValue(argc, argv, "--dims");
         if (!dimsSpec) {
             usage();

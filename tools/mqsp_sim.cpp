@@ -45,11 +45,12 @@ void printAmplitudeLine(const Digits& digits, const Complex& amplitude) {
 
 int main(int argc, char** argv) {
     try {
+        cli::configureThreads(argc, argv);
         const auto path = argValue(argc, argv, "--qasm");
         if (!path) {
             std::fprintf(stderr,
                          "usage: mqsp_sim --qasm <file|-> [--shots n] [--print-state] "
-                         "[--seed n] [--backend dense|dd|auto]\n");
+                         "[--seed n] [--backend dense|dd|auto] [--threads n]\n");
             return 2;
         }
 
