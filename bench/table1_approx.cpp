@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
                 rep.metric("nodes",
                            static_cast<double>(
                                result.diagram.nodeCount(NodeCountMode::TreeSlots)));
+                rep.metric("dd_nodes",
+                           static_cast<double>(
+                               result.diagram.nodeCount(NodeCountMode::Internal)));
                 rep.metric("distinct_complex",
                            static_cast<double>(result.diagram.distinctComplexCount()));
                 rep.metric("operations",

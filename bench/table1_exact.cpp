@@ -43,6 +43,11 @@ int main(int argc, char** argv) {
                 rep.metric("nodes",
                            static_cast<double>(
                                result.diagram.nodeCount(NodeCountMode::DenseTree)));
+                // The actual DAG/tree size of the synthesis diagram — the
+                // dd_nodes metric the CI deterministic-metrics gate pins.
+                rep.metric("dd_nodes",
+                           static_cast<double>(
+                               result.diagram.nodeCount(NodeCountMode::Internal)));
                 rep.metric("distinct_complex",
                            static_cast<double>(result.diagram.distinctComplexCount()));
                 rep.metric("operations",

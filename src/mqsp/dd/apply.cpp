@@ -6,6 +6,7 @@
 #include <cmath>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mqsp {
@@ -49,8 +50,24 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
     const Dimension targetDim = radix_.dimensionAt(op.target);
     const DenseMatrix local = op.localMatrix(targetDim);
 
+    // Session compute cache: addition results keyed on the *canonical* call
+    // (smaller node first, x's weight factored out). Entries persist across
+    // gates and diagrams of the owning session — private diagrams carry no
+    // cache and always recompute. Cached results embed the tolerance they
+    // were pruned at, so a call at a tolerance other than the session's
+    // bypasses the cache instead of consuming entries computed under a
+    // different pruning regime.
+    dd::ComputeCache* cache = (store_ != nullptr && store_->interning() &&
+                               tol == store_->tolerance())
+                                  ? &store_->computeCache()
+                                  : nullptr;
+
     // Normalized addition of weighted sub-trees (the classic DD add). The
     // result edge's weight carries the norm; the node below is normalized.
+    // The recursion is evaluated in the canonical frame (in-weights (1,
+    // y/x)): addition is linear, so the absolute result is the canonical
+    // result scaled by x.weight — which makes one cache entry serve every
+    // scaled recurrence of the same structural addition.
     const std::function<WeightedEdge(WeightedEdge, WeightedEdge)> add =
         [&](WeightedEdge x, WeightedEdge y) -> WeightedEdge {
         const bool xZero = x.isZero(tol);
@@ -75,9 +92,23 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
         }
         ensureThat(node(x.node).site == node(y.node).site,
                    "applyOperation: site mismatch in addition");
+        if (y.node < x.node) {
+            std::swap(x, y); // addition commutes; canonical operand order
+        }
+        const Complex scale = x.weight;
+        const Complex ratio = y.weight / scale;
+        if (cache != nullptr) {
+            if (const auto* hit =
+                    cache->lookup(dd::ComputeCache::Op::Add, x.node, y.node, ratio)) {
+                if (hit->node == kNoNode) {
+                    return {};
+                }
+                return {hit->node, scale * hit->value};
+            }
+        }
         // Re-fetch through the NodeRefs on every access: the recursive call
-        // below allocates into nodes_ and may reallocate the pool, so
-        // references into it must not be held across it.
+        // below allocates into the node store and may reallocate the pool,
+        // so references into it must not be held across it.
         const std::uint32_t site = node(x.node).site;
         const std::size_t arity = node(x.node).edges.size();
         std::vector<DDEdge> edges(arity);
@@ -86,8 +117,8 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
         for (std::size_t k = 0; k < arity; ++k) {
             const DDEdge ex = node(x.node).edges[k];
             const DDEdge ey = node(y.node).edges[k];
-            const WeightedEdge xk{ex.node, x.weight * ex.weight};
-            const WeightedEdge yk{ey.node, y.weight * ey.weight};
+            const WeightedEdge xk{ex.node, ex.weight};
+            const WeightedEdge yk{ey.node, ratio * ey.weight};
             const WeightedEdge sum = add(xk, yk);
             if (sum.isZero(tol)) {
                 edges[k] = DDEdge{};
@@ -98,6 +129,10 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
             any = true;
         }
         if (!any) {
+            if (cache != nullptr) {
+                cache->store(dd::ComputeCache::Op::Add, x.node, y.node, ratio,
+                             dd::ComputeCache::Result{});
+            }
             return {};
         }
         const double norm = std::sqrt(sumSquares);
@@ -107,7 +142,12 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
             }
         }
         const NodeRef ref = allocate(site, std::move(edges));
-        return {ref, Complex{norm, 0.0}};
+        const Complex relativeWeight{norm, 0.0};
+        if (cache != nullptr) {
+            cache->store(dd::ComputeCache::Op::Add, x.node, y.node, ratio,
+                         dd::ComputeCache::Result{ref, relativeWeight});
+        }
+        return {ref, scale * relativeWeight};
     };
 
     // Rebuild the diagram along affected paths (copy-on-write: shared nodes
@@ -230,14 +270,30 @@ DecisionDiagram DecisionDiagram::simulateCircuit(const Circuit& circuit, double 
     DecisionDiagram dd = zeroState(circuit.dimensions());
     for (const auto& op : circuit.operations()) {
         dd.applyOperation(op, tol);
-        // applyOperation rebuilds affected paths copy-on-write and does not
-        // hash-cons, so identical sub-trees proliferate: without re-sharing,
-        // a product-state superposition (e.g. the uniform state mid-
-        // preparation) would blow up to the full exponential tree. Reduce
-        // after every gate to keep the diagram canonical-small, then drop
-        // the disconnected garbage.
+        // On a private store applyOperation rebuilds affected paths
+        // copy-on-write without hash-consing, so identical sub-trees
+        // proliferate: without re-sharing, a product-state superposition
+        // (e.g. the uniform state mid-preparation) would blow up to the
+        // full exponential tree. Reduce after every gate to keep the
+        // diagram canonical-small, then drop the disconnected garbage.
         dd.reduce(tol);
         dd.garbageCollect();
+    }
+    return dd;
+}
+
+DecisionDiagram DecisionDiagram::simulateCircuitOn(
+    const std::shared_ptr<dd::DdNodeStore>& store, const Circuit& circuit) {
+    const double tol = store->tolerance();
+    DecisionDiagram dd =
+        basisStateOn(store, circuit.dimensions(),
+                     Digits(MixedRadix(circuit.dimensions()).numQudits(), 0));
+    for (const auto& op : circuit.operations()) {
+        // Interning keeps every allocation canonical, so the per-gate
+        // reduce of the private path is structurally a no-op here, and
+        // intermediates stay in the session pool for later gates (and
+        // later diagrams) to hit.
+        dd.applyOperation(op, tol);
     }
     return dd;
 }

@@ -3,23 +3,89 @@
 #include "mqsp/support/error.hpp"
 
 #include <cmath>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 namespace mqsp {
 
+DecisionDiagram::DecisionDiagram(std::shared_ptr<dd::DdNodeStore> store,
+                                 const Dimensions& dims)
+    : radix_(dims), store_(std::move(store)) {
+    if (!store_) {
+        store_ = std::make_shared<dd::DdNodeStore>(dd::DdNodeStore::Mode::Private);
+    }
+}
+
+DecisionDiagram::DecisionDiagram(const DecisionDiagram& other)
+    : radix_(other.radix_), root_(other.root_), rootWeight_(other.rootWeight_) {
+    if (!other.store_) {
+        return;
+    }
+    if (other.store_->interning()) {
+        // Session-backed diagrams are immutable in place; copies alias the
+        // shared store (O(1)) instead of deep-copying the session pool.
+        store_ = other.store_;
+    } else {
+        store_ = std::make_shared<dd::DdNodeStore>(*other.store_);
+    }
+}
+
+DecisionDiagram& DecisionDiagram::operator=(const DecisionDiagram& other) {
+    if (this != &other) {
+        DecisionDiagram copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
+void DecisionDiagram::ensureStore(double tol) {
+    if (!store_) {
+        store_ = std::make_shared<dd::DdNodeStore>(dd::DdNodeStore::Mode::Private, tol);
+    }
+}
+
 NodeRef DecisionDiagram::allocate(std::uint32_t site, std::vector<DDEdge> edges) {
-    nodes_.push_back(DDNode{site, std::move(edges)});
-    ensureThat(nodes_.size() - 1 < kNoNode, "DecisionDiagram: node pool exhausted");
-    return static_cast<NodeRef>(nodes_.size() - 1);
+    return store_->allocate(site, std::move(edges));
 }
 
 const DDNode& DecisionDiagram::node(NodeRef ref) const {
-    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
-    return nodes_[ref];
+    requireThat(store_ != nullptr, "DecisionDiagram::node: empty diagram");
+    return store_->node(ref);
 }
 
 DDNode& DecisionDiagram::mutableNode(NodeRef ref) {
-    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
-    return nodes_[ref];
+    requireThat(store_ != nullptr, "DecisionDiagram::node: empty diagram");
+    return store_->mutableNode(ref);
+}
+
+DecisionDiagram DecisionDiagram::compactedCopy() const {
+    DecisionDiagram result(nullptr, radix_.dimensions());
+    if (root_ == kNoNode) {
+        return result;
+    }
+    std::unordered_map<NodeRef, NodeRef> remap;
+    const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
+        if (node(ref).isTerminal()) {
+            return 0;
+        }
+        if (const auto it = remap.find(ref); it != remap.end()) {
+            return it->second;
+        }
+        DDNode copy = node(ref);
+        for (auto& edge : copy.edges) {
+            if (!edge.isZeroStub()) {
+                edge.node = visit(edge.node);
+            }
+        }
+        const NodeRef fresh = result.allocate(copy.site, std::move(copy.edges));
+        remap.emplace(ref, fresh);
+        return fresh;
+    };
+    result.root_ = visit(root_);
+    result.rootWeight_ = rootWeight_;
+    return result;
 }
 
 /// Recursive splitter for `fromStateVector`: builds the node for the
@@ -69,8 +135,7 @@ DDEdge DecisionDiagram::buildTree(std::size_t site, const Complex* amps, std::ui
 DecisionDiagram DecisionDiagram::fromStateVector(const StateVector& state, double tol) {
     DecisionDiagram dd;
     dd.radix_ = state.radix();
-    // Pool slot 0 is the unique terminal node.
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    dd.ensureStore(tol); // private store; slot 0 is the unique terminal
     const DDEdge rootEdge =
         dd.buildTree(0, state.amplitudes().data(), state.size(), tol);
     dd.root_ = rootEdge.node;
@@ -109,7 +174,7 @@ DDEdge DecisionDiagram::buildDenseTree(std::size_t site, const Complex* amps,
 DecisionDiagram DecisionDiagram::fromStateVectorDense(const StateVector& state) {
     DecisionDiagram dd;
     dd.radix_ = state.radix();
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    dd.ensureStore();
     const DDEdge rootEdge = dd.buildDenseTree(0, state.amplitudes().data(), state.size());
     dd.root_ = rootEdge.node;
     dd.rootWeight_ = rootEdge.weight;

@@ -2,6 +2,7 @@
 
 #include "mqsp/circuit/circuit.hpp"
 #include "mqsp/complexnum/complex.hpp"
+#include "mqsp/dd/unique_table.hpp"
 #include "mqsp/statevec/state_vector.hpp"
 #include "mqsp/support/mixed_radix.hpp"
 #include "mqsp/support/rng.hpp"
@@ -10,46 +11,12 @@
 #include <functional>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace mqsp {
-
-/// Handle into a DecisionDiagram's node pool.
-using NodeRef = std::uint32_t;
-
-/// Sentinel for an absent child: the edge weight is zero and the whole
-/// sub-space below carries no amplitude ("zero stub"). Zero-amplitude
-/// sub-trees are never materialized (§4.2: they produce no operations).
-inline constexpr NodeRef kNoNode = std::numeric_limits<NodeRef>::max();
-
-/// An out-edge: destination node plus complex weight. An edge whose
-/// destination is the terminal carries the (normalized) leaf amplitude.
-/// `pruned` distinguishes a slot emptied by the approximation pass from a
-/// structurally zero slot of the original state: the paper's approximated
-/// node count drops when leaves are pruned but keeps counting structural
-/// zeros (compare GHZ vs random rows of Table 1).
-struct DDEdge {
-    NodeRef node = kNoNode;
-    Complex weight{0.0, 0.0};
-    bool pruned = false;
-
-    [[nodiscard]] bool isZeroStub() const noexcept { return node == kNoNode; }
-};
-
-/// A decision-diagram node. `site` is the qudit this node decides
-/// (0 = most significant / root level); a node at site s has exactly
-/// dim(site s) out-edges. The unique terminal node is marked by
-/// site == kTerminalSite and has no edges.
-struct DDNode {
-    static constexpr std::uint32_t kTerminalSite = std::numeric_limits<std::uint32_t>::max();
-
-    std::uint32_t site = 0;
-    std::vector<DDEdge> edges;
-
-    [[nodiscard]] bool isTerminal() const noexcept { return site == kTerminalSite; }
-};
 
 /// How reachable structure should be counted; see `nodeCount`.
 enum class NodeCountMode {
@@ -92,6 +59,16 @@ class DecisionDiagram {
 public:
     DecisionDiagram() = default;
 
+    /// Node storage: diagrams built by the static constructors own a
+    /// private store (deep-copied on diagram copy — the historical value
+    /// semantics); diagrams built by a dd::DdSession alias the session's
+    /// shared interning store (copied O(1), immutable in place).
+    DecisionDiagram(const DecisionDiagram& other);
+    DecisionDiagram& operator=(const DecisionDiagram& other);
+    DecisionDiagram(DecisionDiagram&&) noexcept = default;
+    DecisionDiagram& operator=(DecisionDiagram&&) noexcept = default;
+    ~DecisionDiagram() = default;
+
     /// Decompose a dense state vector into a weighted tree. Amplitudes with
     /// |a| <= tol (componentwise) are treated as exact zeros.
     [[nodiscard]] static DecisionDiagram fromStateVector(const StateVector& state,
@@ -118,8 +95,25 @@ public:
     [[nodiscard]] const Complex& rootWeight() const noexcept { return rootWeight_; }
 
     /// Node-pool access (sentinels excluded; callers use NodeRef handles).
+    /// On a session-backed diagram the pool is the *session's* pool, so
+    /// poolSize() counts every node the session has interned, not just the
+    /// ones reachable from this diagram's root.
     [[nodiscard]] const DDNode& node(NodeRef ref) const;
-    [[nodiscard]] std::size_t poolSize() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t poolSize() const noexcept {
+        return store_ ? store_->size() : 0;
+    }
+
+    /// True when this diagram lives on a session's shared interning store
+    /// (built canonical, immutable in place, O(1) to copy).
+    [[nodiscard]] bool sessionBacked() const noexcept {
+        return store_ != nullptr && store_->interning();
+    }
+
+    /// True when both diagrams allocate from the same store — the
+    /// precondition for NodeRef-identity shortcuts across diagrams.
+    [[nodiscard]] bool sharesStoreWith(const DecisionDiagram& other) const noexcept {
+        return store_ != nullptr && store_ == other.store_;
+    }
 
     /// --- evaluation (evaluate.cpp) -------------------------------------
 
@@ -255,6 +249,24 @@ public:
     /// sharing via the §4.3 tensor-product control elision.
     [[nodiscard]] static DecisionDiagram uniformState(const Dimensions& dims);
 
+    /// Cyclic state (cf. states::cyclic): equal superposition of the
+    /// distinct cyclic shifts of `start`, shift k adding k to every digit
+    /// modulo its own dimension. Returned *reduced*: shifts that agree on a
+    /// digit prefix share the node deciding it (memoized on the surviving
+    /// shift set), so the diagram is O(#shifts * numQudits) worst case and
+    /// usually far smaller.
+    [[nodiscard]] static DecisionDiagram cyclicState(const Dimensions& dims,
+                                                     const Digits& start,
+                                                     std::uint32_t count);
+
+    /// Generalized Dicke state (cf. states::dicke): equal superposition of
+    /// every basis state whose digits sum to `weight`. Returned *reduced*,
+    /// as the standard (site, remaining-weight) DAG of O(numQudits * weight)
+    /// nodes — the tree form would hold one leaf per term, which is
+    /// combinatorial. Throws when no basis state has the requested weight.
+    [[nodiscard]] static DecisionDiagram dickeState(const Dimensions& dims,
+                                                    std::uint64_t weight);
+
     /// --- sampling (sample.cpp) ------------------------------------------
 
     /// Draw one measurement outcome in the computational basis directly from
@@ -287,16 +299,52 @@ public:
     [[nodiscard]] std::string toDot() const;
 
 private:
+    friend class dd::DdSession;
+
+    /// Diagram on an explicit store (nullptr -> fresh private store); the
+    /// hook every builder funnels through, and the only way a session hands
+    /// its shared store to a diagram.
+    DecisionDiagram(std::shared_ptr<dd::DdNodeStore> store, const Dimensions& dims);
+
+    /// Make sure a store exists (fresh private one when default-constructed).
+    void ensureStore(double tol = Tolerance::kDefault);
+
     [[nodiscard]] DDNode& mutableNode(NodeRef ref);
     NodeRef allocate(std::uint32_t site, std::vector<DDEdge> edges);
-    /// Shared W-family builder (structured.cpp); familyTag 0 = full W,
-    /// 1 = embedded W.
-    [[nodiscard]] static DecisionDiagram buildWTree(const Dimensions& dims, int familyTag);
+
+    /// Reachable-only deep copy onto a fresh private store (the diagram a
+    /// session-backed one serializes as; identical semantics to
+    /// garbageCollect on a private diagram).
+    [[nodiscard]] DecisionDiagram compactedCopy() const;
+
+    /// Store-parameterized builder cores (structured.cpp / apply.cpp); the
+    /// public statics pass nullptr (fresh private store), dd::DdSession
+    /// passes its shared interning store.
+    [[nodiscard]] static DecisionDiagram basisStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                      const Dimensions& dims,
+                                                      const Digits& digits);
+    [[nodiscard]] static DecisionDiagram ghzStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                    const Dimensions& dims);
+    /// Shared W-family builder; familyTag 0 = full W, 1 = embedded W.
+    [[nodiscard]] static DecisionDiagram wStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                  const Dimensions& dims, int familyTag);
+    [[nodiscard]] static DecisionDiagram uniformStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                        const Dimensions& dims);
+    [[nodiscard]] static DecisionDiagram cyclicStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                       const Dimensions& dims,
+                                                       const Digits& start,
+                                                       std::uint32_t count);
+    [[nodiscard]] static DecisionDiagram dickeStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                      const Dimensions& dims,
+                                                      std::uint64_t weight);
+    [[nodiscard]] static DecisionDiagram
+    simulateCircuitOn(const std::shared_ptr<dd::DdNodeStore>& store, const Circuit& circuit);
+
     DDEdge buildTree(std::size_t site, const Complex* amps, std::uint64_t count, double tol);
     DDEdge buildDenseTree(std::size_t site, const Complex* amps, std::uint64_t count);
 
     MixedRadix radix_;
-    std::vector<DDNode> nodes_;
+    std::shared_ptr<dd::DdNodeStore> store_;
     NodeRef root_ = kNoNode;
     Complex rootWeight_{0.0, 0.0};
 };

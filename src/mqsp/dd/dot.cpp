@@ -14,13 +14,13 @@ std::string DecisionDiagram::toDot() const {
     }
     out << "  root [shape=plaintext, label=\"" << toString(rootWeight_) << "\"];\n";
     out << "  root -> n" << root_ << ";\n";
-    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<bool> seen(poolSize(), false);
     std::vector<NodeRef> stack{root_};
     seen[root_] = true;
     while (!stack.empty()) {
         const NodeRef ref = stack.back();
         stack.pop_back();
-        const DDNode& n = nodes_[ref];
+        const DDNode& n = node(ref);
         if (n.isTerminal()) {
             out << "  n" << ref << " [shape=square, label=\"1\"];\n";
             continue;

@@ -73,7 +73,15 @@ Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
         return Complex{0.0, 0.0};
     }
     // <a|b> over node pairs, memoized: the contribution of a pair of
-    // sub-trees is independent of the path that reached them.
+    // sub-trees is independent of the path that reached them. When both
+    // diagrams live on one session store, ref equality is structural
+    // equality of *canonical* (norm-1) sub-trees, so <x|x> collapses to 1
+    // without descending — session verification of an exactly-reproduced
+    // target is O(depth), not O(diagram^2) — and the remaining pairs go
+    // through the session's operation cache, which persists across calls
+    // (repeated verifications of the same states hit instead of re-walking).
+    const bool sharedCanonical = sharesStoreWith(other) && store_->interning();
+    dd::ComputeCache* cache = sharedCanonical ? &store_->computeCache() : nullptr;
     std::unordered_map<std::uint64_t, Complex> memo;
     const std::function<Complex(NodeRef, NodeRef)> visit = [&](NodeRef a,
                                                                NodeRef b) -> Complex {
@@ -83,11 +91,21 @@ Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
             ensureThat(nb.isTerminal(), "innerProductWith: level mismatch");
             return Complex{1.0, 0.0};
         }
+        if (sharedCanonical && a == b) {
+            return Complex{1.0, 0.0};
+        }
         ensureThat(na.site == nb.site, "innerProductWith: site mismatch");
         const std::uint64_t key =
             (static_cast<std::uint64_t>(a) << 32U) | static_cast<std::uint64_t>(b);
         if (const auto it = memo.find(key); it != memo.end()) {
             return it->second;
+        }
+        if (cache != nullptr) {
+            if (const auto* hit =
+                    cache->lookup(dd::ComputeCache::Op::InnerProduct, a, b, Complex{})) {
+                memo.emplace(key, hit->value);
+                return hit->value;
+            }
         }
         Complex sum{0.0, 0.0};
         for (std::size_t k = 0; k < na.edges.size(); ++k) {
@@ -99,6 +117,10 @@ Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
             sum += std::conj(ea.weight) * eb.weight * visit(ea.node, eb.node);
         }
         memo.emplace(key, sum);
+        if (cache != nullptr) {
+            cache->store(dd::ComputeCache::Op::InnerProduct, a, b, Complex{},
+                         dd::ComputeCache::Result{kNoNode, sum});
+        }
         return sum;
     };
     return std::conj(rootWeight_) * other.rootWeight_ * visit(root_, other.root_);

@@ -19,6 +19,13 @@ namespace mqsp {
 // is not listed. An absent root is encoded as "root - 0 0".
 
 void DecisionDiagram::serialize(std::ostream& out) const {
+    if (store_ != nullptr && store_->interning()) {
+        // A session-backed diagram shares its pool with every other diagram
+        // of the session; serialize a reachable-only private copy instead
+        // of dumping the whole session store.
+        compactedCopy().serialize(out);
+        return;
+    }
     out << "mqsp-dd v1\n";
     out << "dims";
     for (const auto dim : radix_.dimensions()) {
@@ -32,8 +39,8 @@ void DecisionDiagram::serialize(std::ostream& out) const {
         out << "root " << root_ << ' ' << rootWeight_.real() << ' ' << rootWeight_.imag()
             << '\n';
     }
-    for (std::size_t ref = 1; ref < nodes_.size(); ++ref) {
-        const DDNode& n = nodes_[ref];
+    for (std::size_t ref = 1; ref < poolSize(); ++ref) {
+        const DDNode& n = node(static_cast<NodeRef>(ref));
         out << "node " << ref << ' ' << n.site << ' ' << n.edges.size();
         for (const auto& edge : n.edges) {
             out << ' ';
@@ -69,7 +76,7 @@ DecisionDiagram DecisionDiagram::deserialize(std::istream& in) {
 
     DecisionDiagram dd;
     dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    dd.ensureStore();
 
     requireThat(static_cast<bool>(std::getline(in, line)) && line.rfind("root", 0) == 0,
                 "DecisionDiagram::deserialize: missing root line");
@@ -91,13 +98,13 @@ DecisionDiagram DecisionDiagram::deserialize(std::istream& in) {
     while (std::getline(in, line)) {
         if (line == "end") {
             // Validate all references now that the pool is complete.
-            for (const auto& n : dd.nodes_) {
-                for (const auto& edge : n.edges) {
-                    requireThat(edge.isZeroStub() || edge.node < dd.nodes_.size(),
+            for (std::size_t ref = 0; ref < dd.poolSize(); ++ref) {
+                for (const auto& edge : dd.node(static_cast<NodeRef>(ref)).edges) {
+                    requireThat(edge.isZeroStub() || edge.node < dd.poolSize(),
                                 "DecisionDiagram::deserialize: dangling node reference");
                 }
             }
-            requireThat(dd.root_ == kNoNode || dd.root_ < dd.nodes_.size(),
+            requireThat(dd.root_ == kNoNode || dd.root_ < dd.poolSize(),
                         "DecisionDiagram::deserialize: dangling root reference");
             return dd;
         }
@@ -109,7 +116,7 @@ DecisionDiagram DecisionDiagram::deserialize(std::istream& in) {
         std::size_t numEdges = 0;
         requireThat(static_cast<bool>(stream >> ref >> site >> numEdges),
                     "DecisionDiagram::deserialize: malformed node line");
-        requireThat(ref == dd.nodes_.size(),
+        requireThat(ref == dd.poolSize(),
                     "DecisionDiagram::deserialize: nodes must be listed in pool order");
         requireThat(site < dims.size(), "DecisionDiagram::deserialize: site out of range");
         requireThat(numEdges == dims[site],
@@ -131,7 +138,7 @@ DecisionDiagram DecisionDiagram::deserialize(std::istream& in) {
                               pruned != 0};
             }
         }
-        dd.nodes_.push_back(std::move(n));
+        (void)dd.allocate(n.site, std::move(n.edges));
     }
     detail::throwInvalidArgument("DecisionDiagram::deserialize: missing end line");
 }

@@ -1,10 +1,10 @@
 // DD-native construction of the structured benchmark families (§5 of the
-// paper): GHZ, W, embedded W, basis and uniform states assembled directly as
-// decision diagrams. No dense amplitude vector is ever allocated, so these
-// run on registers whose total dimension exceeds memory by orders of
-// magnitude — the target-construction half of breaking the dense O(∏dims)
-// verification ceiling (the simulation half is DecisionDiagram::
-// simulateCircuit and the backend layer in sim/backend.hpp).
+// paper): GHZ, W, embedded W, basis, uniform, cyclic and Dicke states
+// assembled directly as decision diagrams. No dense amplitude vector is ever
+// allocated, so these run on registers whose total dimension exceeds memory
+// by orders of magnitude — the target-construction half of breaking the
+// dense O(∏dims) verification ceiling (the simulation half is
+// DecisionDiagram::simulateCircuit and the backend layer in sim/backend.hpp).
 //
 // Each tree builder reproduces the tree `fromStateVector` returns on the
 // same state: the canonical normalization pushes every node's norm into its
@@ -12,8 +12,17 @@
 // either source emits the same circuit (up to last-ulp rounding in rotation
 // angles, where the analytic weights sqrt(T'/T) and the summed norms may
 // differ) — pinned by the cross-validation suite and the dd-backend golden
-// CLI fixtures. uniformState is the one exception: its tree form *is* the
-// full dense tree, so it is returned in reduced (shared-chain) form instead.
+// CLI fixtures. uniformState, cyclicState and dickeState are the exceptions:
+// their tree forms are combinatorial (the full dense tree / one chain per
+// shift / one leaf per fixed-weight term), so they are returned in reduced
+// (DAG) form — which the path-wise synthesis traversal expands to exactly
+// the circuit the tree would have produced.
+//
+// Every builder takes an optional node store: the public statics pass
+// nullptr (a fresh diagram-private store, historical semantics), while
+// dd::DdSession routes its shared interning store through the *On hooks so
+// identical sub-trees are built once per session, whatever diagram asked
+// first (dd/unique_table.hpp).
 
 #include "mqsp/dd/decision_diagram.hpp"
 
@@ -22,16 +31,20 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 namespace mqsp {
 
-DecisionDiagram DecisionDiagram::basisState(const Dimensions& dims, const Digits& digits) {
-    DecisionDiagram dd;
-    dd.radix_ = MixedRadix(dims);
+DecisionDiagram DecisionDiagram::basisStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                              const Dimensions& dims, const Digits& digits) {
+    DecisionDiagram dd(std::move(store), dims);
     requireThat(digits.size() == dd.radix_.numQudits(),
                 "DecisionDiagram::basisState: digit count mismatch");
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
 
     // Weight-1 chain, built bottom-up: site n-1 points at the terminal.
     NodeRef below = 0; // terminal
@@ -48,15 +61,19 @@ DecisionDiagram DecisionDiagram::basisState(const Dimensions& dims, const Digits
     return dd;
 }
 
-DecisionDiagram DecisionDiagram::ghzState(const Dimensions& dims) {
-    DecisionDiagram dd;
-    dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+DecisionDiagram DecisionDiagram::basisState(const Dimensions& dims, const Digits& digits) {
+    return basisStateOn(nullptr, dims, digits);
+}
+
+DecisionDiagram DecisionDiagram::ghzStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                            const Dimensions& dims) {
+    DecisionDiagram dd(std::move(store), dims);
     const std::size_t n = dd.radix_.numQudits();
     const Dimension m = *std::min_element(dims.begin(), dims.end());
 
     // One weight-1 chain |k k ... k> per branch k < m. The chains are not
-    // shared — tree shape, matching fromStateVector.
+    // shared on a private store — tree shape, matching fromStateVector (an
+    // interning store dedupes nothing here either: the chains differ per k).
     std::vector<DDEdge> rootEdges(dd.radix_.dimensionAt(0));
     const double branchWeight = 1.0 / std::sqrt(static_cast<double>(m));
     for (Dimension k = 0; k < m; ++k) {
@@ -71,6 +88,10 @@ DecisionDiagram DecisionDiagram::ghzState(const Dimensions& dims) {
     dd.root_ = dd.allocate(0, std::move(rootEdges));
     dd.rootWeight_ = Complex{1.0, 0.0};
     return dd;
+}
+
+DecisionDiagram DecisionDiagram::ghzState(const Dimensions& dims) {
+    return ghzStateOn(nullptr, dims);
 }
 
 namespace {
@@ -90,11 +111,10 @@ enum class WFamily { Full, Embedded };
 /// suffix) with weight sqrt(T_{i+1}/T_i) and one edge per excitation level
 /// l with weight 1/sqrt(T_i) -> an all-|0> chain; per-node normalization
 /// holds by construction ((T_{i+1} + L_i)/T_i = 1).
-DecisionDiagram DecisionDiagram::buildWTree(const Dimensions& dims, int familyTag) {
+DecisionDiagram DecisionDiagram::wStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                          const Dimensions& dims, int familyTag) {
     const WFamily family = familyTag == 0 ? WFamily::Full : WFamily::Embedded;
-    DecisionDiagram dd;
-    dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    DecisionDiagram dd(std::move(store), dims);
     const std::size_t n = dd.radix_.numQudits();
 
     // Suffix term counts T_i (T_n = 0).
@@ -104,7 +124,8 @@ DecisionDiagram DecisionDiagram::buildWTree(const Dimensions& dims, int familyTa
             suffixTerms[site + 1] + excitationLevels(family, dd.radix_.dimensionAt(site));
     }
 
-    // Fresh all-|0> suffix chain below `site` (one copy per use: tree shape).
+    // Fresh all-|0> suffix chain below `site` (one copy per use on a
+    // private store: tree shape; an interning store collapses them).
     const auto zeroChain = [&dd, n](std::size_t site) -> NodeRef {
         NodeRef below = 0; // terminal
         for (std::size_t s = n; s-- > site;) {
@@ -139,17 +160,16 @@ DecisionDiagram DecisionDiagram::buildWTree(const Dimensions& dims, int familyTa
 }
 
 DecisionDiagram DecisionDiagram::wState(const Dimensions& dims) {
-    return buildWTree(dims, /*familyTag=*/0);
+    return wStateOn(nullptr, dims, /*familyTag=*/0);
 }
 
 DecisionDiagram DecisionDiagram::embeddedWState(const Dimensions& dims) {
-    return buildWTree(dims, /*familyTag=*/1);
+    return wStateOn(nullptr, dims, /*familyTag=*/1);
 }
 
-DecisionDiagram DecisionDiagram::uniformState(const Dimensions& dims) {
-    DecisionDiagram dd;
-    dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+DecisionDiagram DecisionDiagram::uniformStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                                const Dimensions& dims) {
+    DecisionDiagram dd(std::move(store), dims);
 
     // One shared chain: node at site s has d_s edges of weight 1/sqrt(d_s),
     // all pointing at the same child — already the reduced (DAG) form.
@@ -166,6 +186,162 @@ DecisionDiagram DecisionDiagram::uniformState(const Dimensions& dims) {
     dd.root_ = below;
     dd.rootWeight_ = Complex{1.0, 0.0};
     return dd;
+}
+
+DecisionDiagram DecisionDiagram::uniformState(const Dimensions& dims) {
+    return uniformStateOn(nullptr, dims);
+}
+
+/// Cyclic state as a DAG. Shift k produces the word ((start_i + k) mod
+/// d_i)_i; shifts congruent modulo lcm(dims) produce the same word, so the
+/// distinct shifts are 0..K-1 with K = min(count, lcm). The node deciding
+/// site s for a surviving shift set S partitions S by the digit the shifts
+/// put there; the edge to the part S_v carries weight sqrt(|S_v|/|S|) —
+/// exactly the block norms `fromStateVector` computes on the equal-amplitude
+/// dense vector, so the reduced tree and this DAG coincide. Sub-diagrams are
+/// memoized on (site, shift set).
+DecisionDiagram DecisionDiagram::cyclicStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                               const Dimensions& dims, const Digits& start,
+                                               std::uint32_t count) {
+    DecisionDiagram dd(std::move(store), dims);
+    const std::size_t n = dd.radix_.numQudits();
+    requireThat(start.size() == n, "DecisionDiagram::cyclicState: start word size mismatch");
+    requireThat(count >= 1, "DecisionDiagram::cyclicState: need at least one shift");
+    for (std::size_t site = 0; site < n; ++site) {
+        requireThat(start[site] < dd.radix_.dimensionAt(site),
+                    "DecisionDiagram::cyclicState: start digit exceeds dimension");
+    }
+
+    // Distinct shifts: cap count at lcm(dims) (saturating — once the lcm
+    // passes `count` every requested shift is already distinct).
+    std::uint64_t lcmSoFar = 1;
+    for (const Dimension dim : dims) {
+        lcmSoFar = std::lcm(lcmSoFar, static_cast<std::uint64_t>(dim));
+        if (lcmSoFar >= count) {
+            lcmSoFar = count;
+            break;
+        }
+    }
+    const auto numShifts = static_cast<std::uint32_t>(std::min<std::uint64_t>(count, lcmSoFar));
+
+    std::vector<std::uint32_t> allShifts(numShifts);
+    for (std::uint32_t k = 0; k < numShifts; ++k) {
+        allShifts[k] = k;
+    }
+
+    // Memoized recursive build over (site, surviving shift set). The shift
+    // sets are kept sorted, so the map key is canonical.
+    std::map<std::pair<std::size_t, std::vector<std::uint32_t>>, NodeRef> memo;
+    const std::function<NodeRef(std::size_t, const std::vector<std::uint32_t>&)> build =
+        [&](std::size_t site, const std::vector<std::uint32_t>& shifts) -> NodeRef {
+        if (site == n) {
+            return 0; // terminal
+        }
+        const auto key = std::make_pair(site, shifts);
+        if (const auto it = memo.find(key); it != memo.end()) {
+            return it->second;
+        }
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        std::vector<std::vector<std::uint32_t>> parts(dim);
+        for (const std::uint32_t k : shifts) {
+            parts[(start[site] + k) % dim].push_back(k);
+        }
+        std::vector<DDEdge> edges(dim);
+        for (Dimension v = 0; v < dim; ++v) {
+            if (parts[v].empty()) {
+                continue;
+            }
+            const double weight = std::sqrt(static_cast<double>(parts[v].size()) /
+                                            static_cast<double>(shifts.size()));
+            edges[v] = DDEdge{build(site + 1, parts[v]), Complex{weight, 0.0}};
+        }
+        const NodeRef ref = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+        memo.emplace(key, ref);
+        return ref;
+    };
+
+    dd.root_ = build(0, allShifts);
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+DecisionDiagram DecisionDiagram::cyclicState(const Dimensions& dims, const Digits& start,
+                                             std::uint32_t count) {
+    return cyclicStateOn(nullptr, dims, start, count);
+}
+
+/// Dicke state as the standard (site, remaining-weight) DAG: the node for
+/// (s, w) decides site s with w excitation weight still to place; edge l
+/// points at (s+1, w-l) with weight sqrt(N(s+1, w-l) / N(s, w)), where
+/// N(s, w) counts the suffix digit-strings of sum w. Every tree node of the
+/// dense construction whose prefix sums to the same value is structurally
+/// identical, so the reduced tree collapses to exactly this DAG — the
+/// family where cross-diagram sharing pays most, since replay intermediates
+/// revisit the same (s, w) blocks.
+DecisionDiagram DecisionDiagram::dickeStateOn(std::shared_ptr<dd::DdNodeStore> store,
+                                              const Dimensions& dims, std::uint64_t weight) {
+    DecisionDiagram dd(std::move(store), dims);
+    const std::size_t n = dd.radix_.numQudits();
+
+    // Reject unreachable weights before sizing the DP tables by `weight`.
+    std::uint64_t maxWeight = 0;
+    for (const Dimension dim : dims) {
+        maxWeight += dim - 1;
+    }
+    requireThat(weight <= maxWeight,
+                "DecisionDiagram::dickeState: no basis state has the requested weight");
+
+    // N(s, w) for w <= weight, bottom-up. N(n, 0) = 1.
+    std::vector<std::vector<std::uint64_t>> counts(n + 1,
+                                                   std::vector<std::uint64_t>(weight + 1, 0));
+    counts[n][0] = 1;
+    for (std::size_t site = n; site-- > 0;) {
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        for (std::uint64_t w = 0; w <= weight; ++w) {
+            std::uint64_t total = 0;
+            for (Dimension level = 0; level < dim && level <= w; ++level) {
+                total += counts[site + 1][w - level];
+            }
+            counts[site][w] = total;
+        }
+    }
+    requireThat(counts[0][weight] > 0,
+                "DecisionDiagram::dickeState: no basis state has the requested weight");
+
+    // One node per reachable (site, remaining weight); memoized directly.
+    std::vector<std::vector<NodeRef>> memo(n, std::vector<NodeRef>(weight + 1, kNoNode));
+    const std::function<NodeRef(std::size_t, std::uint64_t)> build =
+        [&](std::size_t site, std::uint64_t remaining) -> NodeRef {
+        if (site == n) {
+            return 0; // terminal (remaining == 0 by construction)
+        }
+        if (memo[site][remaining] != kNoNode) {
+            return memo[site][remaining];
+        }
+        const Dimension dim = dd.radix_.dimensionAt(site);
+        const auto total = static_cast<double>(counts[site][remaining]);
+        std::vector<DDEdge> edges(dim);
+        for (Dimension level = 0; level < dim && level <= remaining; ++level) {
+            const std::uint64_t below = counts[site + 1][remaining - level];
+            if (below == 0) {
+                continue;
+            }
+            const double edgeWeight = std::sqrt(static_cast<double>(below) / total);
+            edges[level] =
+                DDEdge{build(site + 1, remaining - level), Complex{edgeWeight, 0.0}};
+        }
+        const NodeRef ref = dd.allocate(static_cast<std::uint32_t>(site), std::move(edges));
+        memo[site][remaining] = ref;
+        return ref;
+    };
+
+    dd.root_ = build(0, weight);
+    dd.rootWeight_ = Complex{1.0, 0.0};
+    return dd;
+}
+
+DecisionDiagram DecisionDiagram::dickeState(const Dimensions& dims, std::uint64_t weight) {
+    return dickeStateOn(nullptr, dims, weight);
 }
 
 } // namespace mqsp

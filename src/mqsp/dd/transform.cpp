@@ -87,53 +87,24 @@ void DecisionDiagram::normalizeRoot() {
     rootWeight_ /= magnitude;
 }
 
-namespace {
-
-/// Structural key of a node for hash-consing: site, child refs, and edge
-/// weights bucketed to the merge tolerance.
-struct NodeKey {
-    std::uint32_t site = 0;
-    std::vector<NodeRef> children;
-    std::vector<std::int64_t> weightBucketsRe;
-    std::vector<std::int64_t> weightBucketsIm;
-
-    friend bool operator==(const NodeKey&, const NodeKey&) = default;
-};
-
-struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& key) const noexcept {
-        std::size_t h = std::hash<std::uint32_t>{}(key.site);
-        const auto mix = [&h](std::size_t v) {
-            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U);
-        };
-        for (const auto c : key.children) {
-            mix(std::hash<NodeRef>{}(c));
-        }
-        for (const auto b : key.weightBucketsRe) {
-            mix(std::hash<std::int64_t>{}(static_cast<std::int64_t>(b)));
-        }
-        for (const auto b : key.weightBucketsIm) {
-            mix(std::hash<std::int64_t>{}(static_cast<std::int64_t>(b)));
-        }
-        return h;
-    }
-};
-
-std::int64_t bucketOf(double v, double tol) {
-    return static_cast<std::int64_t>(std::llround(v / tol));
-}
-
-} // namespace
-
 std::size_t DecisionDiagram::reduce(double tol) {
     if (root_ == kNoNode) {
         return 0;
     }
-    // Bottom-up hash-consing. Because weights were normalized by a fixed
-    // scheme during construction (§4.2: "normalized by a fixed scheme to
-    // ensure canonicity"), structurally identical sub-trees have identical
-    // weights and merge exactly; the tolerance only absorbs rounding.
-    std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique;
+    if (store_->interning()) {
+        // Session-backed diagrams are hash-consed at allocation time with
+        // the same key scheme reduce uses: every node is already canonical,
+        // and the in-place edge rewiring below would corrupt diagrams
+        // sharing the store.
+        return 0;
+    }
+    // Bottom-up hash-consing through the uniquing table (same open-
+    // addressed machinery as a session store, scoped to this one pass).
+    // Because weights were normalized by a fixed scheme during construction
+    // (§4.2: "normalized by a fixed scheme to ensure canonicity"),
+    // structurally identical sub-trees have identical weights and merge
+    // exactly; the tolerance only absorbs rounding.
+    dd::UniqueTable unique(tol);
     std::unordered_map<NodeRef, NodeRef> canonical;
 
     const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
@@ -144,22 +115,14 @@ std::size_t DecisionDiagram::reduce(double tol) {
             return it->second;
         }
         auto& n = mutableNode(ref);
-        NodeKey key;
-        key.site = n.site;
-        key.children.reserve(n.edges.size());
-        key.weightBucketsRe.reserve(n.edges.size());
-        key.weightBucketsIm.reserve(n.edges.size());
         for (auto& edge : n.edges) {
             if (!edge.isZeroStub()) {
                 edge.node = visit(edge.node);
             }
-            key.children.push_back(edge.node);
-            key.weightBucketsRe.push_back(bucketOf(edge.weight.real(), tol));
-            key.weightBucketsIm.push_back(bucketOf(edge.weight.imag(), tol));
         }
-        const auto [it, inserted] = unique.emplace(key, ref);
-        canonical.emplace(ref, it->second);
-        return it->second;
+        const NodeRef merged = unique.findOrInsert(n.site, n.edges, ref);
+        canonical.emplace(ref, merged);
+        return merged;
     };
 
     const std::size_t reachableBefore = nodeCount(NodeCountMode::Internal);
@@ -169,23 +132,28 @@ std::size_t DecisionDiagram::reduce(double tol) {
 }
 
 void DecisionDiagram::garbageCollect() {
-    if (nodes_.empty()) {
+    if (!store_ || store_->size() == 0) {
         return;
     }
-    std::vector<NodeRef> remap(nodes_.size(), kNoNode);
+    if (store_->interning()) {
+        // Node lifetime on a shared store belongs to the session, not to
+        // any one diagram: compaction would remap refs under every sibling.
+        return;
+    }
+    std::vector<NodeRef> remap(store_->size(), kNoNode);
     std::vector<DDNode> kept;
-    kept.reserve(nodes_.size());
+    kept.reserve(store_->size());
 
     // Keep the terminal at slot 0 unconditionally.
     remap[0] = 0;
-    kept.push_back(nodes_[0]);
+    kept.push_back(node(0));
 
     if (root_ != kNoNode) {
         const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
             if (remap[ref] != kNoNode) {
                 return remap[ref];
             }
-            DDNode copy = nodes_[ref];
+            DDNode copy = node(ref);
             for (auto& edge : copy.edges) {
                 if (!edge.isZeroStub()) {
                     edge.node = visit(edge.node);
@@ -197,7 +165,7 @@ void DecisionDiagram::garbageCollect() {
         };
         root_ = visit(root_);
     }
-    nodes_ = std::move(kept);
+    store_->replaceNodes(std::move(kept));
 }
 
 } // namespace mqsp

@@ -1,0 +1,341 @@
+#include "mqsp/dd/unique_table.hpp"
+
+#include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+namespace mqsp::dd {
+
+// --- UniqueTable -----------------------------------------------------------
+
+namespace {
+
+/// splitmix64-style finalizer: cheap, well-distributed for sequential refs.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t v) noexcept {
+    v += 0x9e3779b97f4a7c15ULL;
+    v = (v ^ (v >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27U)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31U);
+}
+
+[[nodiscard]] std::size_t roundUpPowerOfTwo(std::size_t v) noexcept {
+    std::size_t cap = 1;
+    while (cap < v) {
+        cap <<= 1U;
+    }
+    return cap;
+}
+
+} // namespace
+
+UniqueTable::UniqueTable(double tolerance, std::size_t initialCapacity)
+    : tolerance_(tolerance),
+      initialCapacity_(roundUpPowerOfTwo(std::max<std::size_t>(initialCapacity, 16))) {
+    requireThat(tolerance > 0.0, "UniqueTable: tolerance must be positive");
+}
+
+std::int64_t UniqueTable::bucketOf(double value, double tolerance) {
+    return static_cast<std::int64_t>(std::llround(value / tolerance));
+}
+
+std::uint64_t UniqueTable::hashKey(std::uint32_t site, const NodeRef* children,
+                                   const std::int64_t* re, const std::int64_t* im,
+                                   std::size_t arity) const noexcept {
+    std::uint64_t h = mix64(site);
+    for (std::size_t k = 0; k < arity; ++k) {
+        h = mix64(h ^ children[k]);
+        h = mix64(h ^ static_cast<std::uint64_t>(re[k]));
+        h = mix64(h ^ static_cast<std::uint64_t>(im[k]));
+    }
+    return h;
+}
+
+bool UniqueTable::entryMatches(std::uint32_t entry, std::uint32_t site,
+                               const NodeRef* children, const std::int64_t* re,
+                               const std::int64_t* im, std::size_t arity) const noexcept {
+    if (entrySite_[entry] != site || entryArity_[entry] != arity) {
+        return false;
+    }
+    const std::uint64_t offset = entryOffset_[entry];
+    for (std::size_t k = 0; k < arity; ++k) {
+        if (keyChildren_[offset + k] != children[k] || keyRe_[offset + k] != re[k] ||
+            keyIm_[offset + k] != im[k]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void UniqueTable::grow() {
+    const std::size_t capacity = slots_.empty() ? initialCapacity_ : slots_.size() * 2;
+    slots_.assign(capacity, 0);
+    if (!entryHash_.empty()) {
+        ++stats_.grows;
+    }
+    const std::size_t mask = capacity - 1;
+    for (std::uint32_t entry = 0; entry < entryHash_.size(); ++entry) {
+        std::size_t slot = static_cast<std::size_t>(entryHash_[entry]) & mask;
+        while (slots_[slot] != 0) {
+            slot = (slot + 1) & mask;
+        }
+        slots_[slot] = entry + 1;
+    }
+}
+
+NodeRef UniqueTable::findOrInsertRaw(std::uint32_t site, const NodeRef* children,
+                                     const Complex* weights, std::size_t arity,
+                                     NodeRef fresh) {
+    scratchChildren_.resize(arity);
+    scratchRe_.resize(arity);
+    scratchIm_.resize(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        scratchChildren_[k] = children[k];
+        scratchRe_[k] = bucketOf(weights[k].real(), tolerance_);
+        scratchIm_[k] = bucketOf(weights[k].imag(), tolerance_);
+    }
+    return probe(site, arity, fresh);
+}
+
+NodeRef UniqueTable::findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges,
+                                  NodeRef fresh) {
+    const std::size_t arity = edges.size();
+    scratchChildren_.resize(arity);
+    scratchRe_.resize(arity);
+    scratchIm_.resize(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        scratchChildren_[k] = edges[k].node;
+        scratchRe_[k] = bucketOf(edges[k].weight.real(), tolerance_);
+        scratchIm_[k] = bucketOf(edges[k].weight.imag(), tolerance_);
+    }
+    return probe(site, arity, fresh);
+}
+
+NodeRef UniqueTable::probe(std::uint32_t site, std::size_t arity, NodeRef fresh) {
+    // Grow ahead of the insert that would cross the 0.7 load factor (the
+    // first lookup allocates the initial slot array).
+    if (slots_.empty() || (entryHash_.size() + 1) * 10 >= slots_.size() * 7) {
+        grow();
+    }
+    const std::uint64_t hash =
+        hashKey(site, scratchChildren_.data(), scratchRe_.data(), scratchIm_.data(), arity);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    ++stats_.lookups;
+    while (slots_[slot] != 0) {
+        const std::uint32_t entry = slots_[slot] - 1;
+        if (entryHash_[entry] == hash &&
+            entryMatches(entry, site, scratchChildren_.data(), scratchRe_.data(),
+                         scratchIm_.data(), arity)) {
+            ++stats_.hits;
+            return entryValue_[entry];
+        }
+        ++stats_.probeSteps;
+        slot = (slot + 1) & mask;
+    }
+    if (fresh == kNoNode) {
+        // Pure lookup: report the miss without recording a key.
+        ++stats_.misses;
+        return kNoNode;
+    }
+    ++stats_.misses;
+    const std::uint64_t offset = keyChildren_.size();
+    keyChildren_.insert(keyChildren_.end(), scratchChildren_.begin(), scratchChildren_.end());
+    keyRe_.insert(keyRe_.end(), scratchRe_.begin(), scratchRe_.end());
+    keyIm_.insert(keyIm_.end(), scratchIm_.begin(), scratchIm_.end());
+    entryHash_.push_back(hash);
+    entrySite_.push_back(site);
+    entryValue_.push_back(fresh);
+    entryOffset_.push_back(offset);
+    entryArity_.push_back(static_cast<std::uint32_t>(arity));
+    slots_[slot] = static_cast<std::uint32_t>(entryHash_.size());
+    return fresh;
+}
+
+// --- ComputeCache ----------------------------------------------------------
+
+ComputeCache::ComputeCache(double tolerance, std::size_t slots)
+    : tolerance_(tolerance), slotCount_(roundUpPowerOfTwo(slots)) {}
+
+std::size_t ComputeCache::slotOf(Op op, NodeRef x, NodeRef y, std::int64_t re,
+                                 std::int64_t im) const noexcept {
+    std::uint64_t h = mix64((static_cast<std::uint64_t>(x) << 32U) | y);
+    h = mix64(h ^ static_cast<std::uint64_t>(re));
+    h = mix64(h ^ static_cast<std::uint64_t>(im));
+    h = mix64(h ^ static_cast<std::uint64_t>(op));
+    return static_cast<std::size_t>(h) & (slotCount_ - 1);
+}
+
+const ComputeCache::Result* ComputeCache::lookup(Op op, NodeRef x, NodeRef y,
+                                                 const Complex& ratio) {
+    ++stats_.lookups;
+    if (entries_.empty()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    const std::int64_t re = UniqueTable::bucketOf(ratio.real(), tolerance_);
+    const std::int64_t im = UniqueTable::bucketOf(ratio.imag(), tolerance_);
+    const Entry& entry = entries_[slotOf(op, x, y, re, im)];
+    if (entry.valid && entry.op == op && entry.x == x && entry.y == y &&
+        entry.ratioRe == re && entry.ratioIm == im) {
+        ++stats_.hits;
+        return &entry.result;
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void ComputeCache::store(Op op, NodeRef x, NodeRef y, const Complex& ratio,
+                         const Result& result) {
+    if (entries_.empty()) {
+        entries_.resize(slotCount_);
+    }
+    const std::int64_t re = UniqueTable::bucketOf(ratio.real(), tolerance_);
+    const std::int64_t im = UniqueTable::bucketOf(ratio.imag(), tolerance_);
+    Entry& entry = entries_[slotOf(op, x, y, re, im)];
+    if (entry.valid) {
+        ++stats_.evictions;
+    }
+    entry = Entry{x, y, re, im, result, op, true};
+}
+
+// --- DdNodeStore -----------------------------------------------------------
+
+DdNodeStore::DdNodeStore(Mode mode, double tolerance)
+    : mode_(mode), tolerance_(tolerance), table_(tolerance), computeCache_(tolerance) {
+    // Pool slot 0 is the unique terminal node.
+    nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+}
+
+const DDNode& DdNodeStore::node(NodeRef ref) const {
+    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
+    return nodes_[ref];
+}
+
+DDNode& DdNodeStore::mutableNode(NodeRef ref) {
+    requireThat(!interning(),
+                "DdNodeStore: in-place node mutation is forbidden on a session-shared "
+                "(interning) store — detach the diagram first");
+    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
+    return nodes_[ref];
+}
+
+NodeRef DdNodeStore::allocate(std::uint32_t site, std::vector<DDEdge> edges) {
+    nodes_.push_back(DDNode{site, std::move(edges)});
+    ensureThat(nodes_.size() - 1 < kNoNode, "DecisionDiagram: node pool exhausted");
+    const auto fresh = static_cast<NodeRef>(nodes_.size() - 1);
+    if (!interning()) {
+        return fresh;
+    }
+    // Tentatively appended; one probe either records it as canonical or
+    // finds the existing twin, in which case the tail node (referenced by
+    // nobody yet) is simply popped again — no garbage, no double hashing.
+    const NodeRef canonical = table_.findOrInsert(site, nodes_.back().edges, fresh);
+    if (canonical != fresh) {
+        nodes_.pop_back();
+    }
+    return canonical;
+}
+
+void DdNodeStore::replaceNodes(std::vector<DDNode> nodes) {
+    requireThat(!interning(),
+                "DdNodeStore: pool replacement is forbidden on a session-shared store");
+    nodes_ = std::move(nodes);
+}
+
+// --- DdSession -------------------------------------------------------------
+
+DdSession::DdSession(double tolerance)
+    : store_(std::make_shared<DdNodeStore>(DdNodeStore::Mode::Interning, tolerance)) {}
+
+DecisionDiagram DdSession::zeroState(const Dimensions& dims) const {
+    return basisState(dims, Digits(MixedRadix(dims).numQudits(), 0));
+}
+
+DecisionDiagram DdSession::basisState(const Dimensions& dims, const Digits& digits) const {
+    return DecisionDiagram::basisStateOn(store_, dims, digits);
+}
+
+DecisionDiagram DdSession::ghzState(const Dimensions& dims) const {
+    return DecisionDiagram::ghzStateOn(store_, dims);
+}
+
+DecisionDiagram DdSession::wState(const Dimensions& dims) const {
+    return DecisionDiagram::wStateOn(store_, dims, /*familyTag=*/0);
+}
+
+DecisionDiagram DdSession::embeddedWState(const Dimensions& dims) const {
+    return DecisionDiagram::wStateOn(store_, dims, /*familyTag=*/1);
+}
+
+DecisionDiagram DdSession::uniformState(const Dimensions& dims) const {
+    return DecisionDiagram::uniformStateOn(store_, dims);
+}
+
+DecisionDiagram DdSession::cyclicState(const Dimensions& dims, const Digits& start,
+                                       std::uint32_t count) const {
+    return DecisionDiagram::cyclicStateOn(store_, dims, start, count);
+}
+
+DecisionDiagram DdSession::dickeState(const Dimensions& dims, std::uint64_t weight) const {
+    return DecisionDiagram::dickeStateOn(store_, dims, weight);
+}
+
+DecisionDiagram DdSession::simulate(const Circuit& circuit) const {
+    return DecisionDiagram::simulateCircuitOn(store_, circuit);
+}
+
+DecisionDiagram DdSession::intern(const DecisionDiagram& diagram) const {
+    if (diagram.store_ == store_) {
+        return diagram; // already session-backed: O(1) aliasing copy
+    }
+    DecisionDiagram result(store_, diagram.dimensions());
+    if (diagram.rootNode() == kNoNode) {
+        return result;
+    }
+    // Bottom-up memoized rebuild through the session table: sub-trees the
+    // session has seen before come back as table hits.
+    std::unordered_map<NodeRef, NodeRef> memo;
+    const std::function<NodeRef(NodeRef)> visit = [&](NodeRef ref) -> NodeRef {
+        if (diagram.node(ref).isTerminal()) {
+            return 0;
+        }
+        if (const auto it = memo.find(ref); it != memo.end()) {
+            return it->second;
+        }
+        // Copy the shape up front: the source node reference must not be
+        // held across the allocating recursion below.
+        const std::uint32_t site = diagram.node(ref).site;
+        std::vector<DDEdge> edges = diagram.node(ref).edges;
+        for (auto& edge : edges) {
+            if (!edge.isZeroStub()) {
+                edge.node = visit(edge.node);
+            }
+        }
+        const NodeRef canonical = store_->allocate(site, std::move(edges));
+        memo.emplace(ref, canonical);
+        return canonical;
+    };
+    result.root_ = visit(diagram.rootNode());
+    result.rootWeight_ = diagram.rootWeight();
+    return result;
+}
+
+DdSessionStats DdSession::stats() const noexcept {
+    DdSessionStats stats;
+    stats.poolNodes = store_->size();
+    stats.unique = store_->uniqueTable().stats();
+    stats.cache = store_->computeCache().stats();
+    return stats;
+}
+
+void DdSession::resetStats() noexcept {
+    store_->uniqueTable().resetStats();
+    store_->computeCache().resetStats();
+}
+
+} // namespace mqsp::dd

@@ -1,0 +1,332 @@
+#pragma once
+
+// Session-scoped decision-diagram memory: the node types shared by every DD
+// file, an open-addressed uniquing table that hash-conses nodes at
+// allocation time, a small direct-mapped compute cache for the recursive DD
+// addition, and the `DdSession` that owns both for the lifetime of a
+// backend.
+//
+// Two allocation regimes share one node-pool abstraction (`DdNodeStore`):
+//
+//  * a *private* store backs one diagram, appends nodes without uniquing,
+//    and preserves the historical tree semantics exactly — `fromStateVector`
+//    trees, the approximation pass (which mutates nodes in place), and
+//    everything the existing test suite pins;
+//  * an *interning* store is shared by every diagram a `DdSession` touches
+//    (targets, replayed states, per-gate intermediates). Allocation goes
+//    through the uniquing table, so a structurally identical sub-tree is
+//    built once per session no matter how many diagrams request it, and the
+//    diagrams come out canonical (reduced) by construction. Nodes in an
+//    interning store are immutable once allocated: in-place mutators
+//    (cutEdge/renormalize) refuse, copies of session diagrams share the
+//    store, and lifetime is owned by the session, not by any one diagram.
+//
+// The table is deliberately single-threaded (one session per coordinating
+// thread, matching the EvaluationBackend threading contract); the concurrent
+// table the parallel-DD roadmap item needs will build on this layout.
+
+#include "mqsp/complexnum/complex.hpp"
+#include "mqsp/support/mixed_radix.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace mqsp {
+
+class DecisionDiagram;
+class Circuit;
+
+/// Handle into a node pool (a DdNodeStore).
+using NodeRef = std::uint32_t;
+
+/// Sentinel for an absent child: the edge weight is zero and the whole
+/// sub-space below carries no amplitude ("zero stub"). Zero-amplitude
+/// sub-trees are never materialized (§4.2: they produce no operations).
+inline constexpr NodeRef kNoNode = std::numeric_limits<NodeRef>::max();
+
+/// An out-edge: destination node plus complex weight. An edge whose
+/// destination is the terminal carries the (normalized) leaf amplitude.
+/// `pruned` distinguishes a slot emptied by the approximation pass from a
+/// structurally zero slot of the original state: the paper's approximated
+/// node count drops when leaves are pruned but keeps counting structural
+/// zeros (compare GHZ vs random rows of Table 1).
+struct DDEdge {
+    NodeRef node = kNoNode;
+    Complex weight{0.0, 0.0};
+    bool pruned = false;
+
+    [[nodiscard]] bool isZeroStub() const noexcept { return node == kNoNode; }
+};
+
+/// A decision-diagram node. `site` is the qudit this node decides
+/// (0 = most significant / root level); a node at site s has exactly
+/// dim(site s) out-edges. The unique terminal node is marked by
+/// site == kTerminalSite and has no edges.
+struct DDNode {
+    static constexpr std::uint32_t kTerminalSite = std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t site = 0;
+    std::vector<DDEdge> edges;
+
+    [[nodiscard]] bool isTerminal() const noexcept { return site == kTerminalSite; }
+};
+
+namespace dd {
+
+/// Counters of one uniquing table. `hits` are lookups answered by an
+/// existing entry (a sub-tree someone already built this session); `misses`
+/// inserted a new one. `probeSteps` counts open-addressing displacements —
+/// the collision pressure of the hash at the current load.
+struct UniqueTableStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t probeSteps = 0;
+    std::uint64_t grows = 0;
+
+    [[nodiscard]] double hitRate() const noexcept {
+        return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+};
+
+/// Counters of the operation/compute cache.
+struct ComputeCacheStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hitRate() const noexcept {
+        return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+};
+
+/// Open-addressed (linear-probing) uniquing table mapping a node's
+/// structural key — site, child refs, and edge weights bucketed to the
+/// merge tolerance — to the canonical NodeRef that first materialized it.
+/// The table does not own nodes; it maps keys to refs of whatever pool the
+/// caller allocates from (DdNodeStore for vector DDs, MatrixDdStore for
+/// operator DDs — whose dim^2-ary nodes reuse the same key layout).
+///
+/// Keys are stored in flat arenas (one children array, one bucket array per
+/// component) rather than per-entry vectors, so growth rehashes by cached
+/// hash without touching the keys.
+class UniqueTable {
+public:
+    explicit UniqueTable(double tolerance, std::size_t initialCapacity = 256);
+
+    /// Canonical ref for (site, edges): the existing entry when one
+    /// matches, else `fresh` — which the caller must have just allocated —
+    /// recorded as the canonical node for this key. Returns the canonical
+    /// ref; `fresh == kNoNode` performs a pure lookup (returns kNoNode on
+    /// miss without recording anything, and without counting a miss).
+    NodeRef findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges, NodeRef fresh);
+
+    /// findOrInsert for operator-DD edge lists (node + weight pairs laid
+    /// out as DDEdge without the pruned flag — see MatrixDdStore).
+    NodeRef findOrInsertRaw(std::uint32_t site, const NodeRef* children,
+                            const Complex* weights, std::size_t arity, NodeRef fresh);
+
+    [[nodiscard]] const UniqueTableStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t size() const noexcept { return entrySite_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+    [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
+    void resetStats() noexcept { stats_ = UniqueTableStats{}; }
+
+    /// Weight-bucketing shared with the historical reduce(): values within
+    /// one tolerance bucket are treated as the same canonical weight.
+    [[nodiscard]] static std::int64_t bucketOf(double value, double tolerance);
+
+private:
+    [[nodiscard]] std::uint64_t hashKey(std::uint32_t site, const NodeRef* children,
+                                        const std::int64_t* re, const std::int64_t* im,
+                                        std::size_t arity) const noexcept;
+    [[nodiscard]] bool entryMatches(std::uint32_t entry, std::uint32_t site,
+                                    const NodeRef* children, const std::int64_t* re,
+                                    const std::int64_t* im, std::size_t arity) const noexcept;
+    /// Probe for the key currently held in the scratch buffers.
+    NodeRef probe(std::uint32_t site, std::size_t arity, NodeRef fresh);
+    void grow();
+
+    double tolerance_;
+    std::size_t initialCapacity_;
+    /// Slot array: entry index + 1, 0 = empty. Power-of-two capacity.
+    std::vector<std::uint32_t> slots_;
+    /// Per-entry records (parallel arrays; index = insertion order).
+    std::vector<std::uint64_t> entryHash_;
+    std::vector<std::uint32_t> entrySite_;
+    std::vector<NodeRef> entryValue_;
+    std::vector<std::uint64_t> entryOffset_;
+    std::vector<std::uint32_t> entryArity_;
+    /// Flat key arenas.
+    std::vector<NodeRef> keyChildren_;
+    std::vector<std::int64_t> keyRe_;
+    std::vector<std::int64_t> keyIm_;
+    /// Scratch buffers reused across lookups (buckets of the probed key).
+    std::vector<std::int64_t> scratchRe_;
+    std::vector<std::int64_t> scratchIm_;
+    std::vector<NodeRef> scratchChildren_;
+
+    UniqueTableStats stats_;
+};
+
+/// Direct-mapped operation cache (the classic DD-package compute table),
+/// keyed on (operation, x node, y node, bucketed weight ratio); conflicting
+/// keys overwrite. Two operations use it:
+///
+///  * Add — the recursive normalized DD addition add(x, y) -> edge. The
+///    operation is homogeneous in its in-weights, so entries carry the
+///    bucketed y/x weight ratio and store the result relative to x's
+///    weight: one entry serves every scaled recurrence of the same
+///    structural addition, across gates and diagrams of the owning session.
+///  * InnerProduct — <x-subtree | y-subtree> of canonical session nodes
+///    (ratio unused, `value` is the overlap). Verification replays revisit
+///    the same node pairs run after run; the session cache carries those
+///    results across calls where a per-call memo cannot.
+class ComputeCache {
+public:
+    enum class Op : std::uint8_t { Add, InnerProduct };
+
+    struct Result {
+        NodeRef node = kNoNode;
+        Complex value{0.0, 0.0}; ///< Add: weight relative to x; InnerProduct: the overlap
+    };
+
+    explicit ComputeCache(double tolerance, std::size_t slots = std::size_t{1} << 16U);
+
+    /// nullptr on miss; the entry otherwise. `ratio` is y.weight / x.weight
+    /// for Add and ignored (pass {}) for InnerProduct.
+    [[nodiscard]] const Result* lookup(Op op, NodeRef x, NodeRef y, const Complex& ratio);
+    void store(Op op, NodeRef x, NodeRef y, const Complex& ratio, const Result& result);
+
+    [[nodiscard]] const ComputeCacheStats& stats() const noexcept { return stats_; }
+    void resetStats() noexcept { stats_ = ComputeCacheStats{}; }
+
+private:
+    struct Entry {
+        NodeRef x = kNoNode;
+        NodeRef y = kNoNode;
+        std::int64_t ratioRe = 0;
+        std::int64_t ratioIm = 0;
+        Result result;
+        Op op = Op::Add;
+        bool valid = false;
+    };
+
+    [[nodiscard]] std::size_t slotOf(Op op, NodeRef x, NodeRef y, std::int64_t re,
+                                     std::int64_t im) const noexcept;
+
+    double tolerance_;
+    std::size_t slotCount_;
+    /// Allocated lazily on the first store, so diagram-private stores that
+    /// never apply an operation pay nothing for the cache.
+    std::vector<Entry> entries_;
+    ComputeCacheStats stats_;
+};
+
+/// A decision-diagram node pool: the unique terminal at slot 0 plus every
+/// allocated internal node. Private stores append; interning stores route
+/// every allocation through the uniquing table (see file header).
+class DdNodeStore {
+public:
+    enum class Mode {
+        Private,   ///< one diagram, append-only, in-place mutation allowed
+        Interning, ///< session-shared, hash-consed, nodes immutable
+    };
+
+    explicit DdNodeStore(Mode mode, double tolerance = Tolerance::kDefault);
+
+    [[nodiscard]] bool interning() const noexcept { return mode_ == Mode::Interning; }
+    [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    [[nodiscard]] const DDNode& node(NodeRef ref) const;
+    /// In-place access — refused on an interning store, whose nodes other
+    /// diagrams may share.
+    [[nodiscard]] DDNode& mutableNode(NodeRef ref);
+
+    /// Allocate (Private) or intern (Interning) a node.
+    NodeRef allocate(std::uint32_t site, std::vector<DDEdge> edges);
+
+    /// Replace the whole pool (garbageCollect on a private store).
+    void replaceNodes(std::vector<DDNode> nodes);
+
+    [[nodiscard]] UniqueTable& uniqueTable() noexcept { return table_; }
+    [[nodiscard]] const UniqueTable& uniqueTable() const noexcept { return table_; }
+    [[nodiscard]] ComputeCache& computeCache() noexcept { return computeCache_; }
+    [[nodiscard]] const ComputeCache& computeCache() const noexcept { return computeCache_; }
+
+private:
+    Mode mode_;
+    double tolerance_;
+    std::vector<DDNode> nodes_;
+    UniqueTable table_;
+    ComputeCache computeCache_;
+};
+
+/// Aggregate statistics of one session: live pool size plus the uniquing
+/// and compute-cache counters — the `dd_nodes` / `unique_hit_rate` /
+/// `cache_hit_rate` metrics the bench harness and the CLI tools report.
+struct DdSessionStats {
+    std::uint64_t poolNodes = 0; ///< allocated nodes incl. the terminal
+    UniqueTableStats unique;
+    ComputeCacheStats cache;
+
+    [[nodiscard]] double uniqueHitRate() const noexcept { return unique.hitRate(); }
+    [[nodiscard]] double cacheHitRate() const noexcept { return cache.hitRate(); }
+};
+
+/// A DD evaluation session: one shared interning store for every diagram
+/// the owner touches. `DdBackend` holds one for its whole lifetime, so the
+/// target, the replayed state, and every per-gate intermediate of a
+/// verification run allocate from (and hit into) the same table.
+///
+/// Lifetime/ownership contract: diagrams built by a session hold a
+/// shared_ptr to the session's store, so they remain valid after the
+/// session object is gone — but they are immutable (the in-place mutators
+/// throw) and copying them is O(1) aliasing, not a deep copy. The session
+/// is deliberately scoped, not process-global: a global table would make
+/// node lifetime unmanageable across unrelated workloads and would bake in
+/// cross-thread contention before the concurrent-table work lands.
+class DdSession {
+public:
+    explicit DdSession(double tolerance = Tolerance::kDefault);
+
+    [[nodiscard]] double tolerance() const noexcept { return store_->tolerance(); }
+    [[nodiscard]] const std::shared_ptr<DdNodeStore>& store() const noexcept { return store_; }
+
+    /// --- canonical builders on the shared store ------------------------
+    /// Same states as the DecisionDiagram statics, but hash-consed: the
+    /// result is the reduced (DAG) form and repeated builds are table hits.
+    [[nodiscard]] DecisionDiagram zeroState(const Dimensions& dims) const;
+    [[nodiscard]] DecisionDiagram basisState(const Dimensions& dims, const Digits& digits) const;
+    [[nodiscard]] DecisionDiagram ghzState(const Dimensions& dims) const;
+    [[nodiscard]] DecisionDiagram wState(const Dimensions& dims) const;
+    [[nodiscard]] DecisionDiagram embeddedWState(const Dimensions& dims) const;
+    [[nodiscard]] DecisionDiagram uniformState(const Dimensions& dims) const;
+    [[nodiscard]] DecisionDiagram cyclicState(const Dimensions& dims, const Digits& start,
+                                              std::uint32_t count) const;
+    [[nodiscard]] DecisionDiagram dickeState(const Dimensions& dims,
+                                             std::uint64_t weight) const;
+
+    /// DD-native replay of a circuit from |0...0> on the shared store.
+    /// Interning keeps every intermediate canonical, so no per-gate
+    /// reduce/garbage-collect pass is needed (or performed).
+    [[nodiscard]] DecisionDiagram simulate(const Circuit& circuit) const;
+
+    /// Import a foreign diagram: rebuild its reachable nodes through the
+    /// session table (bottom-up, memoized). Sub-trees the session has
+    /// already built elsewhere come back as table hits.
+    [[nodiscard]] DecisionDiagram intern(const DecisionDiagram& diagram) const;
+
+    [[nodiscard]] DdSessionStats stats() const noexcept;
+    void resetStats() noexcept;
+
+private:
+    std::shared_ptr<DdNodeStore> store_;
+};
+
+} // namespace dd
+} // namespace mqsp

@@ -4,37 +4,56 @@
 
 #include <cmath>
 #include <functional>
+#include <utility>
 
 namespace mqsp {
 
 namespace {
 constexpr std::uint32_t kTerminalSite = 0xffffffffU;
-
-std::int64_t bucketOf(double value, double tol) {
-    return static_cast<std::int64_t>(std::llround(value / tol));
-}
 } // namespace
 
-std::size_t MatrixDD::NodeKeyHash::operator()(const NodeKey& key) const noexcept {
-    std::size_t h = std::hash<std::uint32_t>{}(key.site);
-    const auto mix = [&h](std::size_t v) {
-        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U);
-    };
-    for (const auto c : key.children) {
-        mix(std::hash<NodeRef>{}(c));
+// --- MatrixDdStore ---------------------------------------------------------
+
+MatrixDdStore::MatrixDdStore(double tolerance) : table_(tolerance) {
+    // Pool slot 0 is the unique terminal node.
+    nodes_.push_back(Node{kTerminalSite, {}});
+}
+
+const MatrixDdStore::Node& MatrixDdStore::node(NodeRef ref) const {
+    requireThat(ref < nodes_.size(), "MatrixDD: invalid node reference");
+    return nodes_[ref];
+}
+
+MatrixDdStore::NodeRef MatrixDdStore::intern(std::uint32_t site, std::vector<Edge> edges) {
+    scratchChildren_.resize(edges.size());
+    scratchWeights_.resize(edges.size());
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+        scratchChildren_[k] = edges[k].node;
+        scratchWeights_[k] = edges[k].weight;
     }
-    for (const auto b : key.re) {
-        mix(std::hash<std::int64_t>{}(b));
+    nodes_.push_back(Node{site, std::move(edges)});
+    ensureThat(nodes_.size() - 1 < MatrixDD::kNull, "MatrixDD: node pool exhausted");
+    const auto fresh = static_cast<NodeRef>(nodes_.size() - 1);
+    // Tentative append + single probe (see DdNodeStore::allocate): a hit
+    // pops the unreferenced tail node again.
+    const NodeRef canonical = table_.findOrInsertRaw(
+        site, scratchChildren_.data(), scratchWeights_.data(), scratchChildren_.size(), fresh);
+    if (canonical != fresh) {
+        nodes_.pop_back();
     }
-    for (const auto b : key.im) {
-        mix(std::hash<std::int64_t>{}(b));
+    return canonical;
+}
+
+// --- MatrixDD --------------------------------------------------------------
+
+MatrixDD::MatrixDD(std::shared_ptr<MatrixDdStore> store) : store_(std::move(store)) {
+    if (!store_) {
+        store_ = std::make_shared<MatrixDdStore>();
     }
-    return h;
 }
 
 const MatrixDD::Node& MatrixDD::node(NodeRef ref) const {
-    requireThat(ref < nodes_.size(), "MatrixDD: invalid node reference");
-    return nodes_[ref];
+    return store_->node(ref);
 }
 
 MatrixDD::NodeRef MatrixDD::makeNode(std::uint32_t site, std::vector<Edge> edges,
@@ -69,24 +88,7 @@ MatrixDD::NodeRef MatrixDD::makeNode(std::uint32_t site, std::vector<Edge> edges
         }
     }
     weightOut = norm;
-
-    NodeKey key;
-    key.site = site;
-    key.children.reserve(edges.size());
-    key.re.reserve(edges.size());
-    key.im.reserve(edges.size());
-    for (const auto& edge : edges) {
-        key.children.push_back(edge.node);
-        key.re.push_back(bucketOf(edge.weight.real(), tol));
-        key.im.push_back(bucketOf(edge.weight.imag(), tol));
-    }
-    if (const auto it = unique_.find(key); it != unique_.end()) {
-        return it->second;
-    }
-    nodes_.push_back(Node{site, std::move(edges)});
-    const auto ref = static_cast<NodeRef>(nodes_.size() - 1);
-    unique_.emplace(std::move(key), ref);
-    return ref;
+    return store_->intern(site, std::move(edges));
 }
 
 MatrixDD::Edge MatrixDD::buildIdentity(std::size_t site) {
@@ -205,8 +207,8 @@ MatrixDD::Edge MatrixDD::addEdges(Edge a, Edge b, double tol) {
     ensureThat(node(a.node).site == node(b.node).site,
                "MatrixDD::addEdges: site mismatch");
     // Re-fetch through the NodeRefs on every access: the recursive call
-    // below appends to nodes_ and may reallocate the pool, so references
-    // into it must not be held across it.
+    // below appends to the (possibly shared) store and may reallocate the
+    // pool, so references into it must not be held across it.
     const std::uint32_t site = node(a.node).site;
     const std::size_t arity = node(a.node).edges.size();
     std::vector<Edge> edges(arity);
@@ -220,18 +222,20 @@ MatrixDD::Edge MatrixDD::addEdges(Edge a, Edge b, double tol) {
     return Edge{ref, weight};
 }
 
-MatrixDD MatrixDD::identity(const Dimensions& dims) {
-    MatrixDD dd;
+MatrixDD MatrixDD::identity(const Dimensions& dims, std::shared_ptr<MatrixDdStore> store) {
+    MatrixDD dd(std::move(store));
     dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(Node{kTerminalSite, {}});
     dd.root_ = dd.buildIdentity(0);
     return dd;
 }
 
-MatrixDD MatrixDD::fromOperation(const Dimensions& dims, const Operation& op, double tol) {
-    MatrixDD dd;
+MatrixDD MatrixDD::fromOperation(const Dimensions& dims, const Operation& op, double tol,
+                                 std::shared_ptr<MatrixDdStore> store) {
+    if (!store) {
+        store = std::make_shared<MatrixDdStore>(tol);
+    }
+    MatrixDD dd(std::move(store));
     dd.radix_ = MixedRadix(dims);
-    dd.nodes_.push_back(Node{kTerminalSite, {}});
     requireThat(op.target < dd.radix_.numQudits(),
                 "MatrixDD::fromOperation: target out of range");
     const DenseMatrix local = op.localMatrix(dd.radix_.dimensionAt(op.target));
@@ -239,10 +243,18 @@ MatrixDD MatrixDD::fromOperation(const Dimensions& dims, const Operation& op, do
     return dd;
 }
 
-MatrixDD MatrixDD::fromCircuit(const Circuit& circuit, double tol) {
-    MatrixDD result = identity(circuit.dimensions());
+MatrixDD MatrixDD::fromCircuit(const Circuit& circuit, double tol,
+                               std::shared_ptr<MatrixDdStore> store) {
+    // One store for the whole compilation: per-gate operators and every
+    // running product hash-cons into the same table, so the identity
+    // scaffolding and repeated gate structure are built exactly once —
+    // whether the store is this call's own or a session-lived one.
+    if (!store) {
+        store = std::make_shared<MatrixDdStore>(tol);
+    }
+    MatrixDD result = identity(circuit.dimensions(), store);
     for (const auto& op : circuit.operations()) {
-        const MatrixDD gate = fromOperation(circuit.dimensions(), op, tol);
+        const MatrixDD gate = fromOperation(circuit.dimensions(), op, tol, store);
         result = gate.multiply(result, tol); // op applied after what came before
     }
     return result;
@@ -250,35 +262,43 @@ MatrixDD MatrixDD::fromCircuit(const Circuit& circuit, double tol) {
 
 MatrixDD MatrixDD::multiply(const MatrixDD& rhs, double tol) const {
     requireThat(radix_ == rhs.radix_, "MatrixDD::multiply: registers differ");
-    MatrixDD result;
+    // The product lives on the operands' shared store when they have one
+    // (cross-diagram sharing); operands on unrelated stores multiply onto a
+    // fresh private store bucketing at this call's tolerance, as before.
+    MatrixDD result(store_ == rhs.store_ ? store_ : std::make_shared<MatrixDdStore>(tol));
     result.radix_ = radix_;
-    result.nodes_.push_back(Node{kTerminalSite, {}});
 
     // product(aRef, bRef) of canonical (weight-1) nodes, memoized; weights
     // factor out linearly.
     std::unordered_map<std::uint64_t, Edge> memo;
     const std::function<Edge(NodeRef, NodeRef)> product = [&](NodeRef aRef,
                                                               NodeRef bRef) -> Edge {
-        const Node& na = node(aRef);
-        const Node& nb = rhs.node(bRef);
-        if (na.site == kTerminalSite) {
-            ensureThat(nb.site == kTerminalSite, "MatrixDD::multiply: level mismatch");
+        if (node(aRef).site == kTerminalSite) {
+            ensureThat(rhs.node(bRef).site == kTerminalSite,
+                       "MatrixDD::multiply: level mismatch");
             return Edge{0, Complex{1.0, 0.0}};
         }
-        ensureThat(na.site == nb.site, "MatrixDD::multiply: site mismatch");
+        ensureThat(node(aRef).site == rhs.node(bRef).site,
+                   "MatrixDD::multiply: site mismatch");
         const std::uint64_t key =
             (static_cast<std::uint64_t>(aRef) << 32U) | static_cast<std::uint64_t>(bRef);
         if (const auto it = memo.find(key); it != memo.end()) {
             return it->second;
         }
-        const Dimension dim = radix_.dimensionAt(na.site);
+        // Copy both operands' shapes up front: result may share the store
+        // with the operands, and the recursive product/addEdges calls below
+        // can reallocate the pool.
+        const std::uint32_t siteA = node(aRef).site;
+        const std::vector<Edge> aEdges = node(aRef).edges;
+        const std::vector<Edge> bEdges = rhs.node(bRef).edges;
+        const Dimension dim = radix_.dimensionAt(siteA);
         std::vector<Edge> edges(static_cast<std::size_t>(dim) * dim);
         for (Dimension r = 0; r < dim; ++r) {
             for (Dimension c = 0; c < dim; ++c) {
                 Edge acc;
                 for (Dimension k = 0; k < dim; ++k) {
-                    const Edge& ea = na.edges[static_cast<std::size_t>(r) * dim + k];
-                    const Edge& eb = nb.edges[static_cast<std::size_t>(k) * dim + c];
+                    const Edge& ea = aEdges[static_cast<std::size_t>(r) * dim + k];
+                    const Edge& eb = bEdges[static_cast<std::size_t>(k) * dim + c];
                     if (ea.isZero() || eb.isZero()) {
                         continue;
                     }
@@ -293,7 +313,7 @@ MatrixDD MatrixDD::multiply(const MatrixDD& rhs, double tol) const {
             }
         }
         Complex weight;
-        const NodeRef ref = result.makeNode(na.site, std::move(edges), weight, tol);
+        const NodeRef ref = result.makeNode(siteA, std::move(edges), weight, tol);
         const Edge edge{ref, weight};
         memo.emplace(key, edge);
         return edge;
@@ -311,21 +331,24 @@ MatrixDD MatrixDD::multiply(const MatrixDD& rhs, double tol) const {
 MatrixDD::Edge MatrixDD::importFrom(const MatrixDD& source, NodeRef ref,
                                     std::unordered_map<NodeRef, Edge>& memo,
                                     bool conjugateTranspose, double tol) {
-    const Node& n = source.node(ref);
-    if (n.site == kTerminalSite) {
+    if (source.node(ref).site == kTerminalSite) {
         return Edge{0, Complex{1.0, 0.0}};
     }
     if (const auto it = memo.find(ref); it != memo.end()) {
         return it->second;
     }
-    const Dimension dim = radix_.dimensionAt(n.site);
+    // Copy the source shape up front: with a shared store the allocating
+    // recursion below may reallocate the pool under a held reference.
+    const std::uint32_t site = source.node(ref).site;
+    const std::vector<Edge> sourceEdges = source.node(ref).edges;
+    const Dimension dim = radix_.dimensionAt(site);
     std::vector<Edge> edges(static_cast<std::size_t>(dim) * dim);
     for (Dimension r = 0; r < dim; ++r) {
         for (Dimension c = 0; c < dim; ++c) {
             const std::size_t from = conjugateTranspose
                                          ? static_cast<std::size_t>(c) * dim + r
                                          : static_cast<std::size_t>(r) * dim + c;
-            const Edge& edge = n.edges[from];
+            const Edge& edge = sourceEdges[from];
             if (edge.isZero()) {
                 continue;
             }
@@ -335,16 +358,15 @@ MatrixDD::Edge MatrixDD::importFrom(const MatrixDD& source, NodeRef ref,
         }
     }
     Complex weight;
-    const NodeRef newRef = makeNode(n.site, std::move(edges), weight, tol);
+    const NodeRef newRef = makeNode(site, std::move(edges), weight, tol);
     const Edge result{newRef, weight};
     memo.emplace(ref, result);
     return result;
 }
 
 MatrixDD MatrixDD::adjoint() const {
-    MatrixDD result;
+    MatrixDD result(store_);
     result.radix_ = radix_;
-    result.nodes_.push_back(Node{kTerminalSite, {}});
     if (root_.isZero()) {
         return result;
     }
@@ -393,6 +415,17 @@ Complex MatrixDD::hilbertSchmidtOverlap(const MatrixDD& other) const {
 }
 
 bool MatrixDD::equivalentUpToGlobalPhase(const MatrixDD& other, double tol) const {
+    if (store_ == other.store_ && store_ != nullptr && !root_.isZero() &&
+        root_.node == other.root_.node &&
+        std::abs(std::abs(root_.weight) - std::abs(other.root_.weight)) <= tol) {
+        // One shared hash-consed store: equal canonical roots mean the
+        // operators differ at most by their root weights, so matching
+        // magnitudes prove equivalence up to a global phase outright. A
+        // magnitude mismatch is NOT a verdict — it falls through to the
+        // overlap check below, whose tolerances scale with the register,
+        // so shared-store and separate-store comparisons always agree.
+        return true;
+    }
     const double total = static_cast<double>(radix_.totalDimension());
     const double normA = hilbertSchmidtOverlap(*this).real();
     const double normB = other.hilbertSchmidtOverlap(other).real();
@@ -445,7 +478,7 @@ std::uint64_t MatrixDD::nodeCount() const {
     if (root_.isZero()) {
         return 0;
     }
-    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<bool> seen(store_->size(), false);
     std::vector<NodeRef> stack{root_.node};
     seen[root_.node] = true;
     std::uint64_t count = 0;

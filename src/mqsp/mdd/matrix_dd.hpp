@@ -3,13 +3,60 @@
 #include "mqsp/circuit/circuit.hpp"
 #include "mqsp/circuit/matrix.hpp"
 #include "mqsp/complexnum/complex.hpp"
+#include "mqsp/dd/unique_table.hpp"
 #include "mqsp/support/mixed_radix.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 namespace mqsp {
+
+/// Node pool + uniquing table for matrix decision diagrams — the
+/// operator-side counterpart of dd::DdNodeStore. A store can back one
+/// MatrixDD (the historical per-diagram pool) or be shared across every
+/// operator a session touches (DdBackend's equivalence path): nodes are
+/// append-only and immutable, all allocation goes through the same
+/// open-addressed dd::UniqueTable as the vector-DD session store, and
+/// copying a MatrixDD aliases the store in O(1).
+class MatrixDdStore {
+public:
+    using NodeRef = std::uint32_t;
+
+    struct Edge {
+        NodeRef node = 0xffffffffU;
+        Complex weight{0.0, 0.0};
+        [[nodiscard]] bool isZero() const noexcept { return node == 0xffffffffU; }
+    };
+
+    struct Node {
+        std::uint32_t site = 0;
+        std::vector<Edge> edges; // dim(site)^2, row-major
+    };
+
+    explicit MatrixDdStore(double tolerance = Tolerance::kDefault);
+
+    [[nodiscard]] const Node& node(NodeRef ref) const;
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] double tolerance() const noexcept { return table_.tolerance(); }
+
+    /// Hash-consed allocation: the canonical ref of an existing structural
+    /// twin, or a freshly appended node.
+    NodeRef intern(std::uint32_t site, std::vector<Edge> edges);
+
+    [[nodiscard]] const dd::UniqueTableStats& uniqueStats() const noexcept {
+        return table_.stats();
+    }
+
+private:
+    std::vector<Node> nodes_;
+    dd::UniqueTable table_;
+    /// Scratch split of an edge list into the (children, weights) layout
+    /// the shared table hashes.
+    std::vector<NodeRef> scratchChildren_;
+    std::vector<Complex> scratchWeights_;
+};
 
 /// Edge-weighted matrix decision diagram for operators on mixed-dimensional
 /// registers — the operator-side companion of DecisionDiagram, in the
@@ -19,8 +66,12 @@ namespace mqsp {
 /// A node at site s has dim(s)^2 out-edges in row-major order; the operator
 /// it represents is M = sum_{r,c} w_{rc} |r><c| (x) M_{rc}. Nodes are
 /// normalized by their largest-magnitude weight (pushed into the in-edge)
-/// and hash-consed, so structurally equal operators share sub-graphs and
-/// the zero operator is a null edge.
+/// and hash-consed through the store's uniquing table, so structurally
+/// equal operators share sub-graphs and the zero operator is a null edge.
+/// With one shared store (pass it to the factories, as DdBackend does for
+/// its whole lifetime) the sharing crosses diagram boundaries: per-gate
+/// operators, their products, and both sides of an equivalence check build
+/// each sub-operator once.
 ///
 /// Supported workflow:
 ///   MatrixDD::fromCircuit(c)                 — compile a circuit
@@ -30,29 +81,30 @@ namespace mqsp {
 ///   toDenseMatrix / entry                    — small-register inspection
 class MatrixDD {
 public:
-    using NodeRef = std::uint32_t;
+    using NodeRef = MatrixDdStore::NodeRef;
     static constexpr NodeRef kNull = 0xffffffffU;
-
-    struct Edge {
-        NodeRef node = kNull;
-        Complex weight{0.0, 0.0};
-        [[nodiscard]] bool isZero() const noexcept { return node == kNull; }
-    };
+    using Edge = MatrixDdStore::Edge;
 
     /// The identity operator on a register.
-    [[nodiscard]] static MatrixDD identity(const Dimensions& dims);
+    [[nodiscard]] static MatrixDD identity(const Dimensions& dims,
+                                           std::shared_ptr<MatrixDdStore> store = nullptr);
 
     /// One (possibly multi-controlled) operation as an operator. Controls
     /// may sit anywhere (above or below the target).
     [[nodiscard]] static MatrixDD fromOperation(const Dimensions& dims, const Operation& op,
-                                                double tol = Tolerance::kDefault);
+                                                double tol = Tolerance::kDefault,
+                                                std::shared_ptr<MatrixDdStore> store = nullptr);
 
     /// The whole circuit as an operator (ops composed in application order).
+    /// Every intermediate (per-gate operators and running products) lives
+    /// on one store — the given one, or a fresh private one.
     [[nodiscard]] static MatrixDD fromCircuit(const Circuit& circuit,
-                                              double tol = Tolerance::kDefault);
+                                              double tol = Tolerance::kDefault,
+                                              std::shared_ptr<MatrixDdStore> store = nullptr);
 
     /// Operator composition: (*this) after `rhs` — i.e. the matrix product
-    /// this * rhs. Registers must match.
+    /// this * rhs. Registers must match. The product lives on the shared
+    /// store when the operands share one, else on a fresh private store.
     [[nodiscard]] MatrixDD multiply(const MatrixDD& rhs, double tol = Tolerance::kDefault) const;
 
     /// Conjugate transpose.
@@ -64,7 +116,9 @@ public:
 
     /// True when the operators are equal up to a global phase within tol:
     /// |Tr(a^dagger b)| == sqrt(Tr(a^dagger a) Tr(b^dagger b)) and both
-    /// norms match the full register dimension for unitaries.
+    /// norms match the full register dimension for unitaries. Two diagrams
+    /// sharing a store that landed on the same canonical root node
+    /// short-circuit to a weight comparison.
     [[nodiscard]] bool equivalentUpToGlobalPhase(const MatrixDD& other,
                                                  double tol = 1e-9) const;
 
@@ -79,30 +133,19 @@ public:
 
     [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
     [[nodiscard]] const Edge& root() const noexcept { return root_; }
+    [[nodiscard]] const std::shared_ptr<MatrixDdStore>& store() const noexcept {
+        return store_;
+    }
 
 private:
-    struct Node {
-        std::uint32_t site = 0;
-        std::vector<Edge> edges; // dim(site)^2, row-major
-    };
+    using Node = MatrixDdStore::Node;
 
     MatrixDD() = default;
+    explicit MatrixDD(std::shared_ptr<MatrixDdStore> store);
 
     [[nodiscard]] const Node& node(NodeRef ref) const;
     NodeRef makeNode(std::uint32_t site, std::vector<Edge> edges, Complex& weightOut,
                      double tol);
-
-    /// Hash-consing key helpers.
-    struct NodeKey {
-        std::uint32_t site = 0;
-        std::vector<NodeRef> children;
-        std::vector<std::int64_t> re;
-        std::vector<std::int64_t> im;
-        friend bool operator==(const NodeKey&, const NodeKey&) = default;
-    };
-    struct NodeKeyHash {
-        std::size_t operator()(const NodeKey& key) const noexcept;
-    };
 
     Edge buildIdentity(std::size_t site);
     Edge buildOperation(std::size_t site, const Operation& op, const DenseMatrix& local,
@@ -114,10 +157,9 @@ private:
                     double tol);
 
     MixedRadix radix_;
-    std::vector<Node> nodes_;
-    std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
+    std::shared_ptr<MatrixDdStore> store_;
     Edge root_;
-    // Memo caches for identity suffixes (one per site).
+    // Memo cache for identity suffixes (one per site; refs into store_).
     std::vector<Edge> identitySuffix_;
 };
 

@@ -241,16 +241,41 @@ bool DenseBackend::circuitsEquivalent(const Circuit& a, const Circuit& b,
 
 // --- DdBackend -------------------------------------------------------------
 
+DdBackend::DdBackend(double tolerance)
+    : tolerance_(tolerance),
+      session_(std::make_shared<dd::DdSession>(tolerance)),
+      matrixStore_(std::make_shared<MatrixDdStore>(tolerance)) {}
+
+DdBackend::DdBackend(double tolerance, parallel::ExecutionConfig config)
+    : EvaluationBackend(config),
+      tolerance_(tolerance),
+      session_(std::make_shared<dd::DdSession>(tolerance)),
+      matrixStore_(std::make_shared<MatrixDdStore>(tolerance)) {}
+
+std::shared_ptr<dd::DdSession> DdBackend::activeSession() const {
+    // Inside a parallel region this call may be one of several batch items
+    // running concurrently; the shared table is single-threaded, so each
+    // item evaluates on its own transient session (correctness and
+    // per-item determinism over cross-item sharing). The coordinating
+    // thread always lands on the long-lived session.
+    if (parallel::insideParallelRegion()) {
+        return std::make_shared<dd::DdSession>(tolerance_);
+    }
+    return session_;
+}
+
 EvalState DdBackend::runFromZero(const Circuit& circuit) const {
-    return EvalState(DecisionDiagram::simulateCircuit(circuit, tolerance_));
+    return EvalState(activeSession()->simulate(circuit));
 }
 
 void DdBackend::apply(EvalState& state, const Operation& op) const {
-    // Same per-gate hygiene as simulateCircuit: applyOperation's
-    // copy-on-write rebuild does not hash-cons, so without re-sharing and
-    // compaction a sequence of apply() calls would grow the diagram toward
-    // the full exponential tree on DAG-shaped states (e.g. the uniform
-    // superposition mid-preparation).
+    // Per-gate hygiene on a *private* diagram: applyOperation's
+    // copy-on-write rebuild does not hash-cons there, so without re-sharing
+    // and compaction a sequence of apply() calls would grow the diagram
+    // toward the full exponential tree on DAG-shaped states (e.g. the
+    // uniform superposition mid-preparation). On a session-backed diagram
+    // interning already keeps every allocation canonical and both calls
+    // are structural no-ops.
     DecisionDiagram& diagram = state.diagram();
     diagram.applyOperation(op, tolerance_);
     diagram.reduce(tolerance_);
@@ -259,18 +284,28 @@ void DdBackend::apply(EvalState& state, const Operation& op) const {
 
 double DdBackend::preparationFidelity(const Circuit& circuit,
                                       const EvalState& target) const {
-    const DecisionDiagram prepared = DecisionDiagram::simulateCircuit(circuit, tolerance_);
-    if (target.isDiagram()) {
-        return squaredMagnitude(target.diagram().innerProductWith(prepared));
-    }
-    const DecisionDiagram targetDiagram = DecisionDiagram::fromStateVector(target.dense());
+    const auto session = activeSession();
+    const DecisionDiagram prepared = session->simulate(circuit);
+    // Interning the target into the same session makes the overlap a
+    // same-store traversal: sub-trees the replay reproduced exactly compare
+    // by NodeRef identity instead of by descent.
+    const DecisionDiagram targetDiagram =
+        target.isDiagram() ? session->intern(target.diagram())
+                           : session->intern(DecisionDiagram::fromStateVector(target.dense()));
     return squaredMagnitude(targetDiagram.innerProductWith(prepared));
 }
 
 bool DdBackend::circuitsEquivalent(const Circuit& a, const Circuit& b, double tol) const {
     requireThat(a.radix() == b.radix(), "DdBackend::circuitsEquivalent: registers differ");
-    const MatrixDD lhs = MatrixDD::fromCircuit(a, tolerance_);
-    const MatrixDD rhs = MatrixDD::fromCircuit(b, tolerance_);
+    // Both sides compile onto the backend's shared operator store (unless
+    // this is a concurrent batch item): identity scaffolding and common
+    // gate structure are built once, and two circuits that reduce to the
+    // same canonical operator short-circuit on root identity.
+    const std::shared_ptr<MatrixDdStore> store =
+        parallel::insideParallelRegion() ? std::make_shared<MatrixDdStore>(tolerance_)
+                                         : matrixStore_;
+    const MatrixDD lhs = MatrixDD::fromCircuit(a, tolerance_, store);
+    const MatrixDD rhs = MatrixDD::fromCircuit(b, tolerance_, store);
     return lhs.equivalentUpToGlobalPhase(rhs, tol);
 }
 

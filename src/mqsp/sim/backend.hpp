@@ -2,6 +2,7 @@
 
 #include "mqsp/circuit/circuit.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/dd/unique_table.hpp"
 #include "mqsp/statevec/state_vector.hpp"
 #include "mqsp/support/parallel.hpp"
 
@@ -12,6 +13,8 @@
 #include <vector>
 
 namespace mqsp {
+
+class MatrixDdStore;
 
 /// Which evaluation substrate a backend runs on.
 enum class BackendKind {
@@ -174,6 +177,12 @@ public:
     [[nodiscard]] virtual bool circuitsEquivalent(const Circuit& a, const Circuit& b,
                                                   double tol = 1e-9) const = 0;
 
+    /// The DD memory session backing this backend's evaluations, when it
+    /// has one (the dd backend does, for its whole lifetime); callers use
+    /// it to build targets on the shared store and to read the
+    /// dd_nodes / unique_hit_rate / cache_hit_rate statistics.
+    [[nodiscard]] virtual std::shared_ptr<dd::DdSession> ddSession() const { return nullptr; }
+
 private:
     parallel::ExecutionConfig config_;
 };
@@ -208,11 +217,25 @@ private:
 /// fidelity as a DD-DD overlap, equivalence on matrix decision diagrams
 /// (mdd/MatrixDD) — memory and time scale with diagram size, not with
 /// ∏dims, so structured states verify on registers of 10^8+ amplitudes.
+///
+/// Memory model: the backend owns one dd::DdSession (and one shared
+/// MatrixDdStore for the equivalence path) for its whole lifetime. Every
+/// target, replayed state, and per-gate intermediate evaluated on this
+/// backend allocates through the session's uniquing table, so identical
+/// sub-trees are built once per backend, repeated verifications hit the
+/// session compute cache, and `ddSession()->stats()` reports the
+/// dd_nodes / unique_hit_rate / cache_hit_rate metrics.
+///
+/// Concurrency: the session table is single-threaded (the concurrent table
+/// is the parallel-DD roadmap item). Batch items fanned out by
+/// `prepareAndVerifyBatch` therefore run on transient per-item sessions —
+/// detected via parallel::insideParallelRegion() — keeping every worker
+/// isolated while the coordinating-thread path keeps the long-lived
+/// session's sharing.
 class DdBackend final : public EvaluationBackend {
 public:
-    explicit DdBackend(double tolerance = Tolerance::kDefault) : tolerance_(tolerance) {}
-    DdBackend(double tolerance, parallel::ExecutionConfig config)
-        : EvaluationBackend(config), tolerance_(tolerance) {}
+    explicit DdBackend(double tolerance = Tolerance::kDefault);
+    DdBackend(double tolerance, parallel::ExecutionConfig config);
 
     [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dd; }
     [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
@@ -222,8 +245,18 @@ public:
     [[nodiscard]] bool circuitsEquivalent(const Circuit& a, const Circuit& b,
                                           double tol = 1e-9) const override;
 
+    [[nodiscard]] std::shared_ptr<dd::DdSession> ddSession() const override {
+        return session_;
+    }
+
 private:
+    /// The session to evaluate on: the backend's own on the coordinating
+    /// thread, a transient one inside a parallel region (batch workers).
+    [[nodiscard]] std::shared_ptr<dd::DdSession> activeSession() const;
+
     double tolerance_ = Tolerance::kDefault;
+    std::shared_ptr<dd::DdSession> session_;
+    std::shared_ptr<MatrixDdStore> matrixStore_;
 };
 
 /// Factory for a backend of the given kind (process-wide ExecutionConfig).

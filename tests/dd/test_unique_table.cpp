@@ -1,0 +1,381 @@
+// The session-scoped DD memory subsystem (dd/unique_table.{hpp,cpp}):
+// open-addressed uniquing table (collision handling, growth, hit/miss
+// counters), the operation/compute cache, the two node-store regimes
+// (private append vs session interning), and DdSession reuse across
+// diagrams — targets, replays, and repeat verification sharing one pool.
+
+#include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/dd/unique_table.hpp"
+#include "mqsp/mdd/matrix_dd.hpp"
+#include "mqsp/sim/backend.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace mqsp {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+std::vector<DDEdge> edgeList(std::initializer_list<std::pair<NodeRef, double>> spec) {
+    std::vector<DDEdge> edges;
+    for (const auto& [node, weight] : spec) {
+        edges.push_back(DDEdge{node, Complex{weight, 0.0}});
+    }
+    return edges;
+}
+
+// --- UniqueTable -----------------------------------------------------------
+
+TEST(UniqueTable, FindOrInsertDeduplicatesStructuralTwins) {
+    dd::UniqueTable table(kTol);
+    const auto edges = edgeList({{0, 1.0}});
+
+    EXPECT_EQ(table.findOrInsert(2, edges, 41), 41U);
+    EXPECT_EQ(table.findOrInsert(2, edges, 99), 41U); // twin: canonical ref wins
+    EXPECT_EQ(table.size(), 1U);
+
+    const auto& stats = table.stats();
+    EXPECT_EQ(stats.lookups, 2U);
+    EXPECT_EQ(stats.misses, 1U);
+    EXPECT_EQ(stats.hits, 1U);
+}
+
+TEST(UniqueTable, DistinguishesSiteChildrenAndWeights) {
+    dd::UniqueTable table(kTol);
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 1.0}}), 1), 1U);
+    EXPECT_EQ(table.findOrInsert(1, edgeList({{0, 1.0}}), 2), 2U); // site differs
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{5, 1.0}}), 3), 3U); // child differs
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 0.5}}), 4), 4U); // weight differs
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 1.0}, {0, 1.0}}), 5), 5U); // arity differs
+    EXPECT_EQ(table.size(), 5U);
+    EXPECT_EQ(table.stats().hits, 0U);
+}
+
+TEST(UniqueTable, WeightsMergeWithinToleranceBucketsOnly) {
+    dd::UniqueTable table(1e-6);
+    const NodeRef first = table.findOrInsert(0, edgeList({{0, 0.5}}), 1);
+    // Deep inside the same bucket: merges.
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 0.5 + 1e-9}}), 2), first);
+    // Far outside: distinct.
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 0.5 + 1e-3}}), 3), 3U);
+}
+
+TEST(UniqueTable, GrowsPastInitialCapacityAndKeepsEveryEntry) {
+    dd::UniqueTable table(kTol, /*initialCapacity=*/16);
+    constexpr NodeRef kCount = 3000;
+    for (NodeRef i = 0; i < kCount; ++i) {
+        ASSERT_EQ(table.findOrInsert(0, edgeList({{i, 1.0}}), i + 1), i + 1);
+    }
+    EXPECT_EQ(table.size(), kCount);
+    EXPECT_GT(table.stats().grows, 0U);
+    EXPECT_GE(table.capacity(), kCount);
+    // Every key still resolves to its original canonical ref after growth.
+    for (NodeRef i = 0; i < kCount; ++i) {
+        ASSERT_EQ(table.findOrInsert(0, edgeList({{i, 1.0}}), kNoNode), i + 1);
+    }
+    EXPECT_EQ(table.stats().hits, kCount);
+}
+
+TEST(UniqueTable, PureLookupMissDoesNotRecord) {
+    dd::UniqueTable table(kTol);
+    EXPECT_EQ(table.findOrInsert(0, edgeList({{0, 1.0}}), kNoNode), kNoNode);
+    EXPECT_EQ(table.size(), 0U);
+    EXPECT_EQ(table.stats().misses, 1U);
+}
+
+// --- ComputeCache ----------------------------------------------------------
+
+TEST(ComputeCache, StoresAndRetrievesPerOperationKeys) {
+    dd::ComputeCache cache(kTol, /*slots=*/64);
+    const Complex ratio{0.5, 0.25};
+    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio), nullptr);
+
+    cache.store(dd::ComputeCache::Op::Add, 1, 2, ratio,
+                dd::ComputeCache::Result{7, Complex{2.0, 0.0}});
+    const auto* hit = cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->node, 7U);
+    EXPECT_EQ(hit->value, (Complex{2.0, 0.0}));
+
+    // Same operands, different operation: distinct entry space.
+    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::InnerProduct, 1, 2, ratio), nullptr);
+    // Different ratio bucket: miss.
+    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{0.75, 0.25}), nullptr);
+
+    const auto& stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 4U);
+    EXPECT_EQ(stats.hits, 1U);
+    EXPECT_EQ(stats.misses, 3U);
+    EXPECT_NEAR(stats.hitRate(), 0.25, 1e-12);
+}
+
+TEST(ComputeCache, ConflictingKeysEvict) {
+    dd::ComputeCache cache(kTol, /*slots=*/1); // every key maps to one slot
+    cache.store(dd::ComputeCache::Op::Add, 1, 2, Complex{1.0, 0.0},
+                dd::ComputeCache::Result{7, Complex{1.0, 0.0}});
+    cache.store(dd::ComputeCache::Op::Add, 3, 4, Complex{1.0, 0.0},
+                dd::ComputeCache::Result{8, Complex{1.0, 0.0}});
+    EXPECT_EQ(cache.stats().evictions, 1U);
+    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{1.0, 0.0}), nullptr);
+    ASSERT_NE(cache.lookup(dd::ComputeCache::Op::Add, 3, 4, Complex{1.0, 0.0}), nullptr);
+}
+
+// --- DdNodeStore -----------------------------------------------------------
+
+TEST(DdNodeStore, PrivateStoreAppendsWithoutUniquing) {
+    dd::DdNodeStore store(dd::DdNodeStore::Mode::Private);
+    EXPECT_EQ(store.size(), 1U); // the terminal
+    const NodeRef a = store.allocate(0, edgeList({{0, 1.0}}));
+    const NodeRef b = store.allocate(0, edgeList({{0, 1.0}}));
+    EXPECT_NE(a, b); // structural twins stay distinct (historical tree semantics)
+    EXPECT_EQ(store.size(), 3U);
+}
+
+TEST(DdNodeStore, InterningStoreDeduplicatesAndPopsTheTentativeNode) {
+    dd::DdNodeStore store(dd::DdNodeStore::Mode::Interning, kTol);
+    const NodeRef a = store.allocate(0, edgeList({{0, 1.0}}));
+    const NodeRef b = store.allocate(0, edgeList({{0, 1.0}}));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(store.size(), 2U); // terminal + one canonical node, no garbage
+    EXPECT_EQ(store.uniqueTable().stats().hits, 1U);
+}
+
+TEST(DdNodeStore, InterningStoreRefusesInPlaceMutation) {
+    dd::DdNodeStore store(dd::DdNodeStore::Mode::Interning, kTol);
+    const NodeRef a = store.allocate(0, edgeList({{0, 1.0}}));
+    EXPECT_THROW((void)store.mutableNode(a), InvalidArgumentError);
+}
+
+// --- DdSession: builders, reuse, lifetime ---------------------------------
+
+TEST(DdSession, RepeatedBuildsShareEveryNode) {
+    const Dimensions dims{3, 6, 2};
+    dd::DdSession session;
+    const DecisionDiagram first = session.wState(dims);
+    const std::size_t poolAfterFirst = first.poolSize();
+    const DecisionDiagram second = session.wState(dims);
+
+    EXPECT_TRUE(first.sharesStoreWith(second));
+    EXPECT_EQ(second.poolSize(), poolAfterFirst); // second build allocated nothing
+    EXPECT_EQ(first.rootNode(), second.rootNode());
+    EXPECT_NEAR(squaredMagnitude(first.innerProductWith(second)), 1.0, kTol);
+}
+
+TEST(DdSession, DiagramsOfDifferentFamiliesShareCommonSubtrees) {
+    const Dimensions dims{3, 4, 2, 3};
+    dd::DdSession session;
+    const DecisionDiagram w = session.wState(dims);
+    const std::size_t poolAfterW = w.poolSize();
+    // The embedded W state reuses the all-|0> suffix chains the full W
+    // state already interned: the session pool grows by less than a
+    // private embedded-W build would allocate.
+    const DecisionDiagram embedded = session.embeddedWState(dims);
+    const std::size_t sessionGrowth = embedded.poolSize() - poolAfterW;
+    const std::size_t privateSize = DecisionDiagram::embeddedWState(dims).poolSize() - 1;
+    EXPECT_LT(sessionGrowth, privateSize);
+    EXPECT_GT(session.stats().unique.hits, 0U);
+
+    // Both diagrams still evaluate correctly.
+    const StateVector denseW = states::wState(dims);
+    const StateVector denseEmb = states::embeddedWState(dims);
+    EXPECT_NEAR(w.fidelityWith(denseW), 1.0, kTol);
+    EXPECT_NEAR(embedded.fidelityWith(denseEmb), 1.0, kTol);
+}
+
+TEST(DdSession, SessionBuildersMatchPrivateBuildersAmplitudeForAmplitude) {
+    const Dimensions dims{3, 6, 2};
+    dd::DdSession session;
+    const std::vector<std::pair<DecisionDiagram, StateVector>> pairs = [&] {
+        std::vector<std::pair<DecisionDiagram, StateVector>> list;
+        list.emplace_back(session.ghzState(dims), states::ghz(dims));
+        list.emplace_back(session.wState(dims), states::wState(dims));
+        list.emplace_back(session.embeddedWState(dims), states::embeddedWState(dims));
+        list.emplace_back(session.uniformState(dims), states::uniform(dims));
+        list.emplace_back(session.cyclicState(dims, Digits(dims.size(), 0), 6),
+                          states::cyclic(dims, Digits(dims.size(), 0), 6));
+        list.emplace_back(session.dickeState(dims, 2), states::dicke(dims, 2));
+        return list;
+    }();
+    for (const auto& [diagram, state] : pairs) {
+        EXPECT_TRUE(diagram.sessionBacked());
+        EXPECT_TRUE(diagram.checkInvariants().empty()) << diagram.checkInvariants();
+        for (std::uint64_t i = 0; i < state.size(); ++i) {
+            const Digits digits = state.radix().digitsOf(i);
+            const Complex amp = diagram.amplitudeOf(digits);
+            EXPECT_NEAR(amp.real(), state[i].real(), kTol) << "index " << i;
+            EXPECT_NEAR(amp.imag(), state[i].imag(), kTol) << "index " << i;
+        }
+    }
+}
+
+TEST(DdSession, ReplayInternsIntoTheTargetsPool) {
+    const Dimensions dims{3, 3, 3};
+    dd::DdSession session;
+    const DecisionDiagram target = session.ghzState(dims);
+
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const Circuit circuit = synthesize(target, lean);
+
+    const DecisionDiagram replayed = session.simulate(circuit);
+    EXPECT_TRUE(replayed.sharesStoreWith(target));
+    EXPECT_NEAR(squaredMagnitude(target.innerProductWith(replayed)), 1.0, 1e-9);
+    // The replay re-derived the target's structure through the table:
+    // its hits include the target's own nodes.
+    EXPECT_GT(session.stats().unique.hits, 0U);
+}
+
+TEST(DdSession, InternImportsForeignDiagramsAndAliasesOwnOnes) {
+    const Dimensions dims{3, 6, 2};
+    Rng rng(0xDD5E55'10ULL);
+    const StateVector state = states::random(dims, rng);
+
+    dd::DdSession session;
+    const DecisionDiagram imported = session.intern(DecisionDiagram::fromStateVector(state));
+    EXPECT_TRUE(imported.sessionBacked());
+    EXPECT_NEAR(imported.fidelityWith(state), 1.0, kTol);
+
+    // Interning a session-backed diagram is an O(1) alias, not a copy.
+    const std::size_t pool = imported.poolSize();
+    const DecisionDiagram aliased = session.intern(imported);
+    EXPECT_EQ(aliased.poolSize(), pool);
+    EXPECT_EQ(aliased.rootNode(), imported.rootNode());
+}
+
+TEST(DdSession, SessionDiagramsRefuseMutatorsAndSkipReduce) {
+    const Dimensions dims{3, 3};
+    dd::DdSession session;
+    DecisionDiagram diagram = session.ghzState(dims);
+
+    EXPECT_THROW(diagram.cutEdge(diagram.rootNode(), 0), InvalidArgumentError);
+    EXPECT_THROW(diagram.renormalize(), InvalidArgumentError);
+    // Already canonical: reduce is a structural no-op, GC never remaps.
+    const std::size_t pool = diagram.poolSize();
+    EXPECT_EQ(diagram.reduce(), 0U);
+    diagram.garbageCollect();
+    EXPECT_EQ(diagram.poolSize(), pool);
+}
+
+TEST(DdSession, CopyOfSessionDiagramAliasesThePool) {
+    const Dimensions dims(16, 2);
+    dd::DdSession session;
+    const DecisionDiagram original = session.uniformState(dims);
+    const DecisionDiagram copy = original; // NOLINT(performance-unnecessary-copy-initialization)
+    EXPECT_TRUE(copy.sharesStoreWith(original));
+    EXPECT_EQ(copy.rootNode(), original.rootNode());
+}
+
+TEST(DdSession, SerializationDetachesFromTheSessionPool) {
+    const Dimensions dims{3, 6, 2};
+    dd::DdSession session;
+    const DecisionDiagram ghz = session.ghzState(dims);
+    (void)session.wState(dims); // unrelated nodes in the same pool
+
+    std::stringstream stream;
+    ghz.serialize(stream);
+    const DecisionDiagram parsed = DecisionDiagram::deserialize(stream);
+    EXPECT_FALSE(parsed.sessionBacked());
+    // Only GHZ-reachable nodes round-trip, not the session's W nodes.
+    EXPECT_LT(parsed.poolSize(), ghz.poolSize());
+    EXPECT_NEAR(squaredMagnitude(parsed.innerProductWith(ghz)), 1.0, kTol);
+}
+
+TEST(DdSession, DiagramsOutliveTheSessionObject) {
+    const Dimensions dims{3, 3, 3};
+    DecisionDiagram survivor;
+    {
+        dd::DdSession session;
+        survivor = session.ghzState(dims);
+    } // session gone; the shared store lives through the diagram's ref
+    EXPECT_NEAR(survivor.fidelityWith(states::ghz(dims)), 1.0, kTol);
+}
+
+TEST(DdSession, StatsResetClearsCountersButKeepsNodes) {
+    const Dimensions dims{3, 6, 2};
+    dd::DdSession session;
+    (void)session.wState(dims);
+    (void)session.wState(dims);
+    ASSERT_GT(session.stats().unique.hits, 0U);
+    const std::uint64_t pool = session.stats().poolNodes;
+
+    session.resetStats();
+    EXPECT_EQ(session.stats().unique.lookups, 0U);
+    EXPECT_EQ(session.stats().cache.lookups, 0U);
+    EXPECT_EQ(session.stats().poolNodes, pool);
+}
+
+TEST(DdSession, RepeatVerificationHitsTheOperationCache) {
+    // An approximated circuit prepares a state that differs from the exact
+    // target, so verification must genuinely traverse node pairs — the
+    // case the session operation cache exists for. The second verification
+    // resolves from the cache at the root pair instead of re-walking.
+    const Dimensions dims{4, 3, 2, 5};
+    Rng rng(0xCAFEULL);
+    const StateVector target = states::random(dims, rng);
+    const auto prep = prepareApproximated(target, 0.98);
+    ASSERT_LT(prep.approx.fidelity, 1.0);
+
+    const DdBackend backend;
+    const EvalState evalTarget(target);
+    const double first = backend.preparationFidelity(prep.circuit, evalTarget);
+    const auto afterFirst = backend.ddSession()->stats();
+    const double second = backend.preparationFidelity(prep.circuit, evalTarget);
+    const auto afterSecond = backend.ddSession()->stats();
+
+    EXPECT_NEAR(first, prep.approx.fidelity, 1e-6);
+    EXPECT_EQ(second, first); // cached overlap is the identical double
+    EXPECT_GT(afterSecond.cache.hits, afterFirst.cache.hits);
+    // No new structure on the second run: the pool did not grow.
+    EXPECT_EQ(afterSecond.poolNodes, afterFirst.poolNodes);
+}
+
+TEST(DdSession, PastCeilingFamiliesStayPolynomial) {
+    // 2^27 amplitudes: dicke and cyclic exist only as DAG builders; their
+    // session diagrams must stay tiny and verify exactly.
+    const Dimensions dims(27, 2);
+    dd::DdSession session;
+    const DecisionDiagram dicke = session.dickeState(dims, 2);
+    EXPECT_LE(dicke.nodeCount(NodeCountMode::Internal), 27U * 3U);
+    EXPECT_NEAR(dicke.normSquared(), 1.0, kTol);
+
+    const DecisionDiagram cyclic = session.cyclicState(dims, Digits(27, 0), 2);
+    EXPECT_LE(cyclic.nodeCount(NodeCountMode::Internal), 27U * 2U);
+    EXPECT_NEAR(cyclic.normSquared(), 1.0, kTol);
+    // GHZ on a qubit register IS the 2-shift cyclic state of |0...0>.
+    EXPECT_NEAR(squaredMagnitude(cyclic.innerProductWith(session.ghzState(dims))), 1.0,
+                1e-9);
+}
+
+// --- MatrixDdStore ---------------------------------------------------------
+
+TEST(MatrixDdStore, SharedStoreCrossesDiagramBoundaries) {
+    const Dimensions dims{3, 2};
+    Rng rng(7);
+    const StateVector target = states::random(dims, rng);
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+    const auto prep = prepareExact(target, lean);
+
+    const auto store = std::make_shared<MatrixDdStore>();
+    const MatrixDD a = MatrixDD::fromCircuit(prep.circuit, Tolerance::kDefault, store);
+    const std::size_t afterFirst = store->size();
+    const MatrixDD b = MatrixDD::fromCircuit(prep.circuit, Tolerance::kDefault, store);
+
+    // The identical circuit recompiles without allocating a single node...
+    EXPECT_EQ(store->size(), afterFirst);
+    EXPECT_GT(store->uniqueStats().hits, 0U);
+    // ...lands on the same canonical root, and the equivalence check
+    // short-circuits on root identity.
+    EXPECT_EQ(a.root().node, b.root().node);
+    EXPECT_TRUE(a.equivalentUpToGlobalPhase(b, 1e-9));
+}
+
+} // namespace
+} // namespace mqsp

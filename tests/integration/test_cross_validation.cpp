@@ -200,6 +200,11 @@ TEST(BackendParity, StructuredDiagramBuildersMatchDenseGenerators) {
             list.emplace_back(DecisionDiagram::embeddedWState(dims),
                               states::embeddedWState(dims));
             list.emplace_back(DecisionDiagram::uniformState(dims), states::uniform(dims));
+            const Digits zeros(dims.size(), 0);
+            list.emplace_back(DecisionDiagram::cyclicState(dims, zeros, 4),
+                              states::cyclic(dims, zeros, 4));
+            list.emplace_back(DecisionDiagram::dickeState(dims, 2),
+                              states::dicke(dims, 2));
             return list;
         }();
         for (const auto& [diagram, state] : pairs) {
@@ -214,6 +219,87 @@ TEST(BackendParity, StructuredDiagramBuildersMatchDenseGenerators) {
             }
         }
     }
+}
+
+TEST(BackendParity, CyclicAndDickeAgreeAcrossBackendsOnMixedRadixRegisters) {
+    // Dense-vs-dd parity at 1e-10 for the two DD-native DAG families: the
+    // synthesized circuit replays to the same fidelity on both substrates,
+    // and the DD-native diagrams match the dense generators' states.
+    const DenseBackend dense;
+    const DdBackend dd;
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    for (const auto& dims : {Dimensions{3, 6, 2}, Dimensions{9, 5, 6, 3}}) {
+        const Digits zeros(dims.size(), 0);
+        const std::vector<StateVector> targets = {
+            states::cyclic(dims, zeros, 6),
+            states::dicke(dims, 2),
+        };
+        for (const auto& target : targets) {
+            const auto prep = prepareExact(target, lean);
+            const EvalState targetState(target);
+            const double viaDense = dense.preparationFidelity(prep.circuit, targetState);
+            const double viaDd = dd.preparationFidelity(prep.circuit, targetState);
+            EXPECT_NEAR(viaDense, viaDd, kTol) << formatDimensionSpec(dims);
+            EXPECT_NEAR(viaDense, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(BackendParity, CyclicAndDickeApproximatedFidelityAgreesBelowOne) {
+    // The sub-unit case: an approximated cyclic/dicke preparation (pruned
+    // through the dense tree pipeline — the DAG builders refuse --approx)
+    // must report the *same* sub-unit fidelity on both backends.
+    const DenseBackend dense;
+    const DdBackend dd;
+    const Dimensions dims{9, 5, 6, 3};
+
+    // A mixed cyclic/dicke superposition prunes non-trivially (the pure
+    // families are already equal-amplitude, so pruning is all-or-nothing).
+    StateVector target = states::dicke(dims, 3);
+    const StateVector blend = states::cyclic(dims, Digits(dims.size(), 0), 6);
+    for (std::uint64_t i = 0; i < target.size(); ++i) {
+        target[i] = target[i] + Complex{0.35, 0.0} * blend[i];
+    }
+    target.normalize();
+
+    const auto prep = prepareApproximated(target, 0.9);
+    ASSERT_LT(prep.approx.fidelity, 1.0);
+    const EvalState targetState(target);
+    const double viaDense = dense.preparationFidelity(prep.circuit, targetState);
+    const double viaDd = dd.preparationFidelity(prep.circuit, targetState);
+    EXPECT_NEAR(viaDense, viaDd, kTol);
+    EXPECT_NEAR(viaDense, prep.approx.fidelity, 1e-6);
+}
+
+TEST(BackendParity, CyclicAndDickeVerifyPastTheDenseCeilingDdOnly) {
+    // 2^27 ≈ 1.34e8 amplitudes: the dense backend refuses the register,
+    // the dd backend builds, synthesizes, replays and verifies both new
+    // families without ever materializing an amplitude vector.
+    const Dimensions dims(27, 2);
+    ASSERT_GE(MixedRadix(dims).totalDimension(), std::uint64_t{100'000'000});
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    const DenseBackend dense;
+    const DdBackend dd;
+    const std::vector<DecisionDiagram> targets = [&] {
+        std::vector<DecisionDiagram> list;
+        list.push_back(dd.ddSession()->dickeState(dims, 2));
+        list.push_back(dd.ddSession()->cyclicState(dims, Digits(27, 0), 2));
+        return list;
+    }();
+    for (const auto& target : targets) {
+        const Circuit circuit = synthesize(target, lean);
+        EXPECT_THROW((void)dense.runFromZero(circuit), InvalidArgumentError);
+        const double fidelity = dd.preparationFidelity(circuit, EvalState(target));
+        EXPECT_NEAR(fidelity, 1.0, 1e-10);
+    }
+    // The whole chain ran on the backend's session store.
+    const auto stats = dd.ddSession()->stats();
+    EXPECT_GT(stats.unique.hits, 0U);
+    EXPECT_GT(stats.poolNodes, 0U);
 }
 
 TEST(BackendParity, DdBackendVerifiesPastTheDenseCeiling) {

@@ -27,12 +27,26 @@ Subcommands:
         format of bench/baselines/*.json).
 
     compare baseline.json current.json [--threshold 0.30] [--stat median_ns]
-            [--metrics]
+            [--metrics] [--metrics-only]
         Match cases by (driver, case, dims, backend, threads) and flag every case whose
         timing statistic regressed by more than the threshold fraction.
         With --metrics, also flag any metric whose value drifted (metrics
         are counts/fidelities, so any change beyond 1e-9 is reported).
         Exit code 1 when at least one regression or metric drift is found.
+
+        --metrics-only ignores timings entirely (shared CI runners are too
+        noisy to gate on) and compares metric values with per-class
+        tolerances instead: integer-valued metrics (node counts, operation
+        counts, amplitudes) must match exactly; *_hit_rate metrics are
+        ratio-bounded (absolute drift <= 0.02); fidelities within 1e-6;
+        everything else within 1e-6 relative. A metric or a whole case
+        missing from the current report also fails. This is the CI
+        deterministic-metrics gate: a DD-size or circuit-cost regression
+        fails the build even when every timing is noise.
+        Compare like against like: record the baseline in the same mode
+        (smoke vs full) as the runs it will gate, since metrics are
+        averaged over repetitions and randomized workloads draw a fresh
+        state per repetition.
 
 Record a baseline by running every driver with --json and merging:
 
@@ -105,6 +119,23 @@ def format_ns(value):
     return f"{value:.0f}ns"
 
 
+def metric_drifted(name, base_value, cur_value):
+    """Per-class deterministic-metrics comparison (see --metrics-only)."""
+    base_value = float(base_value)
+    cur_value = float(cur_value)
+    if base_value.is_integer() and cur_value.is_integer():
+        # Counts (dd_nodes, ops, amplitudes, ...): bit-exact or broken.
+        return base_value != cur_value
+    if name.endswith("_hit_rate"):
+        # Ratio-bounded: the rates are deterministic in exact arithmetic,
+        # but last-ulp weight-bucket flips across compilers may move a
+        # handful of lookups.
+        return abs(cur_value - base_value) > 0.02
+    if "fidelity" in name:
+        return abs(cur_value - base_value) > 1e-6
+    return abs(cur_value - base_value) > max(1e-9, 1e-6 * abs(base_value))
+
+
 def compare(args):
     baseline = {case_key(c): c for c in load_report(args.baseline)["cases"]}
     current_report = load_report(args.current)
@@ -128,21 +159,27 @@ def compare(args):
         base = baseline.get(key)
         if base is None:
             continue
-        base_stat = base["stats"].get(args.stat, 0.0)
-        cur_stat = case["stats"].get(args.stat, 0.0)
-        if base_stat > 0:
-            ratio = cur_stat / base_stat
-            line = (f"{label}: {args.stat} {format_ns(base_stat)} -> "
-                    f"{format_ns(cur_stat)} ({(ratio - 1) * 100:+.1f}%)")
-            if ratio > 1.0 + args.threshold:
-                regressions.append(line)
-            elif ratio < 1.0 - args.threshold:
-                improvements.append(line)
-        if args.metrics:
+        if not args.metrics_only:
+            base_stat = base["stats"].get(args.stat, 0.0)
+            cur_stat = case["stats"].get(args.stat, 0.0)
+            if base_stat > 0:
+                ratio = cur_stat / base_stat
+                line = (f"{label}: {args.stat} {format_ns(base_stat)} -> "
+                        f"{format_ns(cur_stat)} ({(ratio - 1) * 100:+.1f}%)")
+                if ratio > 1.0 + args.threshold:
+                    regressions.append(line)
+                elif ratio < 1.0 - args.threshold:
+                    improvements.append(line)
+        if args.metrics or args.metrics_only:
             for name, base_value in base.get("metrics", {}).items():
                 cur_value = case.get("metrics", {}).get(name)
                 if cur_value is None:
                     drifted.append(f"{label}: metric '{name}' disappeared")
+                    continue
+                if args.metrics_only:
+                    if metric_drifted(name, base_value, cur_value):
+                        drifted.append(f"{label}: metric '{name}' "
+                                       f"{base_value:.6g} -> {cur_value:.6g}")
                 elif abs(cur_value - base_value) > 1e-9:
                     drifted.append(f"{label}: metric '{name}' "
                                    f"{base_value:.6g} -> {cur_value:.6g}")
@@ -151,13 +188,18 @@ def compare(args):
     # only that driver's cases can meaningfully be missing — and none can in
     # a deliberately partial (smoke / --case-filtered) run.
     current_drivers = {key[0] for key in current}
-    missing = [] if partial_run else sorted(key for key in set(baseline) - set(current)
-                                            if key[0] in current_drivers)
+    # The metrics-only gate compares a dedicated baseline whose every case
+    # is expected in the current report: a case silently dropping out of
+    # the artifact is itself a regression, partial run or not.
+    check_missing = args.metrics_only or not partial_run
+    missing = sorted(key for key in set(baseline) - set(current)
+                     if key[0] in current_drivers) if check_missing else []
     new = sorted(set(current) - set(baseline))
 
-    print(f"compared {len(set(baseline) & set(current))} matching case(s) "
-          f"(threshold {args.threshold * 100:.0f}% on {args.stat})"
-          + (" — partial run, missing-case check skipped" if partial_run else ""))
+    mode_note = ("metrics-only, per-class tolerances" if args.metrics_only
+                 else f"threshold {args.threshold * 100:.0f}% on {args.stat}")
+    print(f"compared {len(set(baseline) & set(current))} matching case(s) ({mode_note})"
+          + ("" if check_missing else " — partial run, missing-case check skipped"))
     for section, lines in (("REGRESSIONS", regressions), ("improvements", improvements),
                            ("metric drift", drifted), ("failed cases", failed)):
         if lines:
@@ -172,6 +214,8 @@ def compare(args):
         print(f"\nnew in current ({len(new)}):")
         for key in new:
             print(f"  {case_label(key)}")
+    if args.metrics_only and missing:
+        return 1
     if not regressions and not drifted and not failed:
         print("\nno regressions")
         return 0
@@ -199,6 +243,10 @@ def main():
                                 help="which statistic to compare (default median_ns)")
     compare_parser.add_argument("--metrics", action="store_true",
                                 help="also flag drifted metric values")
+    compare_parser.add_argument("--metrics-only", action="store_true",
+                                help="ignore timings; gate on deterministic metrics "
+                                     "with per-class tolerances (exact counts, "
+                                     "ratio-bounded hit rates) and on case coverage")
     compare_parser.set_defaults(func=compare)
 
     args = parser.parse_args()

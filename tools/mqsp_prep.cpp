@@ -27,9 +27,12 @@
 #include "mqsp/support/error.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <utility>
@@ -44,7 +47,9 @@ void usage() {
     std::fprintf(stderr, R"(usage: mqsp_prep --dims <spec> (--state <name> | --amplitudes <file>) [options]
 
   --dims <spec>        register, e.g. "3,6,2" or "[1x3,1x6,1x2]" (msq first)
-  --state <name>       ghz | w | embw | uniform | random | dicke=<weight>
+  --state <name>       ghz | w | embw | uniform | random | dicke[=<weight>]
+                       | cyclic[=<count>]  (dicke defaults to weight 2;
+                       cyclic defaults to all lcm(dims) shifts of |0...0>)
   --amplitudes <file>  dense amplitude vector, one "re im" per line
   --seed <n>           RNG seed for --state random (default: library seed)
   --approx <f>         approximate with fidelity threshold f in (0, 1]
@@ -58,6 +63,31 @@ void usage() {
   --qasm               print the circuit in MQSP-QASM
   --verify             replay on the selected backend and report the fidelity
 )");
+}
+
+/// Default Dicke excitation weight for a bare `--state dicke`: 2 keeps the
+/// term count (and therefore the synthesized circuit) quadratic in the
+/// register size, so the family stays usable on 10^8-amplitude registers.
+std::uint64_t defaultDickeWeight(const Dimensions& dims) {
+    std::uint64_t maxWeight = 0;
+    for (const auto dim : dims) {
+        maxWeight += dim - 1;
+    }
+    return std::min<std::uint64_t>(2, maxWeight);
+}
+
+/// Default cyclic shift count for a bare `--state cyclic`: every distinct
+/// shift, i.e. lcm(dims) (saturated — shifts repeat beyond the lcm anyway).
+std::uint32_t defaultCyclicCount(const Dimensions& dims) {
+    std::uint64_t lcmSoFar = 1;
+    constexpr std::uint64_t kCap = std::numeric_limits<std::uint32_t>::max();
+    for (const auto dim : dims) {
+        lcmSoFar = std::lcm(lcmSoFar, static_cast<std::uint64_t>(dim));
+        if (lcmSoFar >= kCap) {
+            return static_cast<std::uint32_t>(kCap);
+        }
+    }
+    return static_cast<std::uint32_t>(lcmSoFar);
 }
 
 StateVector loadAmplitudes(const Dimensions& dims, const std::string& path) {
@@ -74,51 +104,117 @@ StateVector loadAmplitudes(const Dimensions& dims, const std::string& path) {
     return state;
 }
 
-StateVector makeNamedState(const std::string& name, const Dimensions& dims,
-                           std::uint64_t seed) {
+/// A parsed `--state` spec: the family plus its optional `=<n>` parameter
+/// (dicke weight / cyclic shift count), resolved against the register once
+/// so every consumer agrees on the interpretation.
+struct StateSpec {
+    enum class Family { Ghz, W, EmbW, Uniform, Random, Dicke, Cyclic };
+
+    Family family = Family::Ghz;
+    std::uint64_t parameter = 0; ///< dicke weight or cyclic count
+
+    /// DD-native builder exists (everything except random)?
+    [[nodiscard]] bool hasDiagramBuilder() const {
+        return family != Family::Random;
+    }
+
+    /// Native form is a DAG, not a tree (uniform's shared chain, dicke's
+    /// (site, weight) lattice, cyclic's shift-set sharing): the
+    /// approximation pass needs a tree, so these fall back to the dense
+    /// constructor under --approx.
+    [[nodiscard]] bool isDagOnly() const {
+        return family == Family::Uniform || family == Family::Dicke ||
+               family == Family::Cyclic;
+    }
+};
+
+StateSpec parseStateSpec(const std::string& name, const Dimensions& dims) {
     if (name == "ghz") {
-        return states::ghz(dims);
+        return {StateSpec::Family::Ghz, 0};
     }
     if (name == "w") {
-        return states::wState(dims);
+        return {StateSpec::Family::W, 0};
     }
     if (name == "embw") {
-        return states::embeddedWState(dims);
+        return {StateSpec::Family::EmbW, 0};
     }
     if (name == "uniform") {
-        return states::uniform(dims);
+        return {StateSpec::Family::Uniform, 0};
     }
     if (name == "random") {
-        Rng rng(seed);
-        return states::random(dims, rng);
+        return {StateSpec::Family::Random, 0};
+    }
+    if (name == "dicke") {
+        return {StateSpec::Family::Dicke, defaultDickeWeight(dims)};
     }
     if (name.rfind("dicke=", 0) == 0) {
-        return states::dicke(dims, std::stoull(name.substr(6)));
+        return {StateSpec::Family::Dicke, std::stoull(name.substr(6))};
+    }
+    if (name == "cyclic") {
+        return {StateSpec::Family::Cyclic, defaultCyclicCount(dims)};
+    }
+    if (name.rfind("cyclic=", 0) == 0) {
+        const unsigned long count = std::stoul(name.substr(7)); // NOLINT(google-runtime-int)
+        requireThat(count >= 1 && count <= std::numeric_limits<std::uint32_t>::max(),
+                    "cyclic=<count> needs a count in [1, 2^32)");
+        return {StateSpec::Family::Cyclic, count};
     }
     detail::throwInvalidArgument("unknown state '" + name + "'");
 }
 
-/// DD-native construction for the structured families — the targets that
-/// stay compact past the dense ceiling. One table serves both the "is a
-/// native builder available?" question (backend auto-selection) and the
-/// construction itself; states without a builder (random, dicke) return
-/// nullptr and must go through a dense vector.
-using DiagramBuilder = DecisionDiagram (*)(const Dimensions&);
+StateVector makeNamedState(const StateSpec& spec, const Dimensions& dims,
+                           std::uint64_t seed) {
+    switch (spec.family) {
+    case StateSpec::Family::Ghz:
+        return states::ghz(dims);
+    case StateSpec::Family::W:
+        return states::wState(dims);
+    case StateSpec::Family::EmbW:
+        return states::embeddedWState(dims);
+    case StateSpec::Family::Uniform:
+        return states::uniform(dims);
+    case StateSpec::Family::Random: {
+        Rng rng(seed);
+        return states::random(dims, rng);
+    }
+    case StateSpec::Family::Dicke:
+        return states::dicke(dims, spec.parameter);
+    case StateSpec::Family::Cyclic:
+        return states::cyclic(dims, Digits(dims.size(), 0),
+                              static_cast<std::uint32_t>(spec.parameter));
+    }
+    detail::throwInternal("makeNamedState: unhandled family");
+}
 
-DiagramBuilder namedDiagramBuilder(const std::string& name) {
-    if (name == "ghz") {
-        return &DecisionDiagram::ghzState;
+/// Build the target as a diagram — on the backend's DD session when one is
+/// given (hash-consed into the shared store, so the verification replay
+/// later hits the very nodes built here), else on a private store.
+DecisionDiagram buildNamedDiagram(const StateSpec& spec, const Dimensions& dims,
+                                  const dd::DdSession* session) {
+    switch (spec.family) {
+    case StateSpec::Family::Ghz:
+        return session ? session->ghzState(dims) : DecisionDiagram::ghzState(dims);
+    case StateSpec::Family::W:
+        return session ? session->wState(dims) : DecisionDiagram::wState(dims);
+    case StateSpec::Family::EmbW:
+        return session ? session->embeddedWState(dims)
+                       : DecisionDiagram::embeddedWState(dims);
+    case StateSpec::Family::Uniform:
+        return session ? session->uniformState(dims)
+                       : DecisionDiagram::uniformState(dims);
+    case StateSpec::Family::Dicke:
+        return session ? session->dickeState(dims, spec.parameter)
+                       : DecisionDiagram::dickeState(dims, spec.parameter);
+    case StateSpec::Family::Cyclic: {
+        const Digits start(dims.size(), 0);
+        const auto count = static_cast<std::uint32_t>(spec.parameter);
+        return session ? session->cyclicState(dims, start, count)
+                       : DecisionDiagram::cyclicState(dims, start, count);
     }
-    if (name == "w") {
-        return &DecisionDiagram::wState;
+    case StateSpec::Family::Random:
+        break;
     }
-    if (name == "embw") {
-        return &DecisionDiagram::embeddedWState;
-    }
-    if (name == "uniform") {
-        return &DecisionDiagram::uniformState;
-    }
-    return nullptr;
+    detail::throwInvalidArgument("no diagram builder for a random state");
 }
 
 } // namespace
@@ -146,12 +242,13 @@ int main(int argc, char** argv) {
         const double threshold = cli::argDouble(argc, argv, "--approx", 1.0);
 
         // Does the dd pipeline have a native diagram builder for this
-        // target? (uniform's reduced diagram is not usable under --approx —
-        // the approximation pass needs a tree.)
-        const DiagramBuilder diagramBuilder =
-            amplitudePath ? nullptr : namedDiagramBuilder(*stateName);
-        const bool hasNativeDiagram =
-            diagramBuilder != nullptr && !(approx && *stateName == "uniform");
+        // target? (The DAG-form builders — uniform, dicke, cyclic — are not
+        // usable under --approx: the approximation pass needs a tree.)
+        const std::optional<StateSpec> stateSpec =
+            amplitudePath ? std::nullopt
+                          : std::optional<StateSpec>(parseStateSpec(*stateName, dims));
+        const bool hasNativeDiagram = stateSpec && stateSpec->hasDiagramBuilder() &&
+                                      !(approx && stateSpec->isDagOnly());
 
         const std::string backendSpec =
             argValue(argc, argv, "--backend").value_or("auto");
@@ -183,38 +280,42 @@ int main(int argc, char** argv) {
                             " — use --backend dd");
             const StateVector state = amplitudePath
                                           ? loadAmplitudes(dims, *amplitudePath)
-                                          : makeNamedState(*stateName, dims, seed);
+                                          : makeNamedState(*stateSpec, dims, seed);
             result = approx ? prepareApproximated(state, threshold, options)
                             : prepareExact(state, options);
             target = EvalState(state);
         } else {
             // DD pipeline: structured targets are built natively as
-            // diagrams; everything else goes dense -> diagram under the
-            // dense ceiling guard. (uniform + --approx lands on the dense
-            // path too: the approximation pass needs a tree-shaped diagram,
-            // and uniformState's tree form is the full dense tree — routed
-            // through the dense constructor, the semantics match the dense
-            // backend exactly.)
+            // diagrams — exact ones on the backend's DD session, so the
+            // verification replay later allocates into (and hits) the same
+            // uniquing table the target was built through; everything else
+            // goes dense -> diagram under the dense ceiling guard. (The
+            // DAG-form builders + --approx land on the dense path too: the
+            // approximation pass needs a tree-shaped diagram, which also
+            // rules out the session store — pruning mutates nodes in
+            // place.)
+            const auto session = backend->ddSession();
             DecisionDiagram diagram;
             if (hasNativeDiagram) {
-                diagram = diagramBuilder(dims);
+                diagram = buildNamedDiagram(*stateSpec, dims,
+                                            approx ? nullptr : session.get());
             }
             if (diagram.rootNode() == kNoNode) {
                 requireThat(radix.totalDimension() <= kDenseBackendCeiling,
-                            approx && !amplitudePath && *stateName == "uniform"
+                            approx && stateSpec && stateSpec->isDagOnly()
                                 ? std::string(
-                                      "--approx needs a tree-shaped diagram, and the "
-                                      "uniform state's tree is the full dense tree — "
-                                      "drop --approx (it cannot prune the uniform "
-                                      "state) or stay within the dense ceiling")
+                                      "--approx needs a tree-shaped diagram, and the " +
+                                      *stateName +
+                                      " state's native diagram is a DAG — drop "
+                                      "--approx or stay within the dense ceiling")
                                 : "state '" + stateName.value_or("from_file") +
                                       "' needs a dense amplitude vector to construct, "
                                       "and the register is past the dense ceiling — "
-                                      "use ghz, w, embw, or uniform with --backend dd "
-                                      "on registers this large");
+                                      "use ghz, w, embw, uniform, cyclic, or dicke "
+                                      "with --backend dd on registers this large");
                 const StateVector state = amplitudePath
                                               ? loadAmplitudes(dims, *amplitudePath)
-                                              : makeNamedState(*stateName, dims, seed);
+                                              : makeNamedState(*stateSpec, dims, seed);
                 diagram = DecisionDiagram::fromStateVector(state, options.tolerance);
             }
             target = EvalState(diagram); // pre-approximation copy: the verify target
@@ -258,6 +359,21 @@ int main(int argc, char** argv) {
             const double fidelity =
                 backend->preparationFidelity(result.circuit, target);
             std::fprintf(stderr, "verified fidelity : %.9f\n", fidelity);
+        }
+        if (const auto session = backend->ddSession()) {
+            // Session memory report: how much structure the uniquing table
+            // shared between the target build and the verification replay.
+            const auto sessionStats = session->stats();
+            std::fprintf(stderr,
+                         "dd session        : %llu pool nodes, unique_hit_rate %.3f "
+                         "(%llu/%llu), cache_hit_rate %.3f (%llu/%llu)\n",
+                         static_cast<unsigned long long>(sessionStats.poolNodes),
+                         sessionStats.uniqueHitRate(),
+                         static_cast<unsigned long long>(sessionStats.unique.hits),
+                         static_cast<unsigned long long>(sessionStats.unique.lookups),
+                         sessionStats.cacheHitRate(),
+                         static_cast<unsigned long long>(sessionStats.cache.hits),
+                         static_cast<unsigned long long>(sessionStats.cache.lookups));
         }
         if (argFlag(argc, argv, "--qasm")) {
             emitQasm(std::cout, result.circuit);

@@ -133,6 +133,16 @@ int main(int argc, char** argv) {
                             static_cast<double>(hits) / static_cast<double>(count));
             }
         }
+        if (const auto session = backend->ddSession()) {
+            // DD memory report on stderr (stdout stays pipeable): the pool
+            // the replay interned into and the table/cache hit rates.
+            const auto sessionStats = session->stats();
+            std::fprintf(stderr,
+                         "dd session: %llu pool nodes, unique_hit_rate %.3f, "
+                         "cache_hit_rate %.3f\n",
+                         static_cast<unsigned long long>(sessionStats.poolNodes),
+                         sessionStats.uniqueHitRate(), sessionStats.cacheHitRate());
+        }
         return 0;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "mqsp_sim: %s\n", error.what());
