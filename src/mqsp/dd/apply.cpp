@@ -51,7 +51,7 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
     const DenseMatrix local = op.localMatrix(targetDim);
 
     // Session compute cache: addition results keyed on the *canonical* call
-    // (smaller node first, x's weight factored out). Entries persist across
+    // (x's weight factored out). Entries persist across
     // gates and diagrams of the owning session — private diagrams carry no
     // cache and always recompute. Cached results embed the tolerance they
     // were pruned at, so a call at a tolerance other than the session's
@@ -92,13 +92,15 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
         }
         ensureThat(node(x.node).site == node(y.node).site,
                    "applyOperation: site mismatch in addition");
-        if (y.node < x.node) {
-            std::swap(x, y); // addition commutes; canonical operand order
-        }
+        // No operand reordering: addition commutes mathematically, but
+        // NodeRef order is allocation order — scheduling-dependent in a
+        // concurrent session — and swapping changes the floating-point
+        // evaluation order, which would break bit-identical results across
+        // thread counts. The cache simply keys (x, y) as called.
         const Complex scale = x.weight;
         const Complex ratio = y.weight / scale;
         if (cache != nullptr) {
-            if (const auto* hit =
+            if (const auto hit =
                     cache->lookup(dd::ComputeCache::Op::Add, x.node, y.node, ratio)) {
                 if (hit->node == kNoNode) {
                     return {};
@@ -106,9 +108,9 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
                 return {hit->node, scale * hit->value};
             }
         }
-        // Re-fetch through the NodeRefs on every access: the recursive call
-        // below allocates into the node store and may reallocate the pool,
-        // so references into it must not be held across it.
+        // Node addresses are stable (chunked pool), so holding references
+        // across the allocating recursion below would be safe; per-edge
+        // re-fetches through the NodeRefs are kept for uniformity.
         const std::uint32_t site = node(x.node).site;
         const std::size_t arity = node(x.node).edges.size();
         std::vector<DDEdge> edges(arity);
@@ -171,8 +173,8 @@ void DecisionDiagram::applyOperation(const Operation& op, double tol) {
         }
         ensureThat(!node(ref).isTerminal(),
                    "applyOperation: traversal reached the terminal");
-        // Copy this node's shape up front: add()/visit() below allocate into
-        // nodes_ and may reallocate the pool, invalidating references.
+        // Copy this node's shape up front (keeps the loops independent of
+        // the allocating add()/visit() recursion below).
         const std::uint32_t site = node(ref).site;
         const std::vector<DDEdge> sourceEdges = node(ref).edges;
 

@@ -101,7 +101,7 @@ Complex DecisionDiagram::innerProductWith(const DecisionDiagram& other) const {
             return it->second;
         }
         if (cache != nullptr) {
-            if (const auto* hit =
+            if (const auto hit =
                     cache->lookup(dd::ComputeCache::Op::InnerProduct, a, b, Complex{})) {
                 memo.emplace(key, hit->value);
                 return hit->value;

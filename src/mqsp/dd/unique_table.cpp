@@ -31,21 +31,9 @@ namespace {
     return cap;
 }
 
-} // namespace
-
-UniqueTable::UniqueTable(double tolerance, std::size_t initialCapacity)
-    : tolerance_(tolerance),
-      initialCapacity_(roundUpPowerOfTwo(std::max<std::size_t>(initialCapacity, 16))) {
-    requireThat(tolerance > 0.0, "UniqueTable: tolerance must be positive");
-}
-
-std::int64_t UniqueTable::bucketOf(double value, double tolerance) {
-    return static_cast<std::int64_t>(std::llround(value / tolerance));
-}
-
-std::uint64_t UniqueTable::hashKey(std::uint32_t site, const NodeRef* children,
-                                   const std::int64_t* re, const std::int64_t* im,
-                                   std::size_t arity) const noexcept {
+[[nodiscard]] std::uint64_t hashKey(std::uint32_t site, const NodeRef* children,
+                                    const std::int64_t* re, const std::int64_t* im,
+                                    std::size_t arity) noexcept {
     std::uint64_t h = mix64(site);
     for (std::size_t k = 0; k < arity; ++k) {
         h = mix64(h ^ children[k]);
@@ -55,111 +43,211 @@ std::uint64_t UniqueTable::hashKey(std::uint32_t site, const NodeRef* children,
     return h;
 }
 
-bool UniqueTable::entryMatches(std::uint32_t entry, std::uint32_t site,
+/// Per-thread scratch for the bucketed key being probed. Thread-local (not
+/// per-table members) so concurrent interners never share buffers; one
+/// buffer set serves every table a thread touches, since a key is consumed
+/// within the findOrInsert call that built it.
+struct ScratchKey {
+    std::vector<NodeRef> children;
+    std::vector<std::int64_t> re;
+    std::vector<std::int64_t> im;
+};
+thread_local ScratchKey tlsScratch;
+
+} // namespace
+
+UniqueTable::UniqueTable(double tolerance, std::size_t initialCapacity, Concurrency concurrency)
+    : tolerance_(tolerance),
+      initialShardCapacity_(roundUpPowerOfTwo(
+          std::max<std::size_t>(initialCapacity / kShardCount, 16))),
+      sharded_(concurrency == Concurrency::Sharded) {
+    requireThat(tolerance > 0.0, "UniqueTable: tolerance must be positive");
+}
+
+std::int64_t UniqueTable::bucketOf(double value, double tolerance) {
+    return static_cast<std::int64_t>(std::llround(value / tolerance));
+}
+
+bool UniqueTable::entryMatches(const Shard& shard, std::uint32_t entry, std::uint32_t site,
                                const NodeRef* children, const std::int64_t* re,
-                               const std::int64_t* im, std::size_t arity) const noexcept {
-    if (entrySite_[entry] != site || entryArity_[entry] != arity) {
+                               const std::int64_t* im, std::size_t arity) noexcept {
+    if (shard.entrySite[entry] != site || shard.entryArity[entry] != arity) {
         return false;
     }
-    const std::uint64_t offset = entryOffset_[entry];
+    const std::uint64_t offset = shard.entryOffset[entry];
     for (std::size_t k = 0; k < arity; ++k) {
-        if (keyChildren_[offset + k] != children[k] || keyRe_[offset + k] != re[k] ||
-            keyIm_[offset + k] != im[k]) {
+        if (shard.keyChildren[offset + k] != children[k] || shard.keyRe[offset + k] != re[k] ||
+            shard.keyIm[offset + k] != im[k]) {
             return false;
         }
     }
     return true;
 }
 
-void UniqueTable::grow() {
-    const std::size_t capacity = slots_.empty() ? initialCapacity_ : slots_.size() * 2;
-    slots_.assign(capacity, 0);
-    if (!entryHash_.empty()) {
-        ++stats_.grows;
+void UniqueTable::growShard(Shard& shard) {
+    const std::size_t capacity =
+        shard.slots.empty() ? initialShardCapacity_ : shard.slots.size() * 2;
+    shard.slots.assign(capacity, 0);
+    if (!shard.entryHash.empty()) {
+        ++shard.stats.grows;
     }
     const std::size_t mask = capacity - 1;
-    for (std::uint32_t entry = 0; entry < entryHash_.size(); ++entry) {
-        std::size_t slot = static_cast<std::size_t>(entryHash_[entry]) & mask;
-        while (slots_[slot] != 0) {
+    for (std::uint32_t entry = 0; entry < shard.entryHash.size(); ++entry) {
+        std::size_t slot = static_cast<std::size_t>(shard.entryHash[entry]) & mask;
+        while (shard.slots[slot] != 0) {
             slot = (slot + 1) & mask;
         }
-        slots_[slot] = entry + 1;
+        shard.slots[slot] = entry + 1;
     }
 }
 
-NodeRef UniqueTable::findOrInsertRaw(std::uint32_t site, const NodeRef* children,
-                                     const Complex* weights, std::size_t arity,
-                                     NodeRef fresh) {
-    scratchChildren_.resize(arity);
-    scratchRe_.resize(arity);
-    scratchIm_.resize(arity);
-    for (std::size_t k = 0; k < arity; ++k) {
-        scratchChildren_[k] = children[k];
-        scratchRe_[k] = bucketOf(weights[k].real(), tolerance_);
-        scratchIm_[k] = bucketOf(weights[k].imag(), tolerance_);
+NodeRef UniqueTable::probeShard(Shard& shard, std::uint64_t hash, std::uint32_t site,
+                                const NodeRef* children, const std::int64_t* re,
+                                const std::int64_t* im, std::size_t arity, NodeRef fresh,
+                                const detail::MakeNodeFnRef* makeFresh) {
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    if (sharded_) {
+        lock.lock();
     }
-    return probe(site, arity, fresh);
+    // Grow ahead of the insert that would cross the 0.7 load factor (the
+    // first lookup allocates the initial slot array).
+    if (shard.slots.empty() || (shard.entryHash.size() + 1) * 10 >= shard.slots.size() * 7) {
+        growShard(shard);
+    }
+    const std::size_t mask = shard.slots.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    ++shard.stats.lookups;
+    while (shard.slots[slot] != 0) {
+        const std::uint32_t entry = shard.slots[slot] - 1;
+        if (shard.entryHash[entry] == hash &&
+            entryMatches(shard, entry, site, children, re, im, arity)) {
+            ++shard.stats.hits;
+            return shard.entryValue[entry];
+        }
+        ++shard.stats.probeSteps;
+        slot = (slot + 1) & mask;
+    }
+    ++shard.stats.misses;
+    if (makeFresh == nullptr && fresh == kNoNode) {
+        // Pure lookup: report the miss without recording a key.
+        return kNoNode;
+    }
+    // Allocate under the shard lock (concurrent protocol) or take the
+    // caller's tentative node (single-threaded protocol); either way the
+    // key copy below happens before the lock is released, so the next
+    // prober of this key sees the canonical entry.
+    const NodeRef value = makeFresh != nullptr ? (*makeFresh)() : fresh;
+    const std::uint64_t offset = shard.keyChildren.size();
+    shard.keyChildren.insert(shard.keyChildren.end(), children, children + arity);
+    shard.keyRe.insert(shard.keyRe.end(), re, re + arity);
+    shard.keyIm.insert(shard.keyIm.end(), im, im + arity);
+    shard.entryHash.push_back(hash);
+    shard.entrySite.push_back(site);
+    shard.entryValue.push_back(value);
+    shard.entryOffset.push_back(offset);
+    shard.entryArity.push_back(static_cast<std::uint32_t>(arity));
+    shard.slots[slot] = static_cast<std::uint32_t>(shard.entryHash.size());
+    return value;
+}
+
+NodeRef UniqueTable::dispatch(std::uint32_t site, const NodeRef* children,
+                              const Complex* weights, const DDEdge* edges, std::size_t arity,
+                              NodeRef fresh, const detail::MakeNodeFnRef* makeFresh) {
+    ScratchKey& scratch = tlsScratch;
+    scratch.children.resize(arity);
+    scratch.re.resize(arity);
+    scratch.im.resize(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        const NodeRef child = edges != nullptr ? edges[k].node : children[k];
+        const Complex weight = edges != nullptr ? edges[k].weight : weights[k];
+        scratch.children[k] = child;
+        scratch.re[k] = bucketOf(weight.real(), tolerance_);
+        scratch.im[k] = bucketOf(weight.imag(), tolerance_);
+    }
+    const std::uint64_t hash =
+        hashKey(site, scratch.children.data(), scratch.re.data(), scratch.im.data(), arity);
+    Shard& shard = shards_[(hash >> 60U) & (kShardCount - 1)];
+    return probeShard(shard, hash, site, scratch.children.data(), scratch.re.data(),
+                      scratch.im.data(), arity, fresh, makeFresh);
 }
 
 NodeRef UniqueTable::findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges,
                                   NodeRef fresh) {
-    const std::size_t arity = edges.size();
-    scratchChildren_.resize(arity);
-    scratchRe_.resize(arity);
-    scratchIm_.resize(arity);
-    for (std::size_t k = 0; k < arity; ++k) {
-        scratchChildren_[k] = edges[k].node;
-        scratchRe_[k] = bucketOf(edges[k].weight.real(), tolerance_);
-        scratchIm_[k] = bucketOf(edges[k].weight.imag(), tolerance_);
-    }
-    return probe(site, arity, fresh);
+    return dispatch(site, nullptr, nullptr, edges.data(), edges.size(), fresh, nullptr);
 }
 
-NodeRef UniqueTable::probe(std::uint32_t site, std::size_t arity, NodeRef fresh) {
-    // Grow ahead of the insert that would cross the 0.7 load factor (the
-    // first lookup allocates the initial slot array).
-    if (slots_.empty() || (entryHash_.size() + 1) * 10 >= slots_.size() * 7) {
-        grow();
-    }
-    const std::uint64_t hash =
-        hashKey(site, scratchChildren_.data(), scratchRe_.data(), scratchIm_.data(), arity);
-    const std::size_t mask = slots_.size() - 1;
-    std::size_t slot = static_cast<std::size_t>(hash) & mask;
-    ++stats_.lookups;
-    while (slots_[slot] != 0) {
-        const std::uint32_t entry = slots_[slot] - 1;
-        if (entryHash_[entry] == hash &&
-            entryMatches(entry, site, scratchChildren_.data(), scratchRe_.data(),
-                         scratchIm_.data(), arity)) {
-            ++stats_.hits;
-            return entryValue_[entry];
+NodeRef UniqueTable::findOrInsertRaw(std::uint32_t site, const NodeRef* children,
+                                     const Complex* weights, std::size_t arity, NodeRef fresh) {
+    return dispatch(site, children, weights, nullptr, arity, fresh, nullptr);
+}
+
+NodeRef UniqueTable::findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges,
+                                  const detail::MakeNodeFnRef& makeFresh) {
+    return dispatch(site, nullptr, nullptr, edges.data(), edges.size(), kNoNode, &makeFresh);
+}
+
+NodeRef UniqueTable::findOrInsertRaw(std::uint32_t site, const NodeRef* children,
+                                     const Complex* weights, std::size_t arity,
+                                     const detail::MakeNodeFnRef& makeFresh) {
+    return dispatch(site, children, weights, nullptr, arity, kNoNode, &makeFresh);
+}
+
+UniqueTableStats UniqueTable::stats() const {
+    UniqueTableStats total;
+    for (const Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+        if (sharded_) {
+            lock.lock();
         }
-        ++stats_.probeSteps;
-        slot = (slot + 1) & mask;
+        total.lookups += shard.stats.lookups;
+        total.hits += shard.stats.hits;
+        total.misses += shard.stats.misses;
+        total.probeSteps += shard.stats.probeSteps;
+        total.grows += shard.stats.grows;
     }
-    if (fresh == kNoNode) {
-        // Pure lookup: report the miss without recording a key.
-        ++stats_.misses;
-        return kNoNode;
+    return total;
+}
+
+std::size_t UniqueTable::size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+        if (sharded_) {
+            lock.lock();
+        }
+        total += shard.entryHash.size();
     }
-    ++stats_.misses;
-    const std::uint64_t offset = keyChildren_.size();
-    keyChildren_.insert(keyChildren_.end(), scratchChildren_.begin(), scratchChildren_.end());
-    keyRe_.insert(keyRe_.end(), scratchRe_.begin(), scratchRe_.end());
-    keyIm_.insert(keyIm_.end(), scratchIm_.begin(), scratchIm_.end());
-    entryHash_.push_back(hash);
-    entrySite_.push_back(site);
-    entryValue_.push_back(fresh);
-    entryOffset_.push_back(offset);
-    entryArity_.push_back(static_cast<std::uint32_t>(arity));
-    slots_[slot] = static_cast<std::uint32_t>(entryHash_.size());
-    return fresh;
+    return total;
+}
+
+std::size_t UniqueTable::capacity() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+        if (sharded_) {
+            lock.lock();
+        }
+        total += shard.slots.size();
+    }
+    return total;
+}
+
+void UniqueTable::resetStats() {
+    for (Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+        if (sharded_) {
+            lock.lock();
+        }
+        shard.stats = UniqueTableStats{};
+    }
 }
 
 // --- ComputeCache ----------------------------------------------------------
 
 ComputeCache::ComputeCache(double tolerance, std::size_t slots)
-    : tolerance_(tolerance), slotCount_(roundUpPowerOfTwo(slots)) {}
+    : tolerance_(tolerance),
+      slotCount_(roundUpPowerOfTwo(slots)),
+      stripeMask_(std::min(kMaxStripes, slotCount_) - 1) {}
 
 std::size_t ComputeCache::slotOf(Op op, NodeRef x, NodeRef y, std::int64_t re,
                                  std::int64_t im) const noexcept {
@@ -170,81 +258,143 @@ std::size_t ComputeCache::slotOf(Op op, NodeRef x, NodeRef y, std::int64_t re,
     return static_cast<std::size_t>(h) & (slotCount_ - 1);
 }
 
-const ComputeCache::Result* ComputeCache::lookup(Op op, NodeRef x, NodeRef y,
-                                                 const Complex& ratio) {
-    ++stats_.lookups;
-    if (entries_.empty()) {
-        ++stats_.misses;
-        return nullptr;
+void ComputeCache::ensureAllocated() {
+    if (allocated_.load(std::memory_order_acquire)) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(allocMutex_);
+    if (!allocated_.load(std::memory_order_relaxed)) {
+        entries_ = std::make_unique<Entry[]>(slotCount_);
+        stripes_ = std::make_unique<std::mutex[]>(stripeMask_ + 1);
+        // Release: the arrays are fully constructed before any thread that
+        // observes allocated_ == true dereferences them.
+        allocated_.store(true, std::memory_order_release);
+    }
+}
+
+std::optional<ComputeCache::Result> ComputeCache::lookup(Op op, NodeRef x, NodeRef y,
+                                                         const Complex& ratio) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (!allocated_.load(std::memory_order_acquire)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
     }
     const std::int64_t re = UniqueTable::bucketOf(ratio.real(), tolerance_);
     const std::int64_t im = UniqueTable::bucketOf(ratio.imag(), tolerance_);
-    const Entry& entry = entries_[slotOf(op, x, y, re, im)];
-    if (entry.valid && entry.op == op && entry.x == x && entry.y == y &&
-        entry.ratioRe == re && entry.ratioIm == im) {
-        ++stats_.hits;
-        return &entry.result;
+    const std::size_t slot = slotOf(op, x, y, re, im);
+    std::optional<Result> result;
+    {
+        const std::lock_guard<std::mutex> lock(stripes_[slot & stripeMask_]);
+        const Entry& entry = entries_[slot];
+        if (entry.valid && entry.op == op && entry.x == x && entry.y == y &&
+            entry.ratioRe == re && entry.ratioIm == im) {
+            result = entry.result;
+        }
     }
-    ++stats_.misses;
-    return nullptr;
+    if (result.has_value()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
 }
 
 void ComputeCache::store(Op op, NodeRef x, NodeRef y, const Complex& ratio,
                          const Result& result) {
-    if (entries_.empty()) {
-        entries_.resize(slotCount_);
-    }
+    ensureAllocated();
     const std::int64_t re = UniqueTable::bucketOf(ratio.real(), tolerance_);
     const std::int64_t im = UniqueTable::bucketOf(ratio.imag(), tolerance_);
-    Entry& entry = entries_[slotOf(op, x, y, re, im)];
-    if (entry.valid) {
-        ++stats_.evictions;
+    const std::size_t slot = slotOf(op, x, y, re, im);
+    bool evicted = false;
+    {
+        const std::lock_guard<std::mutex> lock(stripes_[slot & stripeMask_]);
+        Entry& entry = entries_[slot];
+        evicted = entry.valid;
+        entry = Entry{x, y, re, im, result, op, true};
     }
-    entry = Entry{x, y, re, im, result, op, true};
+    if (evicted) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ComputeCacheStats ComputeCache::stats() const noexcept {
+    ComputeCacheStats stats;
+    stats.lookups = lookups_.load(std::memory_order_relaxed);
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void ComputeCache::resetStats() noexcept {
+    lookups_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
 }
 
 // --- DdNodeStore -----------------------------------------------------------
 
 DdNodeStore::DdNodeStore(Mode mode, double tolerance)
-    : mode_(mode), tolerance_(tolerance), table_(tolerance), computeCache_(tolerance) {
+    : mode_(mode),
+      tolerance_(tolerance),
+      table_(tolerance, /*initialCapacity=*/256,
+             mode == Mode::Interning ? UniqueTable::Concurrency::Sharded
+                                     : UniqueTable::Concurrency::Serial),
+      computeCache_(tolerance) {
     // Pool slot 0 is the unique terminal node.
-    nodes_.push_back(DDNode{DDNode::kTerminalSite, {}});
+    pool_.append(DDNode{DDNode::kTerminalSite, {}});
+}
+
+DdNodeStore::DdNodeStore(const DdNodeStore& other)
+    : mode_(other.mode_),
+      tolerance_(other.tolerance_),
+      table_(other.tolerance_),
+      computeCache_(other.tolerance_) {
+    // Only private stores are ever deep-copied (DecisionDiagram value
+    // semantics); their table and cache are empty by construction, so
+    // copying the nodes is copying the store.
+    requireThat(!other.interning(),
+                "DdNodeStore: deep copy of a session-shared store (session diagrams alias "
+                "their store instead)");
+    pool_.copyFrom(other.pool_);
 }
 
 const DDNode& DdNodeStore::node(NodeRef ref) const {
-    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
-    return nodes_[ref];
+    requireThat(ref < pool_.size(), "DecisionDiagram::node: invalid reference");
+    return pool_.at(ref);
 }
 
 DDNode& DdNodeStore::mutableNode(NodeRef ref) {
     requireThat(!interning(),
                 "DdNodeStore: in-place node mutation is forbidden on a session-shared "
                 "(interning) store — detach the diagram first");
-    requireThat(ref < nodes_.size(), "DecisionDiagram::node: invalid reference");
-    return nodes_[ref];
+    requireThat(ref < pool_.size(), "DecisionDiagram::node: invalid reference");
+    return pool_.at(ref);
 }
 
 NodeRef DdNodeStore::allocate(std::uint32_t site, std::vector<DDEdge> edges) {
-    nodes_.push_back(DDNode{site, std::move(edges)});
-    ensureThat(nodes_.size() - 1 < kNoNode, "DecisionDiagram: node pool exhausted");
-    const auto fresh = static_cast<NodeRef>(nodes_.size() - 1);
+    ensureThat(pool_.size() < kNoNode, "DecisionDiagram: node pool exhausted");
     if (!interning()) {
-        return fresh;
+        return pool_.append(DDNode{site, std::move(edges)});
     }
-    // Tentatively appended; one probe either records it as canonical or
-    // finds the existing twin, in which case the tail node (referenced by
-    // nobody yet) is simply popped again — no garbage, no double hashing.
-    const NodeRef canonical = table_.findOrInsert(site, nodes_.back().edges, fresh);
-    if (canonical != fresh) {
-        nodes_.pop_back();
-    }
-    return canonical;
+    // Interning: the probe and the append are one step under the key's
+    // shard lock — `makeFresh` runs only on a genuine miss, so exactly one
+    // node is ever created per distinct structural key, however many batch
+    // items race on it, and a hit allocates nothing at all.
+    const auto makeFresh = [&]() -> NodeRef {
+        return pool_.append(DDNode{site, std::move(edges)});
+    };
+    return table_.findOrInsert(site, edges, detail::MakeNodeFnRef(makeFresh));
 }
 
 void DdNodeStore::replaceNodes(std::vector<DDNode> nodes) {
     requireThat(!interning(),
                 "DdNodeStore: pool replacement is forbidden on a session-shared store");
-    nodes_ = std::move(nodes);
+    pool_.clear();
+    for (DDNode& node : nodes) {
+        pool_.append(std::move(node));
+    }
 }
 
 // --- DdSession -------------------------------------------------------------
@@ -307,8 +457,9 @@ DecisionDiagram DdSession::intern(const DecisionDiagram& diagram) const {
         if (const auto it = memo.find(ref); it != memo.end()) {
             return it->second;
         }
-        // Copy the shape up front: the source node reference must not be
-        // held across the allocating recursion below.
+        // Copy the shape up front: the source may live on a private store
+        // whose pool the recursion below is unrelated to, but keeping the
+        // access pattern uniform costs nothing.
         const std::uint32_t site = diagram.node(ref).site;
         std::vector<DDEdge> edges = diagram.node(ref).edges;
         for (auto& edge : edges) {
@@ -325,7 +476,7 @@ DecisionDiagram DdSession::intern(const DecisionDiagram& diagram) const {
     return result;
 }
 
-DdSessionStats DdSession::stats() const noexcept {
+DdSessionStats DdSession::stats() const {
     DdSessionStats stats;
     stats.poolNodes = store_->size();
     stats.unique = store_->uniqueTable().stats();
@@ -333,7 +484,7 @@ DdSessionStats DdSession::stats() const noexcept {
     return stats;
 }
 
-void DdSession::resetStats() noexcept {
+void DdSession::resetStats() {
     store_->uniqueTable().resetStats();
     store_->computeCache().resetStats();
 }

@@ -1,9 +1,9 @@
 #pragma once
 
 // Session-scoped decision-diagram memory: the node types shared by every DD
-// file, an open-addressed uniquing table that hash-conses nodes at
-// allocation time, a small direct-mapped compute cache for the recursive DD
-// addition, and the `DdSession` that owns both for the lifetime of a
+// file, a sharded open-addressed uniquing table that hash-conses nodes at
+// allocation time, a striped direct-mapped compute cache for the recursive
+// DD addition, and the `DdSession` that owns both for the lifetime of a
 // backend.
 //
 // Two allocation regimes share one node-pool abstraction (`DdNodeStore`):
@@ -21,16 +21,40 @@
 //    (cutEdge/renormalize) refuse, copies of session diagrams share the
 //    store, and lifetime is owned by the session, not by any one diagram.
 //
-// The table is deliberately single-threaded (one session per coordinating
-// thread, matching the EvaluationBackend threading contract); the concurrent
-// table the parallel-DD roadmap item needs will build on this layout.
+// Concurrency model (the multicore substrate behind prepareAndVerifyBatch):
+//
+//  * The table is split into kShardCount shards selected by the top bits of
+//    the key hash (slot probing uses the low bits, so shard choice and slot
+//    distribution are independent). An interning store constructs its table
+//    `Sharded`: findOrInsert takes the owning shard's mutex, so concurrent
+//    batch items intern into one shared pool and a distinct structural key
+//    maps to exactly one NodeRef regardless of interleaving. Serial tables
+//    (private stores, reduce()'s transient table) run the same code without
+//    locking.
+//  * Nodes live in a chunked pool with geometrically growing blocks; a
+//    node's address never changes once allocated, so readers follow NodeRefs
+//    out of edges without any pool-wide lock. Block pointers are published
+//    with release/acquire ordering; a NodeRef itself is only ever obtained
+//    through a shard mutex (allocation) or from the edges of a node that
+//    was, so the writes constructing a node happen-before every read of it
+//    by mutex-chain transitivity. The memory-ordering contract is spelled
+//    out in docs/ARCHITECTURE.md ("DD session memory").
+//  * The compute cache synchronizes entry access with striped mutexes and
+//    keeps its counters in relaxed atomics; entries are copied out whole
+//    under the stripe lock, so a concurrent overwrite can cost a hit but
+//    never tears a Result.
 
 #include "mqsp/complexnum/complex.hpp"
 #include "mqsp/support/mixed_radix.hpp"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 namespace mqsp {
@@ -75,6 +99,125 @@ struct DDNode {
 
 namespace dd {
 
+namespace detail {
+
+/// Non-owning reference to a `NodeRef()` callable — the allocation hook
+/// findOrInsert invokes (under the shard lock) when a key misses, so the
+/// probe and the pool append are one atomic step and no tentative node is
+/// ever created for a key that hits.
+class MakeNodeFnRef {
+public:
+    template <typename Fn>
+    MakeNodeFnRef(Fn& fn) // NOLINT(google-explicit-constructor): binder type
+        : ctx_(const_cast<void*>(static_cast<const void*>(&fn))),
+          call_([](void* ctx) -> NodeRef { return (*static_cast<Fn*>(ctx))(); }) {}
+
+    NodeRef operator()() const { return call_(ctx_); }
+
+private:
+    void* ctx_;
+    NodeRef (*call_)(void*);
+};
+
+/// Chunked node pool with stable addresses: storage grows by appending
+/// geometrically sized blocks (block 0 holds 64 nodes, block b >= 1 holds
+/// 64·2^(b-1)), so a node's address never moves after allocation — the
+/// property that lets concurrent readers follow NodeRefs without a pool
+/// lock, and that makes holding a node reference across an allocating
+/// recursion safe. `append` may be called concurrently (the interning path
+/// calls it under a shard mutex; distinct shards race); `size()` is the
+/// number of reserved slots and, once the racing appends have been
+/// published, the number of constructed nodes. `clear`/`copyFrom` are
+/// single-threaded (private-store maintenance only).
+template <typename NodeT>
+class ChunkedNodePool {
+public:
+    ChunkedNodePool() = default;
+    ~ChunkedNodePool() { destroyBlocks(); }
+    ChunkedNodePool(const ChunkedNodePool&) = delete;
+    ChunkedNodePool& operator=(const ChunkedNodePool&) = delete;
+
+    std::uint32_t append(NodeT node) {
+        const std::uint32_t index = size_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t block = blockIndexOf(index);
+        NodeT* storage = blocks_[block].load(std::memory_order_acquire);
+        if (storage == nullptr) {
+            storage = ensureBlock(block);
+        }
+        storage[index - blockBase(block)] = std::move(node);
+        return index;
+    }
+
+    [[nodiscard]] const NodeT& at(std::uint32_t index) const noexcept {
+        const std::size_t block = blockIndexOf(index);
+        return blocks_[block].load(std::memory_order_acquire)[index - blockBase(block)];
+    }
+
+    [[nodiscard]] NodeT& at(std::uint32_t index) noexcept {
+        const std::size_t block = blockIndexOf(index);
+        return blocks_[block].load(std::memory_order_acquire)[index - blockBase(block)];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    void clear() {
+        destroyBlocks();
+        size_.store(0, std::memory_order_relaxed);
+    }
+
+    void copyFrom(const ChunkedNodePool& other) {
+        clear();
+        const std::size_t count = other.size();
+        for (std::size_t i = 0; i < count; ++i) {
+            append(other.at(static_cast<std::uint32_t>(i)));
+        }
+    }
+
+private:
+    static constexpr std::uint32_t kFirstBlockSize = 64;
+    /// Block b >= 1 spans [64·2^(b-1), 64·2^b); 27 blocks cover the full
+    /// 32-bit NodeRef range.
+    static constexpr std::size_t kMaxBlocks = 27;
+
+    [[nodiscard]] static constexpr std::size_t blockIndexOf(std::uint32_t index) noexcept {
+        const std::uint32_t chunk = index / kFirstBlockSize;
+        return chunk == 0 ? 0 : static_cast<std::size_t>(std::bit_width(chunk));
+    }
+    [[nodiscard]] static constexpr std::uint32_t blockBase(std::size_t block) noexcept {
+        return block == 0 ? 0U : kFirstBlockSize << (block - 1);
+    }
+    [[nodiscard]] static constexpr std::uint32_t blockSize(std::size_t block) noexcept {
+        return block == 0 ? kFirstBlockSize : kFirstBlockSize << (block - 1);
+    }
+
+    NodeT* ensureBlock(std::size_t block) {
+        const std::lock_guard<std::mutex> lock(growMutex_);
+        NodeT* storage = blocks_[block].load(std::memory_order_relaxed);
+        if (storage == nullptr) {
+            storage = new NodeT[blockSize(block)];
+            // Release: the default-constructed elements are fully built
+            // before any appender (or reader) acquires the pointer.
+            blocks_[block].store(storage, std::memory_order_release);
+        }
+        return storage;
+    }
+
+    void destroyBlocks() {
+        for (auto& block : blocks_) {
+            delete[] block.load(std::memory_order_relaxed);
+            block.store(nullptr, std::memory_order_relaxed);
+        }
+    }
+
+    std::array<std::atomic<NodeT*>, kMaxBlocks> blocks_{};
+    std::atomic<std::uint32_t> size_{0};
+    std::mutex growMutex_; ///< serializes block creation only
+};
+
+} // namespace detail
+
 /// Counters of one uniquing table. `hits` are lookups answered by an
 /// existing entry (a sub-tree someone already built this session); `misses`
 /// inserted a new one. `probeSteps` counts open-addressing displacements —
@@ -103,25 +246,44 @@ struct ComputeCacheStats {
     }
 };
 
-/// Open-addressed (linear-probing) uniquing table mapping a node's
+/// Sharded open-addressed (linear-probing) uniquing table mapping a node's
 /// structural key — site, child refs, and edge weights bucketed to the
 /// merge tolerance — to the canonical NodeRef that first materialized it.
 /// The table does not own nodes; it maps keys to refs of whatever pool the
 /// caller allocates from (DdNodeStore for vector DDs, MatrixDdStore for
 /// operator DDs — whose dim^2-ary nodes reuse the same key layout).
 ///
-/// Keys are stored in flat arenas (one children array, one bucket array per
-/// component) rather than per-entry vectors, so growth rehashes by cached
-/// hash without touching the keys.
+/// Keys are stored in per-shard flat arenas (one children array, one bucket
+/// array per component) rather than per-entry vectors, so growth rehashes
+/// by cached hash without touching the keys. A key's shard is fixed by the
+/// top bits of its hash, so the per-shard key sets — and with them `size()`
+/// and the lookup/hit/miss counters of deterministic workloads — are
+/// invariant under thread count and insertion interleaving; only
+/// `probeSteps` (probe-order dependent) may vary between concurrent runs.
 class UniqueTable {
 public:
-    explicit UniqueTable(double tolerance, std::size_t initialCapacity = 256);
+    /// Locking regime, fixed at construction.
+    enum class Concurrency : std::uint8_t {
+        Serial,  ///< single-threaded callers: no locking (private stores,
+                 ///< reduce()'s transient tables)
+        Sharded, ///< findOrInsert* take the owning shard's mutex; safe for
+                 ///< concurrent use (interning stores)
+    };
+
+    explicit UniqueTable(double tolerance, std::size_t initialCapacity = 256,
+                         Concurrency concurrency = Concurrency::Serial);
+
+    UniqueTable(const UniqueTable&) = delete;
+    UniqueTable& operator=(const UniqueTable&) = delete;
 
     /// Canonical ref for (site, edges): the existing entry when one
     /// matches, else `fresh` — which the caller must have just allocated —
     /// recorded as the canonical node for this key. Returns the canonical
     /// ref; `fresh == kNoNode` performs a pure lookup (returns kNoNode on
     /// miss without recording anything, and without counting a miss).
+    /// Single-threaded protocol: the caller pops its tentative node when
+    /// the return value differs from `fresh`. Concurrent interners use the
+    /// MakeNodeFnRef overload instead.
     NodeRef findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges, NodeRef fresh);
 
     /// findOrInsert for operator-DD edge lists (node + weight pairs laid
@@ -129,47 +291,73 @@ public:
     NodeRef findOrInsertRaw(std::uint32_t site, const NodeRef* children,
                             const Complex* weights, std::size_t arity, NodeRef fresh);
 
-    [[nodiscard]] const UniqueTableStats& stats() const noexcept { return stats_; }
-    [[nodiscard]] std::size_t size() const noexcept { return entrySite_.size(); }
-    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+    /// Interning protocol: probe under the shard lock and, on a miss, call
+    /// `makeFresh()` — still under the lock — to allocate the node and
+    /// record its ref as canonical. Exactly one allocation happens per
+    /// distinct key however many threads race on it, and no tentative node
+    /// is ever created for a key that hits.
+    NodeRef findOrInsert(std::uint32_t site, const std::vector<DDEdge>& edges,
+                         const detail::MakeNodeFnRef& makeFresh);
+    NodeRef findOrInsertRaw(std::uint32_t site, const NodeRef* children,
+                            const Complex* weights, std::size_t arity,
+                            const detail::MakeNodeFnRef& makeFresh);
+
+    /// Counters summed over the shards (by value: a Sharded table's shards
+    /// are locked one at a time, so the sum is a consistent snapshot only
+    /// at quiescence — which is when the session metrics are read).
+    [[nodiscard]] UniqueTableStats stats() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const;
     [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
-    void resetStats() noexcept { stats_ = UniqueTableStats{}; }
+    void resetStats();
 
     /// Weight-bucketing shared with the historical reduce(): values within
     /// one tolerance bucket are treated as the same canonical weight.
     [[nodiscard]] static std::int64_t bucketOf(double value, double tolerance);
 
 private:
-    [[nodiscard]] std::uint64_t hashKey(std::uint32_t site, const NodeRef* children,
-                                        const std::int64_t* re, const std::int64_t* im,
-                                        std::size_t arity) const noexcept;
-    [[nodiscard]] bool entryMatches(std::uint32_t entry, std::uint32_t site,
-                                    const NodeRef* children, const std::int64_t* re,
-                                    const std::int64_t* im, std::size_t arity) const noexcept;
-    /// Probe for the key currently held in the scratch buffers.
-    NodeRef probe(std::uint32_t site, std::size_t arity, NodeRef fresh);
-    void grow();
+    /// One shard: a complete open-addressed table over its share of the key
+    /// space, with its own entry records, key arenas, stats, and mutex.
+    struct Shard {
+        /// Slot array: entry index + 1, 0 = empty. Power-of-two capacity.
+        std::vector<std::uint32_t> slots;
+        /// Per-entry records (parallel arrays; index = insertion order).
+        std::vector<std::uint64_t> entryHash;
+        std::vector<std::uint32_t> entrySite;
+        std::vector<NodeRef> entryValue;
+        std::vector<std::uint64_t> entryOffset;
+        std::vector<std::uint32_t> entryArity;
+        /// Flat key arenas.
+        std::vector<NodeRef> keyChildren;
+        std::vector<std::int64_t> keyRe;
+        std::vector<std::int64_t> keyIm;
+
+        UniqueTableStats stats;
+        mutable std::mutex mutex; ///< taken only by Sharded tables
+    };
+
+    /// Power-of-two shard count; the shard index is the hash's top nibble,
+    /// independent of the slot index (low bits).
+    static constexpr std::size_t kShardCount = 16;
+
+    [[nodiscard]] static bool entryMatches(const Shard& shard, std::uint32_t entry,
+                                           std::uint32_t site, const NodeRef* children,
+                                           const std::int64_t* re, const std::int64_t* im,
+                                           std::size_t arity) noexcept;
+    /// Probe `shard` (locking it first when Sharded) for the given key.
+    NodeRef probeShard(Shard& shard, std::uint64_t hash, std::uint32_t site,
+                       const NodeRef* children, const std::int64_t* re, const std::int64_t* im,
+                       std::size_t arity, NodeRef fresh,
+                       const detail::MakeNodeFnRef* makeFresh);
+    void growShard(Shard& shard);
+    NodeRef dispatch(std::uint32_t site, const NodeRef* children, const Complex* weights,
+                     const DDEdge* edges, std::size_t arity, NodeRef fresh,
+                     const detail::MakeNodeFnRef* makeFresh);
 
     double tolerance_;
-    std::size_t initialCapacity_;
-    /// Slot array: entry index + 1, 0 = empty. Power-of-two capacity.
-    std::vector<std::uint32_t> slots_;
-    /// Per-entry records (parallel arrays; index = insertion order).
-    std::vector<std::uint64_t> entryHash_;
-    std::vector<std::uint32_t> entrySite_;
-    std::vector<NodeRef> entryValue_;
-    std::vector<std::uint64_t> entryOffset_;
-    std::vector<std::uint32_t> entryArity_;
-    /// Flat key arenas.
-    std::vector<NodeRef> keyChildren_;
-    std::vector<std::int64_t> keyRe_;
-    std::vector<std::int64_t> keyIm_;
-    /// Scratch buffers reused across lookups (buckets of the probed key).
-    std::vector<std::int64_t> scratchRe_;
-    std::vector<std::int64_t> scratchIm_;
-    std::vector<NodeRef> scratchChildren_;
-
-    UniqueTableStats stats_;
+    std::size_t initialShardCapacity_;
+    bool sharded_;
+    std::array<Shard, kShardCount> shards_;
 };
 
 /// Direct-mapped operation cache (the classic DD-package compute table),
@@ -185,6 +373,14 @@ private:
 ///    (ratio unused, `value` is the overlap). Verification replays revisit
 ///    the same node pairs run after run; the session cache carries those
 ///    results across calls where a per-call memo cannot.
+///
+/// Thread safety: entry slots are guarded by striped mutexes (stripe =
+/// slot's low bits) and copied in and out whole, so concurrent lookups and
+/// stores never tear a Result — a racing overwrite can only turn a would-be
+/// hit into a miss. Counters are relaxed atomics. Hit/miss counts of
+/// concurrent workloads depend on the interleaving (eviction races), so
+/// batch metrics pin `dd_nodes`, which is interleaving-invariant, rather
+/// than cache rates.
 class ComputeCache {
 public:
     enum class Op : std::uint8_t { Add, InnerProduct };
@@ -196,13 +392,17 @@ public:
 
     explicit ComputeCache(double tolerance, std::size_t slots = std::size_t{1} << 16U);
 
-    /// nullptr on miss; the entry otherwise. `ratio` is y.weight / x.weight
-    /// for Add and ignored (pass {}) for InnerProduct.
-    [[nodiscard]] const Result* lookup(Op op, NodeRef x, NodeRef y, const Complex& ratio);
+    ComputeCache(const ComputeCache&) = delete;
+    ComputeCache& operator=(const ComputeCache&) = delete;
+
+    /// nullopt on miss; a copy of the entry otherwise. `ratio` is
+    /// y.weight / x.weight for Add and ignored (pass {}) for InnerProduct.
+    [[nodiscard]] std::optional<Result> lookup(Op op, NodeRef x, NodeRef y,
+                                               const Complex& ratio);
     void store(Op op, NodeRef x, NodeRef y, const Complex& ratio, const Result& result);
 
-    [[nodiscard]] const ComputeCacheStats& stats() const noexcept { return stats_; }
-    void resetStats() noexcept { stats_ = ComputeCacheStats{}; }
+    [[nodiscard]] ComputeCacheStats stats() const noexcept;
+    void resetStats() noexcept;
 
 private:
     struct Entry {
@@ -215,20 +415,34 @@ private:
         bool valid = false;
     };
 
+    static constexpr std::size_t kMaxStripes = 64;
+
     [[nodiscard]] std::size_t slotOf(Op op, NodeRef x, NodeRef y, std::int64_t re,
                                      std::int64_t im) const noexcept;
+    /// Allocate entries + stripe mutexes on the first store (double-checked
+    /// on `allocated_`), so diagram-private stores that never apply an
+    /// operation pay nothing for the cache.
+    void ensureAllocated();
 
     double tolerance_;
     std::size_t slotCount_;
-    /// Allocated lazily on the first store, so diagram-private stores that
-    /// never apply an operation pay nothing for the cache.
-    std::vector<Entry> entries_;
-    ComputeCacheStats stats_;
+    std::size_t stripeMask_;
+    std::unique_ptr<Entry[]> entries_;
+    std::unique_ptr<std::mutex[]> stripes_;
+    std::atomic<bool> allocated_{false};
+    std::mutex allocMutex_;
+    std::atomic<std::uint64_t> lookups_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// A decision-diagram node pool: the unique terminal at slot 0 plus every
 /// allocated internal node. Private stores append; interning stores route
-/// every allocation through the uniquing table (see file header).
+/// every allocation through the uniquing table (see file header). An
+/// interning store is safe for concurrent allocation and reading: the
+/// probe-then-allocate step runs under the key's shard mutex, and the
+/// chunked pool keeps node addresses stable so readers never need a lock.
 class DdNodeStore {
 public:
     enum class Mode {
@@ -237,17 +451,24 @@ public:
     };
 
     explicit DdNodeStore(Mode mode, double tolerance = Tolerance::kDefault);
+    /// Deep copy (DecisionDiagram value semantics). Private stores only:
+    /// session-backed diagrams alias their store instead of copying it.
+    DdNodeStore(const DdNodeStore& other);
+    DdNodeStore& operator=(const DdNodeStore&) = delete;
 
     [[nodiscard]] bool interning() const noexcept { return mode_ == Mode::Interning; }
     [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
-    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return pool_.size(); }
 
     [[nodiscard]] const DDNode& node(NodeRef ref) const;
     /// In-place access — refused on an interning store, whose nodes other
     /// diagrams may share.
     [[nodiscard]] DDNode& mutableNode(NodeRef ref);
 
-    /// Allocate (Private) or intern (Interning) a node.
+    /// Allocate (Private) or intern (Interning) a node. On an interning
+    /// store this is safe to call from concurrent batch items: exactly one
+    /// node is created per distinct structural key, and losers of an
+    /// insertion race receive the winner's canonical ref.
     NodeRef allocate(std::uint32_t site, std::vector<DDEdge> edges);
 
     /// Replace the whole pool (garbageCollect on a private store).
@@ -261,7 +482,7 @@ public:
 private:
     Mode mode_;
     double tolerance_;
-    std::vector<DDNode> nodes_;
+    detail::ChunkedNodePool<DDNode> pool_;
     UniqueTable table_;
     ComputeCache computeCache_;
 };
@@ -269,6 +490,9 @@ private:
 /// Aggregate statistics of one session: live pool size plus the uniquing
 /// and compute-cache counters — the `dd_nodes` / `unique_hit_rate` /
 /// `cache_hit_rate` metrics the bench harness and the CLI tools report.
+/// `poolNodes` (the distinct structural keys interned) is invariant under
+/// thread count and batch-item order; the hit rates of *concurrent* batches
+/// depend on the interleaving and are reported as observed.
 struct DdSessionStats {
     std::uint64_t poolNodes = 0; ///< allocated nodes incl. the terminal
     UniqueTableStats unique;
@@ -281,15 +505,16 @@ struct DdSessionStats {
 /// A DD evaluation session: one shared interning store for every diagram
 /// the owner touches. `DdBackend` holds one for its whole lifetime, so the
 /// target, the replayed state, and every per-gate intermediate of a
-/// verification run allocate from (and hit into) the same table.
+/// verification run allocate from (and hit into) the same table — including
+/// the items of a concurrent `prepareAndVerifyBatch`, which intern into
+/// this one session from every worker.
 ///
 /// Lifetime/ownership contract: diagrams built by a session hold a
 /// shared_ptr to the session's store, so they remain valid after the
 /// session object is gone — but they are immutable (the in-place mutators
 /// throw) and copying them is O(1) aliasing, not a deep copy. The session
 /// is deliberately scoped, not process-global: a global table would make
-/// node lifetime unmanageable across unrelated workloads and would bake in
-/// cross-thread contention before the concurrent-table work lands.
+/// node lifetime unmanageable across unrelated workloads.
 class DdSession {
 public:
     explicit DdSession(double tolerance = Tolerance::kDefault);
@@ -321,8 +546,8 @@ public:
     /// already built elsewhere come back as table hits.
     [[nodiscard]] DecisionDiagram intern(const DecisionDiagram& diagram) const;
 
-    [[nodiscard]] DdSessionStats stats() const noexcept;
-    void resetStats() noexcept;
+    [[nodiscard]] DdSessionStats stats() const;
+    void resetStats();
 
 private:
     std::shared_ptr<DdNodeStore> store_;

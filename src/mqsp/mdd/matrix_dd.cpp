@@ -10,38 +10,42 @@ namespace mqsp {
 
 namespace {
 constexpr std::uint32_t kTerminalSite = 0xffffffffU;
+
+/// Per-thread scratch split of an edge list into the (children, weights)
+/// layout the shared table hashes — thread-local so concurrent interners
+/// never share buffers.
+thread_local std::vector<MatrixDdStore::NodeRef> tlsChildren;
+thread_local std::vector<Complex> tlsWeights;
 } // namespace
 
 // --- MatrixDdStore ---------------------------------------------------------
 
-MatrixDdStore::MatrixDdStore(double tolerance) : table_(tolerance) {
+MatrixDdStore::MatrixDdStore(double tolerance, dd::UniqueTable::Concurrency concurrency)
+    : table_(tolerance, /*initialCapacity=*/256, concurrency) {
     // Pool slot 0 is the unique terminal node.
-    nodes_.push_back(Node{kTerminalSite, {}});
+    pool_.append(Node{kTerminalSite, {}});
 }
 
 const MatrixDdStore::Node& MatrixDdStore::node(NodeRef ref) const {
-    requireThat(ref < nodes_.size(), "MatrixDD: invalid node reference");
-    return nodes_[ref];
+    requireThat(ref < pool_.size(), "MatrixDD: invalid node reference");
+    return pool_.at(ref);
 }
 
 MatrixDdStore::NodeRef MatrixDdStore::intern(std::uint32_t site, std::vector<Edge> edges) {
-    scratchChildren_.resize(edges.size());
-    scratchWeights_.resize(edges.size());
+    ensureThat(pool_.size() < MatrixDD::kNull, "MatrixDD: node pool exhausted");
+    tlsChildren.resize(edges.size());
+    tlsWeights.resize(edges.size());
     for (std::size_t k = 0; k < edges.size(); ++k) {
-        scratchChildren_[k] = edges[k].node;
-        scratchWeights_[k] = edges[k].weight;
+        tlsChildren[k] = edges[k].node;
+        tlsWeights[k] = edges[k].weight;
     }
-    nodes_.push_back(Node{site, std::move(edges)});
-    ensureThat(nodes_.size() - 1 < MatrixDD::kNull, "MatrixDD: node pool exhausted");
-    const auto fresh = static_cast<NodeRef>(nodes_.size() - 1);
-    // Tentative append + single probe (see DdNodeStore::allocate): a hit
-    // pops the unreferenced tail node again.
-    const NodeRef canonical = table_.findOrInsertRaw(
-        site, scratchChildren_.data(), scratchWeights_.data(), scratchChildren_.size(), fresh);
-    if (canonical != fresh) {
-        nodes_.pop_back();
-    }
-    return canonical;
+    // Probe and append under the key's shard lock (see DdNodeStore::
+    // allocate): `makeFresh` runs only on a genuine miss.
+    const auto makeFresh = [&]() -> NodeRef {
+        return pool_.append(Node{site, std::move(edges)});
+    };
+    return table_.findOrInsertRaw(site, tlsChildren.data(), tlsWeights.data(),
+                                  tlsChildren.size(), dd::detail::MakeNodeFnRef(makeFresh));
 }
 
 // --- MatrixDD --------------------------------------------------------------
@@ -206,9 +210,9 @@ MatrixDD::Edge MatrixDD::addEdges(Edge a, Edge b, double tol) {
     }
     ensureThat(node(a.node).site == node(b.node).site,
                "MatrixDD::addEdges: site mismatch");
-    // Re-fetch through the NodeRefs on every access: the recursive call
-    // below appends to the (possibly shared) store and may reallocate the
-    // pool, so references into it must not be held across it.
+    // Node addresses are stable (chunked pool), so holding references
+    // across the allocating recursion below would be safe; per-edge
+    // re-fetches through the NodeRefs are kept for uniformity.
     const std::uint32_t site = node(a.node).site;
     const std::size_t arity = node(a.node).edges.size();
     std::vector<Edge> edges(arity);
@@ -285,9 +289,8 @@ MatrixDD MatrixDD::multiply(const MatrixDD& rhs, double tol) const {
         if (const auto it = memo.find(key); it != memo.end()) {
             return it->second;
         }
-        // Copy both operands' shapes up front: result may share the store
-        // with the operands, and the recursive product/addEdges calls below
-        // can reallocate the pool.
+        // Copy both operands' shapes up front (cheap, and keeps the inner
+        // loops independent of the allocating product/addEdges recursion).
         const std::uint32_t siteA = node(aRef).site;
         const std::vector<Edge> aEdges = node(aRef).edges;
         const std::vector<Edge> bEdges = rhs.node(bRef).edges;
@@ -337,8 +340,8 @@ MatrixDD::Edge MatrixDD::importFrom(const MatrixDD& source, NodeRef ref,
     if (const auto it = memo.find(ref); it != memo.end()) {
         return it->second;
     }
-    // Copy the source shape up front: with a shared store the allocating
-    // recursion below may reallocate the pool under a held reference.
+    // Copy the source shape up front (keeps the loop independent of the
+    // allocating recursion below).
     const std::uint32_t site = source.node(ref).site;
     const std::vector<Edge> sourceEdges = source.node(ref).edges;
     const Dimension dim = radix_.dimensionAt(site);

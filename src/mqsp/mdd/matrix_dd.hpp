@@ -19,7 +19,10 @@ namespace mqsp {
 /// operator a session touches (DdBackend's equivalence path): nodes are
 /// append-only and immutable, all allocation goes through the same
 /// open-addressed dd::UniqueTable as the vector-DD session store, and
-/// copying a MatrixDD aliases the store in O(1).
+/// copying a MatrixDD aliases the store in O(1). A store constructed
+/// `Sharded` is safe for concurrent interning from batch items: the probe
+/// and the pool append run under the key's shard mutex, and the chunked
+/// pool keeps node addresses stable so readers never lock.
 class MatrixDdStore {
 public:
     using NodeRef = std::uint32_t;
@@ -35,27 +38,28 @@ public:
         std::vector<Edge> edges; // dim(site)^2, row-major
     };
 
-    explicit MatrixDdStore(double tolerance = Tolerance::kDefault);
+    explicit MatrixDdStore(
+        double tolerance = Tolerance::kDefault,
+        dd::UniqueTable::Concurrency concurrency = dd::UniqueTable::Concurrency::Serial);
+
+    MatrixDdStore(const MatrixDdStore&) = delete;
+    MatrixDdStore& operator=(const MatrixDdStore&) = delete;
 
     [[nodiscard]] const Node& node(NodeRef ref) const;
-    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return pool_.size(); }
     [[nodiscard]] double tolerance() const noexcept { return table_.tolerance(); }
 
     /// Hash-consed allocation: the canonical ref of an existing structural
-    /// twin, or a freshly appended node.
+    /// twin, or a freshly appended node. On a Sharded store, exactly one
+    /// node is created per distinct structural key however many threads
+    /// race on it.
     NodeRef intern(std::uint32_t site, std::vector<Edge> edges);
 
-    [[nodiscard]] const dd::UniqueTableStats& uniqueStats() const noexcept {
-        return table_.stats();
-    }
+    [[nodiscard]] dd::UniqueTableStats uniqueStats() const { return table_.stats(); }
 
 private:
-    std::vector<Node> nodes_;
+    dd::detail::ChunkedNodePool<Node> pool_;
     dd::UniqueTable table_;
-    /// Scratch split of an edge list into the (children, weights) layout
-    /// the shared table hashes.
-    std::vector<NodeRef> scratchChildren_;
-    std::vector<Complex> scratchWeights_;
 };
 
 /// Edge-weighted matrix decision diagram for operators on mixed-dimensional

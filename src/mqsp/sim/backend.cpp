@@ -244,28 +244,18 @@ bool DenseBackend::circuitsEquivalent(const Circuit& a, const Circuit& b,
 DdBackend::DdBackend(double tolerance)
     : tolerance_(tolerance),
       session_(std::make_shared<dd::DdSession>(tolerance)),
-      matrixStore_(std::make_shared<MatrixDdStore>(tolerance)) {}
+      matrixStore_(std::make_shared<MatrixDdStore>(
+          tolerance, dd::UniqueTable::Concurrency::Sharded)) {}
 
 DdBackend::DdBackend(double tolerance, parallel::ExecutionConfig config)
     : EvaluationBackend(config),
       tolerance_(tolerance),
       session_(std::make_shared<dd::DdSession>(tolerance)),
-      matrixStore_(std::make_shared<MatrixDdStore>(tolerance)) {}
-
-std::shared_ptr<dd::DdSession> DdBackend::activeSession() const {
-    // Inside a parallel region this call may be one of several batch items
-    // running concurrently; the shared table is single-threaded, so each
-    // item evaluates on its own transient session (correctness and
-    // per-item determinism over cross-item sharing). The coordinating
-    // thread always lands on the long-lived session.
-    if (parallel::insideParallelRegion()) {
-        return std::make_shared<dd::DdSession>(tolerance_);
-    }
-    return session_;
-}
+      matrixStore_(std::make_shared<MatrixDdStore>(
+          tolerance, dd::UniqueTable::Concurrency::Sharded)) {}
 
 EvalState DdBackend::runFromZero(const Circuit& circuit) const {
-    return EvalState(activeSession()->simulate(circuit));
+    return EvalState(session_->simulate(circuit));
 }
 
 void DdBackend::apply(EvalState& state, const Operation& op) const {
@@ -284,7 +274,10 @@ void DdBackend::apply(EvalState& state, const Operation& op) const {
 
 double DdBackend::preparationFidelity(const Circuit& circuit,
                                       const EvalState& target) const {
-    const auto session = activeSession();
+    // Concurrent batch items land here on pool workers and intern into the
+    // same shared session: the table is sharded and safe for this
+    // (dd/unique_table.hpp), and cross-item sharing is the point.
+    const std::shared_ptr<dd::DdSession>& session = session_;
     const DecisionDiagram prepared = session->simulate(circuit);
     // Interning the target into the same session makes the overlap a
     // same-store traversal: sub-trees the replay reproduced exactly compare
@@ -297,15 +290,13 @@ double DdBackend::preparationFidelity(const Circuit& circuit,
 
 bool DdBackend::circuitsEquivalent(const Circuit& a, const Circuit& b, double tol) const {
     requireThat(a.radix() == b.radix(), "DdBackend::circuitsEquivalent: registers differ");
-    // Both sides compile onto the backend's shared operator store (unless
-    // this is a concurrent batch item): identity scaffolding and common
-    // gate structure are built once, and two circuits that reduce to the
-    // same canonical operator short-circuit on root identity.
-    const std::shared_ptr<MatrixDdStore> store =
-        parallel::insideParallelRegion() ? std::make_shared<MatrixDdStore>(tolerance_)
-                                         : matrixStore_;
-    const MatrixDD lhs = MatrixDD::fromCircuit(a, tolerance_, store);
-    const MatrixDD rhs = MatrixDD::fromCircuit(b, tolerance_, store);
+    // Both sides compile onto the backend's shared operator store (a
+    // Sharded MatrixDdStore, so concurrent batch items intern safely):
+    // identity scaffolding and common gate structure are built once, and
+    // two circuits that reduce to the same canonical operator
+    // short-circuit on root identity.
+    const MatrixDD lhs = MatrixDD::fromCircuit(a, tolerance_, matrixStore_);
+    const MatrixDD rhs = MatrixDD::fromCircuit(b, tolerance_, matrixStore_);
     return lhs.equivalentUpToGlobalPhase(rhs, tol);
 }
 

@@ -226,12 +226,13 @@ private:
 /// session compute cache, and `ddSession()->stats()` reports the
 /// dd_nodes / unique_hit_rate / cache_hit_rate metrics.
 ///
-/// Concurrency: the session table is single-threaded (the concurrent table
-/// is the parallel-DD roadmap item). Batch items fanned out by
-/// `prepareAndVerifyBatch` therefore run on transient per-item sessions —
-/// detected via parallel::insideParallelRegion() — keeping every worker
-/// isolated while the coordinating-thread path keeps the long-lived
-/// session's sharing.
+/// Concurrency: the session's uniquing table is sharded and its compute
+/// cache striped (dd/unique_table.hpp), so batch items fanned out by
+/// `prepareAndVerifyBatch` intern into this one shared session from every
+/// worker — cross-item sharing is exactly where the table pays most. The
+/// distinct structural key set (dd_nodes) is invariant under thread count
+/// and item order; cache hit rates of concurrent batches depend on the
+/// interleaving and are reported as observed.
 class DdBackend final : public EvaluationBackend {
 public:
     explicit DdBackend(double tolerance = Tolerance::kDefault);
@@ -250,10 +251,6 @@ public:
     }
 
 private:
-    /// The session to evaluate on: the backend's own on the coordinating
-    /// thread, a transient one inside a parallel region (batch workers).
-    [[nodiscard]] std::shared_ptr<dd::DdSession> activeSession() const;
-
     double tolerance_ = Tolerance::kDefault;
     std::shared_ptr<dd::DdSession> session_;
     std::shared_ptr<MatrixDdStore> matrixStore_;

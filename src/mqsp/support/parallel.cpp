@@ -61,6 +61,46 @@ unsigned resolveThreadCount(unsigned requested) {
     return hardwareThreads();
 }
 
+void runOnThreads(unsigned count, const std::function<void(unsigned)>& fn) {
+    if (count == 0) {
+        return;
+    }
+    std::mutex mutex;
+    std::condition_variable gate;
+    unsigned arrived = 0;
+    std::exception_ptr firstError;
+    std::vector<std::thread> threads;
+    threads.reserve(count);
+    for (unsigned index = 0; index < count; ++index) {
+        threads.emplace_back([&, index] {
+            {
+                // Start barrier: maximize actual overlap of the bodies.
+                std::unique_lock<std::mutex> lock(mutex);
+                ++arrived;
+                if (arrived == count) {
+                    gate.notify_all();
+                } else {
+                    gate.wait(lock, [&] { return arrived == count; });
+                }
+            }
+            try {
+                fn(index);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (!firstError) {
+                    firstError = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    if (firstError) {
+        std::rethrow_exception(firstError);
+    }
+}
+
 // --- TaskPool --------------------------------------------------------------
 
 struct TaskPool::Impl {

@@ -25,6 +25,7 @@
 // behavior exactly.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace mqsp::parallel {
@@ -87,6 +88,15 @@ private:
     unsigned previous_ = 0;
     bool changed_ = false;
 };
+
+/// Test support: run `fn(threadIndex)` on `count` plain std::threads that
+/// start together (barrier) and are joined before returning; the first
+/// exception any of them throws is rethrown on the caller. This bypasses
+/// the TaskPool entirely — it exists to hammer concurrent data structures
+/// (the sharded uniquing table, the compute cache) with genuinely
+/// simultaneous callers, which the pool's one-region-at-a-time submission
+/// discipline cannot express.
+void runOnThreads(unsigned count, const std::function<void(unsigned)>& fn);
 
 namespace detail {
 

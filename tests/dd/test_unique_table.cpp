@@ -95,19 +95,20 @@ TEST(UniqueTable, PureLookupMissDoesNotRecord) {
 TEST(ComputeCache, StoresAndRetrievesPerOperationKeys) {
     dd::ComputeCache cache(kTol, /*slots=*/64);
     const Complex ratio{0.5, 0.25};
-    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio), nullptr);
+    EXPECT_FALSE(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio).has_value());
 
     cache.store(dd::ComputeCache::Op::Add, 1, 2, ratio,
                 dd::ComputeCache::Result{7, Complex{2.0, 0.0}});
-    const auto* hit = cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio);
-    ASSERT_NE(hit, nullptr);
+    const auto hit = cache.lookup(dd::ComputeCache::Op::Add, 1, 2, ratio);
+    ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->node, 7U);
     EXPECT_EQ(hit->value, (Complex{2.0, 0.0}));
 
     // Same operands, different operation: distinct entry space.
-    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::InnerProduct, 1, 2, ratio), nullptr);
+    EXPECT_FALSE(cache.lookup(dd::ComputeCache::Op::InnerProduct, 1, 2, ratio).has_value());
     // Different ratio bucket: miss.
-    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{0.75, 0.25}), nullptr);
+    EXPECT_FALSE(
+        cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{0.75, 0.25}).has_value());
 
     const auto& stats = cache.stats();
     EXPECT_EQ(stats.lookups, 4U);
@@ -123,8 +124,10 @@ TEST(ComputeCache, ConflictingKeysEvict) {
     cache.store(dd::ComputeCache::Op::Add, 3, 4, Complex{1.0, 0.0},
                 dd::ComputeCache::Result{8, Complex{1.0, 0.0}});
     EXPECT_EQ(cache.stats().evictions, 1U);
-    EXPECT_EQ(cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{1.0, 0.0}), nullptr);
-    ASSERT_NE(cache.lookup(dd::ComputeCache::Op::Add, 3, 4, Complex{1.0, 0.0}), nullptr);
+    EXPECT_FALSE(
+        cache.lookup(dd::ComputeCache::Op::Add, 1, 2, Complex{1.0, 0.0}).has_value());
+    ASSERT_TRUE(
+        cache.lookup(dd::ComputeCache::Op::Add, 3, 4, Complex{1.0, 0.0}).has_value());
 }
 
 // --- DdNodeStore -----------------------------------------------------------
@@ -138,7 +141,7 @@ TEST(DdNodeStore, PrivateStoreAppendsWithoutUniquing) {
     EXPECT_EQ(store.size(), 3U);
 }
 
-TEST(DdNodeStore, InterningStoreDeduplicatesAndPopsTheTentativeNode) {
+TEST(DdNodeStore, InterningStoreDeduplicatesWithoutCreatingGarbage) {
     dd::DdNodeStore store(dd::DdNodeStore::Mode::Interning, kTol);
     const NodeRef a = store.allocate(0, edgeList({{0, 1.0}}));
     const NodeRef b = store.allocate(0, edgeList({{0, 1.0}}));

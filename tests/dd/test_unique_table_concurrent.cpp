@@ -1,0 +1,204 @@
+// Concurrency stress tests for the sharded uniquing table, the chunked
+// node pool, and the striped compute cache (dd/unique_table.{hpp,cpp}).
+// These run threads through parallel::runOnThreads — plain std::threads
+// behind a start barrier, bypassing the TaskPool's one-region-at-a-time
+// submission — so the findOrInsert/store/lookup bodies genuinely overlap.
+// The suite is part of the TSan CI job: the assertions below check the
+// uniquing invariants, TSan checks the memory orderings.
+
+#include "mqsp/dd/unique_table.hpp"
+#include "mqsp/support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace mqsp {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+std::vector<DDEdge> keyEdges(NodeRef child, double weight) {
+    return {DDEdge{child, Complex{weight, 0.0}}};
+}
+
+// --- sharded findOrInsert --------------------------------------------------
+
+TEST(ConcurrentUniqueTable, OverlappingKeySetsYieldOneRefPerDistinctKey) {
+    // Every thread interns the same kKeys distinct keys, each starting at a
+    // different offset so insertion races are spread over the whole key
+    // range (and all 16 shards). Exactly one node may be created per key:
+    // losers of a race must receive the winner's canonical ref.
+    constexpr unsigned kThreads = 7;
+    constexpr NodeRef kKeys = 600;
+
+    dd::DdNodeStore store(dd::DdNodeStore::Mode::Interning, kTol);
+    std::vector<std::vector<NodeRef>> got(kThreads, std::vector<NodeRef>(kKeys, kNoNode));
+    parallel::runOnThreads(kThreads, [&](unsigned thread) {
+        for (NodeRef i = 0; i < kKeys; ++i) {
+            const NodeRef k = (i + thread * 83) % kKeys;
+            // Distinct site + weight per key: keys land in every shard.
+            got[thread][k] =
+                store.allocate(k % 11, keyEdges(0, 1.0 / static_cast<double>(k + 1)));
+        }
+    });
+
+    // Post-hoc scan: the pool holds the terminal plus exactly one node per
+    // distinct key, the table one entry per key.
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kKeys) + 1);
+    EXPECT_EQ(store.uniqueTable().size(), static_cast<std::size_t>(kKeys));
+    for (NodeRef k = 0; k < kKeys; ++k) {
+        for (unsigned thread = 1; thread < kThreads; ++thread) {
+            ASSERT_EQ(got[thread][k], got[0][k]) << "key " << k << " thread " << thread;
+        }
+        // The canonical ref names a node with the key's structure.
+        const DDNode& node = store.node(got[0][k]);
+        ASSERT_EQ(node.site, k % 11);
+        ASSERT_EQ(node.edges.size(), 1U);
+    }
+    // Per-shard key sets are thread-count invariant, so so are the summed
+    // counters: every thread's every call was one lookup, and each key
+    // missed exactly once.
+    const dd::UniqueTableStats stats = store.uniqueTable().stats();
+    EXPECT_EQ(stats.lookups, static_cast<std::uint64_t>(kThreads) * kKeys);
+    EXPECT_EQ(stats.misses, kKeys);
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1) * kKeys);
+}
+
+TEST(ConcurrentUniqueTable, InsertStormAcrossGrowBoundaries) {
+    // Small initial capacity + enough keys to force several per-shard
+    // rehashes while other threads are probing the same shard. Entries
+    // recorded before a grow must survive it (canonical refs stable).
+    constexpr unsigned kThreads = 4;
+    constexpr NodeRef kKeys = 3000;
+
+    dd::UniqueTable table(kTol, /*initialCapacity=*/16,
+                          dd::UniqueTable::Concurrency::Sharded);
+    std::atomic<NodeRef> nextRef{1};
+    std::vector<std::vector<NodeRef>> got(kThreads, std::vector<NodeRef>(kKeys, kNoNode));
+    parallel::runOnThreads(kThreads, [&](unsigned thread) {
+        const auto makeFresh = [&]() -> NodeRef {
+            return nextRef.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (NodeRef i = 0; i < kKeys; ++i) {
+            const NodeRef k = (i + thread * 977) % kKeys;
+            got[thread][k] =
+                table.findOrInsert(0, keyEdges(k, 1.0), dd::detail::MakeNodeFnRef(makeFresh));
+        }
+    });
+
+    EXPECT_EQ(table.size(), static_cast<std::size_t>(kKeys));
+    EXPECT_GT(table.stats().grows, 0U);
+    // makeFresh ran exactly once per distinct key.
+    EXPECT_EQ(nextRef.load(), kKeys + 1);
+    // Serial pure lookups agree with what every racing thread was handed.
+    for (NodeRef k = 0; k < kKeys; ++k) {
+        const NodeRef canonical = table.findOrInsert(0, keyEdges(k, 1.0), kNoNode);
+        ASSERT_NE(canonical, kNoNode) << "key " << k << " lost by a grow";
+        for (unsigned thread = 0; thread < kThreads; ++thread) {
+            ASSERT_EQ(got[thread][k], canonical) << "key " << k << " thread " << thread;
+        }
+    }
+}
+
+// --- chunked pool ----------------------------------------------------------
+
+TEST(ConcurrentNodePool, RacingAppendsKeepStableAddressesAndDistinctSlots) {
+    // Appends race across block-creation boundaries (64, 128, 256, ...);
+    // every append must land in its own slot and remain readable at a
+    // stable address while later blocks are created.
+    constexpr unsigned kThreads = 6;
+    constexpr std::uint32_t kPerThread = 500;
+
+    dd::detail::ChunkedNodePool<DDNode> pool;
+    std::vector<std::vector<std::uint32_t>> indices(kThreads);
+    parallel::runOnThreads(kThreads, [&](unsigned thread) {
+        indices[thread].reserve(kPerThread);
+        for (std::uint32_t i = 0; i < kPerThread; ++i) {
+            const std::uint32_t index =
+                pool.append(DDNode{thread * kPerThread + i, {}});
+            indices[thread].push_back(index);
+            // Read-back through the public accessor: the slot just written
+            // is visible to its writer at a stable address.
+            ASSERT_EQ(pool.at(index).site, thread * kPerThread + i);
+        }
+    });
+
+    EXPECT_EQ(pool.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+    std::vector<bool> seen(pool.size(), false);
+    for (unsigned thread = 0; thread < kThreads; ++thread) {
+        for (const std::uint32_t index : indices[thread]) {
+            ASSERT_FALSE(seen[index]) << "slot " << index << " handed out twice";
+            seen[index] = true;
+        }
+    }
+}
+
+// --- striped compute cache -------------------------------------------------
+
+TEST(ConcurrentComputeCache, PublishAndReadRacesNeverTearAnEntry) {
+    // Writers publish entries whose fields are arithmetically linked
+    // (value == (node, -node)); readers race on the same keys. A torn read
+    // would surface as a hit whose fields disagree — the striped locks and
+    // whole-entry copies must make that impossible.
+    constexpr unsigned kWriters = 3;
+    constexpr unsigned kReaders = 4;
+    constexpr NodeRef kKeys = 512;
+    constexpr int kRounds = 40;
+
+    dd::ComputeCache cache(kTol, /*slots=*/256); // fewer slots than keys: evictions race
+    parallel::runOnThreads(kWriters + kReaders, [&](unsigned thread) {
+        if (thread < kWriters) {
+            for (int round = 0; round < kRounds; ++round) {
+                for (NodeRef k = 0; k < kKeys; ++k) {
+                    const auto v = static_cast<double>(k);
+                    cache.store(dd::ComputeCache::Op::Add, k, k + 1, Complex{1.0, 0.0},
+                                dd::ComputeCache::Result{k, Complex{v, -v}});
+                }
+            }
+            return;
+        }
+        for (int round = 0; round < kRounds; ++round) {
+            for (NodeRef k = 0; k < kKeys; ++k) {
+                const auto hit =
+                    cache.lookup(dd::ComputeCache::Op::Add, k, k + 1, Complex{1.0, 0.0});
+                if (!hit.has_value()) {
+                    continue; // evicted or not yet published: a miss, never garbage
+                }
+                const auto v = static_cast<double>(hit->node);
+                ASSERT_EQ(hit->node, k);
+                ASSERT_EQ(hit->value.real(), v);
+                ASSERT_EQ(hit->value.imag(), -v);
+            }
+        }
+    });
+
+    const dd::ComputeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, static_cast<std::uint64_t>(kReaders) * kRounds * kKeys);
+    EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+TEST(ConcurrentComputeCache, LazyAllocationRaceInitializesOnce) {
+    // First store() allocates the entry array; concurrent first-stores and
+    // lookups race on that initialization (double-checked allocated_ flag).
+    constexpr unsigned kThreads = 8;
+    dd::ComputeCache cache(kTol, /*slots=*/64);
+    parallel::runOnThreads(kThreads, [&](unsigned thread) {
+        const NodeRef k = thread;
+        cache.store(dd::ComputeCache::Op::InnerProduct, k, k, Complex{},
+                    dd::ComputeCache::Result{kNoNode, Complex{1.0, 0.0}});
+        const auto hit = cache.lookup(dd::ComputeCache::Op::InnerProduct, k, k, Complex{});
+        // Distinct keys may collide in 64 slots, but this thread's own
+        // store is the newest write to its slot only if nobody evicted it;
+        // either way the lookup must return a coherent entry or miss.
+        if (hit.has_value()) {
+            ASSERT_EQ(hit->value.imag(), 0.0);
+        }
+    });
+    EXPECT_EQ(cache.stats().lookups, kThreads);
+}
+
+} // namespace
+} // namespace mqsp

@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -201,6 +203,114 @@ TEST(ThreadDeterminism, HoistedControlChecksMatchDigitWalk) {
             ASSERT_NEAR(state[i].imag(), expected[i].imag(), 1e-12) << op.toString();
         }
     }
+}
+
+// --- shared-session batch determinism ---------------------------------------
+//
+// `DdBackend::prepareAndVerifyBatch` fans items out across the pool while
+// every item interns into the backend's one shared DdSession. The sharded
+// uniquing table guarantees the set of distinct node keys — and therefore
+// the final `dd_nodes` — is a function of the work alone, not of the thread
+// count or the interleaving; fidelities are bit-identical because every
+// node key carries bit-equal weights no matter which thread interned it.
+//
+// The families are curated so no two distinct targets produce bucketed-
+// equal-but-bit-different weights on a shared key (e.g. a ghz 1/sqrt(2)
+// racing a cyclic sqrt(0.5) into the same bucket would make "who interns
+// first" observable in the last ulp).
+
+struct SharedSessionFixture {
+    std::vector<StateVector> denseTargets;
+    std::vector<Circuit> circuits;
+    std::vector<EvalState> evalTargets;
+    std::vector<BatchVerifyItem> items;
+
+    SharedSessionFixture() {
+        denseTargets.push_back(states::ghz({3, 4, 2, 3}));
+        denseTargets.push_back(states::wState({2, 3, 2, 3}));
+        denseTargets.push_back(states::cyclic({3, 4, 2, 3}, {1, 0, 1, 0}, 4));
+        denseTargets.push_back(states::dicke({2, 3, 2}, 2));
+        evalTargets.reserve(denseTargets.size());
+        for (const auto& target : denseTargets) {
+            circuits.push_back(prepareExact(target).circuit);
+            evalTargets.emplace_back(target);
+        }
+        for (std::size_t i = 0; i < denseTargets.size(); ++i) {
+            items.push_back({&circuits[i], &evalTargets[i]});
+        }
+    }
+};
+
+/// Run the fixture's batch on a fresh backend pinned to `threads`; also
+/// build the cyclic and dicke targets as session diagrams first, so the
+/// level-synchronous parallel builders contribute to the session's node
+/// population at every thread count.
+struct SharedSessionRun {
+    std::vector<double> fidelities;
+    std::uint64_t poolNodes = 0;
+
+    SharedSessionRun(const SharedSessionFixture& fixture, unsigned threads,
+                     bool reverseItems = false) {
+        const DdBackend backend(Tolerance::kDefault, parallel::ExecutionConfig{threads});
+        const auto session = backend.ddSession();
+        const DecisionDiagram cyclicDd = session->cyclicState({3, 4, 2, 3}, {1, 0, 1, 0}, 4);
+        const DecisionDiagram dickeDd = session->dickeState({2, 3, 2}, 2);
+        EXPECT_NEAR(cyclicDd.normSquared(), 1.0, 1e-9);
+        EXPECT_NEAR(dickeDd.normSquared(), 1.0, 1e-9);
+
+        std::vector<BatchVerifyItem> items = fixture.items;
+        if (reverseItems) {
+            std::reverse(items.begin(), items.end());
+        }
+        const auto results = backend.prepareAndVerifyBatch(items);
+        for (const auto& result : results) {
+            EXPECT_FALSE(result.failed) << result.error;
+            fidelities.push_back(result.fidelity);
+        }
+        if (reverseItems) {
+            std::reverse(fidelities.begin(), fidelities.end());
+        }
+        poolNodes = session->stats().poolNodes;
+    }
+};
+
+TEST(SharedSessionDeterminism, BatchFidelitiesBitIdenticalAcrossThreadCounts) {
+    const SharedSessionFixture fixture;
+    const SharedSessionRun baseline(fixture, 1);
+    ASSERT_EQ(baseline.fidelities.size(), fixture.items.size());
+    for (const double fidelity : baseline.fidelities) {
+        EXPECT_NEAR(fidelity, 1.0, 1e-9);
+    }
+    for (const unsigned threads : {2U, 4U, 7U}) {
+        const SharedSessionRun run(fixture, threads);
+        ASSERT_EQ(run.fidelities.size(), baseline.fidelities.size());
+        for (std::size_t i = 0; i < run.fidelities.size(); ++i) {
+            // Bit-identical, not merely close.
+            EXPECT_EQ(run.fidelities[i], baseline.fidelities[i])
+                << "item " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(SharedSessionDeterminism, SessionNodeCountInvariantAcrossThreadCounts) {
+    const SharedSessionFixture fixture;
+    const SharedSessionRun baseline(fixture, 1);
+    EXPECT_GT(baseline.poolNodes, 1U);
+    for (const unsigned threads : {2U, 4U, 7U}) {
+        const SharedSessionRun run(fixture, threads);
+        EXPECT_EQ(run.poolNodes, baseline.poolNodes) << threads << " threads";
+    }
+}
+
+TEST(SharedSessionDeterminism, ItemOrderDoesNotChangeFidelitiesOrNodeCount) {
+    const SharedSessionFixture fixture;
+    const SharedSessionRun forward(fixture, 4);
+    const SharedSessionRun reversed(fixture, 4, /*reverseItems=*/true);
+    ASSERT_EQ(reversed.fidelities.size(), forward.fidelities.size());
+    for (std::size_t i = 0; i < forward.fidelities.size(); ++i) {
+        EXPECT_EQ(reversed.fidelities[i], forward.fidelities[i]) << "item " << i;
+    }
+    EXPECT_EQ(reversed.poolNodes, forward.poolNodes);
 }
 
 } // namespace

@@ -257,6 +257,46 @@ TEST_P(BatchVerify, EmptyBatchIsANoOp) {
     EXPECT_TRUE(DenseBackend().prepareAndVerifyBatch({}).empty());
 }
 
+TEST_P(BatchVerify, RepeatedItemsResolveFromTheSharedSessionCache) {
+    // All batch items of a DdBackend intern into the backend's one shared
+    // DdSession (there is no per-item escape hatch), so a repeated item is
+    // served by session state the first run left behind: its nodes hit in
+    // the uniquing table instead of allocating, and its overlap traversal
+    // hits the session compute cache. An exactly-reproduced target resolves
+    // by root identity before the compute cache is even consulted, so the
+    // batch includes a mismatched (fidelity < 1) pair whose overlap must
+    // descend — that descent is what the cache persists across calls.
+    const Dimensions dims{3, 4, 2};
+    const StateVector ghz = states::ghz(dims);
+    const auto prep = prepareExact(ghz);
+    const EvalState ghzTarget(ghz);
+    const EvalState wTarget(states::wState(dims));
+    const DdBackend backend(Tolerance::kDefault, parallel::ExecutionConfig{GetParam()});
+    const std::vector<BatchVerifyItem> items = {{&prep.circuit, &ghzTarget},
+                                                {&prep.circuit, &wTarget}};
+
+    const auto first = backend.prepareAndVerifyBatch(items);
+    ASSERT_EQ(first.size(), items.size());
+    EXPECT_NEAR(first[0].fidelity, 1.0, 1e-9);
+    EXPECT_LT(first[1].fidelity, 0.5); // |<w|ghz>|^2 — genuinely mismatched
+    const std::uint64_t poolAfterFirst = backend.ddSession()->stats().poolNodes;
+
+    // Replay the whole batch on the same backend: every node re-resolves
+    // from the shared table (no growth), the mismatched overlap resolves
+    // from the compute cache, and the fidelities come out bit-identical.
+    const auto second = backend.prepareAndVerifyBatch(items);
+    ASSERT_EQ(second.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_FALSE(second[i].failed) << second[i].error;
+        EXPECT_EQ(second[i].fidelity, first[i].fidelity) << "item " << i;
+    }
+    const dd::DdSessionStats stats = backend.ddSession()->stats();
+    EXPECT_EQ(stats.poolNodes, poolAfterFirst);
+    EXPECT_GT(stats.unique.hits, 0U);
+    EXPECT_GT(stats.cache.hits, 0U);
+    EXPECT_GT(stats.cacheHitRate(), 0.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, BatchVerify, ::testing::Values(1U, 2U, 4U),
                          [](const auto& paramInfo) {
                              return "t" + std::to_string(paramInfo.param);
