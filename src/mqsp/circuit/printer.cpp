@@ -1,6 +1,7 @@
 #include "mqsp/circuit/printer.hpp"
 
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
 
 #include <iomanip>
 #include <istream>
@@ -83,16 +84,24 @@ std::string extractString(const std::string& line, const std::string& key) {
 double extractNumber(const std::string& line, const std::string& key) {
     const std::string needle = "\"" + key + "\":";
     const auto pos = line.find(needle);
-    requireThat(pos != std::string::npos,
-                "parseCircuitJsonLines: missing key '" + key + "' in: " + line);
-    return std::stod(line.substr(pos + needle.size()));
+    requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing key '" + key +
+                                              "' in: " + parse::clipForMessage(line));
+    const auto start = pos + needle.size();
+    auto end = line.find_first_of(",}]", start);
+    if (end == std::string::npos) {
+        end = line.size();
+    }
+    return parse::real(line.substr(start, end - start),
+                       "parseCircuitJsonLines: value for key '" + key +
+                           "' in: " + parse::clipForMessage(line));
 }
 
 std::vector<Control> extractControls(const std::string& line) {
     std::vector<Control> controls;
     const std::string needle = "\"controls\":[";
     const auto pos = line.find(needle);
-    requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing controls array");
+    requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing controls array in: " +
+                                              parse::clipForMessage(line));
     auto cursor = pos + needle.size();
     while (cursor < line.size() && line[cursor] != ']') {
         if (line[cursor] == '[') {
@@ -100,16 +109,24 @@ std::vector<Control> extractControls(const std::string& line) {
             const auto close = line.find(']', cursor);
             requireThat(comma != std::string::npos && close != std::string::npos &&
                             comma < close,
-                        "parseCircuitJsonLines: malformed control pair");
+                        "parseCircuitJsonLines: malformed control pair in: " +
+                            parse::clipForMessage(line));
             Control ctrl;
-            ctrl.qudit = static_cast<std::size_t>(std::stoull(line.substr(cursor + 1)));
-            ctrl.level = static_cast<Level>(std::stoul(line.substr(comma + 1)));
+            const std::string context =
+                "parseCircuitJsonLines: control pair in: " + parse::clipForMessage(line);
+            ctrl.qudit = static_cast<std::size_t>(
+                parse::uint64(line.substr(cursor + 1, comma - cursor - 1), context));
+            ctrl.level = static_cast<Level>(
+                parse::uint64(line.substr(comma + 1, close - comma - 1), context));
             controls.push_back(ctrl);
             cursor = close + 1;
         } else {
             ++cursor;
         }
     }
+    requireThat(cursor < line.size(),
+                "parseCircuitJsonLines: unterminated controls array in: " +
+                    parse::clipForMessage(line));
     return controls;
 }
 
@@ -152,9 +169,14 @@ Circuit parseCircuitJsonLines(std::istream& in) {
     requireThat(pos != std::string::npos, "parseCircuitJsonLines: missing dims array");
     auto cursor = pos + needle.size();
     while (cursor < header.size() && header[cursor] != ']') {
-        dims.push_back(static_cast<Dimension>(std::stoul(header.substr(cursor))));
-        cursor = header.find_first_of(",]", cursor);
-        requireThat(cursor != std::string::npos, "parseCircuitJsonLines: unterminated dims");
+        const auto end = header.find_first_of(",]", cursor);
+        requireThat(end != std::string::npos, "parseCircuitJsonLines: unterminated dims in: " +
+                                                  parse::clipForMessage(header));
+        dims.push_back(static_cast<Dimension>(
+            parse::uint64(header.substr(cursor, end - cursor),
+                          "parseCircuitJsonLines: dims entry in: " +
+                              parse::clipForMessage(header))));
+        cursor = end;
         if (header[cursor] == ',') {
             ++cursor;
         }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 namespace mqsp::dd {
@@ -192,6 +193,67 @@ NodeRef UniqueTable::findOrInsertRaw(std::uint32_t site, const NodeRef* children
     return dispatch(site, children, weights, nullptr, arity, kNoNode, &makeFresh);
 }
 
+void UniqueTable::clear() {
+    for (Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+        if (sharded_) {
+            lock.lock();
+        }
+        // Keep the slot capacity (the rebuild re-inserts into a table of
+        // comparable size) and the cumulative stats (a GC is not a reset
+        // of the session's history).
+        std::fill(shard.slots.begin(), shard.slots.end(), 0);
+        shard.entryHash.clear();
+        shard.entrySite.clear();
+        shard.entryValue.clear();
+        shard.entryOffset.clear();
+        shard.entryArity.clear();
+        shard.keyChildren.clear();
+        shard.keyRe.clear();
+        shard.keyIm.clear();
+    }
+}
+
+void UniqueTable::restoreCanonical(std::uint32_t site, const std::vector<DDEdge>& edges,
+                                   NodeRef value) {
+    ScratchKey& scratch = tlsScratch;
+    const std::size_t arity = edges.size();
+    scratch.children.resize(arity);
+    scratch.re.resize(arity);
+    scratch.im.resize(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        scratch.children[k] = edges[k].node;
+        scratch.re[k] = bucketOf(edges[k].weight.real(), tolerance_);
+        scratch.im[k] = bucketOf(edges[k].weight.imag(), tolerance_);
+    }
+    const std::uint64_t hash =
+        hashKey(site, scratch.children.data(), scratch.re.data(), scratch.im.data(), arity);
+    Shard& shard = shards_[(hash >> 60U) & (kShardCount - 1)];
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    if (sharded_) {
+        lock.lock();
+    }
+    if (shard.slots.empty() || (shard.entryHash.size() + 1) * 10 >= shard.slots.size() * 7) {
+        growShard(shard);
+    }
+    const std::size_t mask = shard.slots.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    while (shard.slots[slot] != 0) {
+        slot = (slot + 1) & mask;
+    }
+    const std::uint64_t offset = shard.keyChildren.size();
+    shard.keyChildren.insert(shard.keyChildren.end(), scratch.children.begin(),
+                             scratch.children.end());
+    shard.keyRe.insert(shard.keyRe.end(), scratch.re.begin(), scratch.re.end());
+    shard.keyIm.insert(shard.keyIm.end(), scratch.im.begin(), scratch.im.end());
+    shard.entryHash.push_back(hash);
+    shard.entrySite.push_back(site);
+    shard.entryValue.push_back(value);
+    shard.entryOffset.push_back(offset);
+    shard.entryArity.push_back(static_cast<std::uint32_t>(arity));
+    shard.slots[slot] = static_cast<std::uint32_t>(shard.entryHash.size());
+}
+
 UniqueTableStats UniqueTable::stats() const {
     UniqueTableStats total;
     for (const Shard& shard : shards_) {
@@ -317,6 +379,55 @@ void ComputeCache::store(Op op, NodeRef x, NodeRef y, const Complex& ratio,
     }
 }
 
+std::uint64_t ComputeCache::compact(const std::vector<NodeRef>& remap) {
+    if (!allocated_.load(std::memory_order_acquire)) {
+        return 0;
+    }
+    // Single-threaded (session GC runs at quiescence). Survivors must be
+    // re-slotted: a slot index hashes the node refs, so an entry rewritten
+    // in place would never be found under its new key.
+    const auto mapped = [&remap](NodeRef ref) -> NodeRef {
+        if (ref == kNoNode) {
+            return kNoNode;
+        }
+        return ref < remap.size() ? remap[ref] : kNoNode;
+    };
+    std::uint64_t evicted = 0;
+    std::vector<Entry> survivors;
+    for (std::size_t slot = 0; slot < slotCount_; ++slot) {
+        Entry& entry = entries_[slot];
+        if (!entry.valid) {
+            continue;
+        }
+        const NodeRef x = mapped(entry.x);
+        const NodeRef y = mapped(entry.y);
+        const NodeRef node = mapped(entry.result.node);
+        const bool dead = (entry.x != kNoNode && x == kNoNode) ||
+                          (entry.y != kNoNode && y == kNoNode) ||
+                          (entry.result.node != kNoNode && node == kNoNode);
+        if (dead) {
+            ++evicted;
+        } else {
+            Entry survivor = entry;
+            survivor.x = x;
+            survivor.y = y;
+            survivor.result.node = node;
+            survivors.push_back(survivor);
+        }
+        entry = Entry{};
+    }
+    for (const Entry& survivor : survivors) {
+        const std::size_t slot = slotOf(survivor.op, survivor.x, survivor.y, survivor.ratioRe,
+                                        survivor.ratioIm);
+        if (entries_[slot].valid) {
+            ++evicted; // two survivors re-slotted to the same bucket
+        }
+        entries_[slot] = survivor;
+    }
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    return evicted;
+}
+
 ComputeCacheStats ComputeCache::stats() const noexcept {
     ComputeCacheStats stats;
     stats.lookups = lookups_.load(std::memory_order_relaxed);
@@ -397,6 +508,83 @@ void DdNodeStore::replaceNodes(std::vector<DDNode> nodes) {
     }
 }
 
+DdNodeStore::CompactionStats DdNodeStore::compactLive(const std::vector<NodeRef>& roots,
+                                                      std::vector<NodeRef>& remapOut) {
+    requireThat(interning(),
+                "DdNodeStore::compactLive: session GC applies to interning stores "
+                "(private diagrams use DecisionDiagram::garbageCollect)");
+    CompactionStats stats;
+    const std::size_t before = pool_.size();
+    stats.nodesBefore = before;
+
+    // Mark: iterative DFS from the live roots; the terminal (slot 0) is
+    // always live.
+    std::vector<char> live(before, 0);
+    live[0] = 1;
+    std::vector<NodeRef> stack;
+    for (const NodeRef root : roots) {
+        if (root == kNoNode) {
+            continue;
+        }
+        requireThat(root < before, "DdNodeStore::compactLive: live root outside the pool");
+        if (live[root] == 0) {
+            live[root] = 1;
+            stack.push_back(root);
+        }
+    }
+    while (!stack.empty()) {
+        const NodeRef ref = stack.back();
+        stack.pop_back();
+        for (const DDEdge& edge : pool_.at(ref).edges) {
+            if (!edge.isZeroStub() && live[edge.node] == 0) {
+                live[edge.node] = 1;
+                stack.push_back(edge.node);
+            }
+        }
+    }
+
+    // Remap in ascending old-ref order: survivors keep their relative
+    // allocation order, so the compacted pool is deterministic whenever
+    // the pre-GC pool was (the dd_nodes invariance contract survives GC).
+    remapOut.assign(before, kNoNode);
+    NodeRef next = 0;
+    for (std::size_t ref = 0; ref < before; ++ref) {
+        if (live[ref] != 0) {
+            remapOut[ref] = next++;
+        }
+    }
+
+    // Copy out the survivors with remapped edges, then rebuild the pool
+    // and the table over them. Interning made refs canonical, so the remap
+    // is injective on survivors and no two keys collapse.
+    std::vector<DDNode> kept;
+    kept.reserve(next);
+    for (std::size_t ref = 0; ref < before; ++ref) {
+        if (live[ref] == 0) {
+            continue;
+        }
+        DDNode node = pool_.at(static_cast<NodeRef>(ref));
+        for (DDEdge& edge : node.edges) {
+            if (!edge.isZeroStub()) {
+                edge.node = remapOut[edge.node];
+            }
+        }
+        kept.push_back(std::move(node));
+    }
+    pool_.clear();
+    table_.clear();
+    for (std::size_t newRef = 0; newRef < kept.size(); ++newRef) {
+        DDNode& node = kept[newRef];
+        if (newRef != 0) { // the terminal is not a table key
+            table_.restoreCanonical(node.site, node.edges, static_cast<NodeRef>(newRef));
+        }
+        pool_.append(std::move(node));
+    }
+    stats.nodesAfter = pool_.size();
+    stats.cacheEvicted = computeCache_.compact(remapOut);
+    return stats;
+}
+
 // --- DdSession -------------------------------------------------------------
 
 DdSession::DdSession(double tolerance)
@@ -474,6 +662,38 @@ DecisionDiagram DdSession::intern(const DecisionDiagram& diagram) const {
     result.root_ = visit(diagram.rootNode());
     result.rootWeight_ = diagram.rootWeight();
     return result;
+}
+
+DdSessionGcStats DdSession::garbageCollect(const std::vector<DecisionDiagram*>& live) const {
+    std::vector<NodeRef> roots;
+    roots.reserve(live.size());
+    for (DecisionDiagram* diagram : live) {
+        requireThat(diagram != nullptr, "DdSession::garbageCollect: null live diagram");
+        requireThat(diagram->store_ == store_,
+                    "DdSession::garbageCollect: live diagram is not backed by this session");
+        if (diagram->root_ != kNoNode) {
+            roots.push_back(diagram->root_);
+        }
+    }
+    std::vector<NodeRef> remap;
+    const auto compaction = store_->compactLive(roots, remap);
+    // Remap each live diagram's root exactly once (the same object may be
+    // listed twice; remapping twice would renumber through the new space).
+    std::unordered_set<const DecisionDiagram*> remapped;
+    for (DecisionDiagram* diagram : live) {
+        if (!remapped.insert(diagram).second || diagram->root_ == kNoNode) {
+            continue;
+        }
+        diagram->root_ = remap[diagram->root_];
+        ensureThat(diagram->root_ != kNoNode,
+                   "DdSession::garbageCollect: a live root was collected");
+    }
+    DdSessionGcStats stats;
+    stats.nodesBefore = compaction.nodesBefore;
+    stats.nodesAfter = compaction.nodesAfter;
+    stats.cacheEntriesEvicted = compaction.cacheEvicted;
+    stats.liveRoots = roots.size();
+    return stats;
 }
 
 DdSessionStats DdSession::stats() const {

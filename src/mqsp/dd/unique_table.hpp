@@ -302,6 +302,19 @@ public:
                             const Complex* weights, std::size_t arity,
                             const detail::MakeNodeFnRef& makeFresh);
 
+    /// Drop every entry while keeping slot capacity and the cumulative
+    /// counters — the reset step of a session GC, before the surviving
+    /// nodes are re-registered via restoreCanonical. Single-threaded:
+    /// callers guarantee quiescence.
+    void clear();
+
+    /// Re-register a surviving node under its compacted ref without
+    /// touching the lookup/hit/miss counters (a GC rebuild is bookkeeping,
+    /// not a workload). GC-rebuild only: the key must not already be
+    /// present — guaranteed when repopulating a cleared table with nodes
+    /// that were interned (and therefore structurally distinct) before.
+    void restoreCanonical(std::uint32_t site, const std::vector<DDEdge>& edges, NodeRef value);
+
     /// Counters summed over the shards (by value: a Sharded table's shards
     /// are locked one at a time, so the sum is a consistent snapshot only
     /// at quiescence — which is when the session metrics are read).
@@ -401,6 +414,16 @@ public:
                                                const Complex& ratio);
     void store(Op op, NodeRef x, NodeRef y, const Complex& ratio, const Result& result);
 
+    /// Session GC hook: rewrite every valid entry's node refs through
+    /// `remap` (old ref -> new ref, kNoNode marks a collected node) and
+    /// invalidate entries naming a dead node. Survivors are re-slotted —
+    /// a slot index hashes the refs, so a remapped key lives in a new slot
+    /// — which keeps post-GC lookups hitting (repeat verifications resolve
+    /// from the cache after a compaction). Returns the number of entries
+    /// invalidated, which is also added to the eviction counter.
+    /// Single-threaded: the session-GC caller guarantees quiescence.
+    std::uint64_t compact(const std::vector<NodeRef>& remap);
+
     [[nodiscard]] ComputeCacheStats stats() const noexcept;
     void resetStats() noexcept;
 
@@ -474,6 +497,26 @@ public:
     /// Replace the whole pool (garbageCollect on a private store).
     void replaceNodes(std::vector<DDNode> nodes);
 
+    /// What one mark-and-compact pass did (see compactLive).
+    struct CompactionStats {
+        std::size_t nodesBefore = 0;
+        std::size_t nodesAfter = 0;
+        std::uint64_t cacheEvicted = 0;
+    };
+
+    /// Session GC (interning stores only — private diagrams use
+    /// DecisionDiagram::garbageCollect): mark every node reachable from
+    /// `roots` (the terminal is always live), compact the pool to the
+    /// survivors in ascending-ref order — so the compacted pool is
+    /// deterministic whenever the pre-GC pool was — rebuild the uniquing
+    /// table over them, and remap/evict the compute cache.
+    /// `remapOut[oldRef]` is the survivor's new ref, kNoNode for a
+    /// collected node. Single-threaded: callers guarantee no concurrent
+    /// session use (DdSession::garbageCollect is the public entry point
+    /// and states the full contract).
+    CompactionStats compactLive(const std::vector<NodeRef>& roots,
+                                std::vector<NodeRef>& remapOut);
+
     [[nodiscard]] UniqueTable& uniqueTable() noexcept { return table_; }
     [[nodiscard]] const UniqueTable& uniqueTable() const noexcept { return table_; }
     [[nodiscard]] ComputeCache& computeCache() noexcept { return computeCache_; }
@@ -500,6 +543,16 @@ struct DdSessionStats {
 
     [[nodiscard]] double uniqueHitRate() const noexcept { return unique.hitRate(); }
     [[nodiscard]] double cacheHitRate() const noexcept { return cache.hitRate(); }
+};
+
+/// What one DdSession::garbageCollect pass did: pool size either side of
+/// the compaction, compute-cache entries evicted for naming a collected
+/// node, and how many live roots anchored the mark.
+struct DdSessionGcStats {
+    std::uint64_t nodesBefore = 0;
+    std::uint64_t nodesAfter = 0;
+    std::uint64_t cacheEntriesEvicted = 0;
+    std::uint64_t liveRoots = 0;
 };
 
 /// A DD evaluation session: one shared interning store for every diagram
@@ -545,6 +598,19 @@ public:
     /// session table (bottom-up, memoized). Sub-trees the session has
     /// already built elsewhere come back as table hits.
     [[nodiscard]] DecisionDiagram intern(const DecisionDiagram& diagram) const;
+
+    /// Mark-and-compact the session store down to the diagrams in `live`
+    /// (plus the terminal). EVERY session-backed diagram still in use must
+    /// be listed — aliasing copies included; a diagram not listed has its
+    /// nodes reclaimed and is invalidated. Live diagrams get their roots
+    /// remapped in place (interior structure stays shared — remapping is
+    /// safe because interning made refs canonical, so equal sub-trees were
+    /// already one node and the compaction is a pure renumbering), and
+    /// surviving compute-cache entries are rewritten to the new refs so
+    /// repeat verifications still hit post-compaction. Not thread-safe:
+    /// callers guarantee no concurrent use of the session for the duration
+    /// (the serve layer serializes GC behind its dispatch lock).
+    DdSessionGcStats garbageCollect(const std::vector<DecisionDiagram*>& live) const;
 
     [[nodiscard]] DdSessionStats stats() const;
     void resetStats();

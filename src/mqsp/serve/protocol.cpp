@@ -1,0 +1,149 @@
+#include "mqsp/serve/protocol.hpp"
+
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mqsp::serve {
+
+namespace {
+
+[[nodiscard]] std::string lowercased(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+    return out;
+}
+
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+            ++i;
+        }
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != '\r') {
+            ++i;
+        }
+        if (i > start) {
+            tokens.emplace_back(line.substr(start, i - start));
+        }
+    }
+    return tokens;
+}
+
+[[nodiscard]] Verb verbFromName(const std::string& name, std::string_view token) {
+    if (name == "prep") {
+        return Verb::Prep;
+    }
+    if (name == "verify") {
+        return Verb::Verify;
+    }
+    if (name == "batch") {
+        return Verb::Batch;
+    }
+    if (name == "drop") {
+        return Verb::Drop;
+    }
+    if (name == "gc") {
+        return Verb::Gc;
+    }
+    if (name == "stats?" || name == "stats") {
+        return Verb::Stats;
+    }
+    if (name == "limits?" || name == "limits") {
+        return Verb::Limits;
+    }
+    if (name == "help") {
+        return Verb::Help;
+    }
+    if (name == "quit" || name == "exit") {
+        return Verb::Quit;
+    }
+    detail::throwInvalidArgument("unknown command '" + parse::clipForMessage(token) +
+                                 "' (try HELP)");
+}
+
+} // namespace
+
+const char* verbName(Verb verb) noexcept {
+    switch (verb) {
+    case Verb::Prep:
+        return "PREP";
+    case Verb::Verify:
+        return "VERIFY";
+    case Verb::Batch:
+        return "BATCH";
+    case Verb::Drop:
+        return "DROP";
+    case Verb::Gc:
+        return "GC";
+    case Verb::Stats:
+        return "STATS?";
+    case Verb::Limits:
+        return "LIMITS?";
+    case Verb::Help:
+        return "HELP";
+    case Verb::Quit:
+        return "QUIT";
+    }
+    return "?";
+}
+
+const std::string* Request::option(std::string_view key) const noexcept {
+    const std::string* found = nullptr;
+    for (const auto& [name, value] : options) {
+        if (name == key) {
+            found = &value;
+        }
+    }
+    return found;
+}
+
+Request parseRequest(std::string_view line) {
+    const std::vector<std::string> tokens = tokenize(line);
+    requireThat(!tokens.empty(), "empty command line (try HELP)");
+
+    Request request;
+    const std::string head = lowercased(tokens.front());
+    const auto colon = head.find(':');
+    if (colon != std::string::npos) {
+        const std::string verb = head.substr(0, colon);
+        requireThat(verb == "prep", "only PREP takes a :<FAMILY> suffix, got '" +
+                                        parse::clipForMessage(tokens.front()) + "'");
+        request.verb = Verb::Prep;
+        request.family = head.substr(colon + 1);
+        requireThat(!request.family.empty(),
+                    "PREP requires a state family: PREP:<FAMILY> (e.g. PREP:GHZ)");
+        requireThat(request.family.find(':') == std::string::npos,
+                    "malformed family in '" + parse::clipForMessage(tokens.front()) + "'");
+    } else {
+        request.verb = verbFromName(head, tokens.front());
+        requireThat(request.verb != Verb::Prep,
+                    "PREP requires a state family: PREP:<FAMILY> (e.g. PREP:GHZ)");
+    }
+
+    std::size_t i = 1;
+    while (i < tokens.size()) {
+        const std::string& token = tokens[i];
+        requireThat(token.rfind("--", 0) == 0 && token.size() > 2,
+                    "expected an option (--key value), got '" + parse::clipForMessage(token) +
+                        "'");
+        const std::string key = token.substr(2);
+        for (const char ch : key) {
+            requireThat((std::isalnum(static_cast<unsigned char>(ch)) != 0) || ch == '-' ||
+                            ch == '_',
+                        "malformed option name '" + parse::clipForMessage(token) + "'");
+        }
+        requireThat(i + 1 < tokens.size(),
+                    "option '" + parse::clipForMessage(token) + "' expects a value");
+        request.options.emplace_back(key, tokens[i + 1]);
+        i += 2;
+    }
+    return request;
+}
+
+} // namespace mqsp::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+// The mqsp_serve wire grammar: one command per line, SCPI-flavored verbs,
+// long-option arguments. This is a real tokenizer/parser — every malformed
+// line becomes an InvalidArgumentError naming the offending token, never a
+// bare stdlib exception — because a resident service lives or dies by how
+// it treats untrusted input.
+//
+//   PREP:<FAMILY> --dims <spec> [--weight <n>] [--count <n>]
+//                 [--seed <n>] [--approx <f>]
+//   VERIFY [--id <n>] [--repeat <k>]
+//   BATCH
+//   DROP --id <n>
+//   GC
+//   STATS?
+//   LIMITS?
+//   HELP
+//   QUIT
+//
+// Verbs are case-insensitive ("prep:ghz" works); option keys are spelled
+// lowercase. The parser is grammar-only: it validates shape (verb known,
+// family present on PREP, options come as `--key value` pairs) and leaves
+// option-set and value validation to the dispatcher, which knows which
+// verb accepts what.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mqsp::serve {
+
+/// The protocol verbs. Stats/Limits are the query verbs (spelled with a
+/// trailing '?' on the wire, SCPI-style; the bare spelling is accepted).
+enum class Verb : std::uint8_t { Prep, Verify, Batch, Drop, Gc, Stats, Limits, Help, Quit };
+
+/// Canonical wire spelling of a verb ("PREP", "STATS?", ...).
+[[nodiscard]] const char* verbName(Verb verb) noexcept;
+
+/// One parsed command line.
+struct Request {
+    Verb verb = Verb::Help;
+    /// PREP's state family (the text after the ':'), lowercased; empty for
+    /// every other verb.
+    std::string family;
+    /// Options in wire order, keys without the leading "--". Values are
+    /// raw text — numeric validation happens at dispatch, where the field
+    /// is known.
+    std::vector<std::pair<std::string, std::string>> options;
+
+    /// Last value given for `key`, or nullptr when absent (last-wins, like
+    /// the CLI layer).
+    [[nodiscard]] const std::string* option(std::string_view key) const noexcept;
+};
+
+/// Parse one protocol line. Throws InvalidArgumentError (never a bare
+/// stdlib exception) with a message naming the offending token on: empty
+/// input, an unknown verb, PREP without a family, an option token that
+/// does not start with "--", or a key with no value.
+[[nodiscard]] Request parseRequest(std::string_view line);
+
+} // namespace mqsp::serve

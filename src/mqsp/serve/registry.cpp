@@ -1,0 +1,43 @@
+#include "mqsp/serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mqsp::serve {
+
+PreparedTarget& SessionRegistry::add(PreparedTarget entry) {
+    entry.id = nextId_++;
+    entries_.push_back(std::move(entry));
+    return entries_.back();
+}
+
+PreparedTarget* SessionRegistry::find(std::uint64_t id) {
+    const auto it = std::find_if(entries_.begin(), entries_.end(),
+                                 [id](const PreparedTarget& e) { return e.id == id; });
+    return it == entries_.end() ? nullptr : &*it;
+}
+
+PreparedTarget* SessionRegistry::newest() {
+    return entries_.empty() ? nullptr : &entries_.back();
+}
+
+bool SessionRegistry::drop(std::uint64_t id) {
+    const auto it = std::find_if(entries_.begin(), entries_.end(),
+                                 [id](const PreparedTarget& e) { return e.id == id; });
+    if (it == entries_.end()) {
+        return false;
+    }
+    entries_.erase(it);
+    return true;
+}
+
+std::vector<DecisionDiagram*> SessionRegistry::liveDiagrams() {
+    std::vector<DecisionDiagram*> live;
+    live.reserve(entries_.size());
+    for (PreparedTarget& entry : entries_) {
+        live.push_back(&entry.target.diagram());
+    }
+    return live;
+}
+
+} // namespace mqsp::serve

@@ -1,0 +1,57 @@
+#pragma once
+
+// The session registry: every target a resident mqsp_serve session has
+// prepared and not yet dropped. Entries pair the synthesized circuit with
+// its session-backed target diagram — the registry's diagram list IS the
+// live-root set a session GC must preserve, which is why the registry is
+// its own layer rather than a map inside the dispatcher.
+
+#include "mqsp/circuit/circuit.hpp"
+#include "mqsp/sim/backend.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqsp::serve {
+
+/// One prepared target resident in the service.
+struct PreparedTarget {
+    std::uint64_t id = 0; ///< assigned by the registry, never reused
+    std::string family;
+    std::string dims; ///< formatted register spec, e.g. "[1x3,1x6,1x2]"
+    Circuit circuit;
+    EvalState target; ///< session-backed diagram (GC remaps its root)
+    bool approx = false;
+    double threshold = 1.0;
+};
+
+/// Insertion-ordered store of prepared targets. Single-threaded: the
+/// service serializes every command behind its dispatch lock.
+class SessionRegistry {
+public:
+    /// Register `entry` (its id field is overwritten with a fresh id) and
+    /// return the stored copy.
+    PreparedTarget& add(PreparedTarget entry);
+
+    /// Entry by id; nullptr when absent (dropped or never existed).
+    [[nodiscard]] PreparedTarget* find(std::uint64_t id);
+
+    /// Most recently added entry; nullptr when empty. VERIFY's default.
+    [[nodiscard]] PreparedTarget* newest();
+
+    /// Remove by id. False when absent.
+    bool drop(std::uint64_t id);
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] std::vector<PreparedTarget>& entries() noexcept { return entries_; }
+
+    /// Every registered target diagram — the live roots a session GC keeps.
+    [[nodiscard]] std::vector<DecisionDiagram*> liveDiagrams();
+
+private:
+    std::vector<PreparedTarget> entries_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace mqsp::serve

@@ -1,0 +1,375 @@
+#include "mqsp/serve/service.hpp"
+
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
+#include "mqsp/support/rng.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <initializer_list>
+#include <numeric>
+#include <utility>
+
+namespace mqsp::serve {
+
+namespace {
+
+constexpr const char* kHelpLine =
+    "OK commands: PREP:<ghz|w|embw|uniform|dicke|cyclic|random> --dims <spec> "
+    "[--weight n] [--count n] [--seed n] [--approx f] | VERIFY [--id n] [--repeat k] | "
+    "BATCH | DROP --id n | GC | STATS? | LIMITS? | HELP | QUIT";
+
+[[nodiscard]] std::string fixed(double value, int precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+[[nodiscard]] std::string u64(std::uint64_t value) { return std::to_string(value); }
+
+/// Reject options the verb does not define, so a typo ("--wieght") fails
+/// loudly instead of silently using the default.
+void rejectUnknownOptions(const Request& request,
+                          std::initializer_list<std::string_view> allowed) {
+    for (const auto& [key, value] : request.options) {
+        const bool known = std::any_of(allowed.begin(), allowed.end(),
+                                       [&key](std::string_view name) { return key == name; });
+        requireThat(known, std::string(verbName(request.verb)) +
+                               " does not take option --" + parse::clipForMessage(key));
+    }
+}
+
+[[nodiscard]] std::uint64_t uintOption(const Request& request, const char* key,
+                                       std::uint64_t fallback) {
+    const std::string* text = request.option(key);
+    return text == nullptr ? fallback : parse::uint64(*text, std::string("--") + key);
+}
+
+/// Σ(dim_i − 1): the largest Dicke excitation weight the register admits.
+[[nodiscard]] std::uint64_t maxDickeWeight(const Dimensions& dims) {
+    std::uint64_t maxWeight = 0;
+    for (const auto dim : dims) {
+        maxWeight += dim - 1;
+    }
+    return maxWeight;
+}
+
+/// Default cyclic shift count: every distinct shift, lcm(dims) saturated
+/// to the 32-bit count range (shifts repeat beyond the lcm anyway).
+[[nodiscard]] std::uint32_t defaultCyclicCount(const Dimensions& dims) {
+    std::uint64_t lcmSoFar = 1;
+    constexpr std::uint64_t kCap = std::numeric_limits<std::uint32_t>::max();
+    for (const auto dim : dims) {
+        lcmSoFar = std::lcm(lcmSoFar, static_cast<std::uint64_t>(dim));
+        if (lcmSoFar >= kCap) {
+            return static_cast<std::uint32_t>(kCap);
+        }
+    }
+    return static_cast<std::uint32_t>(lcmSoFar);
+}
+
+struct FamilySpec {
+    std::string name;
+    std::uint64_t weight = 0; ///< dicke
+    std::uint32_t count = 0;  ///< cyclic
+    std::uint64_t seed = 0;   ///< random
+    [[nodiscard]] bool isRandom() const noexcept { return name == "random"; }
+};
+
+[[nodiscard]] StateVector makeDenseState(const FamilySpec& spec, const Dimensions& dims) {
+    if (spec.name == "ghz") {
+        return states::ghz(dims);
+    }
+    if (spec.name == "w") {
+        return states::wState(dims);
+    }
+    if (spec.name == "embw") {
+        return states::embeddedWState(dims);
+    }
+    if (spec.name == "uniform") {
+        return states::uniform(dims);
+    }
+    if (spec.name == "dicke") {
+        return states::dicke(dims, spec.weight);
+    }
+    if (spec.name == "cyclic") {
+        return states::cyclic(dims, Digits(dims.size(), 0), spec.count);
+    }
+    if (spec.name == "random") {
+        Rng rng(spec.seed);
+        return states::random(dims, rng);
+    }
+    detail::throwInternal("makeDenseState: unhandled family " + spec.name);
+}
+
+[[nodiscard]] DecisionDiagram makeSessionDiagram(const FamilySpec& spec, const Dimensions& dims,
+                                                 const dd::DdSession& session) {
+    if (spec.name == "ghz") {
+        return session.ghzState(dims);
+    }
+    if (spec.name == "w") {
+        return session.wState(dims);
+    }
+    if (spec.name == "embw") {
+        return session.embeddedWState(dims);
+    }
+    if (spec.name == "uniform") {
+        return session.uniformState(dims);
+    }
+    if (spec.name == "dicke") {
+        return session.dickeState(dims, spec.weight);
+    }
+    if (spec.name == "cyclic") {
+        return session.cyclicState(dims, Digits(dims.size(), 0), spec.count);
+    }
+    detail::throwInternal("makeSessionDiagram: unhandled family " + spec.name);
+}
+
+} // namespace
+
+VerificationService::VerificationService(ServiceLimits limits, parallel::ExecutionConfig config)
+    : limits_(limits), backend_(makeBackend(BackendKind::Dd, config)) {}
+
+Response VerificationService::handleLine(const std::string& rawLine) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Blank lines and '#' comments are script sugar, not commands.
+    const auto firstGlyph = rawLine.find_first_not_of(" \t\r");
+    if (firstGlyph == std::string::npos || rawLine[firstGlyph] == '#') {
+        return Response{};
+    }
+    ++commands_;
+    try {
+        requireThat(rawLine.size() <= limits_.maxLineLength,
+                    "line too long (" + u64(rawLine.size()) + " > " +
+                        u64(limits_.maxLineLength) + " bytes)");
+        const Request request = parseRequest(rawLine);
+        if (request.verb == Verb::Quit) {
+            rejectUnknownOptions(request, {});
+            return Response{"OK bye", true};
+        }
+        return Response{dispatch(request), false};
+    } catch (const std::exception& error) {
+        ++errors_;
+        return Response{std::string("ERR ") + error.what(), false};
+    }
+}
+
+std::string VerificationService::dispatch(const Request& request) {
+    switch (request.verb) {
+    case Verb::Prep:
+        return handlePrep(request);
+    case Verb::Verify:
+        return handleVerify(request);
+    case Verb::Batch:
+        return handleBatch(request);
+    case Verb::Drop:
+        return handleDrop(request);
+    case Verb::Gc:
+        return handleGc(request);
+    case Verb::Stats:
+        return handleStats(request);
+    case Verb::Limits:
+        return handleLimits(request);
+    case Verb::Help:
+        rejectUnknownOptions(request, {});
+        return kHelpLine;
+    case Verb::Quit:
+        break; // handled in handleLine (owns the connection verdict)
+    }
+    detail::throwInternal("dispatch: unhandled verb");
+}
+
+std::string VerificationService::handlePrep(const Request& request) {
+    rejectUnknownOptions(request, {"dims", "weight", "count", "seed", "approx"});
+    const std::string* dimsText = request.option("dims");
+    requireThat(dimsText != nullptr, "PREP requires --dims <spec> (e.g. --dims 3,6,2)");
+    const Dimensions dims = parseDimensionSpec(*dimsText);
+    const MixedRadix radix(dims);
+
+    // Admission: per-request amplitude ceiling, then the session node
+    // budget — a full pool refuses new work but keeps serving the old.
+    requireThat(radix.totalDimension() <= limits_.maxAmplitudes,
+                "admission: register has " + u64(radix.totalDimension()) +
+                    " amplitudes, over the service limit of " + u64(limits_.maxAmplitudes) +
+                    " (see LIMITS?)");
+    const auto session = backend_->ddSession();
+    const std::uint64_t poolNodes = session->stats().poolNodes;
+    requireThat(poolNodes <= limits_.maxSessionNodes,
+                "admission: session node budget exhausted (" + u64(poolNodes) + " > " +
+                    u64(limits_.maxSessionNodes) + " dd nodes) — run GC or DROP idle targets");
+
+    FamilySpec family;
+    family.name = request.family;
+    const bool known = family.name == "ghz" || family.name == "w" || family.name == "embw" ||
+                       family.name == "uniform" || family.name == "dicke" ||
+                       family.name == "cyclic" || family.name == "random";
+    requireThat(known, "unknown state family '" + parse::clipForMessage(family.name) +
+                           "' (ghz, w, embw, uniform, dicke, cyclic, random)");
+    family.weight = uintOption(request, "weight",
+                               std::min<std::uint64_t>(2, maxDickeWeight(dims)));
+    requireThat(family.name == "dicke" || request.option("weight") == nullptr,
+                "--weight only applies to PREP:DICKE");
+    requireThat(family.weight <= maxDickeWeight(dims),
+                "--weight needs a value in [0, " + u64(maxDickeWeight(dims)) +
+                    "] for this register (sum of dim_i - 1), got " + u64(family.weight));
+    const std::uint64_t countRaw = uintOption(request, "count", defaultCyclicCount(dims));
+    requireThat(family.name == "cyclic" || request.option("count") == nullptr,
+                "--count only applies to PREP:CYCLIC");
+    requireThat(countRaw >= 1 && countRaw <= std::numeric_limits<std::uint32_t>::max(),
+                "--count needs a value in [1, 2^32)");
+    family.count = static_cast<std::uint32_t>(countRaw);
+    family.seed = uintOption(request, "seed", Rng::kDefaultSeed);
+    requireThat(family.name == "random" || request.option("seed") == nullptr,
+                "--seed only applies to PREP:RANDOM");
+
+    const std::string* approxText = request.option("approx");
+    double threshold = 1.0;
+    if (approxText != nullptr) {
+        threshold = parse::real(*approxText, "--approx");
+        requireThat(threshold > 0.0 && threshold <= 1.0, "--approx needs a fidelity in (0, 1]");
+    }
+
+    SynthesisOptions options;
+    options.emitIdentityOperations = false;
+    options.circuitName = family.name;
+    options.tolerance = session->tolerance();
+
+    PreparedTarget entry;
+    entry.family = family.name;
+    entry.dims = formatDimensionSpec(dims);
+    entry.approx = approxText != nullptr;
+    entry.threshold = threshold;
+
+    PreparationResult result;
+    if (approxText != nullptr || family.isRandom()) {
+        // Dense path: random states have no diagram builder, and the
+        // approximation pass needs a tree-shaped private diagram (it
+        // prunes in place — impossible on immutable session nodes). The
+        // *verify target* is the exact state interned into the session
+        // either way, so GC and the compute cache govern it like any
+        // other resident target.
+        requireThat(radix.totalDimension() <= kDenseBackendCeiling,
+                    std::string(approxText != nullptr ? "--approx" : "PREP:RANDOM") +
+                        " builds a dense amplitude vector, and the register has " +
+                        u64(radix.totalDimension()) + " amplitudes (dense ceiling " +
+                        u64(kDenseBackendCeiling) + ")");
+        const StateVector state = makeDenseState(family, dims);
+        entry.target =
+            EvalState(session->intern(DecisionDiagram::fromStateVector(state, options.tolerance)));
+        result = approxText != nullptr ? prepareApproximated(state, threshold, options)
+                                       : prepareExact(state, options);
+    } else {
+        DecisionDiagram diagram = makeSessionDiagram(family, dims, *session);
+        entry.target = EvalState(diagram);
+        result = prepareExact(std::move(diagram), options);
+    }
+    entry.circuit = std::move(result.circuit);
+
+    const PreparedTarget& stored = registry_.add(std::move(entry));
+    ++prepared_;
+    std::string reply = "OK id=" + u64(stored.id) + " family=" + stored.family +
+                        " dims=" + stored.dims + " amplitudes=" + u64(radix.totalDimension()) +
+                        " ops=" + u64(stored.circuit.operations().size()) +
+                        " dd_nodes=" + u64(session->stats().poolNodes);
+    if (approxText != nullptr) {
+        reply += " approx_fidelity=" + fixed(result.approx.fidelity, 9);
+    }
+    return reply;
+}
+
+std::string VerificationService::handleVerify(const Request& request) {
+    rejectUnknownOptions(request, {"id", "repeat"});
+    PreparedTarget* entry = nullptr;
+    if (const std::string* idText = request.option("id")) {
+        const std::uint64_t id = parse::uint64(*idText, "--id");
+        entry = registry_.find(id);
+        requireThat(entry != nullptr, "no prepared target with id " + u64(id) +
+                                          " (dropped, collected, or never prepared)");
+    } else {
+        entry = registry_.newest();
+        requireThat(entry != nullptr, "nothing prepared yet — run PREP:<FAMILY> first");
+    }
+    const std::uint64_t repeat = uintOption(request, "repeat", 1);
+    requireThat(repeat >= 1 && repeat <= limits_.maxVerifyRepeat,
+                "--repeat needs a value in [1, " + u64(limits_.maxVerifyRepeat) + "]");
+
+    double fidelity = 0.0;
+    for (std::uint64_t i = 0; i < repeat; ++i) {
+        fidelity = backend_->preparationFidelity(entry->circuit, entry->target);
+    }
+    verified_ += repeat;
+    return "OK id=" + u64(entry->id) + " fidelity=" + fixed(fidelity, 9) +
+           " repeats=" + u64(repeat);
+}
+
+std::string VerificationService::handleBatch(const Request& request) {
+    rejectUnknownOptions(request, {});
+    requireThat(registry_.size() > 0, "nothing prepared yet — run PREP:<FAMILY> first");
+    std::vector<BatchVerifyItem> items;
+    items.reserve(registry_.size());
+    for (const PreparedTarget& entry : registry_.entries()) {
+        items.push_back(BatchVerifyItem{&entry.circuit, &entry.target});
+    }
+    const std::vector<BatchVerifyResult> results = backend_->prepareAndVerifyBatch(items);
+    std::size_t failures = 0;
+    double minFidelity = 1.0;
+    for (const BatchVerifyResult& result : results) {
+        if (result.failed) {
+            ++failures;
+        } else {
+            minFidelity = std::min(minFidelity, result.fidelity);
+        }
+    }
+    verified_ += results.size();
+    std::string reply = "OK items=" + u64(items.size()) + " failures=" + u64(failures);
+    if (failures < results.size()) {
+        reply += " min_fidelity=" + fixed(minFidelity, 9);
+    }
+    return reply;
+}
+
+std::string VerificationService::handleDrop(const Request& request) {
+    rejectUnknownOptions(request, {"id"});
+    const std::string* idText = request.option("id");
+    requireThat(idText != nullptr, "DROP requires --id <n>");
+    const std::uint64_t id = parse::uint64(*idText, "--id");
+    requireThat(registry_.drop(id), "no prepared target with id " + u64(id));
+    ++dropped_;
+    return "OK dropped=" + u64(id) + " resident=" + u64(registry_.size());
+}
+
+std::string VerificationService::handleGc(const Request& request) {
+    rejectUnknownOptions(request, {});
+    const auto session = backend_->ddSession();
+    const dd::DdSessionGcStats stats = session->garbageCollect(registry_.liveDiagrams());
+    ++gcRuns_;
+    return "OK nodes_before=" + u64(stats.nodesBefore) + " nodes_after=" + u64(stats.nodesAfter) +
+           " cache_evicted=" + u64(stats.cacheEntriesEvicted) +
+           " live_roots=" + u64(stats.liveRoots);
+}
+
+std::string VerificationService::handleStats(const Request& request) {
+    rejectUnknownOptions(request, {});
+    const dd::DdSessionStats stats = backend_->ddSession()->stats();
+    return "OK dd_nodes=" + u64(stats.poolNodes) +
+           " unique_hit_rate=" + fixed(stats.uniqueHitRate(), 3) +
+           " cache_hit_rate=" + fixed(stats.cacheHitRate(), 3) +
+           " cache_hits=" + u64(stats.cache.hits) +
+           " cache_evictions=" + u64(stats.cache.evictions) +
+           " resident=" + u64(registry_.size()) + " prepared=" + u64(prepared_) +
+           " dropped=" + u64(dropped_) + " verified=" + u64(verified_) +
+           " gc_runs=" + u64(gcRuns_) + " commands=" + u64(commands_) +
+           " errors=" + u64(errors_);
+}
+
+std::string VerificationService::handleLimits(const Request& request) {
+    rejectUnknownOptions(request, {});
+    return "OK max_amplitudes=" + u64(limits_.maxAmplitudes) +
+           " max_nodes=" + u64(limits_.maxSessionNodes) +
+           " max_line=" + u64(limits_.maxLineLength) +
+           " max_repeat=" + u64(limits_.maxVerifyRepeat);
+}
+
+} // namespace mqsp::serve

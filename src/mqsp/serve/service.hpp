@@ -1,0 +1,104 @@
+#pragma once
+
+// The mqsp_serve dispatcher: one resident VerificationService multiplexes
+// every client (stdio or TCP) onto a single DdBackend — one shared
+// DdSession stays hot across requests, so repeat verifications resolve
+// from the session compute cache and structurally shared targets intern
+// into one pool. Commands are serialized behind one dispatch lock
+// (BATCH gets its concurrency *inside* the lock, from
+// prepareAndVerifyBatch's worker fan-out), which is also what makes the
+// GC verb safe: compaction runs at quiescence by construction.
+//
+// Admission limits make the service survivable under hostile or
+// fat-fingered traffic: a per-request amplitude ceiling (one PREP of a
+// 2^30 register cannot take the process down), a session node budget
+// (PREP refuses when the pool is over budget, pointing at GC/DROP), and a
+// line-length ceiling enforced before parsing.
+
+#include "mqsp/serve/protocol.hpp"
+#include "mqsp/serve/registry.hpp"
+#include "mqsp/sim/backend.hpp"
+#include "mqsp/support/parallel.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mqsp::serve {
+
+/// Admission limits of one service instance (see the flags on mqsp_serve).
+struct ServiceLimits {
+    /// Largest register one PREP may name, in amplitudes. Structured
+    /// families build as diagrams, so this is well past the dense ceiling;
+    /// it bounds digit-walk work and refuses absurd registers up front.
+    std::uint64_t maxAmplitudes = std::uint64_t{1} << 28U;
+    /// Session node budget: PREP refuses while the pool holds more nodes,
+    /// pointing the client at GC (or DROP). Verification of already
+    /// prepared targets keeps working — the budget gates new admissions,
+    /// it does not kill the session.
+    std::uint64_t maxSessionNodes = std::uint64_t{1} << 20U;
+    /// Longest accepted command line, in bytes; longer lines are refused
+    /// before the parser sees them.
+    std::size_t maxLineLength = 4096;
+    /// Cap on VERIFY --repeat, bounding per-command work.
+    std::uint64_t maxVerifyRepeat = 10000;
+};
+
+/// One reply line plus the connection verdict (QUIT closes).
+struct Response {
+    std::string line;
+    bool closeConnection = false;
+};
+
+/// The resident dispatcher. Thread-safe: handleLine may be called from
+/// concurrent client threads; commands execute one at a time under the
+/// dispatch lock. Every response is exactly one line, "OK ..." or
+/// "ERR ..." — handleLine never throws.
+class VerificationService {
+public:
+    explicit VerificationService(
+        ServiceLimits limits = {},
+        parallel::ExecutionConfig config = parallel::globalExecutionConfig());
+
+    VerificationService(const VerificationService&) = delete;
+    VerificationService& operator=(const VerificationService&) = delete;
+
+    /// Execute one raw wire line. Blank lines and '#' comments produce an
+    /// empty response line (nothing to send). Errors — parse failures,
+    /// admission refusals, unknown ids — come back as "ERR <message>" and
+    /// leave the service serving.
+    [[nodiscard]] Response handleLine(const std::string& rawLine);
+
+    [[nodiscard]] const ServiceLimits& limits() const noexcept { return limits_; }
+
+    /// The backing DD session (tests inspect pool sizes through this).
+    [[nodiscard]] std::shared_ptr<dd::DdSession> session() const {
+        return backend_->ddSession();
+    }
+
+private:
+    [[nodiscard]] std::string dispatch(const Request& request);
+    [[nodiscard]] std::string handlePrep(const Request& request);
+    [[nodiscard]] std::string handleVerify(const Request& request);
+    [[nodiscard]] std::string handleBatch(const Request& request);
+    [[nodiscard]] std::string handleDrop(const Request& request);
+    [[nodiscard]] std::string handleGc(const Request& request);
+    [[nodiscard]] std::string handleStats(const Request& request);
+    [[nodiscard]] std::string handleLimits(const Request& request);
+
+    ServiceLimits limits_;
+    std::unique_ptr<EvaluationBackend> backend_;
+    SessionRegistry registry_;
+    std::mutex mutex_; ///< the dispatch lock: one command at a time
+
+    // Service counters (guarded by mutex_), reported by STATS?.
+    std::uint64_t commands_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t prepared_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t verified_ = 0;
+    std::uint64_t gcRuns_ = 0;
+};
+
+} // namespace mqsp::serve

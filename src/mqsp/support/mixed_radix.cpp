@@ -1,6 +1,7 @@
 #include "mqsp/support/mixed_radix.hpp"
 
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
 
 #include <cctype>
 #include <limits>
@@ -107,24 +108,40 @@ Dimensions parseDimensionSpec(const std::string& spec) {
     }
     requireThat(!cleaned.empty(), "parseDimensionSpec: empty specification");
 
+    // Untrusted text: both fields parse strictly (whole token, no sign
+    // wrapping) and bound-check before they size anything, so "2xq",
+    // "-3x2", or "9999999999x2" all fail with an actionable message
+    // instead of a bare stoull exception or a wrapped allocation.
+    constexpr std::uint64_t kMaxQudits = 1U << 20U;
     std::stringstream stream(cleaned);
     std::string entry;
     while (std::getline(stream, entry, ',')) {
         requireThat(!entry.empty(), "parseDimensionSpec: empty entry in specification");
         const auto cross = entry.find_first_of("xX*");
-        std::size_t count = 1;
+        std::uint64_t count = 1;
         std::string dimText = entry;
         if (cross != std::string::npos) {
             const std::string countText = entry.substr(0, cross);
             dimText = entry.substr(cross + 1);
             requireThat(!countText.empty() && !dimText.empty(),
-                        "parseDimensionSpec: malformed CountxDimension entry '" + entry + "'");
-            count = static_cast<std::size_t>(std::stoull(countText));
-            requireThat(count >= 1, "parseDimensionSpec: count must be >= 1");
+                        "parseDimensionSpec: malformed CountxDimension entry '" +
+                            parse::clipForMessage(entry) + "' (expected Count x Dimension)");
+            count = parse::uint64(countText, "parseDimensionSpec: count in entry '" +
+                                                 parse::clipForMessage(entry) + "'");
+            requireThat(count >= 1, "parseDimensionSpec: count must be >= 1 in entry '" +
+                                        parse::clipForMessage(entry) + "'");
         }
-        const auto dim = static_cast<Dimension>(std::stoul(dimText));
-        requireThat(dim >= 2, "parseDimensionSpec: dimension must be >= 2");
-        dims.insert(dims.end(), count, dim);
+        const auto dim = parse::uint64(dimText, "parseDimensionSpec: dimension in entry '" +
+                                                    parse::clipForMessage(entry) + "'");
+        requireThat(dim >= 2, "parseDimensionSpec: dimension must be >= 2 in entry '" +
+                                  parse::clipForMessage(entry) + "'");
+        requireThat(dim <= std::numeric_limits<Dimension>::max(),
+                    "parseDimensionSpec: dimension overflows in entry '" +
+                        parse::clipForMessage(entry) + "'");
+        requireThat(count <= kMaxQudits && dims.size() + count <= kMaxQudits,
+                    "parseDimensionSpec: register exceeds " + std::to_string(kMaxQudits) +
+                        " qudits in entry '" + parse::clipForMessage(entry) + "'");
+        dims.insert(dims.end(), static_cast<std::size_t>(count), static_cast<Dimension>(dim));
     }
     requireThat(!dims.empty(), "parseDimensionSpec: no dimensions parsed");
     return dims;

@@ -84,5 +84,64 @@ TEST(PrinterJson, RejectsUnknownKind) {
     EXPECT_THROW((void)parseCircuitJsonLines(stream), InvalidArgumentError);
 }
 
+/// Feed `text` through the parser and require the error message to carry
+/// `fragment` — malformed circuit files must say which line and key broke.
+void expectParseError(const std::string& text, const std::string& fragment) {
+    std::stringstream stream(text);
+    try {
+        (void)parseCircuitJsonLines(stream);
+        FAIL() << "expected InvalidArgumentError for input:\n" << text;
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+            << "input:\n" << text << "\nproduced: " << error.what();
+    }
+}
+
+constexpr const char* kHeader = "{\"name\":\"x\",\"dims\":[3,2]}\n";
+
+TEST(PrinterJson, RejectsNonNumericValueNamingKeyAndLine) {
+    expectParseError(std::string(kHeader) +
+                         "{\"kind\":\"phase\",\"target\":zero,\"levelA\":0,\"levelB\":1,"
+                         "\"theta\":0,\"phi\":0,\"shift\":0,\"controls\":[]}\n",
+                     "value for key 'target'");
+    expectParseError(std::string(kHeader) +
+                         "{\"kind\":\"phase\",\"target\":0,\"levelA\":0,\"levelB\":1,"
+                         "\"theta\":fast,\"phi\":0,\"shift\":0,\"controls\":[]}\n",
+                     "value for key 'theta'");
+}
+
+TEST(PrinterJson, RejectsTruncatedOperationLine) {
+    // A line cut mid-object (torn write, truncated download) names the
+    // first missing key instead of crashing in a raw substring scan.
+    expectParseError(std::string(kHeader) + "{\"kind\":\"phase\",\"target\":0\n",
+                     "missing key 'levelA'");
+    expectParseError(std::string(kHeader) + "{\"kind\":\"phase\"\n", "missing key 'target'");
+}
+
+TEST(PrinterJson, RejectsMalformedControlPairs) {
+    const std::string prefix = "{\"kind\":\"phase\",\"target\":1,\"levelA\":0,\"levelB\":1,"
+                               "\"theta\":0,\"phi\":0,\"shift\":0,";
+    expectParseError(std::string(kHeader) + prefix + "\"controls\":[[0,q]]}\n",
+                     "control pair in:");
+    expectParseError(std::string(kHeader) + prefix + "\"controls\":[[0,-1]]}\n",
+                     "control pair in:");
+    expectParseError(std::string(kHeader) + prefix + "\"controls\":[[01]]}\n",
+                     "malformed control pair");
+}
+
+TEST(PrinterJson, RejectsUnterminatedControlsArray) {
+    expectParseError(std::string(kHeader) +
+                         "{\"kind\":\"phase\",\"target\":1,\"levelA\":0,\"levelB\":1,"
+                         "\"theta\":0,\"phi\":0,\"shift\":0,\"controls\":[",
+                     "unterminated controls array");
+}
+
+TEST(PrinterJson, RejectsBadHeaderDims) {
+    expectParseError("{\"name\":\"x\",\"dims\":[3,q]}\n", "dims entry in:");
+    expectParseError("{\"name\":\"x\",\"dims\":[3,-2]}\n", "dims entry in:");
+    expectParseError("{\"name\":\"x\",\"dims\":[3,2", "unterminated dims in:");
+    expectParseError("{\"name\":\"x\"}\n", "missing dims array");
+}
+
 } // namespace
 } // namespace mqsp

@@ -1,0 +1,159 @@
+#include "mqsp/serve/protocol.hpp"
+
+#include "mqsp/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+
+namespace mqsp::serve {
+namespace {
+
+void expectParseError(const std::string& line, const std::string& fragment) {
+    try {
+        (void)parseRequest(line);
+        FAIL() << "expected InvalidArgumentError for line '" << line << "'";
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+            << "line '" << line << "' produced: " << error.what();
+    }
+}
+
+TEST(ServeProtocol, ParsesPrepWithFamilyAndOptions) {
+    const Request request = parseRequest("PREP:GHZ --dims 3,6,2 --approx 0.95");
+    EXPECT_EQ(request.verb, Verb::Prep);
+    EXPECT_EQ(request.family, "ghz");
+    ASSERT_EQ(request.options.size(), 2U);
+    EXPECT_EQ(request.options[0].first, "dims");
+    EXPECT_EQ(request.options[0].second, "3,6,2");
+    ASSERT_NE(request.option("approx"), nullptr);
+    EXPECT_EQ(*request.option("approx"), "0.95");
+    EXPECT_EQ(request.option("seed"), nullptr);
+}
+
+TEST(ServeProtocol, VerbsAreCaseInsensitiveAndFamilyIsLowercased) {
+    EXPECT_EQ(parseRequest("prep:DiCkE --dims 2,2").family, "dicke");
+    EXPECT_EQ(parseRequest("verify").verb, Verb::Verify);
+    EXPECT_EQ(parseRequest("Gc").verb, Verb::Gc);
+    EXPECT_EQ(parseRequest("hElP").verb, Verb::Help);
+}
+
+TEST(ServeProtocol, QueryVerbsAcceptBothSpellings) {
+    EXPECT_EQ(parseRequest("STATS?").verb, Verb::Stats);
+    EXPECT_EQ(parseRequest("stats").verb, Verb::Stats);
+    EXPECT_EQ(parseRequest("LIMITS?").verb, Verb::Limits);
+    EXPECT_EQ(parseRequest("limits").verb, Verb::Limits);
+    EXPECT_EQ(parseRequest("QUIT").verb, Verb::Quit);
+    EXPECT_EQ(parseRequest("exit").verb, Verb::Quit);
+}
+
+TEST(ServeProtocol, TokenizesAcrossTabsAndCarriageReturns) {
+    const Request request = parseRequest("\tVERIFY\t--id  7\r");
+    EXPECT_EQ(request.verb, Verb::Verify);
+    ASSERT_NE(request.option("id"), nullptr);
+    EXPECT_EQ(*request.option("id"), "7");
+}
+
+TEST(ServeProtocol, LastOptionWins) {
+    const Request request = parseRequest("VERIFY --id 1 --id 2");
+    ASSERT_NE(request.option("id"), nullptr);
+    EXPECT_EQ(*request.option("id"), "2");
+}
+
+TEST(ServeProtocol, VerbNamesRoundTrip) {
+    EXPECT_STREQ(verbName(Verb::Prep), "PREP");
+    EXPECT_STREQ(verbName(Verb::Stats), "STATS?");
+    EXPECT_STREQ(verbName(Verb::Limits), "LIMITS?");
+    EXPECT_STREQ(verbName(Verb::Quit), "QUIT");
+}
+
+TEST(ServeProtocol, RejectsMalformedLines) {
+    expectParseError("", "empty command line");
+    expectParseError("   \t  ", "empty command line");
+    expectParseError("GARBAGE", "unknown command 'GARBAGE'");
+    expectParseError("PREP --dims 2,2", "PREP requires a state family");
+    expectParseError("PREP:", "PREP requires a state family");
+    expectParseError("PREP:GHZ:EXTRA", "malformed family");
+    expectParseError("VERIFY:GHZ", "only PREP takes a :<FAMILY> suffix");
+    expectParseError("VERIFY id 3", "expected an option (--key value), got 'id'");
+    expectParseError("VERIFY --id", "option '--id' expects a value");
+    expectParseError("VERIFY --", "expected an option");
+    expectParseError("VERIFY --i=d 3", "malformed option name '--i=d'");
+}
+
+/// Deterministic xorshift64 — the fuzz corpus must be reproducible.
+struct Xorshift {
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    std::uint64_t operator()() {
+        state ^= state << 13U;
+        state ^= state >> 7U;
+        state ^= state << 17U;
+        return state;
+    }
+};
+
+TEST(ServeProtocol, RandomByteSoupNeverEscapesAsBareException) {
+    // Whatever arrives on the wire, the parser either yields a Request or
+    // throws InvalidArgumentError — never a bare stdlib exception, never a
+    // crash. Embedded NULs and control bytes included.
+    Xorshift next;
+    std::size_t rejected = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::string line;
+        const std::size_t length = next() % 64;
+        for (std::size_t i = 0; i < length; ++i) {
+            line += static_cast<char>(next() % 256);
+        }
+        try {
+            (void)parseRequest(line);
+        } catch (const InvalidArgumentError&) {
+            ++rejected;
+        }
+        // Any other exception type escapes and fails the test.
+    }
+    EXPECT_GT(rejected, 0U);
+}
+
+TEST(ServeProtocol, MutatedValidLinesParseOrThrowInvalidArgumentOnly) {
+    // Start from valid commands and flip a few bytes: these lines get deep
+    // into the grammar (family split, option pairing, key charset) instead
+    // of dying at the verb, and the unmutated rounds pin that the corpus
+    // really covers the accepting paths.
+    const std::string templates[] = {
+        "PREP:GHZ --dims 3,6,2",
+        "PREP:DICKE --dims 2,2,2 --weight 2",
+        "PREP:RANDOM --dims 2,2 --seed 7 --approx 0.9",
+        "VERIFY --id 1 --repeat 10",
+        "BATCH",
+        "DROP --id 2",
+        "GC",
+        "STATS?",
+        "LIMITS?",
+        "HELP",
+        "QUIT",
+    };
+    Xorshift next;
+    std::size_t parsed = 0;
+    std::size_t rejected = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::string line = templates[next() % std::size(templates)];
+        const std::size_t mutations = next() % 4; // 0 = keep the line valid
+        for (std::size_t m = 0; m < mutations && !line.empty(); ++m) {
+            line[next() % line.size()] = static_cast<char>(next() % 256);
+        }
+        try {
+            (void)parseRequest(line);
+            ++parsed;
+        } catch (const InvalidArgumentError&) {
+            ++rejected;
+        }
+    }
+    // The corpus exercised both outcomes.
+    EXPECT_GT(parsed, 0U);
+    EXPECT_GT(rejected, 0U);
+}
+
+} // namespace
+} // namespace mqsp::serve

@@ -1,0 +1,298 @@
+#include "mqsp/serve/service.hpp"
+
+#include "mqsp/dd/decision_diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace mqsp::serve {
+namespace {
+
+/// Run one line and require an "OK ..." reply; returns the reply line.
+std::string ok(VerificationService& service, const std::string& line) {
+    const Response response = service.handleLine(line);
+    EXPECT_EQ(response.line.rfind("OK ", 0), 0U)
+        << "line '" << line << "' replied: " << response.line;
+    return response.line;
+}
+
+/// Run one line and require an "ERR ..." reply carrying `fragment`.
+std::string err(VerificationService& service, const std::string& line,
+                const std::string& fragment) {
+    const Response response = service.handleLine(line);
+    EXPECT_EQ(response.line.rfind("ERR ", 0), 0U)
+        << "line '" << line << "' replied: " << response.line;
+    EXPECT_NE(response.line.find(fragment), std::string::npos)
+        << "line '" << line << "' replied: " << response.line;
+    EXPECT_FALSE(response.closeConnection);
+    return response.line;
+}
+
+/// Value of `key=` in a reply line ("OK id=1 fidelity=1.000 ..."), or "".
+std::string field(const std::string& reply, const std::string& key) {
+    const std::string needle = " " + key + "=";
+    const auto pos = reply.find(needle);
+    if (pos == std::string::npos) {
+        return "";
+    }
+    const auto start = pos + needle.size();
+    const auto end = reply.find(' ', start);
+    return reply.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+std::uint64_t uintField(const std::string& reply, const std::string& key) {
+    return std::stoull(field(reply, key));
+}
+
+TEST(ServeService, PrepVerifyLifecycle) {
+    VerificationService service;
+    const std::string prep = ok(service, "PREP:GHZ --dims 3,6,2");
+    EXPECT_EQ(field(prep, "id"), "1");
+    EXPECT_EQ(field(prep, "family"), "ghz");
+    EXPECT_EQ(field(prep, "dims"), "[1x3,1x6,1x2]");
+    EXPECT_EQ(field(prep, "amplitudes"), "36");
+    EXPECT_EQ(field(prep, "approx_fidelity"), ""); // exact prep: no fidelity field
+
+    const std::string verify = ok(service, "VERIFY");
+    EXPECT_EQ(field(verify, "id"), "1");
+    EXPECT_EQ(field(verify, "fidelity"), "1.000000000");
+    EXPECT_EQ(field(verify, "repeats"), "1");
+
+    const std::string byId = ok(service, "VERIFY --id 1 --repeat 3");
+    EXPECT_EQ(field(byId, "fidelity"), "1.000000000");
+    EXPECT_EQ(field(byId, "repeats"), "3");
+}
+
+TEST(ServeService, BatchDropAndStatsCounters) {
+    VerificationService service;
+    ok(service, "PREP:GHZ --dims 3,6,2");
+    ok(service, "PREP:W --dims 3,6,2");
+    ok(service, "PREP:UNIFORM --dims 2,2,2");
+
+    const std::string batch = ok(service, "BATCH");
+    EXPECT_EQ(field(batch, "items"), "3");
+    EXPECT_EQ(field(batch, "failures"), "0");
+    EXPECT_EQ(field(batch, "min_fidelity"), "1.000000000");
+
+    const std::string drop = ok(service, "DROP --id 2");
+    EXPECT_EQ(field(drop, "dropped"), "2");
+    EXPECT_EQ(field(drop, "resident"), "2");
+    err(service, "DROP --id 2", "no prepared target with id 2");
+    err(service, "VERIFY --id 2", "no prepared target with id 2");
+
+    const std::string stats = ok(service, "STATS?");
+    EXPECT_EQ(field(stats, "resident"), "2");
+    EXPECT_EQ(field(stats, "prepared"), "3");
+    EXPECT_EQ(field(stats, "dropped"), "1");
+    EXPECT_EQ(field(stats, "verified"), "3"); // the three batch items
+    EXPECT_EQ(field(stats, "errors"), "2");
+    EXPECT_NE(field(stats, "dd_nodes"), "");
+    EXPECT_NE(field(stats, "unique_hit_rate"), "");
+    EXPECT_NE(field(stats, "cache_hit_rate"), "");
+
+    // Ids are never reused: the next prep gets 4, not 2.
+    EXPECT_EQ(field(ok(service, "PREP:GHZ --dims 2,2"), "id"), "4");
+}
+
+TEST(ServeService, GcCompactsToLiveRootsAndVerificationSurvives) {
+    VerificationService service;
+    ok(service, "PREP:GHZ --dims 3,6,2");
+    ok(service, "PREP:W --dims 3,6,2");
+    ok(service, "PREP:DICKE --dims 3,6,2 --weight 3");
+    ok(service, "DROP --id 3");
+    ok(service, "DROP --id 2");
+    const std::uint64_t before = service.session()->stats().poolNodes;
+
+    const std::string gc = ok(service, "GC");
+    EXPECT_EQ(uintField(gc, "nodes_before"), before);
+    EXPECT_EQ(uintField(gc, "live_roots"), 1U);
+    EXPECT_LT(uintField(gc, "nodes_after"), before);
+
+    // dd_nodes after GC is exactly the live-root reachable set: the GHZ
+    // diagram's internal nodes plus the terminal.
+    const dd::DdSession reference;
+    const std::uint64_t expected =
+        reference.ghzState({3, 6, 2}).nodeCount(NodeCountMode::Internal) + 1;
+    EXPECT_EQ(uintField(gc, "nodes_after"), expected);
+    EXPECT_EQ(service.session()->stats().poolNodes, expected);
+
+    // A second GC is a no-op, and the surviving target still verifies.
+    const std::string again = ok(service, "GC");
+    EXPECT_EQ(uintField(again, "nodes_before"), expected);
+    EXPECT_EQ(uintField(again, "nodes_after"), expected);
+    EXPECT_EQ(field(ok(service, "VERIFY --id 1"), "fidelity"), "1.000000000");
+}
+
+TEST(ServeService, RepeatVerificationsHitTheComputeCacheAcrossGc) {
+    VerificationService service;
+    // An approximated target: its fidelity is < 1, so repeat verification
+    // cannot shortcut on root identity and must run the cached inner
+    // product (exact targets short-circuit before the cache).
+    const std::string prep = ok(service, "PREP:RANDOM --dims 2,2,2,2 --seed 7 --approx 0.9");
+    const std::string fidelity = field(prep, "approx_fidelity");
+    ASSERT_NE(fidelity, "");
+    ASSERT_LT(std::stod(fidelity), 1.0);
+
+    EXPECT_EQ(field(ok(service, "VERIFY --repeat 2"), "fidelity"), fidelity);
+    const std::uint64_t hitsBefore = service.session()->stats().cache.hits;
+    EXPECT_GT(hitsBefore, 0U);
+
+    ok(service, "GC");
+    EXPECT_EQ(field(ok(service, "VERIFY --repeat 2"), "fidelity"), fidelity);
+    EXPECT_GT(service.session()->stats().cache.hits, hitsBefore);
+}
+
+TEST(ServeService, HundredCyclesKeepThePoolBounded) {
+    VerificationService service;
+    std::uint64_t steadyPool = 0;
+    for (int cycle = 1; cycle <= 100; ++cycle) {
+        const std::string family = (cycle % 2 == 0) ? "PREP:W" : "PREP:GHZ";
+        const std::string prep = ok(service, family + " --dims 3,6,2");
+        const std::uint64_t id = uintField(prep, "id");
+        EXPECT_EQ(field(ok(service, "VERIFY --id " + std::to_string(id)), "fidelity"),
+                  "1.000000000");
+        if (cycle > 1) {
+            ok(service, "DROP --id " + std::to_string(id));
+        }
+        // Interning dedups the repeated families: after both have been
+        // built once, later cycles add no nodes at all.
+        const std::uint64_t pool = service.session()->stats().poolNodes;
+        if (cycle == 2) {
+            steadyPool = pool;
+        }
+        if (cycle > 2) {
+            EXPECT_EQ(pool, steadyPool) << "cycle " << cycle;
+        }
+    }
+
+    // One resident target remains (id 1, GHZ): GC pins the pool to exactly
+    // its reachable set.
+    const std::string gc = ok(service, "GC");
+    EXPECT_EQ(uintField(gc, "live_roots"), 1U);
+    const dd::DdSession reference;
+    EXPECT_EQ(uintField(gc, "nodes_after"),
+              reference.ghzState({3, 6, 2}).nodeCount(NodeCountMode::Internal) + 1);
+    EXPECT_EQ(field(ok(service, "VERIFY --id 1"), "fidelity"), "1.000000000");
+}
+
+TEST(ServeService, AdmissionLimitsRefuseWithoutKillingTheSession) {
+    ServiceLimits limits;
+    limits.maxAmplitudes = 100;
+    VerificationService service(limits);
+    ok(service, "PREP:GHZ --dims 3,6,2"); // 36 amplitudes: admitted
+    err(service, "PREP:GHZ --dims 3,6,2,4", "admission: register has 144 amplitudes");
+    // The refusal left the resident target serving.
+    EXPECT_EQ(field(ok(service, "VERIFY"), "fidelity"), "1.000000000");
+}
+
+TEST(ServeService, NodeBudgetGatesNewPrepsButKeepsVerifying) {
+    ServiceLimits limits;
+    limits.maxSessionNodes = 4; // absurdly small: one GHZ prep exceeds it
+    VerificationService service(limits);
+    ok(service, "PREP:GHZ --dims 3,6,2"); // pool starts under budget: admitted
+    err(service, "PREP:W --dims 3,6,2", "session node budget exhausted");
+    EXPECT_EQ(field(ok(service, "VERIFY --id 1"), "fidelity"), "1.000000000");
+    // GC cannot shrink below the live set here, but DROP + GC can.
+    ok(service, "DROP --id 1");
+    ok(service, "GC");
+    ok(service, "PREP:UNIFORM --dims 2,2"); // pool back under budget: admitted
+}
+
+TEST(ServeService, VerifyRepeatIsBounded) {
+    VerificationService service;
+    ok(service, "PREP:GHZ --dims 2,2");
+    err(service, "VERIFY --repeat 0", "--repeat needs a value in [1, 10000]");
+    err(service, "VERIFY --repeat 10001", "--repeat needs a value in [1, 10000]");
+}
+
+TEST(ServeService, MalformedInputsAnswerErrAndKeepServing) {
+    VerificationService service;
+    err(service, "GARBAGE", "unknown command 'GARBAGE'");
+    err(service, "PREP:GHZ", "PREP requires --dims");
+    err(service, "PREP:GHZ --dims 2xq", "dimension in entry '2xq'");
+    err(service, "PREP:GHZ --dims -3x2", "count in entry '-3x2'");
+    err(service, "PREP:NOSUCH --dims 2,2", "unknown state family 'nosuch'");
+    err(service, "PREP:DICKE --dims 2,2 --weight 99", "--weight needs a value in [0, 2]");
+    err(service, "PREP:GHZ --dims 2,2 --weight 1", "--weight only applies to PREP:DICKE");
+    err(service, "PREP:GHZ --dims 2,2 --approx 1.5", "--approx needs a fidelity in (0, 1]");
+    err(service, "PREP:GHZ --dims 2,2 --wieght 1", "PREP does not take option --wieght");
+    err(service, "VERIFY --id junk", "--id expects a non-negative integer");
+    err(service, "VERIFY", "nothing prepared yet");
+    err(service, "BATCH", "nothing prepared yet");
+    err(service, "DROP", "DROP requires --id");
+    err(service, "GC --id 1", "GC does not take option --id");
+
+    // After all that abuse the service still serves normally.
+    ok(service, "PREP:GHZ --dims 3,6,2");
+    EXPECT_EQ(field(ok(service, "VERIFY"), "fidelity"), "1.000000000");
+    EXPECT_EQ(field(ok(service, "STATS?"), "errors"), "14");
+}
+
+TEST(ServeService, OversizedLinesAreRefusedBeforeParsing) {
+    ServiceLimits limits;
+    limits.maxLineLength = 64;
+    VerificationService service(limits);
+    const std::string longLine = "PREP:GHZ --dims " + std::string(128, '2');
+    err(service, longLine, "line too long");
+    ok(service, "PREP:GHZ --dims 2,2"); // short lines still served
+}
+
+TEST(ServeService, BlankLinesAndCommentsProduceNoReply) {
+    VerificationService service;
+    EXPECT_EQ(service.handleLine("").line, "");
+    EXPECT_EQ(service.handleLine("   \t ").line, "");
+    EXPECT_EQ(service.handleLine("# a scripted session comment").line, "");
+    // None of those counted as commands or errors.
+    const std::string stats = ok(service, "STATS?");
+    EXPECT_EQ(field(stats, "commands"), "1");
+    EXPECT_EQ(field(stats, "errors"), "0");
+}
+
+TEST(ServeService, QuitClosesTheConnection) {
+    VerificationService service;
+    const Response response = service.handleLine("QUIT");
+    EXPECT_EQ(response.line, "OK bye");
+    EXPECT_TRUE(response.closeConnection);
+    // HELP and LIMITS? answer one line and keep the connection.
+    EXPECT_FALSE(service.handleLine("HELP").closeConnection);
+    const std::string limitsReply = ok(service, "LIMITS?");
+    EXPECT_EQ(field(limitsReply, "max_amplitudes"), "268435456");
+    EXPECT_EQ(field(limitsReply, "max_nodes"), "1048576");
+    EXPECT_EQ(field(limitsReply, "max_line"), "4096");
+    EXPECT_EQ(field(limitsReply, "max_repeat"), "10000");
+}
+
+TEST(ServeService, FuzzedWireLinesNeverThrowAndServiceSurvives) {
+    VerificationService service;
+    ok(service, "PREP:GHZ --dims 2,2,2");
+    std::uint64_t state = 0xDEADBEEFCAFEF00DULL;
+    const auto next = [&state]() {
+        state ^= state << 13U;
+        state ^= state >> 7U;
+        state ^= state << 17U;
+        return state;
+    };
+    for (int round = 0; round < 500; ++round) {
+        std::string line;
+        const std::size_t length = next() % 96;
+        for (std::size_t i = 0; i < length; ++i) {
+            line += static_cast<char>(next() % 256);
+        }
+        // handleLine's contract: never throws, one OK/ERR line (or empty
+        // for blank/comment lines), and the connection stays open.
+        const Response response = service.handleLine(line);
+        if (!response.line.empty()) {
+            const bool okReply = response.line.rfind("OK ", 0) == 0;
+            const bool errReply = response.line.rfind("ERR ", 0) == 0;
+            EXPECT_TRUE(okReply || errReply) << "round " << round << ": " << response.line;
+            EXPECT_EQ(response.line.find('\n'), std::string::npos);
+        }
+    }
+    // The resident target survived the abuse.
+    EXPECT_EQ(field(ok(service, "VERIFY --id 1"), "fidelity"), "1.000000000");
+}
+
+} // namespace
+} // namespace mqsp::serve

@@ -106,6 +106,58 @@ TEST(ParseDimensionSpec, RejectsGarbage) {
     EXPECT_THROW(parseDimensionSpec("2x1"), InvalidArgumentError);
 }
 
+/// The thrown message must name the offending entry — the error is the
+/// user's only clue which piece of a long spec was malformed.
+void expectSpecError(const std::string& spec, const std::string& fragment) {
+    try {
+        (void)parseDimensionSpec(spec);
+        FAIL() << "expected InvalidArgumentError for spec '" << spec << "'";
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+            << "spec '" << spec << "' produced: " << error.what();
+    }
+}
+
+TEST(ParseDimensionSpec, NonNumericEntriesNameTheEntry) {
+    expectSpecError("2xq", "dimension in entry '2xq'");
+    expectSpecError("3,6,two", "dimension in entry 'two'");
+    expectSpecError("qx2", "count in entry 'qx2'");
+    expectSpecError("2.5", "dimension in entry '2.5'");
+}
+
+TEST(ParseDimensionSpec, RejectsSignedEntries) {
+    // Raw stoull would silently wrap "-3" to a huge unsigned value; the
+    // strict parser refuses any sign character outright.
+    expectSpecError("-3x2", "count in entry '-3x2'");
+    expectSpecError("3,-6,2", "dimension in entry '-6'");
+    expectSpecError("+2", "dimension in entry '+2'");
+}
+
+TEST(ParseDimensionSpec, RejectsDanglingCross) {
+    expectSpecError("3x", "malformed CountxDimension entry '3x'");
+    expectSpecError("x3", "malformed CountxDimension entry 'x3'");
+}
+
+TEST(ParseDimensionSpec, RejectsOverflowingDimension) {
+    // Past 64 bits, and past the 32-bit Dimension type.
+    expectSpecError("99999999999999999999999999", "dimension in entry");
+    expectSpecError("4294967296", "dimension overflows in entry '4294967296'");
+}
+
+TEST(ParseDimensionSpec, RejectsHugeRegisters) {
+    // A count that would allocate gigabytes must refuse before sizing
+    // anything, in one entry or accumulated across entries.
+    expectSpecError("2000000x2", "register exceeds");
+    expectSpecError("1000000x2,1000000x3", "register exceeds");
+    expectSpecError("99999999999999999999x2", "count in entry");
+}
+
+TEST(ParseDimensionSpec, AcceptsRegisterAtTheQuditCap) {
+    const Dimensions dims = parseDimensionSpec("1048576x2");
+    EXPECT_EQ(dims.size(), 1048576U);
+    EXPECT_EQ(dims.front(), 2U);
+}
+
 TEST(FormatDimensionSpec, RoundTripsGroupedRuns) {
     EXPECT_EQ(formatDimensionSpec({4, 4, 4, 7, 3, 5}), "[3x4,1x7,1x3,1x5]");
     EXPECT_EQ(formatDimensionSpec({3, 6, 2}), "[1x3,1x6,1x2]");

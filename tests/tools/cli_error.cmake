@@ -1,0 +1,40 @@
+# CTest script: negative-path CLI check. Runs
+#   ${TOOL} ${TOOL_ARGS}
+# and requires a NONZERO exit code plus a stderr line matching EXPECT —
+# pinning that malformed untrusted input dies with one actionable message
+# instead of a raw stdlib exception trace or a silent wrap-around.
+#
+# Optional: WRITE_FILE/FILE_CONTENT materialize a (deliberately broken)
+# input fixture before the run; "\n" in FILE_CONTENT becomes a newline.
+
+if(DEFINED WRITE_FILE)
+  string(REPLACE "\\n" "\n" file_content "${FILE_CONTENT}")
+  file(WRITE ${WRITE_FILE} "${file_content}")
+endif()
+
+separate_arguments(tool_args UNIX_COMMAND "${TOOL_ARGS}")
+execute_process(
+  COMMAND ${TOOL} ${tool_args}
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr
+  RESULT_VARIABLE run_result)
+
+if(run_result EQUAL 0)
+  message(FATAL_ERROR
+    "expected a failure exit code for: ${TOOL} ${TOOL_ARGS}\n"
+    "stdout: ${run_stdout}\nstderr: ${run_stderr}")
+endif()
+
+if(NOT run_stderr MATCHES "${EXPECT}")
+  message(FATAL_ERROR
+    "stderr did not match '${EXPECT}' for: ${TOOL} ${TOOL_ARGS}\n"
+    "exit: ${run_result}\nstderr: ${run_stderr}")
+endif()
+
+# A clean refusal is one diagnostic, not an unwound stack trace: no raw
+# stdlib exception names may leak through.
+if(run_stderr MATCHES "std::|terminate|Aborted")
+  message(FATAL_ERROR "stderr leaked a raw exception for: ${TOOL} ${TOOL_ARGS}\n${run_stderr}")
+endif()
+
+message(STATUS "cli_error OK: ${TOOL_ARGS}")

@@ -2,12 +2,13 @@
 
 // Minimal shared command-line helpers for the mqsp executables (the CLI
 // tools and the benchmark harness). Flags are matched literally; values
-// follow their flag as the next argv entry. Numeric parsers validate the
-// whole token and report the offending flag instead of dying with a bare
-// std::stoull exception.
+// follow their flag as the next argv entry. Numeric parsers delegate to
+// mqsp::parse — whole-token validation naming the offending flag instead
+// of dying with a bare std::stoull exception.
 
 #include "mqsp/support/error.hpp"
 #include "mqsp/support/parallel.hpp"
+#include "mqsp/support/parse.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -45,20 +46,7 @@ inline std::uint64_t argUint(int argc, char** argv, const std::string& flag,
     if (!text) {
         return fallback;
     }
-    std::size_t consumed = 0;
-    std::uint64_t parsed = 0;
-    try {
-        // stoull accepts and wraps a leading minus; reject it up front.
-        if (text->empty() || text->front() == '-') {
-            throw std::invalid_argument(*text);
-        }
-        parsed = std::stoull(*text, &consumed);
-    } catch (const std::exception&) {
-        consumed = 0;
-    }
-    requireThat(!text->empty() && consumed == text->size(),
-                flag + " expects a non-negative integer, got '" + *text + "'");
-    return parsed;
+    return parse::uint64(*text, flag);
 }
 
 /// Parse a floating-point value for `flag`, or `fallback` when absent.
@@ -68,16 +56,7 @@ inline double argDouble(int argc, char** argv, const std::string& flag, double f
     if (!text) {
         return fallback;
     }
-    std::size_t consumed = 0;
-    double parsed = 0.0;
-    try {
-        parsed = std::stod(*text, &consumed);
-    } catch (const std::exception&) {
-        consumed = 0;
-    }
-    requireThat(!text->empty() && consumed == text->size(),
-                flag + " expects a number, got '" + *text + "'");
-    return parsed;
+    return parse::real(*text, flag);
 }
 
 /// Parse `--threads N` (0 or absent = automatic). Shared by the CLI tools

@@ -25,6 +25,7 @@
 #include "mqsp/sim/backend.hpp"
 #include "mqsp/states/states.hpp"
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <algorithm>
@@ -149,13 +150,26 @@ StateSpec parseStateSpec(const std::string& name, const Dimensions& dims) {
         return {StateSpec::Family::Dicke, defaultDickeWeight(dims)};
     }
     if (name.rfind("dicke=", 0) == 0) {
-        return {StateSpec::Family::Dicke, std::stoull(name.substr(6))};
+        // Strict parse: "dicke=junk" and "dicke=-1" must fail with a named
+        // error, not a bare stoull exception or a wrapped huge weight; the
+        // weight is then range-checked against the register's maximum
+        // excitation count, mirroring the cyclic= bounds check below.
+        const std::uint64_t weight = parse::uint64(name.substr(6), "--state dicke=<weight>");
+        std::uint64_t maxWeight = 0;
+        for (const auto dim : dims) {
+            maxWeight += dim - 1;
+        }
+        requireThat(weight <= maxWeight,
+                    "dicke=<weight> needs a weight in [0, " + std::to_string(maxWeight) +
+                        "] for this register (sum of dim_i - 1), got " +
+                        std::to_string(weight));
+        return {StateSpec::Family::Dicke, weight};
     }
     if (name == "cyclic") {
         return {StateSpec::Family::Cyclic, defaultCyclicCount(dims)};
     }
     if (name.rfind("cyclic=", 0) == 0) {
-        const unsigned long count = std::stoul(name.substr(7)); // NOLINT(google-runtime-int)
+        const std::uint64_t count = parse::uint64(name.substr(7), "--state cyclic=<count>");
         requireThat(count >= 1 && count <= std::numeric_limits<std::uint32_t>::max(),
                     "cyclic=<count> needs a count in [1, 2^32)");
         return {StateSpec::Family::Cyclic, count};

@@ -2,9 +2,11 @@
 //
 //   mqsp_sim --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
 //            [--backend dense|dd|auto]
+//   mqsp_sim --circuit-json circuit.jsonl ...
 //
 // Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm)
-// and simulates it from |0...0> on the selected evaluation backend
+// or the JSON-lines circuit format (printer.hpp; --circuit-json) and
+// simulates it from |0...0> on the selected evaluation backend
 // (sim/backend.hpp): `dense` replays on the state-vector simulator, `dd`
 // replays natively on decision diagrams — amplitudes, sampling and the
 // printed state all come straight off the diagram, so circuits on registers
@@ -13,6 +15,7 @@
 
 #include "cli_args.hpp"
 
+#include "mqsp/circuit/printer.hpp"
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
 #include "mqsp/sim/backend.hpp"
@@ -47,20 +50,27 @@ int main(int argc, char** argv) {
     try {
         cli::configureThreads(argc, argv);
         const auto path = argValue(argc, argv, "--qasm");
-        if (!path) {
+        const auto jsonPath = argValue(argc, argv, "--circuit-json");
+        if (static_cast<bool>(path) == static_cast<bool>(jsonPath)) {
             std::fprintf(stderr,
-                         "usage: mqsp_sim --qasm <file|-> [--shots n] [--print-state] "
-                         "[--seed n] [--backend dense|dd|auto] [--threads n]\n");
+                         "usage: mqsp_sim (--qasm <file|-> | --circuit-json <file|->) "
+                         "[--shots n] [--print-state] [--seed n] "
+                         "[--backend dense|dd|auto] [--threads n]\n");
             return 2;
         }
 
+        const std::string& input = path ? *path : *jsonPath;
+        const auto parseFrom = [&](std::istream& in) {
+            return path ? parseQasm(in) : parseCircuitJsonLines(in);
+        };
         Circuit circuit({2});
-        if (*path == "-") {
-            circuit = parseQasm(std::cin);
+        if (input == "-") {
+            circuit = parseFrom(std::cin);
         } else {
-            std::ifstream in(*path);
-            requireThat(in.good(), "cannot open QASM file: " + *path);
-            circuit = parseQasm(in);
+            std::ifstream in(input);
+            requireThat(in.good(), std::string("cannot open ") +
+                                       (path ? "QASM" : "circuit-JSON") + " file: " + input);
+            circuit = parseFrom(in);
         }
 
         const std::string backendSpec =

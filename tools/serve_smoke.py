@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Scripted-session smoke test for mqsp_serve, the resident verifier.
+
+Drives one stdio session through the daemon — prepare GHZ/W/Dicke targets
+on the paper's [3,6,2] register, verify each, survive a garbage line, drop
+two targets, collect — and asserts the session-GC contract end to end:
+
+  * GC shrinks the node pool (nodes_after < nodes_before) down to the
+    live-root reachable set, with exactly the resident targets as roots;
+  * a second GC is a no-op (the compaction is idempotent);
+  * STATS? reports exactly the post-GC pool (dd_nodes == nodes_after);
+  * verification still answers fidelity 1.0 after compaction;
+  * a malformed line gets one ERR reply and the daemon keeps serving.
+
+Writes an mqsp-bench-v1 JSON report whose integer metrics (nodes before /
+after GC, live roots) are deterministic, so the CI metrics gate
+(tools/bench_compare.py compare --metrics-only) pins the compacted pool
+size against bench/baselines/dev-container-smoke.json forever.
+
+Usage: serve_smoke.py --serve <mqsp_serve binary> --json <report path>
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+DIMS = "3,6,2"
+
+# One reply line per command; blank lines and comments would get none, so
+# the script avoids them and the reply list maps 1:1 onto this list.
+COMMANDS = [
+    "PREP:GHZ --dims " + DIMS,
+    "PREP:W --dims " + DIMS,
+    "PREP:DICKE --dims " + DIMS + " --weight 3",
+    "VERIFY --id 1 --repeat 3",
+    "VERIFY --id 2",
+    "VERIFY --id 3",
+    "THIS IS NOT A COMMAND",
+    "DROP --id 2",
+    "DROP --id 3",
+    "GC",
+    "GC",
+    "STATS?",
+    "VERIFY --id 1",
+    "QUIT",
+]
+
+
+def fail(message):
+    print("serve_smoke: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def field(reply, key):
+    """Extract `key=value` from an OK reply."""
+    match = re.search(r"\b" + re.escape(key) + r"=(\S+)", reply)
+    if match is None:
+        fail("reply lacks field '%s': %s" % (key, reply))
+    return match.group(1)
+
+
+def run_session(serve_binary):
+    script = "\n".join(COMMANDS) + "\n"
+    wall_start = time.perf_counter_ns()
+    proc = subprocess.run(
+        [serve_binary, "--threads", "1"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    wall_ns = time.perf_counter_ns() - wall_start
+    if proc.returncode != 0:
+        fail("daemon exited %d\nstderr: %s" % (proc.returncode, proc.stderr))
+    replies = proc.stdout.splitlines()
+    if len(replies) != len(COMMANDS):
+        fail(
+            "expected %d reply lines, got %d:\n%s"
+            % (len(COMMANDS), len(replies), proc.stdout)
+        )
+    return replies, wall_ns
+
+
+def check_session(replies):
+    for command, reply in zip(COMMANDS, replies):
+        expected_err = command.startswith("THIS")
+        if expected_err and not reply.startswith("ERR "):
+            fail("garbage line did not answer ERR: %s" % reply)
+        if not expected_err and not reply.startswith("OK "):
+            fail("command '%s' answered: %s" % (command, reply))
+
+    for index in (0, 1, 2):
+        if field(replies[index], "id") != str(index + 1):
+            fail("PREP ids are not sequential: %s" % replies[index])
+    amplitudes = int(field(replies[0], "amplitudes"))
+
+    for index in (3, 4, 5, 12):
+        if field(replies[index], "fidelity") != "1.000000000":
+            fail("exact verification drifted from 1.0: %s" % replies[index])
+
+    gc_first, gc_second = replies[9], replies[10]
+    nodes_before = int(field(gc_first, "nodes_before"))
+    nodes_after = int(field(gc_first, "nodes_after"))
+    live_roots = int(field(gc_first, "live_roots"))
+    if live_roots != 1:
+        fail("expected 1 live root after the drops: %s" % gc_first)
+    if nodes_after >= nodes_before:
+        fail("GC did not shrink the pool: %s" % gc_first)
+    if int(field(gc_second, "nodes_before")) != nodes_after or int(
+        field(gc_second, "nodes_after")
+    ) != nodes_after:
+        fail("second GC is not idempotent: %s then %s" % (gc_first, gc_second))
+
+    stats = replies[11]
+    if int(field(stats, "dd_nodes")) != nodes_after:
+        fail("STATS? dd_nodes disagrees with GC nodes_after: %s" % stats)
+    if field(stats, "errors") != "1":
+        fail("expected exactly the one seeded error: %s" % stats)
+    if replies[13] != "OK bye":
+        fail("QUIT did not close the session: %s" % replies[13])
+
+    return {
+        "amplitudes": amplitudes,
+        "nodes_before_gc": nodes_before,
+        "nodes_after_gc": nodes_after,
+        "live_roots": live_roots,
+        "fidelity": 1.0,
+    }
+
+
+def write_report(path, metrics, wall_ns, cpu_ns):
+    def stat_block(value):
+        return {"min_ns": value, "median_ns": value, "mean_ns": value, "stddev_ns": 0}
+
+    report = {
+        "schema": "mqsp-bench-v1",
+        "driver": "serve_smoke",
+        "mode": "smoke",
+        "cases": [
+            {
+                "driver": "serve_smoke",
+                "case": "resident session prep/verify/gc",
+                "dims": "[1x3,1x6,1x2]",
+                "backend": "dd",
+                "threads": 1,
+                "reps": 1,
+                "warmup": 0,
+                "times_ns": [wall_ns],
+                "times_cpu_ns": [cpu_ns],
+                "stats": stat_block(wall_ns),
+                "cpu_stats": stat_block(cpu_ns),
+                "metrics": metrics,
+            }
+        ],
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True, help="path to the mqsp_serve binary")
+    parser.add_argument("--json", required=True, help="mqsp-bench-v1 report output path")
+    args = parser.parse_args()
+
+    cpu_start = time.process_time_ns()
+    replies, wall_ns = run_session(args.serve)
+    # The interesting CPU time burns in the child; rusage of terminated
+    # children is the honest measure where available.
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_CHILDREN)
+        cpu_ns = int((usage.ru_utime + usage.ru_stime) * 1e9)
+    except ImportError:
+        cpu_ns = time.process_time_ns() - cpu_start
+    metrics = check_session(replies)
+    write_report(args.json, metrics, wall_ns, max(cpu_ns, 1))
+    print(
+        "serve_smoke OK: pool %d -> %d nodes, %d live root(s), report %s"
+        % (
+            metrics["nodes_before_gc"],
+            metrics["nodes_after_gc"],
+            metrics["live_roots"],
+            args.json,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()
