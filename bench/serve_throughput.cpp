@@ -1,0 +1,141 @@
+// Serving-layer throughput: spin a VerificationService in-process and fan
+// N synthetic clients over the TaskPool, each draining its share of one
+// fixed command storm against the shared session. The t1/t2/t4/t8 rows
+// read as the dispatcher's scaling curve — under the old single-mutex
+// dispatch every row would flatline at t1 throughput; reader-writer
+// dispatch lets the VERIFY/STATS? traffic overlap while PREP/GC writers
+// serialize.
+//
+// The storm is one command list dealt round-robin to the clients, so the
+// deterministic outcomes — request and per-verb counts, zero errors, and
+// the post-GC pool size — are identical at every thread count and every
+// interleaving: those are the metrics the CI gate pins (the t4 row runs
+// in smoke). requests_per_sec is the throughput measurement itself —
+// noisy by nature, reported for humans, and deliberately stripped from
+// the gated smoke baseline (see bench/baselines/README.md).
+
+#include "harness.hpp"
+
+#include "mqsp/serve/service.hpp"
+#include "mqsp/support/parallel.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace mqsp;
+using namespace mqsp::bench;
+
+/// Value of `key=` in a reply line ("OK dd_nodes=41 ..."); throws when absent.
+std::uint64_t uintField(const std::string& reply, const std::string& key) {
+    const std::string needle = " " + key + "=";
+    const auto pos = reply.find(needle);
+    if (pos == std::string::npos) {
+        throw std::runtime_error("reply lacks field " + key + ": " + reply);
+    }
+    return std::stoull(reply.substr(pos + needle.size()));
+}
+
+/// Issue one command and require an "OK ..." reply.
+std::string ok(serve::VerificationService& service, const std::string& line) {
+    serve::Response response = service.handleLine(line);
+    if (response.line.rfind("OK ", 0) != 0) {
+        throw std::runtime_error("command '" + line + "' replied: " + response.line);
+    }
+    return std::move(response.line);
+}
+
+/// The fixed storm: read-heavy traffic (VERIFY, STATS?, LIMITS?) with a
+/// write mix (PREP, GC) that forces the dispatcher through its writer
+/// path — the shape a resident verification service actually sees.
+std::vector<std::string> buildStorm() {
+    std::vector<std::string> storm;
+    for (int cycle = 0; cycle < 25; ++cycle) {
+        storm.emplace_back("VERIFY --id 1");
+        storm.emplace_back("STATS?");
+        storm.emplace_back("VERIFY --id 2 --repeat 2");
+        storm.emplace_back("LIMITS?");
+        storm.emplace_back("VERIFY --id 1");
+        storm.emplace_back("VERIFY --id 2");
+        storm.emplace_back("BATCH");
+        if (cycle % 5 == 0) {
+            // A sparse write mix: serving traffic is read-dominated, and a
+            // GC every cycle would serialize the whole storm — but zero
+            // writers would never exercise the writer path at all. The GC
+            // also evicts the compute cache, so the verifications that
+            // follow redo real replay work instead of degenerating into
+            // pure cache lookups.
+            storm.emplace_back("PREP:UNIFORM --dims 2,2");
+            storm.emplace_back("GC");
+        }
+    }
+    return storm;
+}
+
+void addThroughputCase(Harness& harness, unsigned clients, bool smoke) {
+    CaseSpec spec;
+    spec.name = "serve storm";
+    spec.backend = std::string("dd");
+    spec.threads = clients;
+    spec.reps = 10;
+    spec.smoke = smoke;
+    spec.body = [clients](Repetition& rep) {
+        // Fresh service per repetition: the deterministic metrics below
+        // describe exactly one storm, so they are repetition-invariant.
+        // The service captures the harness-pinned thread width, so BATCH
+        // fan-out inside a client is the no-op nested case.
+        serve::VerificationService service;
+        ok(service, "PREP:GHZ --dims 3,6,2");
+        ok(service, "PREP:W --dims 3,6,2");
+
+        const std::vector<std::string> storm = buildStorm();
+        rep.time([&] {
+            // One pool task per client; each drains its round-robin share
+            // of the storm, so total work is fixed regardless of width.
+            parallel::parallelFor(0, clients, 1, [&](std::uint64_t begin,
+                                                     std::uint64_t end) {
+                for (std::uint64_t client = begin; client < end; ++client) {
+                    for (std::size_t i = client; i < storm.size(); i += clients) {
+                        const serve::Response response = service.handleLine(storm[i]);
+                        if (response.line.rfind("OK ", 0) != 0) {
+                            throw std::runtime_error("storm command '" + storm[i] +
+                                                     "' replied: " + response.line);
+                        }
+                    }
+                }
+            });
+        });
+
+        // Serial epilogue: compact to the live set and read the
+        // deterministic outcomes back through the wire protocol.
+        const std::string gc = ok(service, "GC");
+        const std::string stats = ok(service, "STATS?");
+        if (uintField(stats, "errors") != 0) {
+            throw std::runtime_error("storm produced errors: " + stats);
+        }
+        rep.metric("requests", static_cast<double>(storm.size()));
+        rep.metric("requests_per_sec", static_cast<double>(storm.size()) * 1e9 /
+                                           static_cast<double>(rep.elapsedNs()));
+        rep.metric("dd_nodes", static_cast<double>(uintField(gc, "nodes_after")));
+        rep.metric("verify_count", static_cast<double>(uintField(stats, "verify.count")));
+        rep.metric("prep_count", static_cast<double>(uintField(stats, "prep.count")));
+        rep.metric("batch_count", static_cast<double>(uintField(stats, "batch.count")));
+        rep.metric("gc_count", static_cast<double>(uintField(stats, "gc.count")));
+        rep.metric("stats_count", static_cast<double>(uintField(stats, "stats.count")));
+    };
+    harness.add(std::move(spec));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Harness harness("serve_throughput");
+    for (const unsigned clients : {1U, 2U, 4U, 8U}) {
+        addThroughputCase(harness, clients, clients == 4);
+    }
+    return harness.main(argc, argv);
+}

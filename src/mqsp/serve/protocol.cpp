@@ -93,6 +93,47 @@ const char* verbName(Verb verb) noexcept {
     return "?";
 }
 
+const char* verbMetricKey(Verb verb) noexcept {
+    switch (verb) {
+    case Verb::Prep:
+        return "prep";
+    case Verb::Verify:
+        return "verify";
+    case Verb::Batch:
+        return "batch";
+    case Verb::Drop:
+        return "drop";
+    case Verb::Gc:
+        return "gc";
+    case Verb::Stats:
+        return "stats";
+    case Verb::Limits:
+        return "limits";
+    case Verb::Help:
+        return "help";
+    case Verb::Quit:
+        return "quit";
+    }
+    return "?";
+}
+
+bool isReadPathVerb(Verb verb) noexcept {
+    switch (verb) {
+    case Verb::Verify:
+    case Verb::Batch:
+    case Verb::Stats:
+    case Verb::Limits:
+    case Verb::Help:
+        return true;
+    case Verb::Prep:
+    case Verb::Drop:
+    case Verb::Gc:
+    case Verb::Quit:
+        return false;
+    }
+    return false;
+}
+
 const std::string* Request::option(std::string_view key) const noexcept {
     const std::string* found = nullptr;
     for (const auto& [name, value] : options) {

@@ -23,6 +23,7 @@
 // option-set and value validation to the dispatcher, which knows which
 // verb accepts what.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -35,8 +36,23 @@ namespace mqsp::serve {
 /// trailing '?' on the wire, SCPI-style; the bare spelling is accepted).
 enum class Verb : std::uint8_t { Prep, Verify, Batch, Drop, Gc, Stats, Limits, Help, Quit };
 
+/// Number of verbs (the service keeps one latency histogram per verb).
+inline constexpr std::size_t kVerbCount = 9;
+
 /// Canonical wire spelling of a verb ("PREP", "STATS?", ...).
 [[nodiscard]] const char* verbName(Verb verb) noexcept;
+
+/// Lowercase metric key of a verb ("prep", "stats", ...) — the prefix of
+/// its per-verb latency fields in the STATS? reply.
+[[nodiscard]] const char* verbMetricKey(Verb verb) noexcept;
+
+/// The read/write dispatch classification (see serve/service.hpp): a
+/// read-path verb never mutates the registry and only touches the shared
+/// DdSession through its concurrency-safe interning/lookup paths, so the
+/// service runs it under shared ownership of the dispatch lock,
+/// concurrently with other read-path commands. Write-path verbs (PREP,
+/// DROP, GC, QUIT) take exclusive ownership.
+[[nodiscard]] bool isReadPathVerb(Verb verb) noexcept;
 
 /// One parsed command line.
 struct Request {

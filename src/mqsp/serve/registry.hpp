@@ -26,8 +26,13 @@ struct PreparedTarget {
     double threshold = 1.0;
 };
 
-/// Insertion-ordered store of prepared targets. Single-threaded: the
-/// service serializes every command behind its dispatch lock.
+/// Insertion-ordered store of prepared targets. Not internally
+/// synchronized: the service guards it with its reader-writer dispatch
+/// lock — read-path commands (which only look entries up) hold shared
+/// ownership, and every mutation (add's potential reallocation, drop's
+/// erase, GC's root remap through liveDiagrams()) happens under exclusive
+/// ownership, so references handed to readers stay valid for as long as
+/// they hold the shared lock.
 class SessionRegistry {
 public:
     /// Register `entry` (its id field is overwritten with a fresh id) and

@@ -7,6 +7,7 @@
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <initializer_list>
 #include <numeric>
@@ -130,55 +131,148 @@ struct FamilySpec {
 } // namespace
 
 VerificationService::VerificationService(ServiceLimits limits, parallel::ExecutionConfig config)
-    : limits_(limits), backend_(makeBackend(BackendKind::Dd, config)) {}
+    : limits_(limits),
+      gcWatermark_(limits.gcWatermarkNodes != 0 ? limits.gcWatermarkNodes
+                                                : limits.maxSessionNodes * 8 / 10),
+      gcTrigger_(gcWatermark_),
+      backend_(makeBackend(BackendKind::Dd, config)) {}
 
 Response VerificationService::handleLine(const std::string& rawLine) {
-    const std::lock_guard<std::mutex> lock(mutex_);
     // Blank lines and '#' comments are script sugar, not commands.
     const auto firstGlyph = rawLine.find_first_not_of(" \t\r");
     if (firstGlyph == std::string::npos || rawLine[firstGlyph] == '#') {
         return Response{};
     }
-    ++commands_;
+    commands_.fetch_add(1, std::memory_order_relaxed);
+    // The latency clock starts before parsing and stops after dispatch —
+    // lock wait is part of what a client experiences, so it is part of
+    // the number. Parse failures have no verb to attribute to and are
+    // visible through the `errors` counter instead.
+    const auto started = std::chrono::steady_clock::now();
+    bool verbKnown = false;
+    Verb verb = Verb::Help;
+    const auto recordLatency = [&]() noexcept {
+        if (!verbKnown) {
+            return;
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - started;
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+        latency_[static_cast<std::size_t>(verb)].record(
+            ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    };
     try {
         requireThat(rawLine.size() <= limits_.maxLineLength,
                     "line too long (" + u64(rawLine.size()) + " > " +
                         u64(limits_.maxLineLength) + " bytes)");
+        // Parsing is pure on the line text: it runs outside any lock.
         const Request request = parseRequest(rawLine);
-        if (request.verb == Verb::Quit) {
-            rejectUnknownOptions(request, {});
-            return Response{"OK bye", true};
+        verb = request.verb;
+        verbKnown = true;
+        std::string reply;
+        if (isReadPathVerb(verb)) {
+            if (verb == Verb::Stats) {
+                // Snapshot under the shared lock, format after release —
+                // the read path never holds the lock across string
+                // building (rejectUnknownOptions is pure on the request).
+                rejectUnknownOptions(request, {});
+                StatsSnapshot snapshot;
+                {
+                    const support::SharedLockGuard guard(dispatchLock_);
+                    if (readPathHook_) {
+                        readPathHook_(verb);
+                    }
+                    snapshot = snapshotStats();
+                }
+                reply = formatStats(snapshot);
+            } else {
+                const support::SharedLockGuard guard(dispatchLock_);
+                if (readPathHook_) {
+                    readPathHook_(verb);
+                }
+                reply = dispatchRead(request);
+            }
+            // VERIFY/BATCH replays intern fresh intermediates, so reads
+            // can push the pool over the watermark; collect outside the
+            // shared section (the writer lock is taken inside).
+            maybeAutoGc();
+        } else {
+            const support::ExclusiveLockGuard guard(dispatchLock_);
+            reply = dispatchWrite(request);
         }
-        return Response{dispatch(request), false};
+        recordLatency();
+        return Response{std::move(reply), verb == Verb::Quit};
     } catch (const std::exception& error) {
-        ++errors_;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        recordLatency();
         return Response{std::string("ERR ") + error.what(), false};
     }
 }
 
-std::string VerificationService::dispatch(const Request& request) {
+std::string VerificationService::dispatchRead(const Request& request) {
     switch (request.verb) {
-    case Verb::Prep:
-        return handlePrep(request);
     case Verb::Verify:
         return handleVerify(request);
     case Verb::Batch:
         return handleBatch(request);
-    case Verb::Drop:
-        return handleDrop(request);
-    case Verb::Gc:
-        return handleGc(request);
-    case Verb::Stats:
-        return handleStats(request);
     case Verb::Limits:
         return handleLimits(request);
     case Verb::Help:
         rejectUnknownOptions(request, {});
         return kHelpLine;
-    case Verb::Quit:
-        break; // handled in handleLine (owns the connection verdict)
+    case Verb::Stats: // snapshot/format split lives in handleLine
+    default:
+        break;
     }
-    detail::throwInternal("dispatch: unhandled verb");
+    detail::throwInternal("dispatchRead: unhandled verb");
+}
+
+std::string VerificationService::dispatchWrite(const Request& request) {
+    switch (request.verb) {
+    case Verb::Prep: {
+        std::string reply = handlePrep(request);
+        // The watermark policy runs while the writer lock is already
+        // held: a PREP that pushes the pool over the mark pays for its
+        // own collection.
+        collectIfOverWatermarkLocked();
+        return reply;
+    }
+    case Verb::Drop:
+        return handleDrop(request);
+    case Verb::Gc:
+        return handleGc(request);
+    case Verb::Quit:
+        rejectUnknownOptions(request, {});
+        return "OK bye";
+    default:
+        break;
+    }
+    detail::throwInternal("dispatchWrite: unhandled verb");
+}
+
+bool VerificationService::collectIfOverWatermarkLocked() {
+    const auto session = backend_->ddSession();
+    if (session->stats().poolNodes <= gcTrigger_.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    const dd::DdSessionGcStats stats = session->garbageCollect(registry_.liveDiagrams());
+    autoGcRuns_.fetch_add(1, std::memory_order_relaxed);
+    // Ratchet: if the live set alone is over the watermark, collecting
+    // again before the pool grows would be futile — require growth past
+    // what this collection could not reclaim.
+    gcTrigger_.store(std::max(gcWatermark_, stats.nodesAfter), std::memory_order_relaxed);
+    return true;
+}
+
+void VerificationService::maybeAutoGc() {
+    // Cheap unlocked check first — the common case is "under the mark".
+    if (backend_->ddSession()->stats().poolNodes <=
+        gcTrigger_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const support::ExclusiveLockGuard guard(dispatchLock_);
+    // Re-check under the writer lock: another thread may have collected
+    // between the check and the acquisition.
+    collectIfOverWatermarkLocked();
 }
 
 std::string VerificationService::handlePrep(const Request& request) {
@@ -268,7 +362,7 @@ std::string VerificationService::handlePrep(const Request& request) {
     entry.circuit = std::move(result.circuit);
 
     const PreparedTarget& stored = registry_.add(std::move(entry));
-    ++prepared_;
+    prepared_.fetch_add(1, std::memory_order_relaxed);
     std::string reply = "OK id=" + u64(stored.id) + " family=" + stored.family +
                         " dims=" + stored.dims + " amplitudes=" + u64(radix.totalDimension()) +
                         " ops=" + u64(stored.circuit.operations().size()) +
@@ -299,7 +393,7 @@ std::string VerificationService::handleVerify(const Request& request) {
     for (std::uint64_t i = 0; i < repeat; ++i) {
         fidelity = backend_->preparationFidelity(entry->circuit, entry->target);
     }
-    verified_ += repeat;
+    verified_.fetch_add(repeat, std::memory_order_relaxed);
     return "OK id=" + u64(entry->id) + " fidelity=" + fixed(fidelity, 9) +
            " repeats=" + u64(repeat);
 }
@@ -322,7 +416,7 @@ std::string VerificationService::handleBatch(const Request& request) {
             minFidelity = std::min(minFidelity, result.fidelity);
         }
     }
-    verified_ += results.size();
+    verified_.fetch_add(results.size(), std::memory_order_relaxed);
     std::string reply = "OK items=" + u64(items.size()) + " failures=" + u64(failures);
     if (failures < results.size()) {
         reply += " min_fidelity=" + fixed(minFidelity, 9);
@@ -336,7 +430,7 @@ std::string VerificationService::handleDrop(const Request& request) {
     requireThat(idText != nullptr, "DROP requires --id <n>");
     const std::uint64_t id = parse::uint64(*idText, "--id");
     requireThat(registry_.drop(id), "no prepared target with id " + u64(id));
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return "OK dropped=" + u64(id) + " resident=" + u64(registry_.size());
 }
 
@@ -344,24 +438,63 @@ std::string VerificationService::handleGc(const Request& request) {
     rejectUnknownOptions(request, {});
     const auto session = backend_->ddSession();
     const dd::DdSessionGcStats stats = session->garbageCollect(registry_.liveDiagrams());
-    ++gcRuns_;
+    gcRuns_.fetch_add(1, std::memory_order_relaxed);
+    // An explicit GC re-derives the auto-trigger too: if it shrank the
+    // live set's footprint, automatic collection resumes at the watermark.
+    gcTrigger_.store(std::max(gcWatermark_, stats.nodesAfter), std::memory_order_relaxed);
     return "OK nodes_before=" + u64(stats.nodesBefore) + " nodes_after=" + u64(stats.nodesAfter) +
            " cache_evicted=" + u64(stats.cacheEntriesEvicted) +
            " live_roots=" + u64(stats.liveRoots);
 }
 
-std::string VerificationService::handleStats(const Request& request) {
-    rejectUnknownOptions(request, {});
-    const dd::DdSessionStats stats = backend_->ddSession()->stats();
-    return "OK dd_nodes=" + u64(stats.poolNodes) +
-           " unique_hit_rate=" + fixed(stats.uniqueHitRate(), 3) +
-           " cache_hit_rate=" + fixed(stats.cacheHitRate(), 3) +
-           " cache_hits=" + u64(stats.cache.hits) +
-           " cache_evictions=" + u64(stats.cache.evictions) +
-           " resident=" + u64(registry_.size()) + " prepared=" + u64(prepared_) +
-           " dropped=" + u64(dropped_) + " verified=" + u64(verified_) +
-           " gc_runs=" + u64(gcRuns_) + " commands=" + u64(commands_) +
-           " errors=" + u64(errors_);
+VerificationService::StatsSnapshot VerificationService::snapshotStats() const {
+    StatsSnapshot snapshot;
+    snapshot.dd = backend_->ddSession()->stats();
+    snapshot.resident = registry_.size();
+    snapshot.prepared = prepared_.load(std::memory_order_relaxed);
+    snapshot.dropped = dropped_.load(std::memory_order_relaxed);
+    snapshot.verified = verified_.load(std::memory_order_relaxed);
+    snapshot.gcRuns = gcRuns_.load(std::memory_order_relaxed);
+    snapshot.autoGcRuns = autoGcRuns_.load(std::memory_order_relaxed);
+    snapshot.commands = commands_.load(std::memory_order_relaxed);
+    snapshot.errors = errors_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kVerbCount; ++i) {
+        const support::LatencyHistogram& histogram = latency_[i];
+        StatsSnapshot::VerbLatency& verb = snapshot.verbs[i];
+        verb.key = verbMetricKey(static_cast<Verb>(i));
+        verb.count = histogram.count();
+        verb.p50Ns = histogram.quantileNs(0.50);
+        verb.p99Ns = histogram.quantileNs(0.99);
+        verb.maxNs = histogram.maxNs();
+    }
+    return snapshot;
+}
+
+std::string VerificationService::formatStats(const StatsSnapshot& snapshot) {
+    std::string reply =
+        "OK dd_nodes=" + u64(snapshot.dd.poolNodes) +
+        " unique_hit_rate=" + fixed(snapshot.dd.uniqueHitRate(), 3) +
+        " cache_hit_rate=" + fixed(snapshot.dd.cacheHitRate(), 3) +
+        " cache_hits=" + u64(snapshot.dd.cache.hits) +
+        " cache_evictions=" + u64(snapshot.dd.cache.evictions) +
+        " resident=" + u64(snapshot.resident) + " prepared=" + u64(snapshot.prepared) +
+        " dropped=" + u64(snapshot.dropped) + " verified=" + u64(snapshot.verified) +
+        " gc_runs=" + u64(snapshot.gcRuns) + " auto_gc_runs=" + u64(snapshot.autoGcRuns) +
+        " commands=" + u64(snapshot.commands) + " errors=" + u64(snapshot.errors);
+    // Per-verb latency, only for verbs actually seen. Counts are
+    // deterministic; latencies are measurements. A command's latency is
+    // recorded after its reply is built, so a STATS? never reports itself.
+    for (const StatsSnapshot::VerbLatency& verb : snapshot.verbs) {
+        if (verb.count == 0) {
+            continue;
+        }
+        const std::string key = verb.key;
+        reply += " " + key + ".count=" + u64(verb.count) +
+                 " " + key + ".p50_us=" + fixed(static_cast<double>(verb.p50Ns) / 1000.0, 1) +
+                 " " + key + ".p99_us=" + fixed(static_cast<double>(verb.p99Ns) / 1000.0, 1) +
+                 " " + key + ".max_us=" + fixed(static_cast<double>(verb.maxNs) / 1000.0, 1);
+    }
+    return reply;
 }
 
 std::string VerificationService::handleLimits(const Request& request) {
@@ -369,7 +502,8 @@ std::string VerificationService::handleLimits(const Request& request) {
     return "OK max_amplitudes=" + u64(limits_.maxAmplitudes) +
            " max_nodes=" + u64(limits_.maxSessionNodes) +
            " max_line=" + u64(limits_.maxLineLength) +
-           " max_repeat=" + u64(limits_.maxVerifyRepeat);
+           " max_repeat=" + u64(limits_.maxVerifyRepeat) +
+           " gc_watermark=" + u64(gcWatermark_);
 }
 
 } // namespace mqsp::serve

@@ -1,0 +1,116 @@
+#pragma once
+
+// A lock-free fixed-bucket latency histogram. One bucket per power of two
+// of nanoseconds (bucket b counts samples whose bit width is b, i.e.
+// values in [2^(b-1), 2^b)), so the whole structure is a fixed array of
+// relaxed atomic counters: `record` is two relaxed RMWs (bucket increment
+// + max update) with no allocation, no lock, and no contention beyond
+// cache-line traffic — safe to call from every serving thread on every
+// request.
+//
+// Determinism contract: the *count* (and the per-bucket counts) depend
+// only on how many samples were recorded, never on timing or thread
+// interleaving — concurrent increments sum exactly — so counts are
+// gateable by the CI metrics gate even though the latencies themselves
+// are not. Quantiles are log-bucket estimates: `quantileNs` returns the
+// upper bound of the bucket holding the nearest-rank sample, i.e. an
+// upper bound with at most 2x relative error — the right fidelity for a
+// one-line STATS? report, and monotone in q by construction.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mqsp::support {
+
+class LatencyHistogram {
+public:
+    /// Bucket b holds samples with std::bit_width(ns) == b: bucket 0 is
+    /// exactly {0}, bucket 64 is [2^63, 2^64).
+    static constexpr std::size_t kBuckets = 65;
+
+    void record(std::uint64_t ns) noexcept {
+        counts_[bucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (ns > seen &&
+               !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Samples recorded so far (sum of the bucket counters; exact under
+    /// concurrent recording once the recorders are quiescent).
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        std::uint64_t total = 0;
+        for (const auto& bucket : counts_) {
+            total += bucket.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::uint64_t bucketCount(std::size_t bucket) const noexcept {
+        return counts_[bucket].load(std::memory_order_relaxed);
+    }
+
+    /// Largest sample recorded (exact, not bucketed); 0 when empty.
+    [[nodiscard]] std::uint64_t maxNs() const noexcept {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /// Upper bound of the bucket holding the nearest-rank q-quantile
+    /// (q in [0, 1]); 0 when empty. quantileNs(1.0) bounds every sample.
+    [[nodiscard]] std::uint64_t quantileNs(double q) const noexcept {
+        const std::uint64_t total = count();
+        if (total == 0) {
+            return 0;
+        }
+        std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+        if (static_cast<double>(rank) < q * static_cast<double>(total)) {
+            ++rank; // ceil
+        }
+        if (rank == 0) {
+            rank = 1;
+        }
+        if (rank > total) {
+            rank = total;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+            cumulative += counts_[bucket].load(std::memory_order_relaxed);
+            if (cumulative >= rank) {
+                return bucketUpperBoundNs(bucket);
+            }
+        }
+        return bucketUpperBoundNs(kBuckets - 1); // racing recorder; bound everything
+    }
+
+    /// The bucket a sample lands in, and the largest value of a bucket.
+    [[nodiscard]] static std::size_t bucketFor(std::uint64_t ns) noexcept {
+        return static_cast<std::size_t>(std::bit_width(ns));
+    }
+    [[nodiscard]] static std::uint64_t bucketUpperBoundNs(std::size_t bucket) noexcept {
+        if (bucket == 0) {
+            return 0;
+        }
+        if (bucket >= 64) {
+            return std::numeric_limits<std::uint64_t>::max();
+        }
+        return (std::uint64_t{1} << bucket) - 1;
+    }
+
+    /// Forget every sample (not safe against concurrent recording).
+    void reset() noexcept {
+        for (auto& bucket : counts_) {
+            bucket.store(0, std::memory_order_relaxed);
+        }
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+} // namespace mqsp::support

@@ -1,0 +1,123 @@
+#pragma once
+
+// A writer-preference reader-writer lock. std::shared_mutex leaves the
+// reader/writer scheduling policy to the implementation — under a steady
+// stream of readers a writer may starve indefinitely, which is exactly the
+// failure mode a resident service must not have: its GC/compaction verbs
+// are writers, and a service that can never collect is a service that
+// eventually refuses every PREP. This lock makes the policy explicit:
+//
+//   * any number of readers share the lock while no writer holds *or
+//     waits for* it;
+//   * a waiting writer blocks the admission of new readers, drains the
+//     active ones, and runs next;
+//   * on writer release, a further waiting writer (if any) goes before
+//     the queued readers.
+//
+// Readers can in principle starve under a continuous stream of writers —
+// the deliberate inverse trade: in the serving workload writers (PREP,
+// DROP, GC) are rare and bounded while readers (VERIFY, STATS?) are the
+// traffic.
+//
+// Plain mutex + condition variables, no atomics tricks: the lock guards
+// command dispatch, where the critical sections are verification calls —
+// microseconds to seconds — so the cost of a condvar wait is noise, and
+// the simple implementation is auditable and ThreadSanitizer-clean.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mqsp::support {
+
+class RwLock {
+public:
+    RwLock() = default;
+    RwLock(const RwLock&) = delete;
+    RwLock& operator=(const RwLock&) = delete;
+
+    /// Acquire shared (reader) ownership: waits while a writer is active
+    /// or waiting (writer preference — see the header comment).
+    void lockShared() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        readersCv_.wait(lock, [this] { return !writerActive_ && waitingWriters_ == 0; });
+        ++activeReaders_;
+    }
+
+    void unlockShared() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --activeReaders_;
+        if (activeReaders_ == 0 && waitingWriters_ > 0) {
+            writersCv_.notify_one();
+        }
+    }
+
+    /// Acquire exclusive (writer) ownership: registers as waiting (which
+    /// stops new readers), then waits for active readers to drain.
+    void lock() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++waitingWriters_;
+        writersCv_.wait(lock, [this] { return !writerActive_ && activeReaders_ == 0; });
+        --waitingWriters_;
+        writerActive_ = true;
+    }
+
+    void unlock() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        writerActive_ = false;
+        if (waitingWriters_ > 0) {
+            writersCv_.notify_one();
+        } else {
+            readersCv_.notify_all();
+        }
+    }
+
+    /// Test observability (all read under the internal mutex): the
+    /// preference contract is asserted against these, not against sleeps.
+    [[nodiscard]] std::uint32_t activeReaders() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return activeReaders_;
+    }
+    [[nodiscard]] std::uint32_t waitingWriters() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return waitingWriters_;
+    }
+    [[nodiscard]] bool writerActive() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return writerActive_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable readersCv_; ///< readers wait here while writers hold/wait
+    std::condition_variable writersCv_; ///< writers wait here for readers to drain
+    std::uint32_t activeReaders_ = 0;
+    std::uint32_t waitingWriters_ = 0;
+    bool writerActive_ = false;
+};
+
+/// RAII shared (reader) ownership of an RwLock.
+class SharedLockGuard {
+public:
+    explicit SharedLockGuard(RwLock& lock) : lock_(lock) { lock_.lockShared(); }
+    ~SharedLockGuard() { lock_.unlockShared(); }
+    SharedLockGuard(const SharedLockGuard&) = delete;
+    SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+private:
+    RwLock& lock_;
+};
+
+/// RAII exclusive (writer) ownership of an RwLock.
+class ExclusiveLockGuard {
+public:
+    explicit ExclusiveLockGuard(RwLock& lock) : lock_(lock) { lock_.lock(); }
+    ~ExclusiveLockGuard() { lock_.unlock(); }
+    ExclusiveLockGuard(const ExclusiveLockGuard&) = delete;
+    ExclusiveLockGuard& operator=(const ExclusiveLockGuard&) = delete;
+
+private:
+    RwLock& lock_;
+};
+
+} // namespace mqsp::support

@@ -1,0 +1,110 @@
+#include "mqsp/support/latency_histogram.hpp"
+
+#include "mqsp/support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace mqsp::support {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundariesFollowBitWidth) {
+    // Bucket b holds samples whose bit width is b: 0 is its own bucket,
+    // each power of two opens the next one.
+    EXPECT_EQ(LatencyHistogram::bucketFor(0), 0U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1), 1U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(2), 2U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(3), 2U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(4), 3U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1023), 10U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1024), 11U);
+    EXPECT_EQ(LatencyHistogram::bucketFor(std::numeric_limits<std::uint64_t>::max()), 64U);
+
+    EXPECT_EQ(LatencyHistogram::bucketUpperBoundNs(0), 0U);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBoundNs(1), 1U);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBoundNs(2), 3U);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBoundNs(10), 1023U);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBoundNs(64),
+              std::numeric_limits<std::uint64_t>::max());
+
+    // Round trip: every sample is bounded by its own bucket's upper bound,
+    // and exceeds the previous bucket's.
+    for (const std::uint64_t ns : {0ULL, 1ULL, 7ULL, 8ULL, 1000ULL, 123456789ULL}) {
+        const std::size_t bucket = LatencyHistogram::bucketFor(ns);
+        EXPECT_LE(ns, LatencyHistogram::bucketUpperBoundNs(bucket)) << ns;
+        if (bucket > 0) {
+            EXPECT_GT(ns, LatencyHistogram::bucketUpperBoundNs(bucket - 1)) << ns;
+        }
+    }
+}
+
+TEST(LatencyHistogram, RecordFillsTheRightBucketAndTracksExactMax) {
+    LatencyHistogram histogram;
+    EXPECT_EQ(histogram.count(), 0U);
+    EXPECT_EQ(histogram.maxNs(), 0U);
+    EXPECT_EQ(histogram.quantileNs(0.5), 0U);
+
+    histogram.record(0);
+    histogram.record(5);    // bucket 3
+    histogram.record(6);    // bucket 3
+    histogram.record(900);  // bucket 10
+    EXPECT_EQ(histogram.count(), 4U);
+    EXPECT_EQ(histogram.bucketCount(0), 1U);
+    EXPECT_EQ(histogram.bucketCount(3), 2U);
+    EXPECT_EQ(histogram.bucketCount(10), 1U);
+    EXPECT_EQ(histogram.maxNs(), 900U); // exact, not the 1023 bucket bound
+}
+
+TEST(LatencyHistogram, QuantilesReturnNearestRankBucketUpperBounds) {
+    LatencyHistogram histogram;
+    // 10 samples: ranks 1..10 land in buckets 3 (x5), 10 (x4), 21 (x1).
+    for (int i = 0; i < 5; ++i) {
+        histogram.record(7); // bucket 3, bound 7
+    }
+    for (int i = 0; i < 4; ++i) {
+        histogram.record(1000); // bucket 10, bound 1023
+    }
+    histogram.record(2'000'000); // bucket 21, bound 2097151
+    EXPECT_EQ(histogram.quantileNs(0.50), 7U);       // rank 5
+    EXPECT_EQ(histogram.quantileNs(0.60), 1023U);    // rank 6
+    EXPECT_EQ(histogram.quantileNs(0.90), 1023U);    // rank 9
+    EXPECT_EQ(histogram.quantileNs(0.99), 2097151U); // rank 10
+    EXPECT_EQ(histogram.quantileNs(1.0), 2097151U);
+    // Monotone in q.
+    EXPECT_LE(histogram.quantileNs(0.25), histogram.quantileNs(0.75));
+}
+
+TEST(LatencyHistogram, ConcurrentIncrementsSumExactly) {
+    LatencyHistogram histogram;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 5000;
+    parallel::runOnThreads(kThreads, [&](unsigned) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+            // Mix buckets so the threads contend on several counters; the
+            // per-bucket split is deterministic by construction.
+            histogram.record(i % 2 == 0 ? 10 : 100000);
+        }
+    });
+    EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+    EXPECT_EQ(histogram.bucketCount(LatencyHistogram::bucketFor(10)),
+              kThreads * kPerThread / 2);
+    EXPECT_EQ(histogram.bucketCount(LatencyHistogram::bucketFor(100000)),
+              kThreads * kPerThread / 2);
+    EXPECT_EQ(histogram.maxNs(), 100000U);
+}
+
+TEST(LatencyHistogram, ResetForgetsEverySample) {
+    LatencyHistogram histogram;
+    histogram.record(42);
+    histogram.record(7777);
+    ASSERT_EQ(histogram.count(), 2U);
+    histogram.reset();
+    EXPECT_EQ(histogram.count(), 0U);
+    EXPECT_EQ(histogram.maxNs(), 0U);
+    EXPECT_EQ(histogram.quantileNs(0.99), 0U);
+}
+
+} // namespace
+} // namespace mqsp::support

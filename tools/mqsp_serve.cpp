@@ -19,6 +19,9 @@
 //                         "listening on 127.0.0.1:<port>")
 //   --max-amplitudes <n>  per-PREP register ceiling (admission limit)
 //   --max-nodes <n>       session node budget gating new PREPs
+//   --gc-watermark <n>    automatic-GC trigger in session nodes (default
+//                         0 = 80% of --max-nodes); crossing it runs the
+//                         mark-and-compact without an explicit GC verb
 //   --max-line <n>        longest accepted command line, bytes
 //   --max-requests <n>    exit after n connections (TCP test hook; 0 = run
 //                         until terminated)
@@ -187,6 +190,8 @@ int main(int argc, char** argv) {
             cli::argUint(argc, argv, "--max-amplitudes", limits.maxAmplitudes);
         limits.maxSessionNodes = cli::argUint(argc, argv, "--max-nodes", limits.maxSessionNodes);
         limits.maxLineLength = cli::argUint(argc, argv, "--max-line", limits.maxLineLength);
+        limits.gcWatermarkNodes =
+            cli::argUint(argc, argv, "--gc-watermark", limits.gcWatermarkNodes);
 
         serve::VerificationService service(limits, parallel::ExecutionConfig{threads});
 

@@ -17,15 +17,27 @@ after GC, live roots) are deterministic, so the CI metrics gate
 (tools/bench_compare.py compare --metrics-only) pins the compacted pool
 size against bench/baselines/dev-container-smoke.json forever.
 
-Usage: serve_smoke.py --serve <mqsp_serve binary> --json <report path>
+With --clients N the script instead exercises the concurrent dispatch
+path: the daemon listens on an ephemeral TCP port and N threads run one
+full session each over their own connection — prepare, verify their own
+target, send a garbage line, read stats, quit. Every command must answer
+exactly one whole reply line (the thread-per-connection write path may
+never tear a reply), the N PREP ids must come back as a permutation of
+1..N (the id counter is race-free under the writer lock), and the daemon
+must exit cleanly once all N connections close.
+
+Usage: serve_smoke.py --serve <mqsp_serve binary> [--json <report path>]
+                      [--clients N]
 """
 
 import argparse
 import json
 import os
 import re
+import socket
 import subprocess
 import sys
+import threading
 import time
 
 DIMS = "3,6,2"
@@ -163,11 +175,124 @@ def write_report(path, metrics, wall_ns, cpu_ns):
         handle.write("\n")
 
 
+class ClientSession(threading.Thread):
+    """One synthetic client: a full scripted session over its own TCP
+    connection. Failures are collected (never sys.exit'd — that would only
+    kill this thread) and re-raised by the coordinator."""
+
+    def __init__(self, index, port):
+        super().__init__(name="client-%d" % index)
+        self.index = index
+        self.port = port
+        self.prep_id = None
+        self.failures = []
+
+    def _check(self, condition, message):
+        if not condition:
+            self.failures.append("client %d: %s" % (self.index, message))
+
+    def run(self):
+        try:
+            with socket.create_connection(("127.0.0.1", self.port), timeout=120) as sock:
+                reader = sock.makefile("r", encoding="utf-8", newline="\n")
+
+                def exchange(command):
+                    sock.sendall((command + "\n").encode())
+                    reply = reader.readline()
+                    # A whole line, exactly one OK/ERR reply, no torn
+                    # fragments: the framing contract of the wire protocol.
+                    self._check(reply.endswith("\n"), "reply not newline-terminated: %r" % reply)
+                    reply = reply.rstrip("\n")
+                    self._check(
+                        re.fullmatch(r"(OK|ERR) .*", reply) is not None,
+                        "torn or malformed reply line: %r" % reply,
+                    )
+                    return reply
+
+                prep = exchange("PREP:GHZ --dims " + DIMS)
+                self._check(prep.startswith("OK "), "PREP answered: %s" % prep)
+                match = re.search(r"\bid=(\d+)", prep)
+                self._check(match is not None, "PREP reply lacks an id: %s" % prep)
+                if match:
+                    self.prep_id = int(match.group(1))
+                    verify = exchange("VERIFY --id %d" % self.prep_id)
+                    self._check(
+                        "fidelity=1.000000000" in verify,
+                        "verification drifted: %s" % verify,
+                    )
+                garbage = exchange("CLIENT %d GARBAGE" % self.index)
+                self._check(garbage.startswith("ERR "), "garbage line answered: %s" % garbage)
+                stats = exchange("STATS?")
+                self._check("dd_nodes=" in stats, "STATS? reply lacks dd_nodes: %s" % stats)
+                quit_reply = exchange("QUIT")
+                self._check(quit_reply == "OK bye", "QUIT answered: %s" % quit_reply)
+                trailing = reader.readline()
+                self._check(trailing == "", "bytes after QUIT: %r" % trailing)
+        except OSError as error:
+            self.failures.append("client %d: connection failed: %s" % (self.index, error))
+
+
+def run_clients(serve_binary, clients):
+    """Fan `clients` concurrent TCP sessions at one daemon instance."""
+    proc = subprocess.Popen(
+        [serve_binary, "--threads", "1", "--port", "0", "--max-requests", str(clients)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stderr.readline()
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", banner)
+        if match is None:
+            proc.kill()
+            fail("daemon did not announce a port: %r" % banner)
+        port = int(match.group(1))
+
+        sessions = [ClientSession(index, port) for index in range(clients)]
+        for session in sessions:
+            session.start()
+        for session in sessions:
+            session.join(timeout=240)
+            if session.is_alive():
+                proc.kill()
+                fail("client %d hung" % session.index)
+        try:
+            returncode = proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not exit after %d connections" % clients)
+        if returncode != 0:
+            fail("daemon exited %d\nstderr: %s" % (returncode, proc.stderr.read()))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    failures = [message for session in sessions for message in session.failures]
+    if failures:
+        fail("\n".join(failures))
+    ids = sorted(session.prep_id for session in sessions)
+    if ids != list(range(1, clients + 1)):
+        fail("PREP ids are not a permutation of 1..%d: %s" % (clients, ids))
+    print("serve_smoke OK: %d concurrent clients, ids %s, no torn replies" % (clients, ids))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--serve", required=True, help="path to the mqsp_serve binary")
-    parser.add_argument("--json", required=True, help="mqsp-bench-v1 report output path")
+    parser.add_argument("--json", help="mqsp-bench-v1 report output path (stdio mode)")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="run N concurrent TCP client sessions instead of the stdio session",
+    )
     args = parser.parse_args()
+
+    if args.clients > 0:
+        run_clients(args.serve, args.clients)
+        return
+    if not args.json:
+        parser.error("--json is required in stdio mode")
 
     cpu_start = time.process_time_ns()
     replies, wall_ns = run_session(args.serve)
