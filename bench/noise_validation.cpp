@@ -12,6 +12,7 @@
 
 #include "mqsp/hardware/router.hpp"
 #include "mqsp/sim/density_simulator.hpp"
+#include "mqsp/support/parallel.hpp"
 #include "mqsp/synth/synthesizer.hpp"
 
 #include <cmath>
@@ -70,10 +71,52 @@ int main(int argc, char** argv) {
                 double simulated = 0.0;
                 rep.time([&] {
                     simulated =
-                        NoisySimulator::run(prep.circuit, noise).fidelityWithPure(target);
+                        NoisySimulator().run(prep.circuit, noise).fidelityWithPure(target);
                 });
                 rep.metric("estimated_fidelity", estimated);
                 rep.metric("simulated_fidelity", simulated);
+                rep.metric("abs_delta", std::abs(estimated - simulated));
+            };
+            harness.add(std::move(spec));
+        }
+    }
+
+    // Thread-scaling rows on a register past the largest sweep case
+    // ({3, 6, 2} = 36 amplitudes): GHZ on {4, 3, 3, 2} = 72 amplitudes, a
+    // 72 x 72 density matrix replayed by the now-parallel kernels. The
+    // fidelity metrics are bit-identical across thread counts (disjoint
+    // writes + ordered-chunk reductions), so every row is metrics-gateable;
+    // only the timings vary with width.
+    {
+        const Dimensions scalingDims{4, 3, 3, 2};
+        const double scalingEps = 1e-3;
+        for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+            CaseSpec spec;
+            spec.name = "GHZ scaling eps=1e-03";
+            spec.dims = scalingDims;
+            spec.threads = threads;
+            spec.reps = 5;
+            spec.smoke = threads == 4;
+            spec.body = [dims = scalingDims, eps = scalingEps, lean,
+                         threads](Repetition& rep) {
+                const StateVector target = states::ghz(dims);
+                const auto prep = prepareExact(target, lean);
+
+                NoiseModel noise;
+                noise.singleQuditError = eps / 10.0;
+                noise.twoQuditError = eps;
+                const double estimated = estimateCircuitFidelity(prep.circuit, noise);
+                const NoisySimulator simulator(parallel::ExecutionConfig{threads});
+                double simulated = 0.0;
+                double traceValue = 0.0;
+                rep.time([&] {
+                    const DensityMatrix rho = simulator.run(prep.circuit, noise);
+                    simulated = rho.fidelityWithPure(target);
+                    traceValue = rho.trace();
+                });
+                rep.metric("estimated_fidelity", estimated);
+                rep.metric("simulated_fidelity", simulated);
+                rep.metric("trace", traceValue);
                 rep.metric("abs_delta", std::abs(estimated - simulated));
             };
             harness.add(std::move(spec));

@@ -170,8 +170,8 @@ void addPastCeilingCase(Harness& harness, const std::string& family,
 /// above 1 the items fan out across the pool workers (and each item's
 /// kernels run serially inside its worker — the nested-use contract);
 /// at 1 thread the same batch runs sequentially, so the t1/tN pair is the
-/// batch-level speedup curve. This is where the dd backend, whose diagram
-/// replay stays single-threaded, picks up its concurrency.
+/// batch-level speedup curve. (Single-item dd replays get *intra*-diagram
+/// concurrency instead — see addIntraApplyCase below.)
 void addBatchCase(Harness& harness, const std::string& family, const Dimensions& dims,
                   BackendKind kind, std::size_t count, unsigned threads, bool smoke) {
     SynthesisOptions lean;
@@ -219,6 +219,50 @@ void addBatchCase(Harness& harness, const std::string& family, const Dimensions&
             if (result.failed || std::abs(result.fidelity - 1.0) > 1e-6) {
                 throw std::runtime_error("batch item failed verification: " + result.error);
             }
+        }
+    };
+    harness.add(std::move(spec));
+}
+
+/// Register an intra-apply case: ONE session-backed replay of a dense
+/// random-state preparation circuit, where the concurrency lives *inside*
+/// each gate application (dd/apply.cpp fans the target-level rebuild out
+/// across the sharded session tables) rather than across batch items. The
+/// t1/t2/t4/t8 rows read as the intra-diagram speedup curve; `dd_nodes`
+/// and `fidelity` are thread-count-invariant by the determinism contract
+/// and feed the CI metrics gate. The interleaving-dependent hit rates are
+/// deliberately NOT recorded on these rows.
+void addIntraApplyCase(Harness& harness, const Dimensions& dims, std::uint64_t caseSeed,
+                       unsigned threads, bool smoke) {
+    SynthesisOptions lean;
+    lean.emitIdentityOperations = false;
+
+    CaseSpec spec;
+    spec.name = "random intra-apply";
+    spec.dims = dims;
+    spec.backend = "dd";
+    spec.threads = threads;
+    spec.reps = 10;
+    spec.smoke = smoke;
+    spec.body = [dims, caseSeed, lean](Repetition& rep) {
+        Rng rng = repetitionRng(caseSeed, rep.index());
+        const StateVector target = states::random(dims, rng);
+        const auto prep = prepareExact(target, lean);
+        // One backend per repetition: the session pool below describes
+        // exactly one cold replay, so dd_nodes is repetition-count- and
+        // thread-count-invariant.
+        const auto backend = makeBackend(BackendKind::Dd);
+
+        EvalState out;
+        rep.time([&] { out = backend->runFromZero(prep.circuit); });
+        rep.metric("amplitudes", static_cast<double>(target.size()));
+        rep.metric("ops", static_cast<double>(prep.circuit.numOperations()));
+        const double fidelity = out.fidelityWith(EvalState(target));
+        rep.metric("fidelity", fidelity);
+        rep.metric("dd_nodes",
+                   static_cast<double>(backend->ddSession()->stats().poolNodes));
+        if (std::abs(fidelity - 1.0) > 1e-6) {
+            throw std::runtime_error("intra-apply dd replay failed verification");
         }
     };
     harness.add(std::move(spec));
@@ -296,6 +340,15 @@ int main(int argc, char** argv) {
     for (const unsigned threads : {1U, 2U, 4U, 8U}) {
         addBatchCase(harness, "GHZ", batchRegister, BackendKind::Dd, 8, threads,
                      threads == 4);
+    }
+    // Intra-diagram apply: one session replay whose parallelism lives
+    // inside each gate (dd/apply.cpp), on a dense random register whose
+    // diagram degenerates toward the full tree — the worst case for
+    // structure, the best case for intra-gate fan-out.
+    const Dimensions intraRegister{9, 5, 6, 3};
+    const std::uint64_t intraSeed = driverSeeder.childSeed();
+    for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+        addIntraApplyCase(harness, intraRegister, intraSeed, threads, threads == 4);
     }
     return harness.main(argc, argv);
 }

@@ -46,5 +46,38 @@ int main(int argc, char** argv) {
         };
         harness.add(std::move(spec));
     }
+
+    // Thread-scaling rows on the largest register: the cascade solves fan
+    // out across pool workers (compute-parallel / emit-sequential, see
+    // synth/synthesizer.cpp), so `operations` and `dd_nodes` are identical
+    // at every width — all four rows feed the metrics gate; only timings
+    // scale. The harness pins the case's thread count around the body.
+    {
+        const Dimensions dims{6, 5, 5, 4, 4, 2};
+        const std::uint64_t caseSeed = driverSeeder.childSeed();
+        for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+            CaseSpec spec;
+            spec.name = "random scaling";
+            spec.dims = dims;
+            spec.threads = threads;
+            spec.reps = 10;
+            spec.smoke = threads == 4;
+            spec.body = [dims, caseSeed](Repetition& rep) {
+                Rng rng = repetitionRng(caseSeed, rep.index());
+                const StateVector state = states::random(dims, rng);
+                const DecisionDiagram dd = DecisionDiagram::fromStateVector(state);
+                Circuit circuit;
+                rep.time([&] { circuit = synthesize(dd); });
+                rep.metric("amplitudes", static_cast<double>(state.size()));
+                rep.metric("dd_nodes",
+                           static_cast<double>(dd.nodeCount(NodeCountMode::Internal)));
+                rep.metric("operations", static_cast<double>(circuit.numOperations()));
+                if (circuit.numOperations() == 0) {
+                    throw std::runtime_error("unexpected empty circuit");
+                }
+            };
+            harness.add(std::move(spec));
+        }
+    }
     return harness.main(argc, argv);
 }

@@ -130,8 +130,14 @@ struct BatchVerifyResult {
 /// `prepareAndVerifyBatch` additionally fans *independent* items out
 /// across the pool workers — whereupon each item's inner kernels run
 /// serially (nested-use refusal), which is the right split for many small
-/// cases. The dd backend keeps its diagram replay single-threaded and gets
-/// its concurrency from the batch level. (`apply`, the per-operation
+/// cases. The dd backend parallelizes *within* one diagram on single-item
+/// calls: gate application fans the target-level rebuild out across the
+/// session's sharded tables (dd/apply.cpp), and equivalence checking fans
+/// multiply's top-level product cells out on the shared operator store
+/// (mdd/matrix_dd.cpp) — both with deterministic sequential interning, so
+/// fidelities and `dd_nodes` stay bit-identical across thread counts. On
+/// batch workers (inside a region) those fan-outs stay serial and the
+/// concurrency comes from the batch level. (`apply`, the per-operation
 /// primitive, is the one exception: it is called in tight loops and
 /// follows the ambient width rather than re-pinning per call.)
 ///

@@ -2,10 +2,29 @@
 
 #include "mqsp/sim/simulator.hpp"
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parallel.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace mqsp {
+
+namespace {
+
+/// Grain of the density-matrix reductions (flattened (i, j) entries): the
+/// same ballpark as the state-vector kernels. Chunk boundaries are fixed by
+/// the grain alone, so every reduction below is bit-identical across thread
+/// counts — including 1 — by the parallelReduce contract.
+constexpr std::uint64_t kReduceGrain = 4096;
+
+/// Grain for sweeps whose items are whole columns/rows/blocks of `work`
+/// amplitudes each: target ~4096 amplitudes per chunk so small matrices
+/// run inline and large ones amortize the dispatch.
+[[nodiscard]] std::uint64_t sweepGrain(std::uint64_t work) noexcept {
+    return std::max<std::uint64_t>(1, kReduceGrain / std::max<std::uint64_t>(1, work));
+}
+
+} // namespace
 
 DensityMatrix DensityMatrix::fromPure(const StateVector& state) {
     DensityMatrix rho;
@@ -35,34 +54,52 @@ DensityMatrix::DensityMatrix(Dimensions dimensions)
       }()) {}
 
 double DensityMatrix::trace() const {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < rho_.size(); ++i) {
-        sum += rho_(i, i).real();
-    }
-    return sum;
+    return parallel::parallelReduce<double>(
+        0, rho_.size(), kReduceGrain, 0.0,
+        [&](std::uint64_t begin, std::uint64_t end) {
+            double partial = 0.0;
+            for (std::uint64_t i = begin; i < end; ++i) {
+                partial += rho_(static_cast<std::size_t>(i), static_cast<std::size_t>(i))
+                               .real();
+            }
+            return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
 }
 
 double DensityMatrix::purity() const {
-    // Tr(rho^2) = sum |rho_ij|^2 for Hermitian rho.
-    double sum = 0.0;
-    for (std::size_t i = 0; i < rho_.size(); ++i) {
-        for (std::size_t j = 0; j < rho_.size(); ++j) {
-            sum += squaredMagnitude(rho_(i, j));
-        }
-    }
-    return sum;
+    // Tr(rho^2) = sum |rho_ij|^2 for Hermitian rho, reduced over the
+    // flattened row-major entries (the historical i-outer, j-inner order).
+    const auto dim = static_cast<std::uint64_t>(rho_.size());
+    return parallel::parallelReduce<double>(
+        0, dim * dim, kReduceGrain, 0.0,
+        [&](std::uint64_t begin, std::uint64_t end) {
+            double partial = 0.0;
+            for (std::uint64_t idx = begin; idx < end; ++idx) {
+                partial += squaredMagnitude(rho_(static_cast<std::size_t>(idx / dim),
+                                                 static_cast<std::size_t>(idx % dim)));
+            }
+            return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
 }
 
 double DensityMatrix::fidelityWithPure(const StateVector& target) const {
     requireThat(target.radix() == radix_,
                 "DensityMatrix::fidelityWithPure: register mismatch");
-    Complex sum{0.0, 0.0};
-    const auto dim = static_cast<std::size_t>(size());
-    for (std::size_t i = 0; i < dim; ++i) {
-        for (std::size_t j = 0; j < dim; ++j) {
-            sum += std::conj(target[i]) * rho_(i, j) * target[j];
-        }
-    }
+    const auto dim = static_cast<std::uint64_t>(size());
+    const Complex sum = parallel::parallelReduce<Complex>(
+        0, dim * dim, kReduceGrain, Complex{0.0, 0.0},
+        [&](std::uint64_t begin, std::uint64_t end) {
+            Complex partial{0.0, 0.0};
+            for (std::uint64_t idx = begin; idx < end; ++idx) {
+                const auto i = static_cast<std::size_t>(idx / dim);
+                const auto j = static_cast<std::size_t>(idx % dim);
+                partial += std::conj(target[i]) * rho_(i, j) * target[j];
+            }
+            return partial;
+        },
+        [](Complex acc, Complex partial) { return acc + partial; });
     return sum.real();
 }
 
@@ -70,32 +107,42 @@ void NoisySimulator::applyUnitary(DensityMatrix& rho, const Operation& op) {
     const auto dim = static_cast<std::size_t>(rho.size());
     DenseMatrix& m = rho.matrix();
     const Dimensions& dims = rho.radix().dimensions();
+    const std::uint64_t grain = sweepGrain(dim);
 
-    // rho -> U rho: apply the op to every column.
-    for (std::size_t col = 0; col < dim; ++col) {
-        std::vector<Complex> column(dim);
-        for (std::size_t row = 0; row < dim; ++row) {
-            column[row] = m(row, col);
+    // rho -> U rho: apply the op to every column. Columns are independent
+    // (each chunk owns its columns' entries outright), so the sweep fans
+    // out; each column's Simulator::apply then runs inline on its worker
+    // (nested-use refusal) in the historical amplitude order, keeping every
+    // entry bit-identical across thread counts.
+    parallel::parallelFor(0, dim, grain, [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t col = begin; col < end; ++col) {
+            std::vector<Complex> column(dim);
+            for (std::size_t row = 0; row < dim; ++row) {
+                column[row] = m(row, static_cast<std::size_t>(col));
+            }
+            StateVector vec(dims, std::move(column));
+            Simulator::apply(vec, op);
+            for (std::size_t row = 0; row < dim; ++row) {
+                m(row, static_cast<std::size_t>(col)) = vec[row];
+            }
         }
-        StateVector vec(dims, std::move(column));
-        Simulator::apply(vec, op);
-        for (std::size_t row = 0; row < dim; ++row) {
-            m(row, col) = vec[row];
-        }
-    }
+    });
     // (U rho) -> (U rho) U^dagger: conjugate rows, apply, conjugate back
     // (x -> conj(U conj(x)) implements x -> U* x = (x^T U^dagger)^T).
-    for (std::size_t row = 0; row < dim; ++row) {
-        std::vector<Complex> rowVec(dim);
-        for (std::size_t col = 0; col < dim; ++col) {
-            rowVec[col] = std::conj(m(row, col));
+    // parallelFor is a barrier, so the row sweep reads the finished U rho.
+    parallel::parallelFor(0, dim, grain, [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t row = begin; row < end; ++row) {
+            std::vector<Complex> rowVec(dim);
+            for (std::size_t col = 0; col < dim; ++col) {
+                rowVec[col] = std::conj(m(static_cast<std::size_t>(row), col));
+            }
+            StateVector vec(dims, std::move(rowVec));
+            Simulator::apply(vec, op);
+            for (std::size_t col = 0; col < dim; ++col) {
+                m(static_cast<std::size_t>(row), col) = std::conj(vec[col]);
+            }
         }
-        StateVector vec(dims, std::move(rowVec));
-        Simulator::apply(vec, op);
-        for (std::size_t col = 0; col < dim; ++col) {
-            m(row, col) = std::conj(vec[col]);
-        }
-    }
+    });
 }
 
 void NoisySimulator::applyDepolarizing(DensityMatrix& rho, std::size_t site,
@@ -116,35 +163,46 @@ void NoisySimulator::applyDepolarizing(DensityMatrix& rho, std::size_t site,
     // where i_k replaces the site digit with k. Entries whose site digits
     // differ are killed; matching-digit entries are replaced by the average
     // over the diagonal shift.
+    //
+    // The (bi, ii) x (bj, jj) nest flattens to base-pair items (the same
+    // flattening trick as the state-vector kernels in simulator.cpp): base
+    // index r encodes (block r / stride, inner r % stride) and each item
+    // owns its d x d entry set {(i0 + ki*stride, j0 + kj*stride)} outright —
+    // distinct items touch disjoint entries, so the sweep fans out with no
+    // synchronization and each item computes exactly the historical
+    // arithmetic in the historical order.
     const std::uint64_t blockSize = stride * d;
-    for (std::uint64_t bi = 0; bi < total; bi += blockSize) {
-        for (std::uint64_t ii = 0; ii < stride; ++ii) {
-            for (std::uint64_t bj = 0; bj < total; bj += blockSize) {
-                for (std::uint64_t jj = 0; jj < stride; ++jj) {
-                    const std::uint64_t i0 = bi + ii;
-                    const std::uint64_t j0 = bj + jj;
-                    Complex average{0.0, 0.0};
-                    for (Dimension k = 0; k < d; ++k) {
-                        average += m(static_cast<std::size_t>(i0 + k * stride),
-                                     static_cast<std::size_t>(j0 + k * stride));
-                    }
-                    average /= static_cast<double>(d);
-                    for (Dimension ki = 0; ki < d; ++ki) {
-                        for (Dimension kj = 0; kj < d; ++kj) {
-                            const auto i = static_cast<std::size_t>(i0 + ki * stride);
-                            const auto j = static_cast<std::size_t>(j0 + kj * stride);
-                            const Complex phi =
-                                (ki == kj) ? average : Complex{0.0, 0.0};
-                            m(i, j) = (1.0 - strength) * m(i, j) + strength * phi;
-                        }
+    const std::uint64_t bases = (total / blockSize) * stride;
+    const auto baseAt = [blockSize, stride](std::uint64_t r) {
+        return (r / stride) * blockSize + (r % stride);
+    };
+    const std::uint64_t grain =
+        sweepGrain(static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(d));
+    parallel::parallelFor(
+        0, bases * bases, grain, [&](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t item = begin; item < end; ++item) {
+                const std::uint64_t i0 = baseAt(item / bases);
+                const std::uint64_t j0 = baseAt(item % bases);
+                Complex average{0.0, 0.0};
+                for (Dimension k = 0; k < d; ++k) {
+                    average += m(static_cast<std::size_t>(i0 + k * stride),
+                                 static_cast<std::size_t>(j0 + k * stride));
+                }
+                average /= static_cast<double>(d);
+                for (Dimension ki = 0; ki < d; ++ki) {
+                    for (Dimension kj = 0; kj < d; ++kj) {
+                        const auto i = static_cast<std::size_t>(i0 + ki * stride);
+                        const auto j = static_cast<std::size_t>(j0 + kj * stride);
+                        const Complex phi = (ki == kj) ? average : Complex{0.0, 0.0};
+                        m(i, j) = (1.0 - strength) * m(i, j) + strength * phi;
                     }
                 }
             }
-        }
-    }
+        });
 }
 
-DensityMatrix NoisySimulator::run(const Circuit& circuit, const NoiseModel& noise) {
+DensityMatrix NoisySimulator::run(const Circuit& circuit, const NoiseModel& noise) const {
+    const parallel::ScopedThreadCount threadScope(config_.threads);
     DensityMatrix rho(circuit.dimensions());
     for (const auto& op : circuit.operations()) {
         applyUnitary(rho, op);

@@ -4,6 +4,7 @@
 #include "mqsp/circuit/matrix.hpp"
 #include "mqsp/hardware/architecture.hpp"
 #include "mqsp/statevec/state_vector.hpp"
+#include "mqsp/support/parallel.hpp"
 
 #include <cstdint>
 
@@ -28,14 +29,17 @@ public:
     [[nodiscard]] std::uint64_t size() const noexcept { return radix_.totalDimension(); }
 
     /// Tr(rho) — 1 for a valid state (trace is preserved by all channels
-    /// implemented here).
+    /// implemented here). An ordered-chunk reduction: bit-identical at any
+    /// thread count.
     [[nodiscard]] double trace() const;
 
-    /// Tr(rho^2) — 1 iff pure.
+    /// Tr(rho^2) — 1 iff pure. Ordered-chunk reduction over the flattened
+    /// entries; bit-identical at any thread count.
     [[nodiscard]] double purity() const;
 
     /// <psi| rho |psi> — the fidelity against a pure target, the quantity
     /// the NoiseModel-based estimator (hardware/router.hpp) predicts.
+    /// Ordered-chunk reduction; bit-identical at any thread count.
     [[nodiscard]] double fidelityWithPure(const StateVector& target) const;
 
 private:
@@ -47,8 +51,26 @@ private:
 /// gate. This is the empirical check behind estimateCircuitFidelity: for
 /// small error rates the simulated fidelity approaches the product of the
 /// per-op (1 - eps) factors.
+///
+/// Threading mirrors the evaluation backends (sim/backend.hpp): the
+/// simulator carries an ExecutionConfig (default: a snapshot of the
+/// process-wide one at construction; `threads == 0` = follow the ambient
+/// setting) and `run` pins the process width to it for the whole replay.
+/// The kernels parallelize the column/row sweeps of `applyUnitary` and the
+/// disjoint (i, j) blocks of `applyDepolarizing`; every write set is
+/// disjoint and every accumulation ordered-chunk, so results are
+/// bit-identical across thread counts. The static per-channel primitives
+/// follow the ambient width (like `Simulator::apply`).
 class NoisySimulator {
 public:
+    NoisySimulator() : config_(parallel::globalExecutionConfig()) {}
+    explicit NoisySimulator(parallel::ExecutionConfig config) : config_(config) {}
+
+    /// The execution configuration this simulator was constructed under.
+    [[nodiscard]] const parallel::ExecutionConfig& executionConfig() const noexcept {
+        return config_;
+    }
+
     /// rho -> U rho U^dagger for one (possibly multi-controlled) operation.
     static void applyUnitary(DensityMatrix& rho, const Operation& op);
 
@@ -59,8 +81,12 @@ public:
     /// Run the circuit from |0...0>: each op is applied unitarily, followed
     /// by one depolarizing noise event on its target (the single-qudit rate
     /// for local ops, the two-qudit rate for controlled ops) — the same
-    /// per-op accounting as estimateCircuitFidelity.
-    [[nodiscard]] static DensityMatrix run(const Circuit& circuit, const NoiseModel& noise);
+    /// per-op accounting as estimateCircuitFidelity. Pins the process width
+    /// to this simulator's configuration for the whole replay.
+    [[nodiscard]] DensityMatrix run(const Circuit& circuit, const NoiseModel& noise) const;
+
+private:
+    parallel::ExecutionConfig config_;
 };
 
 } // namespace mqsp

@@ -5,7 +5,9 @@
 // each amplitude's arithmetic is independent of the partition) across
 // ghz / w / random targets on mixed-radix registers.
 
+#include "mqsp/circuit/qasm.hpp"
 #include "mqsp/sim/backend.hpp"
+#include "mqsp/sim/density_simulator.hpp"
 #include "mqsp/sim/simulator.hpp"
 #include "mqsp/states/states.hpp"
 #include "mqsp/support/parallel.hpp"
@@ -119,6 +121,77 @@ TEST(ThreadDeterminism, BackendVerificationIdenticalAcrossThreadCounts) {
             const double fidelityN =
                 DenseBackend().preparationFidelity(prep.circuit, evalTarget);
             EXPECT_NEAR(fidelityN, fidelity1, 1e-12) << target.family;
+        }
+    }
+}
+
+// The density-matrix kernels (sim/density_simulator.cpp) run on the same
+// ordered-chunk parallelFor/parallelReduce contract as the dense
+// simulator: every (row, col) cell's arithmetic is independent of the
+// partition, and the reductions sum fixed per-grain partials in index
+// order. Fidelity, trace, and purity must therefore be bit-identical —
+// EXPECT_EQ on the doubles — at every thread count.
+TEST(ThreadDeterminism, DensityReplayBitIdenticalAcrossThreadCounts) {
+    const std::vector<Target> noisyTargets = {
+        {"ghz", {3, 4, 2}},
+        {"w", {3, 6, 2}},
+        {"random", {4, 4, 4}},
+    };
+    NoiseModel noise;
+    noise.singleQuditError = 1e-4;
+    noise.twoQuditError = 1e-3;
+    for (const auto& target : noisyTargets) {
+        const StateVector state = makeTarget(target);
+        const auto prep = prepareExact(state);
+
+        double fidelity1 = 0.0;
+        double trace1 = 0.0;
+        double purity1 = 0.0;
+        {
+            const ScopedThreads scope(1);
+            const DensityMatrix rho =
+                NoisySimulator(parallel::ExecutionConfig{1}).run(prep.circuit, noise);
+            fidelity1 = rho.fidelityWithPure(state);
+            trace1 = rho.trace();
+            purity1 = rho.purity();
+        }
+        EXPECT_NEAR(trace1, 1.0, 1e-9) << target.family;
+        EXPECT_GT(fidelity1, 0.9) << target.family;
+
+        for (const unsigned threads : {2U, 4U, 7U}) {
+            const ScopedThreads scope(threads);
+            const DensityMatrix rho =
+                NoisySimulator(parallel::ExecutionConfig{threads}).run(prep.circuit, noise);
+            EXPECT_EQ(rho.fidelityWithPure(state), fidelity1)
+                << target.family << " fidelity at " << threads << " threads";
+            EXPECT_EQ(rho.trace(), trace1)
+                << target.family << " trace at " << threads << " threads";
+            EXPECT_EQ(rho.purity(), purity1)
+                << target.family << " purity at " << threads << " threads";
+        }
+    }
+}
+
+// Synthesis is compute-parallel / emit-sequential (synth/synthesizer.cpp):
+// the cascade solves fan out, but emission replays the historical
+// traversal order, so the circuit — and its QASM text — must be
+// byte-identical at every thread count.
+TEST(ThreadDeterminism, SynthesisQasmByteIdenticalAcrossThreadCounts) {
+    for (const auto& target : targets()) {
+        const StateVector state = makeTarget(target);
+        const DecisionDiagram dd = DecisionDiagram::fromStateVector(state);
+
+        std::string qasm1;
+        {
+            const ScopedThreads scope(1);
+            qasm1 = toQasm(synthesize(dd));
+        }
+        EXPECT_FALSE(qasm1.empty());
+
+        for (const unsigned threads : {2U, 4U}) {
+            const ScopedThreads scope(threads);
+            EXPECT_EQ(toQasm(synthesize(dd)), qasm1)
+                << target.family << " QASM at " << threads << " threads";
         }
     }
 }
@@ -309,6 +382,106 @@ TEST(SharedSessionDeterminism, ItemOrderDoesNotChangeFidelitiesOrNodeCount) {
     ASSERT_EQ(reversed.fidelities.size(), forward.fidelities.size());
     for (std::size_t i = 0; i < forward.fidelities.size(); ++i) {
         EXPECT_EQ(reversed.fidelities[i], forward.fidelities[i]) << "item " << i;
+    }
+    EXPECT_EQ(reversed.poolNodes, forward.poolNodes);
+}
+
+// --- session-backed intra-apply determinism ----------------------------------
+//
+// Single-item DdBackend calls fan *within* one diagram: gate application
+// rebuilds all target-level nodes in parallel against the session's
+// sharded uniquing table (dd/apply.cpp), and equivalence checking fans
+// multiply's top-level product cells out on the shared operator store
+// (mdd/matrix_dd.cpp). Both compute in parallel and intern sequentially
+// in canonical order, so the session's `dd_nodes` and every fidelity are
+// functions of the work alone — invariant across thread counts and item
+// order, bit-for-bit.
+
+struct SessionApplyFixture {
+    std::vector<StateVector> denseTargets;
+    std::vector<Circuit> circuits;
+
+    SessionApplyFixture() {
+        Rng rng(424242);
+        denseTargets.push_back(states::random({9, 5, 6, 3}, rng));
+        denseTargets.push_back(states::ghz({3, 4, 2, 5}));
+        denseTargets.push_back(states::wState({2, 3, 2, 3, 2}));
+        for (const auto& target : denseTargets) {
+            circuits.push_back(prepareExact(target).circuit);
+        }
+    }
+};
+
+/// Replay and verify every fixture item on a fresh backend pinned to
+/// `threads`, optionally in reverse item order (results are re-indexed to
+/// the fixture order either way, so runs compare element-wise).
+struct SessionApplyRun {
+    std::vector<double> replayFidelities;
+    std::vector<double> verifyFidelities;
+    std::uint64_t poolNodes = 0;
+
+    SessionApplyRun(const SessionApplyFixture& fixture, unsigned threads,
+                    bool reverseItems = false) {
+        const DdBackend backend(Tolerance::kDefault, parallel::ExecutionConfig{threads});
+        std::vector<std::size_t> order(fixture.circuits.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        if (reverseItems) {
+            std::reverse(order.begin(), order.end());
+        }
+        replayFidelities.resize(order.size(), 0.0);
+        verifyFidelities.resize(order.size(), 0.0);
+        for (const std::size_t i : order) {
+            const EvalState out = backend.runFromZero(fixture.circuits[i]);
+            replayFidelities[i] =
+                fixture.denseTargets[i].fidelityWith(out.toStateVector(4096));
+            verifyFidelities[i] = backend.preparationFidelity(
+                fixture.circuits[i], EvalState(fixture.denseTargets[i]));
+        }
+        poolNodes = backend.ddSession()->stats().poolNodes;
+    }
+};
+
+TEST(SessionApplyDeterminism, FidelitiesBitIdenticalAcrossThreadCounts) {
+    const SessionApplyFixture fixture;
+    const SessionApplyRun baseline(fixture, 1);
+    for (std::size_t i = 0; i < baseline.replayFidelities.size(); ++i) {
+        EXPECT_NEAR(baseline.replayFidelities[i], 1.0, 1e-9) << "item " << i;
+        EXPECT_NEAR(baseline.verifyFidelities[i], 1.0, 1e-9) << "item " << i;
+    }
+    for (const unsigned threads : {2U, 4U, 7U}) {
+        const SessionApplyRun run(fixture, threads);
+        for (std::size_t i = 0; i < run.replayFidelities.size(); ++i) {
+            // Bit-identical, not merely close.
+            EXPECT_EQ(run.replayFidelities[i], baseline.replayFidelities[i])
+                << "replay item " << i << " at " << threads << " threads";
+            EXPECT_EQ(run.verifyFidelities[i], baseline.verifyFidelities[i])
+                << "verify item " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(SessionApplyDeterminism, SessionNodeCountInvariantAcrossThreadCounts) {
+    const SessionApplyFixture fixture;
+    const SessionApplyRun baseline(fixture, 1);
+    EXPECT_GT(baseline.poolNodes, 1U);
+    for (const unsigned threads : {2U, 4U, 7U}) {
+        const SessionApplyRun run(fixture, threads);
+        EXPECT_EQ(run.poolNodes, baseline.poolNodes) << threads << " threads";
+    }
+}
+
+TEST(SessionApplyDeterminism, ItemOrderDoesNotChangeFidelitiesOrNodeCount) {
+    const SessionApplyFixture fixture;
+    const SessionApplyRun forward(fixture, 4);
+    const SessionApplyRun reversed(fixture, 4, /*reverseItems=*/true);
+    ASSERT_EQ(reversed.replayFidelities.size(), forward.replayFidelities.size());
+    for (std::size_t i = 0; i < forward.replayFidelities.size(); ++i) {
+        EXPECT_EQ(reversed.replayFidelities[i], forward.replayFidelities[i])
+            << "replay item " << i;
+        EXPECT_EQ(reversed.verifyFidelities[i], forward.verifyFidelities[i])
+            << "verify item " << i;
     }
     EXPECT_EQ(reversed.poolNodes, forward.poolNodes);
 }

@@ -91,7 +91,7 @@ TEST(NoisySimulator, ZeroNoiseRunMatchesPureSimulation) {
     NoiseModel noiseless;
     noiseless.singleQuditError = 0.0;
     noiseless.twoQuditError = 0.0;
-    const DensityMatrix rho = NoisySimulator::run(prep.circuit, noiseless);
+    const DensityMatrix rho = NoisySimulator().run(prep.circuit, noiseless);
     EXPECT_NEAR(rho.fidelityWithPure(target), 1.0, 1e-9);
     EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
 }
@@ -108,7 +108,7 @@ TEST(NoisySimulator, NoiseDegradesFidelityMonotonically) {
         NoiseModel noise;
         noise.singleQuditError = eps / 10.0;
         noise.twoQuditError = eps;
-        const DensityMatrix rho = NoisySimulator::run(prep.circuit, noise);
+        const DensityMatrix rho = NoisySimulator().run(prep.circuit, noise);
         const double fidelity = rho.fidelityWithPure(target);
         EXPECT_LT(fidelity, previous);
         EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
@@ -129,7 +129,7 @@ TEST(NoisySimulator, EstimatorTracksSimulatedFidelityAtSmallNoise) {
     noise.singleQuditError = 1e-4;
     noise.twoQuditError = 1e-3;
     const double simulated =
-        NoisySimulator::run(prep.circuit, noise).fidelityWithPure(target);
+        NoisySimulator().run(prep.circuit, noise).fidelityWithPure(target);
     const double estimated = estimateCircuitFidelity(prep.circuit, noise);
     // Depolarizing noise can land partly back on the target, so the
     // simulation sits at or above the estimate; both are within O(eps^2

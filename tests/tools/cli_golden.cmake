@@ -12,13 +12,25 @@
 #         -DPREP_DIMS=3,6,2 -DPREP_STATE=ghz -DUPDATE=1 -P cli_golden.cmake
 
 set(golden_file ${GOLDEN_DIR}/${CASE_NAME}.qasm)
-set(actual_file ${WORK_DIR}/golden_actual_${CASE_NAME}.qasm)
+set(actual_suffix ${CASE_NAME})
+if(DEFINED PREP_THREADS)
+  # Thread variants diff against the SAME golden file — synthesis is
+  # compute-parallel / emit-sequential, so the QASM must be byte-identical
+  # at any --threads. Only the scratch file name gets a suffix (the t1 and
+  # tN tests may run concurrently under ctest -j).
+  set(actual_suffix ${CASE_NAME}_t${PREP_THREADS})
+endif()
+set(actual_file ${WORK_DIR}/golden_actual_${actual_suffix}.qasm)
 
 set(prep_args --dims ${PREP_DIMS} --state ${PREP_STATE})
 if(DEFINED PREP_SEED)
   list(APPEND prep_args --seed ${PREP_SEED})
 endif()
 set(sim_args "")
+if(DEFINED PREP_THREADS)
+  list(APPEND prep_args --threads ${PREP_THREADS})
+  list(APPEND sim_args --threads ${PREP_THREADS})
+endif()
 if(DEFINED PREP_BACKEND)
   list(APPEND prep_args --backend ${PREP_BACKEND})
   list(APPEND sim_args --backend ${PREP_BACKEND})

@@ -21,8 +21,10 @@
 #include "cli_args.hpp"
 
 #include "mqsp/circuit/qasm.hpp"
+#include "mqsp/hardware/router.hpp"
 #include "mqsp/opt/optimizer.hpp"
 #include "mqsp/sim/backend.hpp"
+#include "mqsp/sim/density_simulator.hpp"
 #include "mqsp/states/states.hpp"
 #include "mqsp/support/error.hpp"
 #include "mqsp/support/parse.hpp"
@@ -64,6 +66,12 @@ void usage() {
                        results are bit-identical at any count)
   --qasm               print the circuit in MQSP-QASM
   --verify             replay on the selected backend and report the fidelity
+  --noise <eps>        replay under depolarizing noise on the density-matrix
+                       simulator (two-qudit rate eps, single-qudit rate
+                       eps/10) and report simulated vs estimated fidelity;
+                       dense only — total dimension must be <= 1024. The
+                       kernels honor --threads; results are bit-identical
+                       at any thread count.
 )");
 }
 
@@ -374,6 +382,28 @@ int main(int argc, char** argv) {
             const double fidelity =
                 backend->preparationFidelity(result.circuit, target);
             std::fprintf(stderr, "verified fidelity : %.9f\n", fidelity);
+        }
+        if (const auto noiseSpec = argValue(argc, argv, "--noise")) {
+            const double eps = cli::argDouble(argc, argv, "--noise", 0.0);
+            requireThat(eps >= 0.0 && eps <= 1.0,
+                        "--noise needs an error rate in [0, 1], got " + *noiseSpec);
+            // The density matrix is quadratic in the Hilbert dimension, so
+            // the noisy replay only runs on registers within its own
+            // (tighter) ceiling; toStateVector enforces it up front.
+            const StateVector denseTarget = target.toStateVector(1024);
+            NoiseModel noise;
+            noise.singleQuditError = eps / 10.0;
+            noise.twoQuditError = eps;
+            // The simulator snapshots the process-wide execution config, so
+            // --threads (applied by cli::configureThreads above) reaches the
+            // density kernels.
+            const DensityMatrix rho = NoisySimulator().run(result.circuit, noise);
+            std::fprintf(stderr,
+                         "noisy fidelity    : %.9f (estimator %.9f, eps %.3e, "
+                         "trace %.9f)\n",
+                         rho.fidelityWithPure(denseTarget),
+                         estimateCircuitFidelity(result.circuit, noise), eps,
+                         rho.trace());
         }
         if (const auto session = backend->ddSession()) {
             // Session memory report: how much structure the uniquing table

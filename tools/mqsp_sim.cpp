@@ -1,7 +1,7 @@
 // mqsp_sim — command-line simulator for MQSP-QASM circuits.
 //
 //   mqsp_sim --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
-//            [--backend dense|dd|auto]
+//            [--backend dense|dd|auto] [--noise 1e-3]
 //   mqsp_sim --circuit-json circuit.jsonl ...
 //
 // Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm)
@@ -19,6 +19,7 @@
 #include "mqsp/circuit/qasm.hpp"
 #include "mqsp/dd/decision_diagram.hpp"
 #include "mqsp/sim/backend.hpp"
+#include "mqsp/sim/density_simulator.hpp"
 #include "mqsp/support/error.hpp"
 #include "mqsp/support/rng.hpp"
 
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
             std::fprintf(stderr,
                          "usage: mqsp_sim (--qasm <file|-> | --circuit-json <file|->) "
                          "[--shots n] [--print-state] [--seed n] "
-                         "[--backend dense|dd|auto] [--threads n]\n");
+                         "[--backend dense|dd|auto] [--threads n] [--noise eps]\n");
             return 2;
         }
 
@@ -142,6 +143,25 @@ int main(int argc, char** argv) {
                             static_cast<unsigned long long>(hits),
                             static_cast<double>(hits) / static_cast<double>(count));
             }
+        }
+        if (const auto noiseSpec = argValue(argc, argv, "--noise")) {
+            const double eps = cli::argDouble(argc, argv, "--noise", 0.0);
+            requireThat(eps >= 0.0 && eps <= 1.0,
+                        "--noise needs an error rate in [0, 1], got " + *noiseSpec);
+            requireThat(radix.totalDimension() <= 1024,
+                        "--noise replays on a dense density matrix, which needs "
+                        "total dimension <= 1024");
+            NoiseModel noise;
+            noise.singleQuditError = eps / 10.0;
+            noise.twoQuditError = eps;
+            // Snapshot of the process-wide execution config: --threads
+            // (applied by cli::configureThreads above) reaches the density
+            // kernels; the reported numbers are bit-identical at any width.
+            const DensityMatrix rho = NoisySimulator().run(circuit, noise);
+            const StateVector ideal = out.toStateVector(1024);
+            std::printf("\nnoisy replay (eps %.3e): fidelity %.9f, purity %.9f, "
+                        "trace %.9f\n",
+                        eps, rho.fidelityWithPure(ideal), rho.purity(), rho.trace());
         }
         if (const auto session = backend->ddSession()) {
             // DD memory report on stderr (stdout stays pipeable): the pool
