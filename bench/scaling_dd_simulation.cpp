@@ -166,7 +166,7 @@ void addPastCeilingCase(Harness& harness, const std::string& family,
 }
 
 /// Register a batch case: `count` independent prepare-and-verify items
-/// through EvaluationBackend::prepareAndVerifyBatch. With threads pinned
+/// through EvaluationBackend::verifyBatch. With threads pinned
 /// above 1 the items fan out across the pool workers (and each item's
 /// kernels run serially inside its worker — the nested-use contract);
 /// at 1 thread the same batch runs sequentially, so the t1/tN pair is the
@@ -189,7 +189,7 @@ void addBatchCase(Harness& harness, const std::string& family, const Dimensions&
         std::vector<StateVector> targets;
         std::vector<EvalState> evalTargets;
         std::vector<Circuit> circuits;
-        std::vector<BatchVerifyItem> items;
+        std::vector<VerifyRequest> items;
         targets.reserve(count);
         circuits.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
@@ -203,8 +203,8 @@ void addBatchCase(Harness& harness, const std::string& family, const Dimensions&
         }
         const auto backend = makeBackend(kind);
 
-        std::vector<BatchVerifyResult> results;
-        rep.time([&] { results = backend->prepareAndVerifyBatch(items); });
+        std::vector<VerifyReport> results;
+        rep.time([&] { results = backend->verifyBatch(items); });
         rep.metric("batch_items", static_cast<double>(count));
         if (const auto session = backend->ddSession()) {
             // Shared-session batch: every item interned into this one

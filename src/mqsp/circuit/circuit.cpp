@@ -91,9 +91,11 @@ std::size_t Circuit::removeIdentityOperations(double tol) {
     return before - ops_.size();
 }
 
-void Circuit::validate(const Operation& op) const {
-    requireThat(op.target < radix_.numQudits(), "Circuit: operation target out of range");
-    const Dimension targetDim = radix_.dimensionAt(op.target);
+void Circuit::validate(const Operation& op) const { validateOperation(op, radix_); }
+
+void validateOperation(const Operation& op, const MixedRadix& radix) {
+    requireThat(op.target < radix.numQudits(), "Circuit: operation target out of range");
+    const Dimension targetDim = radix.dimensionAt(op.target);
     if (op.kind == GateKind::GivensRotation || op.kind == GateKind::PhaseRotation ||
         op.kind == GateKind::LevelSwap) {
         requireThat(op.levelA < targetDim && op.levelB < targetDim,
@@ -105,9 +107,9 @@ void Circuit::validate(const Operation& op) const {
     }
     for (std::size_t i = 0; i < op.controls.size(); ++i) {
         const auto& ctrl = op.controls[i];
-        requireThat(ctrl.qudit < radix_.numQudits(), "Circuit: control qudit out of range");
+        requireThat(ctrl.qudit < radix.numQudits(), "Circuit: control qudit out of range");
         requireThat(ctrl.qudit != op.target, "Circuit: control cannot sit on the target");
-        requireThat(ctrl.level < radix_.dimensionAt(ctrl.qudit),
+        requireThat(ctrl.level < radix.dimensionAt(ctrl.qudit),
                     "Circuit: control level exceeds the control qudit's dimension");
         for (std::size_t j = i + 1; j < op.controls.size(); ++j) {
             requireThat(op.controls[j].qudit != ctrl.qudit,
@@ -115,6 +117,17 @@ void Circuit::validate(const Operation& op) const {
                         "conditions are not representable)");
         }
     }
+}
+
+CircuitSource::CircuitSource(const Circuit& circuit) : circuit_(&circuit) {}
+
+const Dimensions& CircuitSource::dimensions() const { return circuit_->dimensions(); }
+
+std::optional<Operation> CircuitSource::next() {
+    if (cursor_ >= circuit_->numOperations()) {
+        return std::nullopt;
+    }
+    return (*circuit_)[cursor_++];
 }
 
 } // namespace mqsp

@@ -4,6 +4,7 @@
 #include "mqsp/support/mixed_radix.hpp"
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,54 @@ struct CircuitStats {
     std::size_t maxControls = 0;        ///< largest control count on any op
     double medianControls = 0.0;        ///< median control count over all ops
     std::size_t depthEstimate = 0;      ///< greedy ASAP-scheduling depth
+};
+
+class Circuit;
+
+/// Validate one operation against a register geometry — target and control
+/// sites in range, levels within each site's dimension, no control on the
+/// target, no duplicate controls. This is the check Circuit::append runs on
+/// every materialized append; streaming consumers (circuit::GateStream, the
+/// serve APPEND verb) call it directly so a gate can be admitted without a
+/// Circuit to append it to. Throws InvalidArgumentError ("Circuit: ...").
+void validateOperation(const Operation& op, const MixedRadix& radix);
+
+/// A pull source of operations over a fixed register — the streaming
+/// counterpart of a materialized Circuit. Consumers (the backend's
+/// verifyStream, the bench generators) drain it one operation at a time,
+/// so the producer never has to hold the whole circuit: a GateStream
+/// parses MQSP-QASM text incrementally, a generator synthesizes gates on
+/// the fly, and CircuitSource adapts an in-memory circuit.
+class OperationSource {
+public:
+    OperationSource() = default;
+    OperationSource(const OperationSource&) = default;
+    OperationSource& operator=(const OperationSource&) = default;
+    OperationSource(OperationSource&&) = default;
+    OperationSource& operator=(OperationSource&&) = default;
+    virtual ~OperationSource() = default;
+
+    /// Register geometry every yielded operation is valid against.
+    [[nodiscard]] virtual const Dimensions& dimensions() const = 0;
+
+    /// The next operation in application order, or nullopt at the end of
+    /// the stream. Implementations validate before yielding: a returned
+    /// operation is always admissible on dimensions().
+    [[nodiscard]] virtual std::optional<Operation> next() = 0;
+};
+
+/// Adapter presenting a materialized circuit as an OperationSource (the
+/// circuit must outlive the source).
+class CircuitSource final : public OperationSource {
+public:
+    explicit CircuitSource(const Circuit& circuit);
+
+    [[nodiscard]] const Dimensions& dimensions() const override;
+    [[nodiscard]] std::optional<Operation> next() override;
+
+private:
+    const Circuit* circuit_;
+    std::size_t cursor_ = 0;
 };
 
 /// A quantum circuit over a mixed-dimensional qudit register.

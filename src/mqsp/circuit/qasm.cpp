@@ -1,12 +1,14 @@
 #include "mqsp/circuit/qasm.hpp"
 
 #include "mqsp/support/error.hpp"
+#include "mqsp/support/parse.hpp"
 
 #include <cctype>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace mqsp {
 
@@ -64,125 +66,36 @@ std::string toQasm(const Circuit& circuit) {
 
 namespace {
 
-/// Minimal recursive-descent tokenizer/parser for the dialect. Keeps the
-/// current line number for error messages.
-class QasmParser {
-public:
-    explicit QasmParser(std::istream& in) : in_(in) {}
-
-    Circuit parse() {
-        expectHeader();
-        Circuit circuit = expectRegister();
-        while (nextMeaningfulLine()) {
-            parseStatement(circuit);
-        }
-        return circuit;
+/// Strip a trailing `//` comment and surrounding whitespace; empty result
+/// means the line carries no statement.
+[[nodiscard]] std::string stripLine(std::string raw) {
+    const auto comment = raw.find("//");
+    if (comment != std::string::npos) {
+        raw.erase(comment);
     }
+    const auto begin = raw.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+        return {};
+    }
+    const auto end = raw.find_last_not_of(" \t\r");
+    return raw.substr(begin, end - begin + 1);
+}
 
-private:
+/// Recursive-descent scanner over ONE stripped dialect line. Both the
+/// streaming reader and the single-statement entry point drive it; the
+/// line number is carried only for the "parseQasm: line N: ..." messages.
+class LineParser {
+public:
+    LineParser(const std::string& line, std::size_t lineNumber)
+        : line_(&line), lineNumber_(lineNumber) {}
+
     [[noreturn]] void fail(const std::string& message) const {
         detail::throwInvalidArgument("parseQasm: line " + std::to_string(lineNumber_) +
                                      ": " + message);
     }
 
-    /// Load the next line that still has content after comment stripping.
-    bool nextMeaningfulLine() {
-        std::string raw;
-        while (std::getline(in_, raw)) {
-            ++lineNumber_;
-            const auto comment = raw.find("//");
-            if (comment != std::string::npos) {
-                raw.erase(comment);
-            }
-            // Trim.
-            const auto begin = raw.find_first_not_of(" \t\r");
-            if (begin == std::string::npos) {
-                continue;
-            }
-            const auto end = raw.find_last_not_of(" \t\r");
-            line_ = raw.substr(begin, end - begin + 1);
-            cursor_ = 0;
-            return true;
-        }
-        return false;
-    }
-
-    void skipSpace() {
-        while (cursor_ < line_.size() &&
-               std::isspace(static_cast<unsigned char>(line_[cursor_])) != 0) {
-            ++cursor_;
-        }
-    }
-
-    bool consume(char ch) {
-        skipSpace();
-        if (cursor_ < line_.size() && line_[cursor_] == ch) {
-            ++cursor_;
-            return true;
-        }
-        return false;
-    }
-
-    void expect(char ch, const char* what) {
-        if (!consume(ch)) {
-            fail(std::string("expected '") + ch + "' (" + what + ")");
-        }
-    }
-
-    std::string word() {
-        skipSpace();
-        std::size_t start = cursor_;
-        while (cursor_ < line_.size() &&
-               (std::isalnum(static_cast<unsigned char>(line_[cursor_])) != 0 ||
-                line_[cursor_] == '.' || line_[cursor_] == '_')) {
-            ++cursor_;
-        }
-        return line_.substr(start, cursor_ - start);
-    }
-
-    std::uint64_t integer() {
-        skipSpace();
-        std::size_t start = cursor_;
-        while (cursor_ < line_.size() &&
-               std::isdigit(static_cast<unsigned char>(line_[cursor_])) != 0) {
-            ++cursor_;
-        }
-        if (start == cursor_) {
-            fail("expected an integer");
-        }
-        return std::stoull(line_.substr(start, cursor_ - start));
-    }
-
-    double number() {
-        skipSpace();
-        std::size_t consumed = 0;
-        double value = 0.0;
-        try {
-            value = std::stod(line_.substr(cursor_), &consumed);
-        } catch (const std::exception&) {
-            fail("expected a number");
-        }
-        cursor_ += consumed;
-        return value;
-    }
-
-    /// "q[<index>]" -> index.
-    std::size_t site() {
-        skipSpace();
-        if (cursor_ >= line_.size() || line_[cursor_] != 'q') {
-            fail("expected a qudit reference q[i]");
-        }
-        ++cursor_;
-        expect('[', "qudit reference");
-        const auto index = static_cast<std::size_t>(integer());
-        expect(']', "qudit reference");
-        return index;
-    }
-
-    void expectHeader() {
-        if (!nextMeaningfulLine()) {
-            fail("missing MQSPQASM header");
-        }
+    /// "MQSPQASM 1.0;" — the whole header line.
+    void header() {
         const std::string keyword = word();
         if (keyword != "MQSPQASM") {
             fail("expected MQSPQASM header, got '" + keyword + "'");
@@ -194,10 +107,8 @@ private:
         expect(';', "header");
     }
 
-    Circuit expectRegister() {
-        if (!nextMeaningfulLine()) {
-            fail("missing qreg declaration");
-        }
+    /// "qreg q[n] = [d, ...];" — the whole register line.
+    [[nodiscard]] Dimensions qreg() {
         if (word() != "qreg") {
             fail("expected qreg declaration");
         }
@@ -217,24 +128,13 @@ private:
             fail("qreg declares " + std::to_string(count) + " sites but lists " +
                  std::to_string(dims.size()) + " dimensions");
         }
-        return Circuit(std::move(dims), "parsed");
+        return dims;
     }
 
-    std::vector<Control> parseControls() {
-        std::vector<Control> controls;
-        while (true) {
-            const std::size_t qudit = site();
-            expect('=', "control level");
-            const auto level = static_cast<Level>(integer());
-            controls.push_back({qudit, level});
-            if (!consume(',')) {
-                break;
-            }
-        }
-        return controls;
-    }
-
-    void parseStatement(Circuit& circuit) {
+    /// One whole gate statement through the terminating ';'. The returned
+    /// operation is syntax-only — the caller validates it against the
+    /// register (and re-raises through fail for the line-numbered message).
+    [[nodiscard]] Operation gateStatement() {
         const std::string gate = word();
         if (gate.empty()) {
             fail("expected a gate name");
@@ -282,38 +182,192 @@ private:
         }
 
         skipSpace();
-        if (line_.compare(cursor_, 3, "ctl") == 0) {
+        if (line_->compare(cursor_, 3, "ctl") == 0) {
             cursor_ += 3;
             op.controls = parseControls();
         }
         expect(';', "statement");
         skipSpace();
-        if (cursor_ != line_.size()) {
+        if (cursor_ != line_->size()) {
             fail("trailing characters after ';'");
         }
-        try {
-            circuit.append(std::move(op));
-        } catch (const InvalidArgumentError& error) {
-            fail(error.what());
+        return op;
+    }
+
+private:
+    void skipSpace() {
+        while (cursor_ < line_->size() &&
+               std::isspace(static_cast<unsigned char>((*line_)[cursor_])) != 0) {
+            ++cursor_;
         }
     }
 
-    std::istream& in_;
-    std::string line_;
+    bool consume(char ch) {
+        skipSpace();
+        if (cursor_ < line_->size() && (*line_)[cursor_] == ch) {
+            ++cursor_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char ch, const char* what) {
+        if (!consume(ch)) {
+            fail(std::string("expected '") + ch + "' (" + what + ")");
+        }
+    }
+
+    std::string word() {
+        skipSpace();
+        std::size_t start = cursor_;
+        while (cursor_ < line_->size() &&
+               (std::isalnum(static_cast<unsigned char>((*line_)[cursor_])) != 0 ||
+                (*line_)[cursor_] == '.' || (*line_)[cursor_] == '_')) {
+            ++cursor_;
+        }
+        return line_->substr(start, cursor_ - start);
+    }
+
+    std::uint64_t integer() {
+        skipSpace();
+        std::size_t start = cursor_;
+        while (cursor_ < line_->size() &&
+               std::isdigit(static_cast<unsigned char>((*line_)[cursor_])) != 0) {
+            ++cursor_;
+        }
+        if (start == cursor_) {
+            fail("expected an integer");
+        }
+        const std::string digits = line_->substr(start, cursor_ - start);
+        const auto value = parse::tryUint64(digits);
+        if (!value.has_value()) {
+            // Digits-only text can only miss by overflowing 64 bits.
+            fail("integer '" + parse::clipForMessage(digits) + "' overflows");
+        }
+        return *value;
+    }
+
+    double number() {
+        skipSpace();
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(line_->substr(cursor_), &consumed);
+        } catch (const std::exception&) {
+            fail("expected a number");
+        }
+        cursor_ += consumed;
+        return value;
+    }
+
+    /// "q[<index>]" -> index.
+    std::size_t site() {
+        skipSpace();
+        if (cursor_ >= line_->size() || (*line_)[cursor_] != 'q') {
+            fail("expected a qudit reference q[i]");
+        }
+        ++cursor_;
+        expect('[', "qudit reference");
+        const auto index = static_cast<std::size_t>(integer());
+        expect(']', "qudit reference");
+        return index;
+    }
+
+    std::vector<Control> parseControls() {
+        std::vector<Control> controls;
+        while (true) {
+            const std::size_t qudit = site();
+            expect('=', "control level");
+            const auto level = static_cast<Level>(integer());
+            controls.push_back({qudit, level});
+            if (!consume(',')) {
+                break;
+            }
+        }
+        return controls;
+    }
+
+    const std::string* line_;
     std::size_t cursor_ = 0;
-    std::size_t lineNumber_ = 0;
+    std::size_t lineNumber_;
 };
+
+/// Parse + register-validate one stripped statement line, re-raising any
+/// admissibility error with the line-numbered prefix.
+[[nodiscard]] Operation statementOn(const std::string& line, std::size_t lineNumber,
+                                    const MixedRadix& radix) {
+    LineParser parser(line, lineNumber);
+    Operation op = parser.gateStatement();
+    try {
+        validateOperation(op, radix);
+    } catch (const InvalidArgumentError& error) {
+        parser.fail(error.what());
+    }
+    return op;
+}
 
 } // namespace
 
+GateStream::GateStream(std::istream& in) : in_(&in) {
+    if (!nextMeaningfulLine()) {
+        LineParser(line_, lineNumber_).fail("missing MQSPQASM header");
+    }
+    LineParser(line_, lineNumber_).header();
+    if (!nextMeaningfulLine()) {
+        LineParser(line_, lineNumber_).fail("missing qreg declaration");
+    }
+    LineParser qregParser(line_, lineNumber_);
+    radix_ = MixedRadix(qregParser.qreg());
+}
+
+bool GateStream::nextMeaningfulLine() {
+    std::string raw;
+    while (std::getline(*in_, raw)) {
+        ++lineNumber_;
+        std::string stripped = stripLine(std::move(raw));
+        if (stripped.empty()) {
+            continue;
+        }
+        line_ = std::move(stripped);
+        return true;
+    }
+    return false;
+}
+
+std::optional<Operation> GateStream::next() {
+    if (eof_) {
+        return std::nullopt;
+    }
+    if (!nextMeaningfulLine()) {
+        eof_ = true;
+        return std::nullopt;
+    }
+    Operation op = statementOn(line_, lineNumber_, radix_);
+    ++opsRead_;
+    return op;
+}
+
 Circuit parseQasm(std::istream& in) {
-    QasmParser parser(in);
-    return parser.parse();
+    GateStream stream(in);
+    Circuit circuit(stream.dimensions(), "parsed");
+    while (auto op = stream.next()) {
+        circuit.append(std::move(*op));
+    }
+    return circuit;
 }
 
 Circuit parseQasmString(const std::string& text) {
     std::istringstream stream(text);
     return parseQasm(stream);
+}
+
+Operation parseQasmStatement(const std::string& text, const MixedRadix& radix,
+                             std::size_t lineNumber) {
+    const std::string stripped = stripLine(text);
+    if (stripped.empty()) {
+        LineParser(stripped, lineNumber).fail("expected a gate name");
+    }
+    return statementOn(stripped, lineNumber, radix);
 }
 
 } // namespace mqsp

@@ -2,7 +2,9 @@
 
 #include "mqsp/circuit/circuit.hpp"
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 namespace mqsp {
@@ -28,13 +30,72 @@ void emitQasm(std::ostream& out, const Circuit& circuit);
 /// Convenience wrapper returning the dialect text.
 [[nodiscard]] std::string toQasm(const Circuit& circuit);
 
+/// Incremental MQSP-QASM reader: the streaming counterpart of parseQasm.
+///
+/// Construction consumes the header and the qreg declaration eagerly (so
+/// dimensions() is available immediately and a malformed preamble fails
+/// fast); each next() call then reads exactly one gate statement from the
+/// underlying stream. State is one line of text plus the register geometry
+/// — O(1) in the circuit length — so circuits whose full text exceeds
+/// memory replay gate-by-gate straight off a pipe or socket.
+///
+/// Every yielded operation is validated against the declared register
+/// (validateOperation) before it is returned. Errors — syntax, numeric
+/// range, and register-admissibility alike — throw InvalidArgumentError
+/// with the same line-numbered "parseQasm: line N: ..." messages the
+/// whole-circuit parser produces.
+class GateStream final : public OperationSource {
+public:
+    /// Parse the header + qreg preamble of `in`; the stream must outlive
+    /// this reader.
+    explicit GateStream(std::istream& in);
+
+    /// The declared register.
+    [[nodiscard]] const Dimensions& dimensions() const override { return radix_.dimensions(); }
+    [[nodiscard]] const MixedRadix& radix() const noexcept { return radix_; }
+
+    /// Parse and validate the next gate statement; nullopt once the stream
+    /// is exhausted (eof() turns true).
+    [[nodiscard]] std::optional<Operation> next() override;
+
+    /// True once the underlying stream has run out of statements.
+    [[nodiscard]] bool eof() const noexcept { return eof_; }
+
+    /// Gates successfully yielded so far.
+    [[nodiscard]] std::uint64_t opsRead() const noexcept { return opsRead_; }
+
+    /// 1-based number of the last line read (error messages cite it).
+    [[nodiscard]] std::size_t lineNumber() const noexcept { return lineNumber_; }
+
+private:
+    /// Load the next line that still has content after comment stripping.
+    bool nextMeaningfulLine();
+
+    std::istream* in_;
+    MixedRadix radix_;
+    std::string line_;
+    std::size_t lineNumber_ = 0;
+    std::uint64_t opsRead_ = 0;
+    bool eof_ = false;
+};
+
 /// Parse the dialect emitted by emitQasm. Accepts arbitrary whitespace,
 /// full-line and trailing `//` comments, and validates every site, level
 /// and control against the declared register. Throws InvalidArgumentError
-/// with a line-numbered message on malformed input.
+/// with a line-numbered message on malformed input. Implemented as a thin
+/// drain of a GateStream — the incremental reader is the parser.
 [[nodiscard]] Circuit parseQasm(std::istream& in);
 
 /// Parse from a string.
 [[nodiscard]] Circuit parseQasmString(const std::string& text);
+
+/// Parse ONE gate statement (no header, no qreg) against an already-known
+/// register — the entry point for delta surfaces such as the serve APPEND
+/// verb, where single gates arrive long after the register was declared.
+/// `lineNumber` seeds the "parseQasm: line N: ..." error prefix (default 1
+/// for standalone statements). The returned operation has been validated
+/// against `radix`.
+[[nodiscard]] Operation parseQasmStatement(const std::string& text, const MixedRadix& radix,
+                                           std::size_t lineNumber = 1);
 
 } // namespace mqsp

@@ -349,4 +349,28 @@ private:
     Complex rootWeight_{0.0, 0.0};
 };
 
+namespace dd {
+
+/// Structural diff of two same-store diagrams, counted over the *reachable
+/// node sets* of their roots (terminal excluded). Because session-backed
+/// diagrams are hash-consed, NodeRef identity IS structural identity: a
+/// node reachable from both roots is a subtree the two states share
+/// verbatim, so `shared` measures exactly what an incremental re-verify
+/// can reuse, `added` what the delta built, and `removed` what it
+/// abandoned.
+struct DiagramDiffStats {
+    std::uint64_t nodesA = 0;   ///< nodes reachable from a's root
+    std::uint64_t nodesB = 0;   ///< nodes reachable from b's root
+    std::uint64_t shared = 0;   ///< reachable from both
+    std::uint64_t added = 0;    ///< reachable from b only
+    std::uint64_t removed = 0;  ///< reachable from a only
+};
+
+/// Diff two diagrams on the SAME store (throws InvalidArgumentError
+/// otherwise — cross-store refs are not comparable). O(nodesA + nodesB)
+/// time and space; empty diagrams diff as all-zero against themselves.
+[[nodiscard]] DiagramDiffStats diffDiagrams(const DecisionDiagram& a, const DecisionDiagram& b);
+
+} // namespace dd
+
 } // namespace mqsp

@@ -1,0 +1,66 @@
+#include "mqsp/dd/decision_diagram.hpp"
+#include "mqsp/support/error.hpp"
+
+#include <vector>
+
+namespace mqsp::dd {
+
+namespace {
+
+/// Mark every internal node reachable from the diagram's root in `seen`
+/// (indexed by NodeRef; the terminal and zero stubs are skipped).
+void markReachable(const DecisionDiagram& diagram, std::vector<bool>& seen) {
+    if (diagram.rootNode() == kNoNode) {
+        return;
+    }
+    std::vector<NodeRef> stack{diagram.rootNode()};
+    std::vector<bool> visited(seen.size(), false);
+    visited[diagram.rootNode()] = true;
+    while (!stack.empty()) {
+        const NodeRef ref = stack.back();
+        stack.pop_back();
+        const DDNode& node = diagram.node(ref);
+        if (node.isTerminal()) {
+            continue;
+        }
+        seen[ref] = true;
+        for (const auto& edge : node.edges) {
+            if (!edge.isZeroStub() && !visited[edge.node]) {
+                visited[edge.node] = true;
+                stack.push_back(edge.node);
+            }
+        }
+    }
+}
+
+} // namespace
+
+DiagramDiffStats diffDiagrams(const DecisionDiagram& a, const DecisionDiagram& b) {
+    requireThat(a.sharesStoreWith(b),
+                "diffDiagrams: diagrams live on different stores — NodeRefs are only "
+                "comparable within one session");
+    const std::size_t pool = std::max(a.poolSize(), b.poolSize());
+    std::vector<bool> inA(pool, false);
+    std::vector<bool> inB(pool, false);
+    markReachable(a, inA);
+    markReachable(b, inB);
+    DiagramDiffStats stats;
+    for (std::size_t ref = 0; ref < pool; ++ref) {
+        if (inA[ref]) {
+            ++stats.nodesA;
+        }
+        if (inB[ref]) {
+            ++stats.nodesB;
+        }
+        if (inA[ref] && inB[ref]) {
+            ++stats.shared;
+        } else if (inB[ref]) {
+            ++stats.added;
+        } else if (inA[ref]) {
+            ++stats.removed;
+        }
+    }
+    return stats;
+}
+
+} // namespace mqsp::dd

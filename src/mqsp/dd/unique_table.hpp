@@ -21,7 +21,7 @@
 //    (cutEdge/renormalize) refuse, copies of session diagrams share the
 //    store, and lifetime is owned by the session, not by any one diagram.
 //
-// Concurrency model (the multicore substrate behind prepareAndVerifyBatch):
+// Concurrency model (the multicore substrate behind verifyBatch):
 //
 //  * The table is split into kShardCount shards selected by the top bits of
 //    the key hash (slot probing uses the low bits, so shard choice and slot
@@ -562,7 +562,7 @@ struct DdSessionGcStats {
 /// the owner touches. `DdBackend` holds one for its whole lifetime, so the
 /// target, the replayed state, and every per-gate intermediate of a
 /// verification run allocate from (and hit into) the same table — including
-/// the items of a concurrent `prepareAndVerifyBatch`, which intern into
+/// the items of a concurrent `verifyBatch`, which intern into
 /// this one session from every worker.
 ///
 /// Lifetime/ownership contract: diagrams built by a session hold a

@@ -17,8 +17,15 @@ namespace {
     return out;
 }
 
-[[nodiscard]] std::vector<std::string> tokenize(std::string_view line) {
-    std::vector<std::string> tokens;
+/// A token plus where it ended in the raw line — the end offset is what
+/// lets `--gate` capture the rest of the line verbatim.
+struct Token {
+    std::string text;
+    std::size_t end = 0;
+};
+
+[[nodiscard]] std::vector<Token> tokenize(std::string_view line) {
+    std::vector<Token> tokens;
     std::size_t i = 0;
     while (i < line.size()) {
         while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
@@ -29,10 +36,23 @@ namespace {
             ++i;
         }
         if (i > start) {
-            tokens.emplace_back(line.substr(start, i - start));
+            tokens.push_back({std::string(line.substr(start, i - start)), i});
         }
     }
     return tokens;
+}
+
+/// The raw line from `offset` on, trimmed of surrounding whitespace.
+[[nodiscard]] std::string restOfLine(std::string_view line, std::size_t offset) {
+    std::string_view rest = line.substr(offset);
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+        rest.remove_prefix(1);
+    }
+    while (!rest.empty() &&
+           (rest.back() == ' ' || rest.back() == '\t' || rest.back() == '\r')) {
+        rest.remove_suffix(1);
+    }
+    return std::string(rest);
 }
 
 [[nodiscard]] Verb verbFromName(const std::string& name, std::string_view token) {
@@ -56,6 +76,15 @@ namespace {
     }
     if (name == "limits?" || name == "limits") {
         return Verb::Limits;
+    }
+    if (name == "stream") {
+        return Verb::Stream;
+    }
+    if (name == "append") {
+        return Verb::Append;
+    }
+    if (name == "reverify") {
+        return Verb::Reverify;
     }
     if (name == "help") {
         return Verb::Help;
@@ -89,6 +118,12 @@ const char* verbName(Verb verb) noexcept {
         return "HELP";
     case Verb::Quit:
         return "QUIT";
+    case Verb::Stream:
+        return "STREAM";
+    case Verb::Append:
+        return "APPEND";
+    case Verb::Reverify:
+        return "REVERIFY";
     }
     return "?";
 }
@@ -113,6 +148,12 @@ const char* verbMetricKey(Verb verb) noexcept {
         return "help";
     case Verb::Quit:
         return "quit";
+    case Verb::Stream:
+        return "stream";
+    case Verb::Append:
+        return "append";
+    case Verb::Reverify:
+        return "reverify";
     }
     return "?";
 }
@@ -129,6 +170,9 @@ bool isReadPathVerb(Verb verb) noexcept {
     case Verb::Drop:
     case Verb::Gc:
     case Verb::Quit:
+    case Verb::Stream:
+    case Verb::Append:
+    case Verb::Reverify:
         return false;
     }
     return false;
@@ -145,31 +189,31 @@ const std::string* Request::option(std::string_view key) const noexcept {
 }
 
 Request parseRequest(std::string_view line) {
-    const std::vector<std::string> tokens = tokenize(line);
+    const std::vector<Token> tokens = tokenize(line);
     requireThat(!tokens.empty(), "empty command line (try HELP)");
 
     Request request;
-    const std::string head = lowercased(tokens.front());
+    const std::string head = lowercased(tokens.front().text);
     const auto colon = head.find(':');
     if (colon != std::string::npos) {
         const std::string verb = head.substr(0, colon);
         requireThat(verb == "prep", "only PREP takes a :<FAMILY> suffix, got '" +
-                                        parse::clipForMessage(tokens.front()) + "'");
+                                        parse::clipForMessage(tokens.front().text) + "'");
         request.verb = Verb::Prep;
         request.family = head.substr(colon + 1);
         requireThat(!request.family.empty(),
                     "PREP requires a state family: PREP:<FAMILY> (e.g. PREP:GHZ)");
         requireThat(request.family.find(':') == std::string::npos,
-                    "malformed family in '" + parse::clipForMessage(tokens.front()) + "'");
+                    "malformed family in '" + parse::clipForMessage(tokens.front().text) + "'");
     } else {
-        request.verb = verbFromName(head, tokens.front());
+        request.verb = verbFromName(head, tokens.front().text);
         requireThat(request.verb != Verb::Prep,
                     "PREP requires a state family: PREP:<FAMILY> (e.g. PREP:GHZ)");
     }
 
     std::size_t i = 1;
     while (i < tokens.size()) {
-        const std::string& token = tokens[i];
+        const std::string& token = tokens[i].text;
         requireThat(token.rfind("--", 0) == 0 && token.size() > 2,
                     "expected an option (--key value), got '" + parse::clipForMessage(token) +
                         "'");
@@ -179,9 +223,18 @@ Request parseRequest(std::string_view line) {
                             ch == '_',
                         "malformed option name '" + parse::clipForMessage(token) + "'");
         }
+        if (key == "gate") {
+            // Gate statements contain spaces: capture everything after the
+            // key verbatim (which is why --gate must come last).
+            const std::string value = restOfLine(line, tokens[i].end);
+            requireThat(!value.empty(),
+                        "option '--gate' expects a gate statement to end the line");
+            request.options.emplace_back(key, value);
+            break;
+        }
         requireThat(i + 1 < tokens.size(),
                     "option '" + parse::clipForMessage(token) + "' expects a value");
-        request.options.emplace_back(key, tokens[i + 1]);
+        request.options.emplace_back(key, tokens[i + 1].text);
         i += 2;
     }
     return request;

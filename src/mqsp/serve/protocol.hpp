@@ -10,6 +10,9 @@
 //                 [--seed <n>] [--approx <f>]
 //   VERIFY [--id <n>] [--repeat <k>]
 //   BATCH
+//   STREAM --dims <spec> [--checkpoint <k>]
+//   APPEND [--id <n>] --gate <statement>
+//   REVERIFY [--id <n>]
 //   DROP --id <n>
 //   GC
 //   STATS?
@@ -21,7 +24,9 @@
 // lowercase. The parser is grammar-only: it validates shape (verb known,
 // family present on PREP, options come as `--key value` pairs) and leaves
 // option-set and value validation to the dispatcher, which knows which
-// verb accepts what.
+// verb accepts what. One exception to the pair rule: `--gate` captures
+// the REST OF THE LINE verbatim (gate statements contain spaces), so it
+// must come last on its line.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,10 +39,26 @@ namespace mqsp::serve {
 
 /// The protocol verbs. Stats/Limits are the query verbs (spelled with a
 /// trailing '?' on the wire, SCPI-style; the bare spelling is accepted).
-enum class Verb : std::uint8_t { Prep, Verify, Batch, Drop, Gc, Stats, Limits, Help, Quit };
+/// (Stream/Append/Reverify sit at the end so the metric indexes of the
+/// original verbs — and with them the pinned STATS? field order — are
+/// unchanged.)
+enum class Verb : std::uint8_t {
+    Prep,
+    Verify,
+    Batch,
+    Drop,
+    Gc,
+    Stats,
+    Limits,
+    Help,
+    Quit,
+    Stream,
+    Append,
+    Reverify,
+};
 
 /// Number of verbs (the service keeps one latency histogram per verb).
-inline constexpr std::size_t kVerbCount = 9;
+inline constexpr std::size_t kVerbCount = 12;
 
 /// Canonical wire spelling of a verb ("PREP", "STATS?", ...).
 [[nodiscard]] const char* verbName(Verb verb) noexcept;
@@ -51,7 +72,10 @@ inline constexpr std::size_t kVerbCount = 9;
 /// DdSession through its concurrency-safe interning/lookup paths, so the
 /// service runs it under shared ownership of the dispatch lock,
 /// concurrently with other read-path commands. Write-path verbs (PREP,
-/// DROP, GC, QUIT) take exclusive ownership.
+/// STREAM, APPEND, REVERIFY, DROP, GC, QUIT) take exclusive ownership —
+/// the streaming verbs mutate registry entries (the streamed state, the
+/// replay cursor), so they are writers even though REVERIFY "only" reads
+/// the target.
 [[nodiscard]] bool isReadPathVerb(Verb verb) noexcept;
 
 /// One parsed command line.

@@ -33,9 +33,12 @@ bool SessionRegistry::drop(std::uint64_t id) {
 
 std::vector<DecisionDiagram*> SessionRegistry::liveDiagrams() {
     std::vector<DecisionDiagram*> live;
-    live.reserve(entries_.size());
+    live.reserve(entries_.size() * 2);
     for (PreparedTarget& entry : entries_) {
         live.push_back(&entry.target.diagram());
+        if (entry.hasReplay) {
+            live.push_back(&entry.replay.diagram());
+        }
     }
     return live;
 }

@@ -15,15 +15,37 @@
 
 namespace mqsp::serve {
 
-/// One prepared target resident in the service.
+/// One target resident in the service — either a PREP'd family state or a
+/// STREAM session's evolving state.
+///
+/// Prepared entries pair the synthesized circuit with its target diagram;
+/// APPEND grows the circuit (one gate per call) and REVERIFY advances the
+/// lazily-created `replay` state by just the appended delta, so the replay
+/// cursor `replayedOps` trails `circuit.numOperations()` between calls.
+/// Stream entries have no synthesized target: `target` IS the streamed
+/// state (seeded at |0...0>), `circuit` stays empty and only carries the
+/// register, and APPEND applies gates to it directly in O(diagram) space.
 struct PreparedTarget {
+    enum class Kind : std::uint8_t { Prepared, Stream };
+
     std::uint64_t id = 0; ///< assigned by the registry, never reused
+    Kind kind = Kind::Prepared;
     std::string family;
     std::string dims; ///< formatted register spec, e.g. "[1x3,1x6,1x2]"
     Circuit circuit;
     EvalState target; ///< session-backed diagram (GC remaps its root)
     bool approx = false;
     double threshold = 1.0;
+
+    // Streaming state (Kind::Stream).
+    std::uint64_t streamOps = 0;           ///< gates applied to the streamed state
+    std::uint64_t checkpointInterval = 0;  ///< 0 = no checkpoint fields in replies
+    std::uint64_t checkpointCount = 0;     ///< checkpoints crossed so far
+
+    // Incremental re-verification state (Kind::Prepared).
+    bool hasReplay = false;       ///< replay holds a live diagram
+    EvalState replay;             ///< the incrementally advanced replay state
+    std::uint64_t replayedOps = 0; ///< ops of `circuit` already applied to it
 };
 
 /// Insertion-ordered store of prepared targets. Not internally
@@ -51,7 +73,9 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
     [[nodiscard]] std::vector<PreparedTarget>& entries() noexcept { return entries_; }
 
-    /// Every registered target diagram — the live roots a session GC keeps.
+    /// Every registered target diagram plus every live replay diagram —
+    /// the live roots a session GC keeps (a collected replay state would
+    /// silently invalidate the next REVERIFY's incremental baseline).
     [[nodiscard]] std::vector<DecisionDiagram*> liveDiagrams();
 
 private:

@@ -1,5 +1,6 @@
 #include "mqsp/serve/service.hpp"
 
+#include "mqsp/circuit/qasm.hpp"
 #include "mqsp/states/states.hpp"
 #include "mqsp/support/error.hpp"
 #include "mqsp/support/parse.hpp"
@@ -20,7 +21,8 @@ namespace {
 constexpr const char* kHelpLine =
     "OK commands: PREP:<ghz|w|embw|uniform|dicke|cyclic|random> --dims <spec> "
     "[--weight n] [--count n] [--seed n] [--approx f] | VERIFY [--id n] [--repeat k] | "
-    "BATCH | DROP --id n | GC | STATS? | LIMITS? | HELP | QUIT";
+    "BATCH | STREAM --dims <spec> [--checkpoint k] | APPEND [--id n] --gate <stmt> | "
+    "REVERIFY [--id n] | DROP --id n | GC | STATS? | LIMITS? | HELP | QUIT";
 
 [[nodiscard]] std::string fixed(double value, int precision) {
     char buffer[64];
@@ -236,6 +238,21 @@ std::string VerificationService::dispatchWrite(const Request& request) {
         collectIfOverWatermarkLocked();
         return reply;
     }
+    case Verb::Stream: {
+        std::string reply = handleStream(request);
+        collectIfOverWatermarkLocked();
+        return reply;
+    }
+    case Verb::Append: {
+        std::string reply = handleAppend(request);
+        collectIfOverWatermarkLocked();
+        return reply;
+    }
+    case Verb::Reverify: {
+        std::string reply = handleReverify(request);
+        collectIfOverWatermarkLocked();
+        return reply;
+    }
     case Verb::Drop:
         return handleDrop(request);
     case Verb::Gc:
@@ -373,8 +390,7 @@ std::string VerificationService::handlePrep(const Request& request) {
     return reply;
 }
 
-std::string VerificationService::handleVerify(const Request& request) {
-    rejectUnknownOptions(request, {"id", "repeat"});
+PreparedTarget& VerificationService::residentEntry(const Request& request) {
     PreparedTarget* entry = nullptr;
     if (const std::string* idText = request.option("id")) {
         const std::uint64_t id = parse::uint64(*idText, "--id");
@@ -385,6 +401,15 @@ std::string VerificationService::handleVerify(const Request& request) {
         entry = registry_.newest();
         requireThat(entry != nullptr, "nothing prepared yet — run PREP:<FAMILY> first");
     }
+    return *entry;
+}
+
+std::string VerificationService::handleVerify(const Request& request) {
+    rejectUnknownOptions(request, {"id", "repeat"});
+    PreparedTarget* entry = &residentEntry(request);
+    requireThat(entry->kind == PreparedTarget::Kind::Prepared,
+                "target " + u64(entry->id) +
+                    " is a STREAM session — use REVERIFY to check it");
     const std::uint64_t repeat = uintOption(request, "repeat", 1);
     requireThat(repeat >= 1 && repeat <= limits_.maxVerifyRepeat,
                 "--repeat needs a value in [1, " + u64(limits_.maxVerifyRepeat) + "]");
@@ -401,15 +426,21 @@ std::string VerificationService::handleVerify(const Request& request) {
 std::string VerificationService::handleBatch(const Request& request) {
     rejectUnknownOptions(request, {});
     requireThat(registry_.size() > 0, "nothing prepared yet — run PREP:<FAMILY> first");
-    std::vector<BatchVerifyItem> items;
+    std::vector<VerifyRequest> items;
     items.reserve(registry_.size());
     for (const PreparedTarget& entry : registry_.entries()) {
-        items.push_back(BatchVerifyItem{&entry.circuit, &entry.target});
+        // Stream sessions have no preparation circuit to replay — they are
+        // REVERIFY's business, not the batch's.
+        if (entry.kind != PreparedTarget::Kind::Prepared) {
+            continue;
+        }
+        items.push_back(VerifyRequest{&entry.circuit, &entry.target, 1, 0});
     }
-    const std::vector<BatchVerifyResult> results = backend_->prepareAndVerifyBatch(items);
+    requireThat(!items.empty(), "nothing prepared yet — run PREP:<FAMILY> first");
+    const std::vector<VerifyReport> results = backend_->verifyBatch(items);
     std::size_t failures = 0;
     double minFidelity = 1.0;
-    for (const BatchVerifyResult& result : results) {
+    for (const VerifyReport& result : results) {
         if (result.failed) {
             ++failures;
         } else {
@@ -422,6 +453,106 @@ std::string VerificationService::handleBatch(const Request& request) {
         reply += " min_fidelity=" + fixed(minFidelity, 9);
     }
     return reply;
+}
+
+std::string VerificationService::handleStream(const Request& request) {
+    rejectUnknownOptions(request, {"dims", "checkpoint"});
+    const std::string* dimsText = request.option("dims");
+    requireThat(dimsText != nullptr, "STREAM requires --dims <spec> (e.g. --dims 3,6,2)");
+    const Dimensions dims = parseDimensionSpec(*dimsText);
+    const MixedRadix radix(dims);
+
+    // Same admission gates as PREP: the streamed state lives in the shared
+    // session like any prepared target.
+    requireThat(radix.totalDimension() <= limits_.maxAmplitudes,
+                "admission: register has " + u64(radix.totalDimension()) +
+                    " amplitudes, over the service limit of " + u64(limits_.maxAmplitudes) +
+                    " (see LIMITS?)");
+    const auto session = backend_->ddSession();
+    const std::uint64_t poolNodes = session->stats().poolNodes;
+    requireThat(poolNodes <= limits_.maxSessionNodes,
+                "admission: session node budget exhausted (" + u64(poolNodes) + " > " +
+                    u64(limits_.maxSessionNodes) + " dd nodes) — run GC or DROP idle targets");
+
+    PreparedTarget entry;
+    entry.kind = PreparedTarget::Kind::Stream;
+    entry.family = "stream";
+    entry.dims = formatDimensionSpec(dims);
+    entry.circuit = Circuit(dims, "stream"); // empty: carries the register only
+    entry.target = backend_->zeroState(dims);
+    entry.checkpointInterval = uintOption(request, "checkpoint", 0);
+
+    const PreparedTarget& stored = registry_.add(std::move(entry));
+    streams_.fetch_add(1, std::memory_order_relaxed);
+    return "OK id=" + u64(stored.id) + " family=stream dims=" + stored.dims +
+           " checkpoint=" + u64(stored.checkpointInterval) +
+           " dd_nodes=" + u64(session->stats().poolNodes);
+}
+
+std::string VerificationService::handleAppend(const Request& request) {
+    rejectUnknownOptions(request, {"id", "gate"});
+    PreparedTarget& entry = residentEntry(request);
+    const std::string* gateText = request.option("gate");
+    requireThat(gateText != nullptr, "APPEND requires --gate <statement> "
+                                     "(e.g. --gate h q[0];)");
+    const Operation op = parseQasmStatement(*gateText, entry.circuit.radix());
+
+    std::string reply = "OK id=" + u64(entry.id);
+    if (entry.kind == PreparedTarget::Kind::Stream) {
+        // Streaming replay: the gate goes straight into the resident state
+        // — O(diagram) space however many gates arrive.
+        backend_->apply(entry.target, op);
+        ++entry.streamOps;
+        reply += " kind=stream ops=" + u64(entry.streamOps);
+        if (entry.checkpointInterval != 0 &&
+            entry.streamOps % entry.checkpointInterval == 0) {
+            ++entry.checkpointCount;
+            reply += " checkpoint=" + u64(entry.checkpointCount) +
+                     " fidelity=" + fixed(entry.target.normSquared(), 9);
+        }
+    } else {
+        // Prepared target: the delta grows the circuit AND advances the
+        // target, leaving the replay cursor behind for REVERIFY to catch
+        // up on incrementally.
+        entry.circuit.append(op);
+        backend_->apply(entry.target, op);
+        reply += " kind=prepared ops=" + u64(entry.circuit.numOperations());
+    }
+    appended_.fetch_add(1, std::memory_order_relaxed);
+    reply += " dd_nodes=" + u64(backend_->ddSession()->stats().poolNodes);
+    return reply;
+}
+
+std::string VerificationService::handleReverify(const Request& request) {
+    rejectUnknownOptions(request, {"id"});
+    PreparedTarget& entry = residentEntry(request);
+    reverified_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.kind == PreparedTarget::Kind::Stream) {
+        // A stream has no independent target; the check is the unitarity
+        // invariant — the streamed state's norm² must still be 1.
+        return "OK id=" + u64(entry.id) + " kind=stream fidelity=" +
+               fixed(entry.target.normSquared(), 9) + " ops=" + u64(entry.streamOps) +
+               " checkpoints=" + u64(entry.checkpointCount) +
+               " dd_nodes=" + u64(backend_->ddSession()->stats().poolNodes);
+    }
+    if (!entry.hasReplay) {
+        entry.replay = backend_->zeroState(entry.circuit.dimensions());
+        entry.hasReplay = true;
+        entry.replayedOps = 0;
+    }
+    // O(1) root snapshot (same store) — the diff measures what the delta
+    // replay changed structurally.
+    const DecisionDiagram before = entry.replay.diagram();
+    const VerifyReport report =
+        backend_->reverifyAppended(entry.circuit, entry.replayedOps, entry.replay, entry.target);
+    const std::uint64_t deltaOps = entry.circuit.numOperations() - entry.replayedOps;
+    entry.replayedOps = entry.circuit.numOperations();
+    const dd::DiagramDiffStats diff = dd::diffDiagrams(before, entry.replay.diagram());
+    return "OK id=" + u64(entry.id) + " kind=prepared fidelity=" + fixed(report.fidelity, 9) +
+           " delta_ops=" + u64(deltaOps) + " total_ops=" + u64(entry.replayedOps) +
+           " shared_nodes=" + u64(diff.shared) + " new_nodes=" + u64(diff.added) +
+           " dropped_nodes=" + u64(diff.removed) + " cache_lookups=" + u64(report.cacheLookups) +
+           " cache_hits=" + u64(report.cacheHits) + " dd_nodes=" + u64(report.ddNodes);
 }
 
 std::string VerificationService::handleDrop(const Request& request) {
@@ -454,6 +585,9 @@ VerificationService::StatsSnapshot VerificationService::snapshotStats() const {
     snapshot.prepared = prepared_.load(std::memory_order_relaxed);
     snapshot.dropped = dropped_.load(std::memory_order_relaxed);
     snapshot.verified = verified_.load(std::memory_order_relaxed);
+    snapshot.streams = streams_.load(std::memory_order_relaxed);
+    snapshot.appended = appended_.load(std::memory_order_relaxed);
+    snapshot.reverified = reverified_.load(std::memory_order_relaxed);
     snapshot.gcRuns = gcRuns_.load(std::memory_order_relaxed);
     snapshot.autoGcRuns = autoGcRuns_.load(std::memory_order_relaxed);
     snapshot.commands = commands_.load(std::memory_order_relaxed);
@@ -479,6 +613,8 @@ std::string VerificationService::formatStats(const StatsSnapshot& snapshot) {
         " cache_evictions=" + u64(snapshot.dd.cache.evictions) +
         " resident=" + u64(snapshot.resident) + " prepared=" + u64(snapshot.prepared) +
         " dropped=" + u64(snapshot.dropped) + " verified=" + u64(snapshot.verified) +
+        " streams=" + u64(snapshot.streams) + " appended=" + u64(snapshot.appended) +
+        " reverified=" + u64(snapshot.reverified) +
         " gc_runs=" + u64(snapshot.gcRuns) + " auto_gc_runs=" + u64(snapshot.autoGcRuns) +
         " commands=" + u64(snapshot.commands) + " errors=" + u64(snapshot.errors);
     // Per-verb latency, only for verbs actually seen. Counts are

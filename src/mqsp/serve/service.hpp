@@ -13,10 +13,11 @@
 // shared session's uniquing table is sharded and its compute cache
 // striped precisely so concurrent verifications may intern into it
 // (see "DD session memory" in docs/ARCHITECTURE.md). Write-path verbs
-// (PREP, DROP, GC, QUIT) take exclusive ownership: they append to /
-// erase from the registry (invalidating entry references readers may
-// hold) or remap diagram roots (GC's compaction), so they run at
-// quiescence. Writer preference is what keeps GC schedulable under a
+// (PREP, STREAM, APPEND, REVERIFY, DROP, GC, QUIT) take exclusive
+// ownership: they append to / erase from the registry (invalidating
+// entry references readers may hold), mutate entry state (the streamed
+// diagram, the replay cursor), or remap diagram roots (GC's compaction),
+// so they run at quiescence. Writer preference is what keeps GC schedulable under a
 // stream of readers — a waiting writer stops new readers and drains the
 // active ones instead of starving.
 //
@@ -88,8 +89,9 @@ struct Response {
 /// The resident dispatcher. Thread-safe: handleLine may be called from
 /// concurrent client threads; read-path commands (VERIFY, BATCH, STATS?,
 /// LIMITS?, HELP) from different clients execute concurrently, write-path
-/// commands (PREP, DROP, GC, QUIT) exclusively. Every response is exactly
-/// one line, "OK ..." or "ERR ..." — handleLine never throws.
+/// commands (PREP, STREAM, APPEND, REVERIFY, DROP, GC, QUIT) exclusively.
+/// Every response is exactly one line, "OK ..." or "ERR ..." — handleLine
+/// never throws.
 class VerificationService {
 public:
     explicit VerificationService(
@@ -135,6 +137,9 @@ private:
         std::uint64_t prepared = 0;
         std::uint64_t dropped = 0;
         std::uint64_t verified = 0;
+        std::uint64_t streams = 0;
+        std::uint64_t appended = 0;
+        std::uint64_t reverified = 0;
         std::uint64_t gcRuns = 0;
         std::uint64_t autoGcRuns = 0;
         std::uint64_t commands = 0;
@@ -154,9 +159,14 @@ private:
     [[nodiscard]] std::string handlePrep(const Request& request);
     [[nodiscard]] std::string handleVerify(const Request& request);
     [[nodiscard]] std::string handleBatch(const Request& request);
+    [[nodiscard]] std::string handleStream(const Request& request);
+    [[nodiscard]] std::string handleAppend(const Request& request);
+    [[nodiscard]] std::string handleReverify(const Request& request);
     [[nodiscard]] std::string handleDrop(const Request& request);
     [[nodiscard]] std::string handleGc(const Request& request);
     [[nodiscard]] std::string handleLimits(const Request& request);
+    /// Entry named by --id, or the newest one; throws when absent.
+    [[nodiscard]] PreparedTarget& residentEntry(const Request& request);
     [[nodiscard]] StatsSnapshot snapshotStats() const;
     [[nodiscard]] static std::string formatStats(const StatsSnapshot& snapshot);
 
@@ -191,6 +201,9 @@ private:
     std::atomic<std::uint64_t> prepared_{0};
     std::atomic<std::uint64_t> dropped_{0};
     std::atomic<std::uint64_t> verified_{0};
+    std::atomic<std::uint64_t> streams_{0};
+    std::atomic<std::uint64_t> appended_{0};
+    std::atomic<std::uint64_t> reverified_{0};
     std::atomic<std::uint64_t> gcRuns_{0};
     std::atomic<std::uint64_t> autoGcRuns_{0};
 

@@ -118,24 +118,99 @@ StateVector EvalState::toStateVector(std::uint64_t ceiling) const {
 
 // --- EvaluationBackend -----------------------------------------------------
 
-std::vector<BatchVerifyResult>
-EvaluationBackend::prepareAndVerifyBatch(const std::vector<BatchVerifyItem>& items) const {
-    std::vector<BatchVerifyResult> results(items.size());
+namespace {
+
+/// Lift a target into the backend's session (when it has one) so repeated
+/// overlaps against it are same-store traversals that resolve through the
+/// session caches. Without a session the target passes through untouched.
+EvalState liftTarget(const std::shared_ptr<dd::DdSession>& session, const EvalState& target) {
+    if (session == nullptr) {
+        return target;
+    }
+    if (target.isDiagram()) {
+        return EvalState(session->intern(target.diagram()));
+    }
+    return EvalState(session->intern(DecisionDiagram::fromStateVector(target.dense())));
+}
+
+/// Session compute-cache counters, or zeros on a session-less backend.
+dd::ComputeCacheStats cacheCounters(const std::shared_ptr<dd::DdSession>& session) {
+    return session == nullptr ? dd::ComputeCacheStats{} : session->stats().cache;
+}
+
+std::uint64_t poolNodesOf(const std::shared_ptr<dd::DdSession>& session) {
+    return session == nullptr ? 0 : session->stats().poolNodes;
+}
+
+/// Stamp the session-side observability (dd_nodes, cache deltas since
+/// `before`) onto a report.
+void stampSessionMetrics(VerifyReport& report, const std::shared_ptr<dd::DdSession>& session,
+                         const dd::ComputeCacheStats& before) {
+    if (session == nullptr) {
+        return;
+    }
+    const dd::ComputeCacheStats after = cacheCounters(session);
+    report.ddNodes = poolNodesOf(session);
+    report.cacheLookups = after.lookups - before.lookups;
+    report.cacheHits = after.hits - before.hits;
+}
+
+} // namespace
+
+VerifyReport EvaluationBackend::verify(const VerifyRequest& request) const {
+    VerifyReport report;
+    if (request.circuit == nullptr || request.target == nullptr) {
+        report.failed = true;
+        report.error = "verify: null circuit or target";
+        return report;
+    }
+    const std::shared_ptr<dd::DdSession> session = ddSession();
+    const dd::ComputeCacheStats before = cacheCounters(session);
+    report.ops = request.circuit->numOperations();
+    try {
+        const std::uint64_t repeats = request.repeat == 0 ? 1 : request.repeat;
+        for (std::uint64_t run = 0; run < repeats; ++run) {
+            report.fidelity = preparationFidelity(*request.circuit, *request.target);
+        }
+    } catch (const std::exception& error) {
+        report.failed = true;
+        report.error = error.what();
+    }
+    stampSessionMetrics(report, session, before);
+    return report;
+}
+
+std::vector<VerifyReport>
+EvaluationBackend::verifyBatch(const std::vector<VerifyRequest>& items) const {
+    std::vector<VerifyReport> results(items.size());
     // Grain 1: every item is its own unit of work. With one item (or one
     // configured thread) this runs inline on the caller — *outside* any
     // parallel region — so a dense single-item batch still parallelizes its
     // amplitude walks; with many items the pool workers each take items
     // whole and the nested kernels run serially on their worker.
+    const std::shared_ptr<dd::DdSession> session = ddSession();
     const auto runItem = [&](std::uint64_t begin, std::uint64_t end) {
         for (std::uint64_t i = begin; i < end; ++i) {
-            requireThat(items[i].circuit != nullptr && items[i].target != nullptr,
-                        "prepareAndVerifyBatch: null circuit or target");
+            if (items[i].circuit == nullptr || items[i].target == nullptr) {
+                // A null item is that item's failure, not the batch's: a
+                // throw here would tear down every sibling mid-flight.
+                results[i].failed = true;
+                results[i].error = "verifyBatch: null circuit or target";
+                continue;
+            }
+            const dd::ComputeCacheStats before = cacheCounters(session);
+            results[i].ops = items[i].circuit->numOperations();
             try {
-                results[i].fidelity = preparationFidelity(*items[i].circuit, *items[i].target);
+                const std::uint64_t repeats = items[i].repeat == 0 ? 1 : items[i].repeat;
+                for (std::uint64_t run = 0; run < repeats; ++run) {
+                    results[i].fidelity =
+                        preparationFidelity(*items[i].circuit, *items[i].target);
+                }
             } catch (const std::exception& error) {
                 results[i].failed = true;
                 results[i].error = error.what();
             }
+            stampSessionMetrics(results[i], session, before);
         }
     };
     // Pin the process width to this backend's configuration for the whole
@@ -144,6 +219,58 @@ EvaluationBackend::prepareAndVerifyBatch(const std::vector<BatchVerifyItem>& ite
     const parallel::ScopedThreadCount scope(executionConfig().threads);
     parallel::parallelFor(std::uint64_t{0}, items.size(), 1, runItem);
     return results;
+}
+
+VerifyReport EvaluationBackend::verifyStream(OperationSource& source,
+                                             const VerifyRequest& request,
+                                             EvalState* finalState) const {
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
+    const std::shared_ptr<dd::DdSession> session = ddSession();
+    const dd::ComputeCacheStats before = cacheCounters(session);
+    VerifyReport report;
+    EvalState state = zeroState(source.dimensions());
+    // Lift the target once so every checkpoint overlap is a same-store
+    // traversal; the per-checkpoint fidelity then reuses whatever the
+    // replay already interned.
+    EvalState lifted;
+    if (request.target != nullptr) {
+        lifted = liftTarget(session, *request.target);
+    }
+    const auto fidelityNow = [&]() {
+        return request.target == nullptr ? state.normSquared() : lifted.fidelityWith(state);
+    };
+    while (auto op = source.next()) {
+        apply(state, *op);
+        ++report.ops;
+        if (request.checkpointInterval != 0 &&
+            report.ops % request.checkpointInterval == 0) {
+            report.checkpoints.push_back({report.ops, fidelityNow(), poolNodesOf(session)});
+        }
+    }
+    report.fidelity = fidelityNow();
+    stampSessionMetrics(report, session, before);
+    if (finalState != nullptr) {
+        *finalState = std::move(state);
+    }
+    return report;
+}
+
+VerifyReport EvaluationBackend::reverifyAppended(const Circuit& circuit, std::uint64_t fromOp,
+                                                 EvalState& replayed,
+                                                 const EvalState& target) const {
+    requireThat(fromOp <= circuit.numOperations(),
+                "reverifyAppended: replay cursor is past the end of the circuit");
+    const parallel::ScopedThreadCount scope(executionConfig().threads);
+    const std::shared_ptr<dd::DdSession> session = ddSession();
+    const dd::ComputeCacheStats before = cacheCounters(session);
+    VerifyReport report;
+    for (std::uint64_t i = fromOp; i < circuit.numOperations(); ++i) {
+        apply(replayed, circuit[static_cast<std::size_t>(i)]);
+        ++report.ops;
+    }
+    report.fidelity = liftTarget(session, target).fidelityWith(replayed);
+    stampSessionMetrics(report, session, before);
+    return report;
 }
 
 // --- DenseBackend ----------------------------------------------------------
@@ -156,6 +283,12 @@ void DenseBackend::requireWithinCeiling(std::uint64_t totalDimension,
                     " amplitudes, past the dense backend ceiling of " +
                     formatAmplitudeCount(maxAmplitudes_) +
                     " — use the dd backend (--backend dd)");
+}
+
+EvalState DenseBackend::zeroState(const Dimensions& dims) const {
+    const MixedRadix radix(dims);
+    requireWithinCeiling(radix.totalDimension(), "DenseBackend::zeroState");
+    return EvalState(StateVector::basis(dims, Digits(dims.size(), 0)));
 }
 
 EvalState DenseBackend::runFromZero(const Circuit& circuit) const {
@@ -253,6 +386,10 @@ DdBackend::DdBackend(double tolerance, parallel::ExecutionConfig config)
       session_(std::make_shared<dd::DdSession>(tolerance)),
       matrixStore_(std::make_shared<MatrixDdStore>(
           tolerance, dd::UniqueTable::Concurrency::Sharded)) {}
+
+EvalState DdBackend::zeroState(const Dimensions& dims) const {
+    return EvalState(session_->zeroState(dims));
+}
 
 EvalState DdBackend::runFromZero(const Circuit& circuit) const {
     // Pin the configured width so the intra-diagram apply fan-out

@@ -99,18 +99,47 @@ private:
     std::variant<StateVector, DecisionDiagram> value_;
 };
 
-/// One prepare-and-verify work item of a batch: replay `circuit` from
-/// |0...0> and measure the fidelity against `target`. The pointed-to
-/// objects must outlive the batch call.
-struct BatchVerifyItem {
-    const Circuit* circuit = nullptr;
-    const EvalState* target = nullptr;
+/// One fidelity / `dd_nodes` probe taken mid-replay by the streaming verify
+/// path: after `opIndex` operations the replayed state had fidelity
+/// `fidelity` against the request target (its norm² when no target was
+/// given) and the backing session held `ddNodes` nodes (0 on dense).
+struct ReplayCheckpoint {
+    std::uint64_t opIndex = 0;
+    double fidelity = 0.0;
+    std::uint64_t ddNodes = 0;
 };
 
-/// Outcome of one batch item. A throwing item (e.g. a register past the
-/// dense ceiling) is reported here instead of aborting its siblings.
-struct BatchVerifyResult {
+/// One verify work item — the shared request shape of every verification
+/// entry point (single, batch, streaming). Replay `circuit` from |0...0>
+/// and measure the fidelity against `target`; the pointed-to objects must
+/// outlive the call.
+///
+/// `target == nullptr` (streaming only) reports the replayed state's norm²
+/// as the fidelity — the unitarity self-check. `repeat` re-runs the verify
+/// that many times (cache-warming studies; the report carries the last
+/// run). `checkpointInterval > 0` (streaming only) records a
+/// ReplayCheckpoint every that-many operations.
+struct VerifyRequest {
+    const Circuit* circuit = nullptr;
+    const EvalState* target = nullptr;
+    std::uint64_t repeat = 1;
+    std::uint64_t checkpointInterval = 0;
+};
+
+/// Outcome of one verify item: the fidelity plus the observability the
+/// CLIs, serve verbs and bench drivers previously re-derived ad hoc —
+/// operations replayed, session `dd_nodes` after the run, and the session
+/// compute-cache lookup/hit deltas attributable to this item (all zero on
+/// the dense backend). A throwing item (e.g. a register past the dense
+/// ceiling) is reported in `failed`/`error` instead of aborting its batch
+/// siblings.
+struct VerifyReport {
     double fidelity = 0.0;
+    std::uint64_t ops = 0;
+    std::uint64_t ddNodes = 0;
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheHits = 0;
+    std::vector<ReplayCheckpoint> checkpoints;
     bool failed = false;
     std::string error;
 };
@@ -121,13 +150,20 @@ struct BatchVerifyResult {
 /// behind one interface, so callers (CLI tools, bench drivers, tests) are
 /// written once and switch substrate with a flag.
 ///
+/// Verification goes through the shared VerifyRequest/VerifyReport shapes:
+/// `verify` (one item), `verifyBatch` (independent items fanned out across
+/// the pool), `verifyStream` (replay an OperationSource one gate at a time
+/// in O(state) space with periodic checkpoints), and `reverifyAppended`
+/// (advance an already-replayed state by just the delta of a grown
+/// circuit). All are built on the substrate virtuals below.
+///
 /// Threading: each backend carries an ExecutionConfig (default: a snapshot
 /// of the process-wide one at construction; `threads == 0` = follow the
 /// ambient setting) and pins the process width to it for the duration of
 /// its evaluation entry points — a 1-thread backend is genuinely
 /// single-threaded whatever the ambient width. Within one evaluation the
 /// dense backend parallelizes the amplitude walks of its kernels;
-/// `prepareAndVerifyBatch` additionally fans *independent* items out
+/// `verifyBatch` additionally fans *independent* items out
 /// across the pool workers — whereupon each item's inner kernels run
 /// serially (nested-use refusal), which is the right split for many small
 /// cases. The dd backend parallelizes *within* one diagram on single-item
@@ -145,7 +181,7 @@ struct BatchVerifyResult {
 /// with *different* configs must not overlap from different application
 /// threads — their width pins would interleave. Drive backends from one
 /// coordinating thread (as the tools, bench drivers and tests do) and get
-/// concurrency from `prepareAndVerifyBatch`, not from racing backends.
+/// concurrency from `verifyBatch`, not from racing backends.
 class EvaluationBackend {
 public:
     EvaluationBackend() : config_(parallel::globalExecutionConfig()) {}
@@ -160,12 +196,47 @@ public:
         return config_;
     }
 
+    /// Replay + verify one item, with the full report (fidelity, ops,
+    /// dd_nodes, session cache deltas; honors `repeat`). Exceptions land in
+    /// the report's failed/error instead of propagating.
+    [[nodiscard]] VerifyReport verify(const VerifyRequest& request) const;
+
     /// Replay + verify every item. Items are independent: with more than
     /// one item and more than one configured thread they run concurrently
     /// across the pool workers; a single item keeps the whole pool for its
-    /// own kernels. Per-item exceptions land in the item's result.
-    [[nodiscard]] std::vector<BatchVerifyResult>
-    prepareAndVerifyBatch(const std::vector<BatchVerifyItem>& items) const;
+    /// own kernels. Per-item exceptions land in the item's report. (Cache
+    /// deltas of concurrent items overlap and are reported as observed —
+    /// gate on them only single-threaded.)
+    [[nodiscard]] std::vector<VerifyReport>
+    verifyBatch(const std::vector<VerifyRequest>& items) const;
+
+    /// Streaming verify: drain `source` one operation at a time into a
+    /// fresh |0...0> state — memory stays O(state), never O(circuit text) —
+    /// recording a ReplayCheckpoint every `request.checkpointInterval` ops
+    /// and the fidelity against `request.target` (the state's norm² when
+    /// the target is null) at the end. `request.circuit` is ignored; the
+    /// register comes from `source.dimensions()`. When `finalState` is
+    /// non-null the replayed state is moved out through it so callers can
+    /// keep sampling / printing from where the stream ended. Unlike the
+    /// batch paths this throws on error: a torn stream has no meaningful
+    /// partial report.
+    [[nodiscard]] VerifyReport verifyStream(OperationSource& source,
+                                            const VerifyRequest& request,
+                                            EvalState* finalState = nullptr) const;
+
+    /// Incremental re-verify after `circuit` grew by appended gates:
+    /// advance `replayed` — the live replay state, previously advanced
+    /// through `fromOp` operations — by just the delta `[fromOp, end)` and
+    /// measure the fidelity against `target`. Time is proportional to the
+    /// delta, and on the dd backend unchanged subtrees resolve from the
+    /// session caches (the report's cacheHits measure exactly that).
+    [[nodiscard]] VerifyReport reverifyAppended(const Circuit& circuit, std::uint64_t fromOp,
+                                                EvalState& replayed,
+                                                const EvalState& target) const;
+
+    /// |0...0> over `dims` in this backend's native representation — the
+    /// seed of every streaming replay.
+    [[nodiscard]] virtual EvalState zeroState(const Dimensions& dims) const = 0;
 
     /// Replay the circuit from |0...0> — the state-preparation setting.
     [[nodiscard]] virtual EvalState runFromZero(const Circuit& circuit) const = 0;
@@ -204,6 +275,7 @@ public:
         : EvaluationBackend(config), maxAmplitudes_(maxAmplitudes) {}
 
     [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dense; }
+    [[nodiscard]] EvalState zeroState(const Dimensions& dims) const override;
     [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
     void apply(EvalState& state, const Operation& op) const override;
     [[nodiscard]] double preparationFidelity(const Circuit& circuit,
@@ -234,7 +306,7 @@ private:
 ///
 /// Concurrency: the session's uniquing table is sharded and its compute
 /// cache striped (dd/unique_table.hpp), so batch items fanned out by
-/// `prepareAndVerifyBatch` intern into this one shared session from every
+/// `verifyBatch` intern into this one shared session from every
 /// worker — cross-item sharing is exactly where the table pays most. The
 /// distinct structural key set (dd_nodes) is invariant under thread count
 /// and item order; cache hit rates of concurrent batches depend on the
@@ -245,6 +317,7 @@ public:
     DdBackend(double tolerance, parallel::ExecutionConfig config);
 
     [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dd; }
+    [[nodiscard]] EvalState zeroState(const Dimensions& dims) const override;
     [[nodiscard]] EvalState runFromZero(const Circuit& circuit) const override;
     void apply(EvalState& state, const Operation& op) const override;
     [[nodiscard]] double preparationFidelity(const Circuit& circuit,

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+
 namespace mqsp {
 namespace {
 
@@ -116,6 +119,159 @@ TEST(Qasm, ErrorMessagesCarryLineNumbers) {
         EXPECT_NE(std::string(error.what()).find("line 5"), std::string::npos)
             << error.what();
     }
+}
+
+TEST(QasmStream, YieldsGatesIncrementallyWithCursorBookkeeping) {
+    std::istringstream in(toQasm(sampleCircuit()));
+    GateStream stream(in);
+    // The preamble is consumed eagerly: the register is known before any
+    // gate has been read.
+    EXPECT_EQ(stream.dimensions(), (Dimensions{3, 6, 2}));
+    EXPECT_EQ(stream.opsRead(), 0U);
+    EXPECT_FALSE(stream.eof());
+
+    const Circuit expected = sampleCircuit();
+    for (std::size_t i = 0; i < expected.numOperations(); ++i) {
+        const auto op = stream.next();
+        ASSERT_TRUE(op.has_value()) << "op " << i;
+        EXPECT_EQ(op->kind, expected[i].kind) << "op " << i;
+        EXPECT_EQ(stream.opsRead(), i + 1);
+    }
+    EXPECT_FALSE(stream.next().has_value());
+    EXPECT_TRUE(stream.eof());
+    // Exhausted streams stay exhausted.
+    EXPECT_FALSE(stream.next().has_value());
+    EXPECT_EQ(stream.opsRead(), sampleCircuit().numOperations());
+}
+
+TEST(QasmStream, DrainMatchesTheWholeCircuitParser) {
+    const std::string text = toQasm(sampleCircuit());
+    std::istringstream in(text);
+    GateStream stream(in);
+    Circuit drained(stream.dimensions(), "drained");
+    while (const auto op = stream.next()) {
+        drained.append(*op);
+    }
+    expectSameOps(parseQasmString(text), drained);
+}
+
+TEST(QasmStream, MalformedPreambleFailsAtConstruction) {
+    const auto construct = [](const std::string& text) {
+        std::istringstream in(text);
+        (void)GateStream(in);
+    };
+    EXPECT_THROW(construct(""), InvalidArgumentError);
+    EXPECT_THROW(construct("qreg q[1] = [2];\n"), InvalidArgumentError);
+    EXPECT_THROW(construct("MQSPQASM 1.0;\n"), InvalidArgumentError);
+    EXPECT_THROW(construct("MQSPQASM 1.0;\nh q[0];\n"), InvalidArgumentError);
+}
+
+TEST(QasmStream, StatementParsesOneValidatedGate) {
+    const MixedRadix radix(Dimensions{3, 6, 2});
+    const Operation op = parseQasmStatement("x q[1] (+3) ctl q[2]=1; // tail", radix);
+    EXPECT_EQ(op.kind, GateKind::Shift);
+    EXPECT_EQ(op.target, 1U);
+    EXPECT_EQ(op.shiftAmount, 3U);
+    EXPECT_EQ(op.controls, (std::vector<Control>{{2, 1}}));
+
+    // Empty and comment-only statements are refused, not silently dropped.
+    EXPECT_THROW((void)parseQasmStatement("", radix), InvalidArgumentError);
+    EXPECT_THROW((void)parseQasmStatement("  // nothing", radix), InvalidArgumentError);
+    // Register admissibility is enforced, with the seeded line number in
+    // the message.
+    try {
+        (void)parseQasmStatement("h q[9];", radix, 7);
+        FAIL() << "expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find("line 7"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(QasmStream, OversizedIntegersAreRefusedNotUndefined) {
+    const std::string header = "MQSPQASM 1.0;\nqreg q[1] = [2];\n";
+    try {
+        (void)parseQasmString(header + "x q[99999999999999999999] (+1);\n");
+        FAIL() << "expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& error) {
+        EXPECT_NE(std::string(error.what()).find("overflows"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(QasmStream, EveryTruncatedPrefixParsesOrThrowsInvalidArgument) {
+    // A torn stream — connection dropped mid-line, file truncated mid-token
+    // — must either parse (the tear landed on a statement boundary) or
+    // throw InvalidArgumentError. Never a bare stdlib exception, never a
+    // crash, and the streaming reader must agree with the whole-circuit
+    // parser on which prefixes are acceptable.
+    const std::string text = toQasm(sampleCircuit());
+    std::size_t parsed = 0;
+    std::size_t rejected = 0;
+    for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+        const std::string prefix = text.substr(0, cut);
+        bool wholeOk = false;
+        try {
+            (void)parseQasmString(prefix);
+            wholeOk = true;
+            ++parsed;
+        } catch (const InvalidArgumentError&) {
+            ++rejected;
+        }
+        bool streamOk = false;
+        try {
+            std::istringstream in(prefix);
+            GateStream stream(in);
+            while (stream.next().has_value()) {
+            }
+            streamOk = true;
+        } catch (const InvalidArgumentError&) {
+        }
+        EXPECT_EQ(wholeOk, streamOk) << "prefix of " << cut << " bytes";
+    }
+    EXPECT_GT(parsed, 0U);
+    EXPECT_GT(rejected, 0U);
+}
+
+/// Deterministic xorshift64 — the fuzz corpus must be reproducible.
+struct Xorshift {
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    std::uint64_t operator()() {
+        state ^= state << 13U;
+        state ^= state >> 7U;
+        state ^= state << 17U;
+        return state;
+    }
+};
+
+TEST(QasmStream, ByteSoupAndMutatedTextNeverEscapeAsBareExceptions) {
+    const std::string valid = toQasm(sampleCircuit());
+    Xorshift next;
+    std::size_t rejected = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::string text;
+        if (round % 2 == 0) {
+            // Pure byte soup, control bytes and NULs included.
+            const std::size_t length = next() % 96;
+            for (std::size_t i = 0; i < length; ++i) {
+                text += static_cast<char>(next() % 256);
+            }
+        } else {
+            // Mutated valid text: gets deep into the gate grammar instead
+            // of dying at the header.
+            text = valid;
+            for (int flips = 0; flips < 3; ++flips) {
+                text[next() % text.size()] = static_cast<char>(next() % 256);
+            }
+        }
+        try {
+            (void)parseQasmString(text);
+        } catch (const InvalidArgumentError&) {
+            ++rejected;
+        }
+        // Any other exception type escapes and fails the test.
+    }
+    EXPECT_GT(rejected, 0U);
 }
 
 TEST(Qasm, RoundTripsEveryBenchmarkFamilyCircuit) {

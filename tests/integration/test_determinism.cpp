@@ -280,7 +280,7 @@ TEST(ThreadDeterminism, HoistedControlChecksMatchDigitWalk) {
 
 // --- shared-session batch determinism ---------------------------------------
 //
-// `DdBackend::prepareAndVerifyBatch` fans items out across the pool while
+// `DdBackend::verifyBatch` fans items out across the pool while
 // every item interns into the backend's one shared DdSession. The sharded
 // uniquing table guarantees the set of distinct node keys — and therefore
 // the final `dd_nodes` — is a function of the work alone, not of the thread
@@ -296,7 +296,7 @@ struct SharedSessionFixture {
     std::vector<StateVector> denseTargets;
     std::vector<Circuit> circuits;
     std::vector<EvalState> evalTargets;
-    std::vector<BatchVerifyItem> items;
+    std::vector<VerifyRequest> items;
 
     SharedSessionFixture() {
         denseTargets.push_back(states::ghz({3, 4, 2, 3}));
@@ -331,11 +331,11 @@ struct SharedSessionRun {
         EXPECT_NEAR(cyclicDd.normSquared(), 1.0, 1e-9);
         EXPECT_NEAR(dickeDd.normSquared(), 1.0, 1e-9);
 
-        std::vector<BatchVerifyItem> items = fixture.items;
+        std::vector<VerifyRequest> items = fixture.items;
         if (reverseItems) {
             std::reverse(items.begin(), items.end());
         }
-        const auto results = backend.prepareAndVerifyBatch(items);
+        const auto results = backend.verifyBatch(items);
         for (const auto& result : results) {
             EXPECT_FALSE(result.failed) << result.error;
             fidelities.push_back(result.fidelity);

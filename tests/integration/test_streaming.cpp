@@ -1,0 +1,180 @@
+// Streaming replay end to end: MQSP-QASM text -> GateStream ->
+// EvaluationBackend::verifyStream, across thread counts. The streaming
+// path inherits the deterministic-interning contract of the DD session,
+// so checkpoint fidelities and the session dd_nodes must be bit-identical
+// at every width — including the deliberately odd t7 — and must agree
+// with the non-streaming replay of the same circuit. Torn and hostile
+// streams must fail cleanly (InvalidArgumentError, session intact), never
+// corrupt state or escape as bare stdlib exceptions.
+
+#include "mqsp/circuit/qasm.hpp"
+#include "mqsp/sim/backend.hpp"
+#include "mqsp/states/states.hpp"
+#include "mqsp/support/error.hpp"
+#include "mqsp/support/parallel.hpp"
+#include "mqsp/synth/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mqsp {
+namespace {
+
+using ScopedThreads = parallel::ScopedThreadCount;
+
+/// One streamed replay on a fresh dd backend: QASM text in, checkpoint
+/// trace and session pool size out.
+struct StreamOutcome {
+    std::vector<double> checkpointFidelities;
+    std::vector<std::uint64_t> checkpointNodes;
+    double finalFidelity = 0.0;
+    std::uint64_t ddNodes = 0;
+    std::uint64_t ops = 0;
+};
+
+StreamOutcome replayStream(const std::string& text, const EvalState& target,
+                           std::uint64_t checkpointInterval) {
+    const DdBackend backend;
+    std::istringstream in(text);
+    GateStream stream(in);
+    VerifyRequest request;
+    request.target = &target;
+    request.checkpointInterval = checkpointInterval;
+    const VerifyReport report = backend.verifyStream(stream, request);
+    StreamOutcome outcome;
+    for (const ReplayCheckpoint& checkpoint : report.checkpoints) {
+        outcome.checkpointFidelities.push_back(checkpoint.fidelity);
+        outcome.checkpointNodes.push_back(checkpoint.ddNodes);
+    }
+    outcome.finalFidelity = report.fidelity;
+    outcome.ddNodes = report.ddNodes;
+    outcome.ops = report.ops;
+    return outcome;
+}
+
+TEST(StreamingDeterminism, CheckpointTraceBitIdenticalAcrossThreadCounts) {
+    for (const Dimensions& dims : {Dimensions{3, 6, 2}, Dimensions{9, 5, 6, 3}}) {
+        const StateVector ghz = states::ghz(dims);
+        const auto prep = prepareExact(ghz);
+        const std::string text = toQasm(prep.circuit);
+        const EvalState target(ghz);
+
+        StreamOutcome base;
+        {
+            const ScopedThreads scope(1);
+            base = replayStream(text, target, 4);
+        }
+        EXPECT_EQ(base.ops, prep.circuit.numOperations());
+        EXPECT_NEAR(base.finalFidelity, 1.0, 1e-9);
+        ASSERT_EQ(base.checkpointFidelities.size(), prep.circuit.numOperations() / 4);
+
+        for (const unsigned threads : {2U, 4U, 7U}) {
+            const ScopedThreads scope(threads);
+            const StreamOutcome outcome = replayStream(text, target, 4);
+            // Bit-identical, not merely close: EXPECT_EQ on the doubles.
+            EXPECT_EQ(outcome.finalFidelity, base.finalFidelity)
+                << "final fidelity at " << threads << " threads";
+            EXPECT_EQ(outcome.ddNodes, base.ddNodes)
+                << "dd_nodes at " << threads << " threads";
+            ASSERT_EQ(outcome.checkpointFidelities.size(),
+                      base.checkpointFidelities.size());
+            for (std::size_t i = 0; i < base.checkpointFidelities.size(); ++i) {
+                EXPECT_EQ(outcome.checkpointFidelities[i], base.checkpointFidelities[i])
+                    << "checkpoint " << i << " at " << threads << " threads";
+                EXPECT_EQ(outcome.checkpointNodes[i], base.checkpointNodes[i])
+                    << "checkpoint " << i << " at " << threads << " threads";
+            }
+        }
+    }
+}
+
+TEST(StreamingDeterminism, StreamedReplayAgreesWithNonStreamingReplay) {
+    const Dimensions dims{3, 6, 2};
+    const StateVector ghz = states::ghz(dims);
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    const ScopedThreads scope(1);
+
+    const StreamOutcome streamed = replayStream(toQasm(prep.circuit), target, 0);
+
+    // The same circuit replayed whole on an equally fresh backend: same
+    // fidelity, same interned pool.
+    const DdBackend whole;
+    const VerifyReport report = whole.verify({&prep.circuit, &target});
+    EXPECT_FALSE(report.failed) << report.error;
+    EXPECT_NEAR(streamed.finalFidelity, report.fidelity, 1e-12);
+    EXPECT_EQ(streamed.ddNodes, report.ddNodes);
+
+    // And a CircuitSource drain — streaming from an in-memory circuit
+    // rather than from text — is the same replay again.
+    const DdBackend fromCircuit;
+    CircuitSource source(prep.circuit);
+    VerifyRequest request;
+    request.target = &target;
+    const VerifyReport drained = fromCircuit.verifyStream(source, request);
+    EXPECT_EQ(drained.fidelity, streamed.finalFidelity);
+    EXPECT_EQ(drained.ddNodes, streamed.ddNodes);
+}
+
+TEST(StreamingDeterminism, TornStreamThrowsAndLeavesTheSessionServing) {
+    const Dimensions dims{3, 6, 2};
+    const StateVector ghz = states::ghz(dims);
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    const std::string text = toQasm(prep.circuit);
+    // Tear the text mid-token, inside the gate section.
+    const std::string torn = text.substr(0, text.size() * 2 / 3 + 1);
+
+    const DdBackend backend;
+    {
+        std::istringstream in(torn);
+        GateStream stream(in);
+        VerifyRequest request;
+        request.target = &target;
+        EXPECT_THROW((void)backend.verifyStream(stream, request), InvalidArgumentError);
+    }
+    // The failure is the stream's, not the session's: the same backend
+    // verifies the full circuit immediately afterwards.
+    const VerifyReport report = backend.verify({&prep.circuit, &target});
+    EXPECT_FALSE(report.failed) << report.error;
+    EXPECT_NEAR(report.fidelity, 1.0, 1e-9);
+}
+
+TEST(StreamingDeterminism, ByteSoupStreamsFailAsInvalidArgumentOnly) {
+    // Hostile bytes after a valid preamble: the replay must reject via
+    // InvalidArgumentError (line-numbered parse errors), never crash or
+    // leak another exception type out of the backend.
+    const std::string preamble = "MQSPQASM 1.0;\nqreg q[3] = [3, 6, 2];\n";
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    const auto next = [&state] {
+        state ^= state << 13U;
+        state ^= state >> 7U;
+        state ^= state << 17U;
+        return state;
+    };
+    const DdBackend backend;
+    std::size_t rejected = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::string text = preamble;
+        const std::size_t length = next() % 48;
+        for (std::size_t i = 0; i < length; ++i) {
+            text += static_cast<char>(next() % 256);
+        }
+        std::istringstream in(text);
+        try {
+            GateStream stream(in);
+            (void)backend.verifyStream(stream, {});
+        } catch (const InvalidArgumentError&) {
+            ++rejected;
+        }
+        // Any other exception type escapes and fails the test.
+    }
+    EXPECT_GT(rejected, 0U);
+}
+
+} // namespace
+} // namespace mqsp

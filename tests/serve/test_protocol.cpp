@@ -155,5 +155,48 @@ TEST(ServeProtocol, MutatedValidLinesParseOrThrowInvalidArgumentOnly) {
     EXPECT_GT(rejected, 0U);
 }
 
+TEST(ServeProtocol, ParsesStreamingVerbs) {
+    EXPECT_EQ(parseRequest("STREAM --dims 3,6,2").verb, Verb::Stream);
+    EXPECT_EQ(parseRequest("stream --dims 2,2 --checkpoint 4").verb, Verb::Stream);
+    EXPECT_EQ(parseRequest("REVERIFY").verb, Verb::Reverify);
+    EXPECT_EQ(parseRequest("reverify --id 3").verb, Verb::Reverify);
+    EXPECT_EQ(parseRequest("APPEND --gate h q[0];").verb, Verb::Append);
+    EXPECT_STREQ(verbName(Verb::Stream), "STREAM");
+    EXPECT_STREQ(verbName(Verb::Append), "APPEND");
+    EXPECT_STREQ(verbName(Verb::Reverify), "REVERIFY");
+    // All three mutate resident state, so they dispatch on the write path.
+    EXPECT_FALSE(isReadPathVerb(Verb::Stream));
+    EXPECT_FALSE(isReadPathVerb(Verb::Append));
+    EXPECT_FALSE(isReadPathVerb(Verb::Reverify));
+}
+
+TEST(ServeProtocol, GateOptionCapturesTheRestOfTheLine) {
+    // The MQSP-QASM statement grammar uses spaces freely, so --gate cannot
+    // be a single token: it swallows everything to the end of the line.
+    const Request request =
+        parseRequest("APPEND --id 2 --gate rxy q[1] (0, 1, 0.5, -0.25) ctl q[0]=2;");
+    EXPECT_EQ(request.verb, Verb::Append);
+    ASSERT_NE(request.option("id"), nullptr);
+    EXPECT_EQ(*request.option("id"), "2");
+    ASSERT_NE(request.option("gate"), nullptr);
+    EXPECT_EQ(*request.option("gate"), "rxy q[1] (0, 1, 0.5, -0.25) ctl q[0]=2;");
+
+    // Surrounding whitespace and the CR of a telnet-style client are
+    // trimmed off the captured statement.
+    EXPECT_EQ(*parseRequest("APPEND --gate   h q[0];  \r").option("gate"), "h q[0];");
+
+    // Anything after --gate belongs to the statement, not to the command:
+    // later "options" are part of the captured text.
+    const Request swallowed = parseRequest("APPEND --gate h q[0]; --id 9");
+    EXPECT_EQ(swallowed.option("id"), nullptr);
+    EXPECT_EQ(*swallowed.option("gate"), "h q[0]; --id 9");
+}
+
+TEST(ServeProtocol, GateOptionRequiresAStatement) {
+    expectParseError("APPEND --gate", "expects a gate statement");
+    expectParseError("APPEND --gate    ", "expects a gate statement");
+    expectParseError("APPEND --gate \t\r", "expects a gate statement");
+}
+
 } // namespace
 } // namespace mqsp::serve

@@ -294,5 +294,118 @@ TEST(ServeService, FuzzedWireLinesNeverThrowAndServiceSurvives) {
     EXPECT_EQ(field(ok(service, "VERIFY --id 1"), "fidelity"), "1.000000000");
 }
 
+TEST(ServeStream, StreamAppendReverifyLifecycle) {
+    VerificationService service;
+    const std::string stream = ok(service, "STREAM --dims 3,6,2 --checkpoint 2");
+    EXPECT_EQ(field(stream, "id"), "1");
+    EXPECT_EQ(field(stream, "family"), "stream");
+    EXPECT_EQ(field(stream, "dims"), "[1x3,1x6,1x2]");
+    EXPECT_EQ(field(stream, "checkpoint"), "2");
+
+    // Gates go straight into the resident state; the reply carries the
+    // running op count, and a checkpoint line lands exactly on cadence.
+    const std::string first = ok(service, "APPEND --gate swp q[0] (0, 1);");
+    EXPECT_EQ(field(first, "kind"), "stream");
+    EXPECT_EQ(uintField(first, "ops"), 1U);
+    EXPECT_EQ(field(first, "checkpoint"), ""); // off-cadence: no checkpoint field
+    const std::string second =
+        ok(service, "APPEND --gate rxy q[1] (0, 1, 0.7, 0.1) ctl q[0]=1;");
+    EXPECT_EQ(uintField(second, "ops"), 2U);
+    EXPECT_EQ(field(second, "checkpoint"), "1");
+    EXPECT_EQ(field(second, "fidelity"), "1.000000000"); // unitarity: norm2 holds
+
+    const std::string reverify = ok(service, "REVERIFY");
+    EXPECT_EQ(field(reverify, "kind"), "stream");
+    EXPECT_EQ(field(reverify, "fidelity"), "1.000000000");
+    EXPECT_EQ(uintField(reverify, "ops"), 2U);
+    EXPECT_EQ(uintField(reverify, "checkpoints"), 1U);
+
+    // A stream has no independent target, so VERIFY refuses it by name.
+    err(service, "VERIFY", "use REVERIFY");
+}
+
+TEST(ServeStream, AppendGrowsPreparedTargetsAndReverifyReplaysTheDelta) {
+    VerificationService service;
+    ok(service, "PREP:GHZ --dims 3,6,2");
+
+    // First REVERIFY replays the whole circuit: the cursor starts at 0.
+    const std::string full = ok(service, "REVERIFY");
+    EXPECT_EQ(field(full, "kind"), "prepared");
+    EXPECT_EQ(field(full, "fidelity"), "1.000000000");
+    const std::uint64_t total = uintField(full, "total_ops");
+    EXPECT_GT(total, 0U);
+    EXPECT_EQ(uintField(full, "delta_ops"), total);
+
+    // Append an identity pair: circuit and target advance together, so the
+    // next REVERIFY replays exactly the two appended gates.
+    ok(service, "APPEND --gate swp q[0] (0, 1);");
+    const std::string grown = ok(service, "APPEND --gate swp q[0] (0, 1);");
+    EXPECT_EQ(field(grown, "kind"), "prepared");
+    EXPECT_EQ(uintField(grown, "ops"), total + 2);
+
+    const std::string delta = ok(service, "REVERIFY");
+    EXPECT_EQ(uintField(delta, "delta_ops"), 2U);
+    EXPECT_EQ(uintField(delta, "total_ops"), total + 2);
+    EXPECT_EQ(field(delta, "fidelity"), "1.000000000");
+    // The delta is an identity, and hash-consing makes structural identity
+    // root identity: the replay lands back on the old root, so the diff
+    // shows pure sharing.
+    EXPECT_GT(uintField(delta, "shared_nodes"), 0U);
+    EXPECT_EQ(uintField(delta, "new_nodes"), 0U);
+    EXPECT_EQ(uintField(delta, "dropped_nodes"), 0U);
+
+    // Nothing appended since: a further REVERIFY is a zero-op delta.
+    const std::string idle = ok(service, "REVERIFY");
+    EXPECT_EQ(uintField(idle, "delta_ops"), 0U);
+    EXPECT_EQ(field(idle, "fidelity"), "1.000000000");
+}
+
+TEST(ServeStream, StreamSessionsSkipBatchAndSurviveGc) {
+    VerificationService service;
+    ok(service, "STREAM --dims 3,6,2");
+    ok(service, "APPEND --gate rxy q[0] (0, 1, 1.1, 0.2);");
+
+    // With only a stream resident there is nothing for BATCH to replay.
+    err(service, "BATCH", "nothing prepared yet");
+
+    ok(service, "PREP:W --dims 3,6,2");
+    const std::string batch = ok(service, "BATCH");
+    EXPECT_EQ(uintField(batch, "items"), 1U); // the stream entry is skipped
+    EXPECT_EQ(uintField(batch, "failures"), 0U);
+
+    // Materialize the prepared target's replay cursor, then compact. Both
+    // the streamed state and the replay cursor are live roots: GC must
+    // keep them, and the idle REVERIFY afterwards needs no re-replay.
+    ok(service, "REVERIFY --id 2");
+    ok(service, "GC");
+    const std::string stream = ok(service, "REVERIFY --id 1");
+    EXPECT_EQ(field(stream, "kind"), "stream");
+    EXPECT_EQ(field(stream, "fidelity"), "1.000000000");
+    EXPECT_EQ(uintField(stream, "ops"), 1U);
+    const std::string idle = ok(service, "REVERIFY --id 2");
+    EXPECT_EQ(uintField(idle, "delta_ops"), 0U);
+    EXPECT_EQ(field(idle, "fidelity"), "1.000000000");
+}
+
+TEST(ServeStream, BadStreamInputKeepsServing) {
+    VerificationService service;
+    err(service, "STREAM", "STREAM requires --dims");
+    err(service, "APPEND --gate h q[0];", "nothing prepared yet");
+
+    ok(service, "STREAM --dims 3,6,2");
+    err(service, "APPEND", "APPEND requires --gate");
+    err(service, "APPEND --gate warp q[0];", "unknown gate");
+    err(service, "APPEND --gate h q[9];", "parseQasm");
+
+    // Parse failures must not have advanced the stream.
+    const std::string append = ok(service, "APPEND --gate h q[0];");
+    EXPECT_EQ(uintField(append, "ops"), 1U);
+
+    const std::string stats = ok(service, "STATS?");
+    EXPECT_EQ(uintField(stats, "streams"), 1U);
+    EXPECT_EQ(uintField(stats, "appended"), 1U); // failed APPENDs don't count
+    EXPECT_EQ(uintField(stats, "reverified"), 0U);
+}
+
 } // namespace
 } // namespace mqsp::serve

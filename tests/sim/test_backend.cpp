@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace mqsp {
@@ -165,7 +166,7 @@ TEST(ExecutionConfigPlumbing, EntryPointsPinTheirConfigAndRestoreTheAmbientWidth
     const EvalState evalTarget(target);
     EXPECT_NEAR(backend->preparationFidelity(prep.circuit, evalTarget), 1.0, 1e-9);
     EXPECT_EQ(parallel::globalThreads(), 2U);
-    const auto results = backend->prepareAndVerifyBatch({{&prep.circuit, &evalTarget}});
+    const auto results = backend->verifyBatch({{&prep.circuit, &evalTarget}});
     ASSERT_EQ(results.size(), 1U);
     EXPECT_NEAR(results.front().fidelity, 1.0, 1e-9);
     EXPECT_EQ(parallel::globalThreads(), 2U);
@@ -177,7 +178,7 @@ struct BatchFixture {
     std::vector<StateVector> targets;
     std::vector<Circuit> circuits;
     std::vector<EvalState> evalTargets;
-    std::vector<BatchVerifyItem> items;
+    std::vector<VerifyRequest> items;
 
     BatchFixture() {
         SynthesisOptions lean;
@@ -208,7 +209,7 @@ TEST_P(BatchVerify, AllItemsVerifyOnBothBackends) {
     const BatchFixture fixture;
     for (const BackendKind kind : {BackendKind::Dense, BackendKind::Dd}) {
         const auto backend = makeBackend(kind);
-        const auto results = backend->prepareAndVerifyBatch(fixture.items);
+        const auto results = backend->verifyBatch(fixture.items);
         ASSERT_EQ(results.size(), fixture.items.size());
         for (const auto& result : results) {
             EXPECT_FALSE(result.failed) << result.error;
@@ -228,7 +229,7 @@ TEST_P(BatchVerify, MatchesSequentialFidelities) {
         }
     }
     const ScopedThreads scope(GetParam());
-    const auto results = backend->prepareAndVerifyBatch(fixture.items);
+    const auto results = backend->verifyBatch(fixture.items);
     for (std::size_t i = 0; i < results.size(); ++i) {
         EXPECT_NEAR(results[i].fidelity, sequential[i], 1e-12);
     }
@@ -239,7 +240,7 @@ TEST_P(BatchVerify, PerItemFailureDoesNotAbortSiblings) {
     BatchFixture fixture;
     // Make item 2 fail on the dense backend: a register past a tiny ceiling.
     const DenseBackend tiny(16);
-    const auto results = tiny.prepareAndVerifyBatch(fixture.items);
+    const auto results = tiny.verifyBatch(fixture.items);
     ASSERT_EQ(results.size(), fixture.items.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         const bool fits = fixture.targets[i].size() <= 16;
@@ -254,7 +255,7 @@ TEST_P(BatchVerify, PerItemFailureDoesNotAbortSiblings) {
 
 TEST_P(BatchVerify, EmptyBatchIsANoOp) {
     const ScopedThreads scope(GetParam());
-    EXPECT_TRUE(DenseBackend().prepareAndVerifyBatch({}).empty());
+    EXPECT_TRUE(DenseBackend().verifyBatch({}).empty());
 }
 
 TEST_P(BatchVerify, RepeatedItemsResolveFromTheSharedSessionCache) {
@@ -272,10 +273,10 @@ TEST_P(BatchVerify, RepeatedItemsResolveFromTheSharedSessionCache) {
     const EvalState ghzTarget(ghz);
     const EvalState wTarget(states::wState(dims));
     const DdBackend backend(Tolerance::kDefault, parallel::ExecutionConfig{GetParam()});
-    const std::vector<BatchVerifyItem> items = {{&prep.circuit, &ghzTarget},
+    const std::vector<VerifyRequest> items = {{&prep.circuit, &ghzTarget},
                                                 {&prep.circuit, &wTarget}};
 
-    const auto first = backend.prepareAndVerifyBatch(items);
+    const auto first = backend.verifyBatch(items);
     ASSERT_EQ(first.size(), items.size());
     EXPECT_NEAR(first[0].fidelity, 1.0, 1e-9);
     EXPECT_LT(first[1].fidelity, 0.5); // |<w|ghz>|^2 — genuinely mismatched
@@ -284,7 +285,7 @@ TEST_P(BatchVerify, RepeatedItemsResolveFromTheSharedSessionCache) {
     // Replay the whole batch on the same backend: every node re-resolves
     // from the shared table (no growth), the mismatched overlap resolves
     // from the compute cache, and the fidelities come out bit-identical.
-    const auto second = backend.prepareAndVerifyBatch(items);
+    const auto second = backend.verifyBatch(items);
     ASSERT_EQ(second.size(), items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
         EXPECT_FALSE(second[i].failed) << second[i].error;
@@ -297,10 +298,181 @@ TEST_P(BatchVerify, RepeatedItemsResolveFromTheSharedSessionCache) {
     EXPECT_GT(stats.cacheHitRate(), 0.0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, BatchVerify, ::testing::Values(1U, 2U, 4U),
-                         [](const auto& paramInfo) {
-                             return "t" + std::to_string(paramInfo.param);
-                         });
+/// "t<threads>" row labels (built without operator+ folding, which trips a
+/// gcc-12 -Wrestrict false positive when two instantiations inline it).
+std::string threadTag(const ::testing::TestParamInfo<unsigned>& paramInfo) {
+    std::string name = "t";
+    name += std::to_string(paramInfo.param);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchVerify, ::testing::Values(1U, 2U, 4U), threadTag);
+
+TEST(ZeroStateSeed, BothBackendsSeedTheComputationalZero) {
+    const Dimensions dims{3, 4, 2};
+    const EvalState dense = DenseBackend().zeroState(dims);
+    ASSERT_TRUE(dense.isDense());
+    EXPECT_NEAR(squaredMagnitude(dense.dense()[0]), 1.0, 1e-12);
+
+    const DdBackend dd;
+    const EvalState diagram = dd.zeroState(dims);
+    ASSERT_TRUE(diagram.isDiagram());
+    EXPECT_NEAR(diagram.fidelityWith(dense), 1.0, 1e-12);
+    // The zero state lives on the backend's session, like every other
+    // state the backend evaluates.
+    EXPECT_GT(dd.ddSession()->stats().poolNodes, 0U);
+}
+
+TEST(SingleVerify, ReportCarriesFidelityOpsAndSessionMetrics) {
+    const StateVector ghz = states::ghz({3, 4, 2});
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    const DdBackend backend;
+    const VerifyReport report = backend.verify({&prep.circuit, &target});
+    EXPECT_FALSE(report.failed) << report.error;
+    EXPECT_NEAR(report.fidelity, 1.0, 1e-9);
+    EXPECT_EQ(report.ops, prep.circuit.numOperations());
+    EXPECT_GT(report.ddNodes, 0U);
+    EXPECT_TRUE(report.checkpoints.empty());
+
+    // Repeats re-run the same replay; the session serves the repeats from
+    // its caches, and the report's deltas measure exactly that. The target
+    // is deliberately mismatched (fidelity < 1): an exactly-reproduced
+    // target resolves by root identity before the compute cache is even
+    // consulted, so only a descending overlap exercises it.
+    const EvalState mismatched(states::wState({3, 4, 2}));
+    const VerifyReport repeated = backend.verify({&prep.circuit, &mismatched, 3});
+    EXPECT_FALSE(repeated.failed) << repeated.error;
+    EXPECT_LT(repeated.fidelity, 1.0);
+    EXPECT_GT(repeated.cacheHits, 0U);
+}
+
+TEST(SingleVerify, NullItemsFailInTheReportNotByThrowing) {
+    const StateVector ghz = states::ghz({2, 2});
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    EXPECT_TRUE(DenseBackend().verify({nullptr, &target}).failed);
+    EXPECT_TRUE(DenseBackend().verify({&prep.circuit, nullptr}).failed);
+    const VerifyReport report = DenseBackend().verify({nullptr, nullptr});
+    EXPECT_TRUE(report.failed);
+    EXPECT_FALSE(report.error.empty());
+}
+
+class StreamVerify : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StreamVerify, DrainingACircuitSourceMatchesWholeCircuitReplay) {
+    const ScopedThreads scope(GetParam());
+    const StateVector ghz = states::ghz({3, 4, 2});
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    for (const BackendKind kind : {BackendKind::Dense, BackendKind::Dd}) {
+        const auto backend = makeBackend(kind);
+        CircuitSource source(prep.circuit);
+        VerifyRequest request;
+        request.target = &target;
+        EvalState finalState;
+        const VerifyReport report = backend->verifyStream(source, request, &finalState);
+        EXPECT_FALSE(report.failed) << report.error;
+        EXPECT_NEAR(report.fidelity, 1.0, 1e-9) << backendName(kind);
+        EXPECT_EQ(report.ops, prep.circuit.numOperations());
+        // The final state is handed out for further use and matches the
+        // non-streaming replay of the same circuit.
+        EXPECT_NEAR(finalState.fidelityWith(EvalState(ghz)), 1.0, 1e-9);
+    }
+}
+
+TEST_P(StreamVerify, CheckpointsLandAtTheConfiguredCadence) {
+    const ScopedThreads scope(GetParam());
+    const StateVector ghz = states::ghz({3, 4, 2});
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    const DdBackend backend;
+    CircuitSource source(prep.circuit);
+    VerifyRequest request;
+    request.target = &target;
+    request.checkpointInterval = 2;
+    const VerifyReport report = backend.verifyStream(source, request);
+    const std::uint64_t expected = prep.circuit.numOperations() / 2;
+    ASSERT_EQ(report.checkpoints.size(), expected);
+    for (std::size_t i = 0; i < report.checkpoints.size(); ++i) {
+        EXPECT_EQ(report.checkpoints[i].opIndex, 2 * (i + 1));
+        EXPECT_GT(report.checkpoints[i].ddNodes, 0U);
+        EXPECT_GE(report.checkpoints[i].fidelity, 0.0);
+        EXPECT_LE(report.checkpoints[i].fidelity, 1.0 + 1e-9);
+    }
+}
+
+TEST_P(StreamVerify, NullTargetReportsTheStateNorm) {
+    const ScopedThreads scope(GetParam());
+    const StateVector ghz = states::ghz({3, 2});
+    const auto prep = prepareExact(ghz);
+    const auto backend = makeBackend(BackendKind::Dd);
+    CircuitSource source(prep.circuit);
+    const VerifyReport report = backend->verifyStream(source, {});
+    // Unitary replay preserves the norm; with no target the report's
+    // fidelity is the norm² probe.
+    EXPECT_NEAR(report.fidelity, 1.0, 1e-9);
+}
+
+TEST_P(StreamVerify, ReverifyAppendedReplaysOnlyTheDelta) {
+    const ScopedThreads scope(GetParam());
+    const StateVector ghz = states::ghz({3, 4, 2});
+    const auto prep = prepareExact(ghz);
+    const EvalState target(ghz);
+    const DdBackend backend;
+
+    Circuit grown = prep.circuit;
+    EvalState replayed = backend.zeroState(grown.dimensions());
+    const VerifyReport base = backend.reverifyAppended(grown, 0, replayed, target);
+    EXPECT_NEAR(base.fidelity, 1.0, 1e-9);
+    EXPECT_EQ(base.ops, grown.numOperations());
+
+    // Grow by an identity pair: the verdict must stay fidelity 1, reached
+    // by replaying exactly the two appended gates.
+    const std::uint64_t fromOp = grown.numOperations();
+    grown.append(Operation::levelSwap(0, 0, 1));
+    grown.append(Operation::levelSwap(0, 0, 1));
+    const VerifyReport delta = backend.reverifyAppended(grown, fromOp, replayed, target);
+    EXPECT_NEAR(delta.fidelity, 1.0, 1e-9);
+    EXPECT_EQ(delta.ops, 2U);
+
+    // The incremental fidelity agrees with a from-scratch replay of the
+    // grown circuit.
+    EXPECT_NEAR(backend.preparationFidelity(grown, target), delta.fidelity, 1e-12);
+
+    // A cursor past the end is a caller bug, reported as such.
+    EXPECT_THROW((void)backend.reverifyAppended(grown, grown.numOperations() + 1,
+                                                replayed, target),
+                 InvalidArgumentError);
+}
+
+TEST(StreamVerifySession, AppendedDeltaResolvesFromTheSessionCache) {
+    // Replay the same delta twice on one backend session: the second pass
+    // repeats identical (gate, state) applications and overlaps, so the
+    // report's cache deltas must show hits. The target is mismatched
+    // (fidelity < 1) so the overlap genuinely descends — a reproduced
+    // target resolves by root identity without touching the cache.
+    // Single-threaded so the raw counters are deterministic.
+    const ScopedThreads scope(1);
+    const Dimensions dims{3, 4, 2};
+    const StateVector ghz = states::ghz(dims);
+    const auto prep = prepareExact(ghz);
+    const EvalState target(states::wState(dims));
+    const DdBackend backend;
+
+    Circuit grown = prep.circuit;
+    EvalState first = backend.zeroState(dims);
+    const VerifyReport warmup = backend.reverifyAppended(grown, 0, first, target);
+    EXPECT_LT(warmup.fidelity, 1.0);
+
+    EvalState second = backend.zeroState(dims);
+    const VerifyReport rerun = backend.reverifyAppended(grown, 0, second, target);
+    EXPECT_EQ(rerun.fidelity, warmup.fidelity);
+    EXPECT_GT(rerun.cacheHits, 0U);
+    EXPECT_GT(rerun.cacheLookups, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StreamVerify, ::testing::Values(1U, 2U, 4U), threadTag);
 
 } // namespace
 } // namespace mqsp

@@ -1,0 +1,52 @@
+# CTest script: the documented shell pipe `mqsp_prep --qasm | mqsp_sim
+# --qasm -`, with no temp file in between. execute_process chains the two
+# COMMANDs through a native pipe, so mqsp_sim genuinely reads its circuit
+# from stdin. -DSTREAM=1 switches the consumer to the gate-by-gate replay
+# (`--stream --checkpoint 1`), pinning that the streaming reader works off
+# a pipe it can never rewind and that every checkpoint reports norm2 1.0.
+# Run via:
+#   cmake -DMQSP_PREP=... -DMQSP_SIM=... [-DSTREAM=1] -P cli_pipe.cmake
+
+if(STREAM)
+  set(sim_args --qasm - --stream --checkpoint 1 --backend dd)
+else()
+  set(sim_args --qasm - --print-state --shots 50 --seed 7)
+endif()
+
+execute_process(
+  COMMAND ${MQSP_PREP} --dims 3,6,2 --state ghz --qasm
+  COMMAND ${MQSP_SIM} ${sim_args}
+  OUTPUT_VARIABLE sim_stdout
+  ERROR_VARIABLE pipe_stderr
+  RESULTS_VARIABLE pipe_results)
+foreach(result IN LISTS pipe_results)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "pipe failed (${pipe_results}): ${pipe_stderr}\n${sim_stdout}")
+  endif()
+endforeach()
+
+if(STREAM)
+  if(NOT sim_stdout MATCHES "streaming circuit on \\[1x3,1x6,1x2\\]: dd backend")
+    message(FATAL_ERROR "--stream did not announce the streamed register:\n${sim_stdout}")
+  endif()
+  # Per-gate checkpoints: the replay is unitary, so norm2 holds at every one.
+  if(NOT sim_stdout MATCHES "checkpoint op 1: norm2 1\\.000000000")
+    message(FATAL_ERROR "--checkpoint 1 emitted no first checkpoint:\n${sim_stdout}")
+  endif()
+  if(NOT sim_stdout MATCHES "streamed [0-9]+ ops: norm2 1\\.000000000")
+    message(FATAL_ERROR "--stream final norm2 is not 1.0:\n${sim_stdout}")
+  endif()
+else()
+  # GHZ on [3,6,2]: exactly the |0 0 0> and |1 1 1> kets, each at p = 0.5 —
+  # the same contract the temp-file round trip pins, now through stdin.
+  foreach(ket "|0 0 0>" "|1 1 1>")
+    if(NOT sim_stdout MATCHES "\\${ket}")
+      message(FATAL_ERROR "piped mqsp_sim output missing ${ket}:\n${sim_stdout}")
+    endif()
+  endforeach()
+  if(NOT sim_stdout MATCHES "p = 0\\.500000")
+    message(FATAL_ERROR "piped mqsp_sim output missing p = 0.5 amplitudes:\n${sim_stdout}")
+  endif()
+endif()
+
+message(STATUS "cli_pipe OK")

@@ -379,9 +379,10 @@ int main(int argc, char** argv) {
                          result.approx.fidelity, threshold);
         }
         if (argFlag(argc, argv, "--verify")) {
-            const double fidelity =
-                backend->preparationFidelity(result.circuit, target);
-            std::fprintf(stderr, "verified fidelity : %.9f\n", fidelity);
+            const VerifyReport report =
+                backend->verify(VerifyRequest{&result.circuit, &target, 1, 0});
+            requireThat(!report.failed, report.error);
+            std::fprintf(stderr, "verified fidelity : %.9f\n", report.fidelity);
         }
         if (const auto noiseSpec = argValue(argc, argv, "--noise")) {
             const double eps = cli::argDouble(argc, argv, "--noise", 0.0);

@@ -13,6 +13,19 @@
 //   GC
 //   STATS?' | mqsp_serve
 //
+// Streaming/incremental verbs (see docs/USER_GUIDE.md): STREAM opens a
+// resident gate-by-gate session (--checkpoint k reports a norm² probe
+// every k gates), APPEND feeds it one MQSP-QASM statement per command
+// (--gate captures the rest of the line), and on PREP'd targets
+// APPEND grows the circuit while REVERIFY re-verifies just the appended
+// delta, reporting the structural root diff and the session-cache hits
+// the unchanged subtrees resolved from:
+//
+//   echo 'STREAM --dims 3,6,2 --checkpoint 2
+//   APPEND --gate h q[0];
+//   APPEND --gate x q[1] (+1) ctl q[0]=1;
+//   REVERIFY' | mqsp_serve
+//
 // Flags:
 //   --port <n>            listen on 127.0.0.1:<n> instead of stdio (0 =
 //                         ephemeral; the chosen port prints to stderr as

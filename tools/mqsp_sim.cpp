@@ -2,6 +2,7 @@
 //
 //   mqsp_sim --qasm circuit.qasm [--shots 1000] [--print-state] [--seed 7]
 //            [--backend dense|dd|auto] [--noise 1e-3]
+//   mqsp_sim --qasm - --stream [--checkpoint 64]   # gate-by-gate off stdin
 //   mqsp_sim --circuit-json circuit.jsonl ...
 //
 // Reads a circuit in the MQSP-QASM dialect (as emitted by mqsp_prep --qasm)
@@ -12,6 +13,16 @@
 // printed state all come straight off the diagram, so circuits on registers
 // far past the dense O(∏dims) ceiling simulate in milliseconds. `auto` (the
 // default) picks dense below kAutoBackendThreshold amplitudes, dd beyond.
+//
+// `--qasm -` reads stdin, so preparation pipes without a temp file:
+//   mqsp_prep --target ghz --dims 3,6,2 --qasm | mqsp_sim --qasm - --shots 100
+//
+// --stream replays the QASM text gate-by-gate as it is parsed (the
+// GateStream reader) instead of materializing the whole circuit first —
+// memory stays O(state), never O(circuit text), so circuit files far larger
+// than memory replay straight off a file or pipe. --checkpoint k prints a
+// norm²/dd_nodes probe line every k gates. (Whole-circuit-only features —
+// --noise, --circuit-json — do not combine with it.)
 
 #include "cli_args.hpp"
 
@@ -52,39 +63,80 @@ int main(int argc, char** argv) {
         cli::configureThreads(argc, argv);
         const auto path = argValue(argc, argv, "--qasm");
         const auto jsonPath = argValue(argc, argv, "--circuit-json");
+        const bool streaming = argFlag(argc, argv, "--stream");
         if (static_cast<bool>(path) == static_cast<bool>(jsonPath)) {
             std::fprintf(stderr,
                          "usage: mqsp_sim (--qasm <file|-> | --circuit-json <file|->) "
-                         "[--shots n] [--print-state] [--seed n] "
-                         "[--backend dense|dd|auto] [--threads n] [--noise eps]\n");
+                         "[--stream [--checkpoint k]] [--shots n] [--print-state] "
+                         "[--seed n] [--backend dense|dd|auto] [--threads n] "
+                         "[--noise eps]\n");
             return 2;
         }
+        requireThat(!streaming || path,
+                    "--stream replays MQSP-QASM gate-by-gate — pass --qasm <file|->");
+        requireThat(!streaming || !argValue(argc, argv, "--noise"),
+                    "--stream cannot combine with --noise (the density simulator "
+                    "replays the whole circuit)");
+        requireThat(streaming || !argValue(argc, argv, "--checkpoint"),
+                    "--checkpoint only applies to --stream");
 
         const std::string& input = path ? *path : *jsonPath;
-        const auto parseFrom = [&](std::istream& in) {
-            return path ? parseQasm(in) : parseCircuitJsonLines(in);
-        };
-        Circuit circuit({2});
-        if (input == "-") {
-            circuit = parseFrom(std::cin);
-        } else {
-            std::ifstream in(input);
-            requireThat(in.good(), std::string("cannot open ") +
-                                       (path ? "QASM" : "circuit-JSON") + " file: " + input);
-            circuit = parseFrom(in);
-        }
-
         const std::string backendSpec =
             argValue(argc, argv, "--backend").value_or("auto");
-        const auto backend =
-            makeBackend(backendSpec, circuit.radix().totalDimension());
 
-        const auto stats = circuit.stats();
-        std::printf("circuit on %s: %zu ops (depth ~%zu), %s backend\n",
-                    formatDimensionSpec(circuit.dimensions()).c_str(),
-                    stats.numOperations, stats.depthEstimate, backend->name());
+        Circuit circuit({2});
+        EvalState out;
+        std::unique_ptr<EvaluationBackend> backend;
+        if (streaming) {
+            const auto runStream = [&](std::istream& in) {
+                GateStream stream(in);
+                backend = makeBackend(backendSpec, stream.radix().totalDimension());
+                std::printf("streaming circuit on %s: %s backend\n",
+                            formatDimensionSpec(stream.dimensions()).c_str(),
+                            backend->name());
+                VerifyRequest request;
+                request.checkpointInterval =
+                    cli::argUint(argc, argv, "--checkpoint", 0);
+                const VerifyReport report = backend->verifyStream(stream, request, &out);
+                for (const ReplayCheckpoint& checkpoint : report.checkpoints) {
+                    std::printf("  checkpoint op %llu: norm2 %.9f, dd_nodes %llu\n",
+                                static_cast<unsigned long long>(checkpoint.opIndex),
+                                checkpoint.fidelity,
+                                static_cast<unsigned long long>(checkpoint.ddNodes));
+                }
+                std::printf("streamed %llu ops: norm2 %.9f\n",
+                            static_cast<unsigned long long>(report.ops), report.fidelity);
+            };
+            if (input == "-") {
+                runStream(std::cin);
+            } else {
+                std::ifstream in(input);
+                requireThat(in.good(), "cannot open QASM file: " + input);
+                runStream(in);
+            }
+        } else {
+            const auto parseFrom = [&](std::istream& in) {
+                return path ? parseQasm(in) : parseCircuitJsonLines(in);
+            };
+            if (input == "-") {
+                circuit = parseFrom(std::cin);
+            } else {
+                std::ifstream in(input);
+                requireThat(in.good(), std::string("cannot open ") +
+                                           (path ? "QASM" : "circuit-JSON") +
+                                           " file: " + input);
+                circuit = parseFrom(in);
+            }
 
-        const EvalState out = backend->runFromZero(circuit);
+            backend = makeBackend(backendSpec, circuit.radix().totalDimension());
+
+            const auto stats = circuit.stats();
+            std::printf("circuit on %s: %zu ops (depth ~%zu), %s backend\n",
+                        formatDimensionSpec(circuit.dimensions()).c_str(),
+                        stats.numOperations, stats.depthEstimate, backend->name());
+
+            out = backend->runFromZero(circuit);
+        }
         const MixedRadix& radix = out.radix();
 
         if (argFlag(argc, argv, "--print-state")) {

@@ -61,6 +61,27 @@ COMMANDS = [
     "QUIT",
 ]
 
+# Second scripted session: the streaming verbs. One STREAM session fed
+# gate-by-gate (checkpoint cadence 2), then a prepared target grown with
+# APPEND and incrementally re-verified — the second REVERIFY replays only
+# the two appended gates, and because they are an identity pair the root
+# diff reports pure sharing (new_nodes == dropped_nodes == 0).
+STREAM_COMMANDS = [
+    "STREAM --dims " + DIMS + " --checkpoint 2",  # id 1
+    "APPEND --gate swp q[0] (0, 1);",
+    "APPEND --gate rxy q[1] (0, 1, 0.7, 0.1) ctl q[0]=1;",  # checkpoint 1
+    "APPEND --gate rz q[2] (0, 1, 0.5);",
+    "APPEND --gate swp q[0] (0, 1);",  # checkpoint 2
+    "REVERIFY",
+    "PREP:GHZ --dims " + DIMS,  # id 2
+    "REVERIFY --id 2",  # full replay: cursor starts at 0
+    "APPEND --id 2 --gate swp q[0] (0, 1);",
+    "APPEND --id 2 --gate swp q[0] (0, 1);",
+    "REVERIFY --id 2",  # delta replay: exactly the appended pair
+    "STATS?",
+    "QUIT",
+]
+
 
 def fail(message):
     print("serve_smoke: FAIL: " + message, file=sys.stderr)
@@ -75,8 +96,8 @@ def field(reply, key):
     return match.group(1)
 
 
-def run_session(serve_binary):
-    script = "\n".join(COMMANDS) + "\n"
+def run_session(serve_binary, commands):
+    script = "\n".join(commands) + "\n"
     wall_start = time.perf_counter_ns()
     proc = subprocess.run(
         [serve_binary, "--threads", "1"],
@@ -89,10 +110,10 @@ def run_session(serve_binary):
     if proc.returncode != 0:
         fail("daemon exited %d\nstderr: %s" % (proc.returncode, proc.stderr))
     replies = proc.stdout.splitlines()
-    if len(replies) != len(COMMANDS):
+    if len(replies) != len(commands):
         fail(
             "expected %d reply lines, got %d:\n%s"
-            % (len(COMMANDS), len(replies), proc.stdout)
+            % (len(commands), len(replies), proc.stdout)
         )
     return replies, wall_ns
 
@@ -144,7 +165,55 @@ def check_session(replies):
     }
 
 
-def write_report(path, metrics, wall_ns, cpu_ns):
+def check_stream_session(replies):
+    for command, reply in zip(STREAM_COMMANDS, replies):
+        if not reply.startswith("OK "):
+            fail("command '%s' answered: %s" % (command, reply))
+
+    # Checkpoints land exactly on cadence, each holding unitarity.
+    for index, checkpoint in ((2, "1"), (4, "2")):
+        if field(replies[index], "checkpoint") != checkpoint:
+            fail("APPEND checkpoint cadence drifted: %s" % replies[index])
+        if field(replies[index], "fidelity") != "1.000000000":
+            fail("streamed norm2 drifted from 1.0: %s" % replies[index])
+    if "checkpoint=" in replies[1]:
+        fail("off-cadence APPEND emitted a checkpoint: %s" % replies[1])
+
+    stream = replies[5]
+    if field(stream, "kind") != "stream" or field(stream, "ops") != "4":
+        fail("stream REVERIFY miscounted: %s" % stream)
+    if field(stream, "fidelity") != "1.000000000":
+        fail("stream REVERIFY norm2 drifted: %s" % stream)
+    stream_nodes = int(field(stream, "dd_nodes"))
+
+    full, delta = replies[7], replies[10]
+    total_ops = int(field(full, "total_ops"))
+    if int(field(full, "delta_ops")) != total_ops:
+        fail("first REVERIFY did not replay the whole circuit: %s" % full)
+    if field(delta, "fidelity") != "1.000000000":
+        fail("incremental re-verification drifted from 1.0: %s" % delta)
+    if int(field(delta, "delta_ops")) != 2:
+        fail("REVERIFY after APPEND x2 must replay exactly 2 ops: %s" % delta)
+    if int(field(delta, "new_nodes")) != 0 or int(field(delta, "dropped_nodes")) != 0:
+        fail("identity delta must leave the replay root shared: %s" % delta)
+
+    stats = replies[11]
+    for key, expected in (("streams", "1"), ("appended", "6"), ("reverified", "3")):
+        if field(stats, key) != expected:
+            fail("STATS? %s counter drifted: %s" % (key, stats))
+
+    return {
+        "stream_ops": 4,
+        "stream_checkpoints": int(field(stream, "checkpoints")),
+        "stream_dd_nodes": stream_nodes,
+        "delta_ops": 2,
+        "delta_shared_nodes": int(field(delta, "shared_nodes")),
+        "delta_new_nodes": 0,
+        "fidelity": 1.0,
+    }
+
+
+def write_report(path, cases):
     def stat_block(value):
         return {"min_ns": value, "median_ns": value, "mean_ns": value, "stddev_ns": 0}
 
@@ -155,7 +224,7 @@ def write_report(path, metrics, wall_ns, cpu_ns):
         "cases": [
             {
                 "driver": "serve_smoke",
-                "case": "resident session prep/verify/gc",
+                "case": case_name,
                 "dims": "[1x3,1x6,1x2]",
                 "backend": "dd",
                 "threads": 1,
@@ -167,6 +236,7 @@ def write_report(path, metrics, wall_ns, cpu_ns):
                 "cpu_stats": stat_block(cpu_ns),
                 "metrics": metrics,
             }
+            for case_name, metrics, wall_ns, cpu_ns in cases
         ],
     }
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
@@ -294,25 +364,49 @@ def main():
     if not args.json:
         parser.error("--json is required in stdio mode")
 
-    cpu_start = time.process_time_ns()
-    replies, wall_ns = run_session(args.serve)
-    # The interesting CPU time burns in the child; rusage of terminated
-    # children is the honest measure where available.
-    try:
-        import resource
+    def child_cpu_ns(cpu_start):
+        # The interesting CPU time burns in the child; rusage of terminated
+        # children is the honest measure where available.
+        try:
+            import resource
 
-        usage = resource.getrusage(resource.RUSAGE_CHILDREN)
-        cpu_ns = int((usage.ru_utime + usage.ru_stime) * 1e9)
-    except ImportError:
-        cpu_ns = time.process_time_ns() - cpu_start
+            usage = resource.getrusage(resource.RUSAGE_CHILDREN)
+            return int((usage.ru_utime + usage.ru_stime) * 1e9)
+        except ImportError:
+            return time.process_time_ns() - cpu_start
+
+    cpu_start = time.process_time_ns()
+    replies, wall_ns = run_session(args.serve, COMMANDS)
+    cpu_ns = max(child_cpu_ns(cpu_start), 1)
     metrics = check_session(replies)
-    write_report(args.json, metrics, wall_ns, max(cpu_ns, 1))
+
+    cpu_start = time.process_time_ns()
+    stream_replies, stream_wall_ns = run_session(args.serve, STREAM_COMMANDS)
+    stream_cpu_ns = max(child_cpu_ns(cpu_start) - cpu_ns, 1)
+    stream_metrics = check_stream_session(stream_replies)
+
+    write_report(
+        args.json,
+        [
+            ("resident session prep/verify/gc", metrics, wall_ns, cpu_ns),
+            (
+                "streaming session stream/append/reverify",
+                stream_metrics,
+                stream_wall_ns,
+                stream_cpu_ns,
+            ),
+        ],
+    )
     print(
-        "serve_smoke OK: pool %d -> %d nodes, %d live root(s), report %s"
+        "serve_smoke OK: pool %d -> %d nodes, %d live root(s), "
+        "streamed %d ops (%d checkpoints), delta replay %d ops, report %s"
         % (
             metrics["nodes_before_gc"],
             metrics["nodes_after_gc"],
             metrics["live_roots"],
+            stream_metrics["stream_ops"],
+            stream_metrics["stream_checkpoints"],
+            stream_metrics["delta_ops"],
             args.json,
         )
     )
